@@ -1,0 +1,112 @@
+"""Experiment E2: Theorem 4.9 -- subsumption runs in polynomial time.
+
+The series scale one input dimension at a time (query/view chain length,
+agreement length, fan width, schema depth) and report the wall-clock time of
+one subsumption check.  The paper claims polynomial behaviour; the reported
+growth ratios should therefore stay small and roughly constant when the
+input doubles (no exponential blow-up), which is what EXPERIMENTS.md checks.
+"""
+
+import pytest
+
+from repro.calculus import decide_subsumption, subsumes
+from repro.concepts.size import concept_size, schema_size
+from repro.concepts.schema import Schema
+from repro.workloads.chains import (
+    agreement_pair,
+    chain_pair,
+    chain_schema,
+    fan_pair,
+    non_subsumed_chain_pair,
+)
+
+try:
+    from .helpers import measure, print_table
+except ImportError:  # executed as a script
+    from helpers import measure, print_table
+
+CHAIN_LENGTHS = [2, 4, 8, 16, 32]
+SCHEMA_DEPTHS = [2, 4, 8, 16, 32]
+FAN_WIDTHS = [2, 4, 8, 16]
+
+
+@pytest.mark.parametrize("length", [4, 16])
+def test_e2_chain_scaling(benchmark, length):
+    query, view = chain_pair(length)
+    assert benchmark(lambda: subsumes(query, view))
+
+
+@pytest.mark.parametrize("length", [4, 16])
+def test_e2_failing_chain_scaling(benchmark, length):
+    query, view = non_subsumed_chain_pair(length)
+    assert not benchmark(lambda: subsumes(query, view))
+
+
+@pytest.mark.parametrize("depth", [4, 16])
+def test_e2_schema_scaling(benchmark, depth):
+    schema = chain_schema(depth)
+    query, view = chain_pair(3)
+    assert benchmark(lambda: subsumes(query, view, schema))
+
+
+@pytest.mark.parametrize("width", [4, 8])
+def test_e2_fan_scaling(benchmark, width):
+    query, view = fan_pair(width)
+    assert benchmark(lambda: subsumes(query, view))
+
+
+def report() -> None:
+    rows = []
+    for length in CHAIN_LENGTHS:
+        query, view = chain_pair(length)
+        seconds = measure(lambda: subsumes(query, view))
+        result = decide_subsumption(query, view)
+        rows.append(
+            (
+                length,
+                concept_size(result.query),
+                concept_size(result.view),
+                f"{seconds * 1000:.2f}",
+                result.statistics.total_applications,
+                result.statistics.individuals,
+            )
+        )
+    print_table(
+        "E2a: positive chain queries, empty schema (Theorem 4.9)",
+        ["chain length", "|C|", "|D|", "time [ms]", "rule apps", "individuals"],
+        rows,
+    )
+
+    rows = []
+    for length in CHAIN_LENGTHS:
+        query, view = agreement_pair(length)
+        seconds = measure(lambda: subsumes(query, view))
+        rows.append((length, f"{seconds * 1000:.2f}"))
+    print_table(
+        "E2b: looping path agreements",
+        ["loop length", "time [ms]"],
+        rows,
+    )
+
+    rows = []
+    base_query, base_view = chain_pair(3)
+    for depth in SCHEMA_DEPTHS:
+        schema = chain_schema(depth)
+        seconds = measure(lambda: subsumes(base_query, base_view, schema))
+        rows.append((depth, schema_size(schema), f"{seconds * 1000:.2f}"))
+    print_table(
+        "E2c: fixed query, growing schema",
+        ["schema depth", "|Sigma|", "time [ms]"],
+        rows,
+    )
+
+    rows = []
+    for width in FAN_WIDTHS:
+        query, view = fan_pair(width)
+        seconds = measure(lambda: subsumes(query, view))
+        rows.append((width, f"{seconds * 1000:.2f}"))
+    print_table("E2d: parallel branches (width scaling)", ["width", "time [ms]"], rows)
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,95 @@
+"""Experiment E3: Proposition 4.8 -- the completion has at most M*N individuals.
+
+For chain, agreement, fan and random workloads we measure the number of
+individuals of the completed constraint system and compare it with the bound
+``M * N`` (M = size of the query concept, N = size of the view concept).
+The benchmark timings cover the completion itself; the report prints the
+measured count, the bound and their ratio (always <= 1).
+"""
+
+import random
+
+import pytest
+
+from repro.calculus import decide_subsumption
+from repro.concepts.size import concept_size
+from repro.workloads.chains import agreement_pair, chain_pair, chain_schema, fan_pair
+from repro.workloads.synthetic import random_concept, random_schema
+
+try:
+    from .helpers import print_table
+except ImportError:  # executed as a script
+    from helpers import print_table
+
+
+def completion_statistics(query, view, schema=None):
+    result = decide_subsumption(query, view, schema)
+    bound = concept_size(result.query) * concept_size(result.view)
+    return result.statistics.individuals, bound, result
+
+
+@pytest.mark.parametrize("length", [4, 12])
+def test_e3_chain_completion(benchmark, length):
+    query, view = chain_pair(length)
+    schema = chain_schema(length)
+    individuals, bound, _ = benchmark(lambda: completion_statistics(query, view, schema))
+    assert individuals <= bound
+
+
+@pytest.mark.parametrize("width", [4, 8])
+def test_e3_fan_completion(benchmark, width):
+    query, view = fan_pair(width)
+    individuals, bound, _ = benchmark(lambda: completion_statistics(query, view))
+    assert individuals <= bound
+
+
+def test_e3_random_pairs_respect_bound(benchmark):
+    schema = random_schema(seed=17)
+    rng = random.Random(17)
+    pairs = [
+        (
+            random_concept(schema, seed=rng.random(), conjunct_count=3),
+            random_concept(schema, seed=rng.random(), conjunct_count=3),
+        )
+        for _ in range(10)
+    ]
+
+    def run():
+        worst_ratio = 0.0
+        for query, view in pairs:
+            individuals, bound, _ = completion_statistics(query, view, schema)
+            assert individuals <= bound
+            worst_ratio = max(worst_ratio, individuals / bound)
+        return worst_ratio
+
+    assert benchmark(run) <= 1.0
+
+
+def report() -> None:
+    rows = []
+    for label, maker, schema_maker in (
+        ("chain", chain_pair, chain_schema),
+        ("agreement", agreement_pair, lambda n: None),
+        ("fan", lambda n: fan_pair(n, depth=2), lambda n: None),
+    ):
+        for size in (2, 4, 8, 16):
+            query, view = maker(size)
+            schema = schema_maker(size)
+            individuals, bound, _ = completion_statistics(query, view, schema)
+            rows.append((label, size, individuals, bound, f"{individuals / bound:.3f}"))
+    schema = random_schema(seed=17)
+    rng = random.Random(17)
+    for index in range(5):
+        query = random_concept(schema, seed=rng.random(), conjunct_count=4)
+        view = random_concept(schema, seed=rng.random(), conjunct_count=4)
+        individuals, bound, _ = completion_statistics(query, view, schema)
+        rows.append((f"random #{index}", "-", individuals, bound, f"{individuals / bound:.3f}"))
+    print_table(
+        "E3: individuals in the completion vs the M*N bound (Proposition 4.8)",
+        ["workload", "parameter", "individuals", "M*N bound", "ratio"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,106 @@
+"""Experiment E4: the structural checker vs Chandra--Merlin CQ containment.
+
+Section 5 of the paper positions ``QL`` as a class of conjunctive queries
+with a *polynomial* containment problem, in contrast to general conjunctive
+query containment, which is NP-hard.  On QL inputs with an empty schema both
+procedures decide the same relation; the benchmark compares their runtimes
+as the query size grows, including on the "hard-ish" instances for the
+homomorphism search (many branches over the same attribute name, which
+maximizes the candidate targets per atom).
+"""
+
+import pytest
+
+from repro.baselines.conjunctive import concept_to_cq
+from repro.baselines.containment import ContainmentStatistics, cq_contained_in
+from repro.calculus import subsumes
+from repro.concepts import builders as b
+from repro.workloads.chains import chain_pair, fan_pair
+
+try:
+    from .helpers import measure, print_table
+except ImportError:  # executed as a script
+    from helpers import measure, print_table
+
+
+def ambiguous_fan_pair(width: int):
+    """Branches that all use the SAME attribute, the worst case for homomorphism search."""
+    query_parts = [b.concept("Root")]
+    view_parts = [b.concept("Root")]
+    for branch in range(width):
+        query_parts.append(
+            b.exists(("r", b.conjoin(b.concept(f"A{branch}"), b.concept("Extra"))))
+        )
+        view_parts.append(b.exists(("r", b.concept(f"A{branch}"))))
+    return b.conjoin(query_parts), b.conjoin(view_parts)
+
+
+SIZES = [2, 4, 6, 8, 10]
+
+
+@pytest.mark.parametrize("width", [4, 8])
+def test_e4_structural_checker(benchmark, width):
+    query, view = ambiguous_fan_pair(width)
+    assert benchmark(lambda: subsumes(query, view))
+
+
+@pytest.mark.parametrize("width", [4, 8])
+def test_e4_chandra_merlin_baseline(benchmark, width):
+    query, view = ambiguous_fan_pair(width)
+    query_cq, view_cq = concept_to_cq(query), concept_to_cq(view)
+    assert benchmark(lambda: cq_contained_in(query_cq, view_cq))
+
+
+def test_e4_decisions_agree_on_ql(benchmark):
+    pairs = [chain_pair(4), fan_pair(3), ambiguous_fan_pair(4)]
+
+    def run():
+        for query, view in pairs:
+            assert subsumes(query, view) == cq_contained_in(
+                concept_to_cq(query), concept_to_cq(view)
+            )
+        return True
+
+    assert benchmark(run)
+
+
+def report() -> None:
+    rows = []
+    for width in SIZES:
+        query, view = ambiguous_fan_pair(width)
+        structural_time = measure(lambda: subsumes(query, view))
+        query_cq, view_cq = concept_to_cq(query), concept_to_cq(view)
+        statistics = ContainmentStatistics()
+        cm_time = measure(lambda: cq_contained_in(query_cq, view_cq))
+        cq_contained_in(query_cq, view_cq, statistics)
+        rows.append(
+            (
+                width,
+                f"{structural_time * 1000:.2f}",
+                f"{cm_time * 1000:.2f}",
+                statistics.candidate_assignments_tried,
+                subsumes(query, view),
+            )
+        )
+    print_table(
+        "E4: structural subsumption vs Chandra-Merlin homomorphism (same-attribute fan)",
+        ["branches", "calculus [ms]", "CM baseline [ms]", "CM assignments tried", "subsumed"],
+        rows,
+    )
+
+    rows = []
+    for length in SIZES:
+        query, view = chain_pair(length)
+        structural_time = measure(lambda: subsumes(query, view))
+        query_cq, view_cq = concept_to_cq(query), concept_to_cq(view)
+        cm_time = measure(lambda: cq_contained_in(query_cq, view_cq))
+        rows.append((length, f"{structural_time * 1000:.2f}", f"{cm_time * 1000:.2f}"))
+    print_table(
+        "E4b: distinct-attribute chains (easy for both)",
+        ["chain length", "calculus [ms]", "CM baseline [ms]"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,106 @@
+"""Experiment E5: Propositions 4.10-4.13 -- language extensions are intractable.
+
+Two complete checkers for extended languages are run on growing hard
+families and contrasted with the polynomial QL calculus on comparable
+(restricted) inputs:
+
+* the language ``L`` (qualified ∀/∃, Proposition 4.10/4.11): the normalized
+  description tree doubles with every level of ∀/∃ alternation;
+* concept disjunction (Proposition 4.12): the DNF doubles with every
+  additional disjunctive conjunct.
+
+The QL series on chains of the same depth stays flat, which is exactly the
+design point of the paper ("maximal expressiveness without losing
+tractability").
+"""
+
+import pytest
+
+from repro.calculus import subsumes
+from repro.extensions.ale import build_description_tree, l_size, l_subsumes
+from repro.extensions.disjunction import d_subsumes, dnf_size
+from repro.extensions.hardness import (
+    disjunction_family,
+    forall_exists_family,
+    ql_chain_family,
+    qualified_schema_family,
+)
+
+try:
+    from .helpers import measure, print_table
+except ImportError:  # executed as a script
+    from helpers import measure, print_table
+
+L_DEPTHS = [2, 4, 6, 8, 10]
+DISJUNCTION_WIDTHS = [2, 4, 8, 12, 16]
+
+
+@pytest.mark.parametrize("depth", [4, 8])
+def test_e5_language_l_checker(benchmark, depth):
+    subsumee, subsumer = forall_exists_family(depth)
+    assert benchmark(lambda: l_subsumes(subsumee, subsumer))
+
+
+@pytest.mark.parametrize("depth", [4, 8])
+def test_e5_ql_counterpart(benchmark, depth):
+    query, view = ql_chain_family(depth)
+    assert benchmark(lambda: subsumes(query, view))
+
+
+@pytest.mark.parametrize("width", [8, 16])
+def test_e5_disjunction_checker(benchmark, width):
+    subsumee, subsumer = disjunction_family(width)
+    assert benchmark(lambda: d_subsumes(subsumee, subsumer))
+
+
+def report() -> None:
+    rows = []
+    for depth in L_DEPTHS:
+        subsumee, subsumer = forall_exists_family(depth)
+        tree_nodes = build_description_tree(subsumee).node_count()
+        l_time = measure(lambda: l_subsumes(subsumee, subsumer))
+        query, view = ql_chain_family(depth)
+        ql_time = measure(lambda: subsumes(query, view))
+        rows.append(
+            (
+                depth,
+                l_size(subsumee),
+                tree_nodes,
+                f"{l_time * 1000:.2f}",
+                f"{ql_time * 1000:.2f}",
+            )
+        )
+    print_table(
+        "E5a: qualified ∀/∃ (language L) vs plain QL chains",
+        ["depth", "|C| (L)", "normalized tree nodes", "L checker [ms]", "QL calculus [ms]"],
+        rows,
+    )
+
+    rows = []
+    for depth in L_DEPTHS:
+        subsumee, subsumer = qualified_schema_family(depth)
+        if l_size(subsumee) > 100_000:
+            rows.append((depth, l_size(subsumee), "skipped (unfolded concept too large)"))
+            continue
+        seconds = measure(lambda: l_subsumes(subsumee, subsumer), repeat=1)
+        rows.append((depth, l_size(subsumee), f"{seconds * 1000:.2f}"))
+    print_table(
+        "E5b: qualified existentials in the schema (unfolded), Proposition 4.10(1)",
+        ["unfolding depth", "unfolded |C|", "L checker [ms]"],
+        rows,
+    )
+
+    rows = []
+    for width in DISJUNCTION_WIDTHS:
+        subsumee, subsumer = disjunction_family(width)
+        seconds = measure(lambda: d_subsumes(subsumee, subsumer))
+        rows.append((width, dnf_size(subsumee), f"{seconds * 1000:.2f}"))
+    print_table(
+        "E5c: concept disjunction (Proposition 4.12), DNF-based complete checker",
+        ["conjuncts", "DNF disjuncts", "checker [ms]"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark harnesses (experiments E1--E7).
+
+Each ``bench_e*.py`` file can be used in two ways:
+
+* ``pytest benchmarks/ --benchmark-only`` runs the pytest-benchmark timings
+  (one representative configuration per series), which is what CI exercises;
+* ``python benchmarks/bench_eX_*.py`` prints the full table / series of the
+  experiment, which is what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, List, Sequence
+
+
+def measure(callable_: Callable[[], object], repeat: int = 3) -> float:
+    """Median wall-clock seconds of ``repeat`` invocations."""
+    samples: List[float] = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        callable_()
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
+    """Print a fixed-width table (the format EXPERIMENTS.md reproduces)."""
+    rows = [tuple(str(cell) for cell in row) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    line = "  ".join(header.ljust(width) for header, width in zip(headers, widths))
+    print(f"\n== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))

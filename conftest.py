@@ -1,0 +1,14 @@
+"""Pytest bootstrap for running the suite from a source checkout.
+
+If the ``repro`` package has been installed (``pip install -e .``) this file
+is a no-op; otherwise it prepends ``src/`` to ``sys.path`` so that the tests,
+benchmarks and examples can be executed directly from the repository, even in
+fully offline environments where an editable install is not possible.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,94 @@
+"""A tour of the abstract languages SL and QL and of the calculus internals.
+
+Shows, without any database, how to
+
+* define a schema with the builder DSL and write concepts directly in QL,
+* normalize path agreements (the ∃p ≐ q  ⇒  ∃p' ≐ ε rewriting of Section 4),
+* inspect the derivation trace and the canonical countermodel,
+* translate concepts to first-order logic (Table 1) and to conjunctive
+  queries (Section 5),
+* use the extensions of Section 4.4 (variables on paths, language L).
+
+Run with:  python examples/concept_language_tour.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.baselines import concept_to_cq, cq_contained_in
+from repro.calculus import decide_subsumption, format_trace
+from repro.concepts import builders as b
+from repro.concepts.normalize import normalize_concept
+from repro.extensions import (
+    LAnd,
+    LExists,
+    LForall,
+    LPrimitive,
+    VariableSingleton,
+    l_subsumes,
+    subsumes_with_variables,
+)
+from repro.fol import Var, concept_to_formula
+from repro.semantics.sigma import is_sigma_interpretation
+
+
+def main() -> None:
+    # -- 1. schema and concepts -------------------------------------------------
+    schema = b.schema(
+        b.isa("Employee", "Person"),
+        b.typed("Employee", "works_on", "Project"),
+        b.necessary("Employee", "works_on"),
+        b.functional("Employee", "manager"),
+        b.attribute_typing("manager", "Employee", "Manager"),
+        b.isa("Manager", "Employee"),
+    )
+    query = b.conjoin(
+        b.concept("Employee"),
+        b.agreement(
+            b.path(("manager", b.top()), ("works_on", b.concept("Project"))),
+            b.path(("works_on", b.concept("Project"))),
+        ),
+    )
+    view = b.conjoin(b.concept("Person"), b.exists(("works_on", b.concept("Project"))))
+    print("query:", query)
+    print("view :", view)
+    print("normalized query:", normalize_concept(query))
+    print()
+
+    # -- 2. subsumption with trace and countermodel --------------------------------
+    result = decide_subsumption(query, view, schema)
+    print(f"query ⊑_Σ view: {result.subsumed} "
+          f"({result.statistics.total_applications} rule applications)")
+    print(format_trace(result.trace[:6]), "\n  ...")
+    reverse = decide_subsumption(view, query, schema)
+    countermodel = reverse.countermodel()
+    print(f"view ⊑_Σ query: {reverse.subsumed}; countermodel is a Σ-model: "
+          f"{is_sigma_interpretation(countermodel, schema)}")
+    print()
+
+    # -- 3. logical translations ------------------------------------------------------
+    print("FOL translation of the view (Table 1):")
+    print("   ", concept_to_formula(view, Var("x")))
+    cq = concept_to_cq(query)
+    print("conjunctive query form of the query (Section 5):")
+    print("   ", cq)
+    print("CM containment (empty schema):", cq_contained_in(cq, concept_to_cq(view)))
+    print()
+
+    # -- 4. extensions of Section 4.4 ----------------------------------------------------
+    coref = b.conjoin(
+        b.concept("Employee"),
+        b.exists(("mentor", VariableSingleton("m"))),
+        b.exists(("manager", VariableSingleton("m"))),
+    )
+    print("variables on paths (skolemized):",
+          subsumes_with_variables(coref, b.exists("manager"), schema))
+    a, bee = LPrimitive("A"), LPrimitive("B")
+    print("language L (∃p.A ⊓ ∀p.B ⊑ ∃p.(A⊓B)):",
+          l_subsumes(LAnd(LExists("p", a), LForall("p", bee)), LExists("p", LAnd(a, bee))))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Quickstart: the paper's worked example in a dozen lines.
+
+Builds the medical schema of Figure 1/6, the query class ``QueryPatient``
+(Figure 3) and the view ``ViewPatient`` (Figure 5), checks the subsumption
+``C_Q ⊑_Σ D_V`` and prints the Figure 11 style derivation.
+
+Run with:  python examples/quickstart.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import SubsumptionChecker
+from repro.calculus import decide_subsumption, format_result
+from repro.workloads.medical import (
+    medical_schema,
+    query_patient_concept,
+    view_patient_concept,
+)
+
+
+def main() -> None:
+    schema = medical_schema()
+    query = query_patient_concept()      # C_Q: male patients consulting a female
+    view = view_patient_concept()        # D_V: patients consulting a specialist
+
+    checker = SubsumptionChecker(schema)
+    print("C_Q =", query)
+    print("D_V =", view)
+    print()
+    print("C_Q ⊑_Σ D_V ?", checker.subsumes(query, view))
+    print("D_V ⊑_Σ C_Q ?", checker.subsumes(view, query))
+    print()
+
+    # The full derivation, statistics and clash report (Figure 11).
+    result = decide_subsumption(query, view, schema)
+    print(format_result(result))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Materialized-view reuse in an order-processing system (third domain scenario).
+
+A trading company's shipping tool materializes ``LocallyHandledCustomers``
+(customers whose orders are handled by a clerk responsible for their
+region).  The quality-management tool later asks the far more selective
+``PremiumLocalFragile`` query; the optimizer detects the subsumption and
+evaluates it against the stored view, and incremental view maintenance keeps
+the view usable as new orders arrive.
+
+Run with:  python examples/trading_views.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.optimizer import SemanticQueryOptimizer
+from repro.workloads.trading import generate_trading_state, trading_dl_schema
+
+
+def main() -> None:
+    dl = trading_dl_schema()
+    state = generate_trading_state(customers=250, orders=500, products=100, seed=31)
+    optimizer = SemanticQueryOptimizer(dl)
+    print(f"trading database: {len(state)} objects")
+
+    view = optimizer.register_view(dl.query_classes["LocallyHandledCustomers"], state)
+    print(f"materialized LocallyHandledCustomers: {view.size} customers stored")
+    print()
+
+    query = dl.query_classes["PremiumLocalFragile"]
+    outcome = optimizer.optimize_and_execute(query, state)
+    print("PremiumLocalFragile (premium customers with an urgent, locally handled,")
+    print("fragile-product order):")
+    print(f"    plan: {outcome.plan.description}")
+    print(f"    candidates examined: {outcome.candidates_examined} "
+          f"instead of {outcome.baseline_candidates}")
+    print(f"    answers: {len(outcome.answers)}")
+    print(f"    identical to the conventional evaluation: "
+          f"{outcome.answers == optimizer.evaluate_unoptimized(query, state)}")
+    print()
+
+    # --- incremental maintenance: a new customer with a local urgent order --------
+    state.add_object("customer_new", "Customer", "PremiumCustomer", "Party")
+    state.add_object("customer_new_name", "String")
+    state.set_attribute("customer_new", "name", "customer_new_name")
+    state.set_attribute("customer_new", "located_in", "region0")
+    state.add_object("order_new", "Order", "UrgentOrder")
+    state.set_attribute("customer_new", "places", "order_new")
+    clerk = next(
+        clerk
+        for clerk in state.extent("Clerk")
+        if "region0" in state.attribute_values(clerk, "responsible_for")
+    )
+    state.set_attribute("order_new", "handled_by", clerk)
+    fragile = sorted(state.extent("FragileProduct"))[0]
+    state.set_attribute("order_new", "contains", fragile)
+    optimizer.catalog.notify_object_added("customer_new", state)
+    print("after inserting customer_new with a local urgent fragile order:")
+    print(f"    customer_new in the materialized view: {'customer_new' in view.extent}")
+    outcome = optimizer.optimize_and_execute(query, state)
+    print(f"    PremiumLocalFragile now has {len(outcome.answers)} answers "
+          f"(includes customer_new: {'customer_new' in outcome.answers})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file only exists so
+that fully offline environments without the ``wheel`` package can still
+perform an editable install via ``python setup.py develop`` (modern
+environments should simply run ``pip install -e .``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""repro -- a reproduction of *Subsumption between Queries to Object-Oriented Databases*.
+
+Buchheit, Jeusfeld, Nutt, Staudt (EDBT 1994 / DFKI RR-93-44).
+
+The library provides:
+
+* the abstract concept languages ``SL`` and ``QL`` (:mod:`repro.concepts`),
+* their set-theoretic and first-order semantics (:mod:`repro.semantics`,
+  :mod:`repro.fol`),
+* the polynomial subsumption calculus of Section 4 (:mod:`repro.calculus`),
+* the concrete frame-like schema/query language ``DL`` with a parser and the
+  abstraction into ``SL``/``QL`` (:mod:`repro.dl`),
+* an in-memory OODB substrate with materialized views (:mod:`repro.database`),
+* the subsumption-based semantic query optimizer (:mod:`repro.optimizer`),
+* baselines and language extensions used in the experiments
+  (:mod:`repro.baselines`, :mod:`repro.extensions`),
+* workload generators and the paper's running example (:mod:`repro.workloads`).
+
+Quickstart::
+
+    from repro import SubsumptionChecker
+    from repro.workloads import medical_schema, query_patient_concept, view_patient_concept
+
+    checker = SubsumptionChecker(medical_schema())
+    assert checker.subsumes(query_patient_concept(), view_patient_concept())
+"""
+
+from .calculus import decide_subsumption, subsumes
+from .concepts import Schema
+from .core import (
+    NonStructuralViewError,
+    ReproError,
+    SubsumptionChecker,
+    UnsupportedQueryError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "SubsumptionChecker",
+    "Schema",
+    "subsumes",
+    "decide_subsumption",
+    "ReproError",
+    "UnsupportedQueryError",
+    "NonStructuralViewError",
+]

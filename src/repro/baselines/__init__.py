@@ -1,0 +1,22 @@
+"""Baselines: conjunctive-query containment and brute-force model search."""
+
+from .bruteforce import BruteForceOutcome, brute_force_subsumes, find_counterexample
+from .conjunctive import BinaryAtomCQ, ConjunctiveQuery, UnaryAtomCQ, concept_to_cq
+from .containment import (
+    ContainmentStatistics,
+    cq_contained_in,
+    find_containment_mapping,
+)
+
+__all__ = [
+    "ConjunctiveQuery",
+    "UnaryAtomCQ",
+    "BinaryAtomCQ",
+    "concept_to_cq",
+    "cq_contained_in",
+    "find_containment_mapping",
+    "ContainmentStatistics",
+    "brute_force_subsumes",
+    "find_counterexample",
+    "BruteForceOutcome",
+]

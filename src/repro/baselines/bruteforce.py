@@ -1,0 +1,107 @@
+"""A brute-force Σ-subsumption oracle by exhaustive small-model search.
+
+``C ⊑_Σ D`` means ``C^I ⊆ D^I`` for *every* Σ-interpretation ``I``.  The
+oracle enumerates all Σ-interpretations over the combined vocabulary of
+``C``, ``D`` and ``Σ`` up to a given domain size and looks for a
+counterexample object in ``C^I \\ D^I``.
+
+* If a counterexample is found, subsumption definitively does **not** hold.
+* If none is found the oracle reports "subsumed up to the bound" -- which is
+  a genuine proof only for claims that have small countermodels, but it is
+  exactly what is needed to *falsify* the calculus in property tests: the
+  calculus must never claim subsumption when the oracle finds a small
+  counterexample, and must never deny subsumption whose canonical
+  countermodel the oracle could not find either.
+
+The search is exponential in the vocabulary and domain size; callers keep
+both tiny (the hypothesis strategies in the test-suite do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from ..concepts.schema import Schema
+from ..concepts.syntax import Concept
+from ..concepts.visitors import constants as concept_constants
+from ..concepts.visitors import primitive_attributes, primitive_concepts
+from ..semantics.enumerate_models import enumerate_interpretations
+from ..semantics.evaluate import concept_extension
+from ..semantics.interpretation import Interpretation
+from ..semantics.sigma import is_sigma_interpretation
+
+__all__ = ["BruteForceOutcome", "find_counterexample", "brute_force_subsumes"]
+
+
+@dataclass(frozen=True)
+class BruteForceOutcome:
+    """The result of a bounded exhaustive search for a countermodel."""
+
+    subsumed_up_to_bound: bool
+    counterexample: Optional[Interpretation]
+    witnesses: Tuple[object, ...]
+    interpretations_checked: int
+    domain_size: int
+
+
+def _vocabulary(query: Concept, view: Concept, schema: Schema):
+    concepts = primitive_concepts(query) | primitive_concepts(view) | schema.concept_names()
+    attributes = (
+        primitive_attributes(query) | primitive_attributes(view) | schema.attribute_names()
+    )
+    constants = concept_constants(query) | concept_constants(view)
+    return concepts, attributes, constants
+
+
+def find_counterexample(
+    query: Concept,
+    view: Concept,
+    schema: Optional[Schema] = None,
+    domain_size: int = 2,
+    limit: Optional[int] = 200_000,
+) -> BruteForceOutcome:
+    """Search for a Σ-interpretation with an object in ``query`` but not in ``view``."""
+    schema = schema if schema is not None else Schema.empty()
+    concepts, attributes, constants = _vocabulary(query, view, schema)
+
+    checked = 0
+    for interpretation in enumerate_interpretations(
+        concepts, attributes, constants, domain_size=domain_size, limit=limit
+    ):
+        checked += 1
+        if not is_sigma_interpretation(interpretation, schema):
+            continue
+        difference = concept_extension(query, interpretation) - concept_extension(
+            view, interpretation
+        )
+        if difference:
+            return BruteForceOutcome(
+                subsumed_up_to_bound=False,
+                counterexample=interpretation,
+                witnesses=tuple(sorted(difference, key=repr)),
+                interpretations_checked=checked,
+                domain_size=domain_size,
+            )
+    return BruteForceOutcome(
+        subsumed_up_to_bound=True,
+        counterexample=None,
+        witnesses=(),
+        interpretations_checked=checked,
+        domain_size=domain_size,
+    )
+
+
+def brute_force_subsumes(
+    query: Concept,
+    view: Concept,
+    schema: Optional[Schema] = None,
+    domain_size: int = 2,
+    limit: Optional[int] = 200_000,
+) -> bool:
+    """``True`` iff no Σ-countermodel exists up to the given domain size.
+
+    Use only on tiny vocabularies; the result is an over-approximation of
+    real subsumption (missing counterexamples may need a larger domain).
+    """
+    return find_counterexample(query, view, schema, domain_size, limit).subsumed_up_to_bound

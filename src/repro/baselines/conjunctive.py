@@ -1,0 +1,230 @@
+"""Conjunctive queries and the translation from ``QL`` concepts.
+
+Section 2.2 of the paper observes that "a query class whose constraint part
+is empty is logically equivalent to a conjunction of atoms where certain
+variables are existentially quantified" -- i.e. to a *conjunctive query*
+(CQ) over unary and binary predicates with one free variable; Section 5
+positions ``QL`` as "a naturally occurring class of conjunctive queries with
+polynomial containment problem".
+
+This module gives conjunctive queries a first-class representation and the
+translation from ``QL`` concepts, so that the Chandra--Merlin containment
+baseline (:mod:`repro.baselines.containment`) can be compared with the
+paper's structural subsumption algorithm (experiment E4).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple, Union
+
+from ..concepts.normalize import normalize_concept
+from ..concepts.syntax import (
+    And,
+    Concept,
+    ExistsPath,
+    Path,
+    PathAgreement,
+    Primitive,
+    Singleton,
+    Top,
+)
+from ..fol.syntax import Const, Var
+
+__all__ = ["Term", "UnaryAtomCQ", "BinaryAtomCQ", "ConjunctiveQuery", "concept_to_cq"]
+
+Term = Union[Var, Const]
+
+
+@dataclass(frozen=True, order=True)
+class UnaryAtomCQ:
+    """A unary atom ``A(t)`` of a conjunctive query."""
+
+    predicate: str
+    term: Term
+
+    def __str__(self) -> str:
+        return f"{self.predicate}({self.term})"
+
+
+@dataclass(frozen=True, order=True)
+class BinaryAtomCQ:
+    """A binary atom ``P(s, t)`` of a conjunctive query."""
+
+    predicate: str
+    first: Term
+    second: Term
+
+    def __str__(self) -> str:
+        return f"{self.predicate}({self.first}, {self.second})"
+
+
+Atom = Union[UnaryAtomCQ, BinaryAtomCQ]
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A conjunctive query with one distinguished (answer) variable.
+
+    ``q(x) :- atom_1, ..., atom_n`` where every non-head variable is
+    existentially quantified, all predicates are unary or binary and terms
+    are variables or constants (Unique Name Assumption).
+    """
+
+    head: Var
+    atoms: FrozenSet[Atom]
+
+    # -- inspection -------------------------------------------------------------
+
+    def variables(self) -> FrozenSet[Var]:
+        found: Set[Var] = {self.head}
+        for atom in self.atoms:
+            terms = (
+                (atom.term,) if isinstance(atom, UnaryAtomCQ) else (atom.first, atom.second)
+            )
+            found.update(term for term in terms if isinstance(term, Var))
+        return frozenset(found)
+
+    def constants(self) -> FrozenSet[Const]:
+        found: Set[Const] = set()
+        for atom in self.atoms:
+            terms = (
+                (atom.term,) if isinstance(atom, UnaryAtomCQ) else (atom.first, atom.second)
+            )
+            found.update(term for term in terms if isinstance(term, Const))
+        return frozenset(found)
+
+    def unary_atoms(self) -> Tuple[UnaryAtomCQ, ...]:
+        return tuple(sorted(a for a in self.atoms if isinstance(a, UnaryAtomCQ)))
+
+    def binary_atoms(self) -> Tuple[BinaryAtomCQ, ...]:
+        return tuple(sorted(a for a in self.atoms if isinstance(a, BinaryAtomCQ)))
+
+    @property
+    def size(self) -> int:
+        """Number of atoms (the usual size measure for CQ containment)."""
+        return len(self.atoms)
+
+    def __str__(self) -> str:
+        body = ", ".join(str(atom) for atom in sorted(self.atoms, key=str))
+        return f"q({self.head}) :- {body}"
+
+
+def _freshener(prefix: str = "v") -> Iterator[Var]:
+    for index in itertools.count(1):
+        yield Var(f"{prefix}{index}")
+
+
+def _path_atoms(
+    path: Path, start: Term, end: Term, atoms: Set[Atom], fresh: Iterator[Var]
+) -> None:
+    """Add the atoms of a path from ``start`` to ``end``."""
+    current = start
+    steps = path.steps
+    for index, step in enumerate(steps):
+        target = end if index == len(steps) - 1 else next(fresh)
+        if step.attribute.inverted:
+            atoms.add(BinaryAtomCQ(step.attribute.primitive_name, target, current))
+        else:
+            atoms.add(BinaryAtomCQ(step.attribute.primitive_name, current, target))
+        _concept_atoms(step.concept, target, atoms, fresh)
+        current = target
+
+
+def _concept_atoms(concept: Concept, term: Term, atoms: Set[Atom], fresh: Iterator[Var]) -> None:
+    if isinstance(concept, Primitive):
+        atoms.add(UnaryAtomCQ(concept.name, term))
+        return
+    if isinstance(concept, Top):
+        return
+    if isinstance(concept, Singleton):
+        # {a} pins the term to the constant a; in a conjunctive query this is
+        # expressed by using the constant itself.  We encode it as a unary
+        # "identity" atom so that no rewriting of previously added atoms is
+        # required; the containment checker treats it as requiring the term
+        # to map to that constant.
+        atoms.add(UnaryAtomCQ(f"={concept.constant}", term))
+        return
+    if isinstance(concept, And):
+        _concept_atoms(concept.left, term, atoms, fresh)
+        _concept_atoms(concept.right, term, atoms, fresh)
+        return
+    if isinstance(concept, ExistsPath):
+        if concept.path.is_empty:
+            return
+        end = next(fresh)
+        _path_atoms(concept.path, term, end, atoms, fresh)
+        return
+    if isinstance(concept, PathAgreement):
+        if concept.left.is_empty and concept.right.is_empty:
+            return
+        if concept.right.is_empty:
+            # ∃p ≐ ε: the path loops back to the start object.
+            _path_atoms(concept.left, term, term, atoms, fresh)
+            return
+        meeting_point = next(fresh)
+        _path_atoms(concept.left, term, meeting_point, atoms, fresh)
+        _path_atoms(concept.right, term, meeting_point, atoms, fresh)
+        return
+    raise TypeError(f"not a QL concept: {concept!r}")
+
+
+def _substitute_term(term: Term, bindings: Dict[Var, Const]) -> Term:
+    if isinstance(term, Var) and term in bindings:
+        return bindings[term]
+    return term
+
+
+def concept_to_cq(concept: Concept, head: Var = Var("x")) -> ConjunctiveQuery:
+    """Translate a ``QL`` concept into the equivalent conjunctive query.
+
+    The concept is normalized first; the resulting query has ``head`` as its
+    only free variable and one fresh variable per path position, exactly as
+    in the logical translation of Table 1 (column 2).
+
+    Singleton fillers ``{a}`` pin the corresponding position to the constant
+    ``a``: existential variables bound by a singleton are replaced by the
+    constant itself (so containment mappings must send them to ``a``); a
+    singleton on the *head* variable is kept as an ``=a`` marker atom because
+    the head must remain a variable.
+    """
+    atoms: Set[Atom] = set()
+    fresh = _freshener()
+    _concept_atoms(normalize_concept(concept), head, atoms, fresh)
+
+    # Resolve singleton markers on existential variables into constants.
+    bindings: Dict[Var, Const] = {}
+    for atom in atoms:
+        if (
+            isinstance(atom, UnaryAtomCQ)
+            and atom.predicate.startswith("=")
+            and isinstance(atom.term, Var)
+            and atom.term != head
+            and atom.term not in bindings
+        ):
+            bindings[atom.term] = Const(atom.predicate[1:])
+
+    if bindings:
+        resolved: Set[Atom] = set()
+        for atom in atoms:
+            if isinstance(atom, UnaryAtomCQ):
+                if (
+                    atom.predicate.startswith("=")
+                    and isinstance(atom.term, Var)
+                    and atom.term in bindings
+                    and bindings[atom.term].name == atom.predicate[1:]
+                ):
+                    continue  # satisfied by the substitution itself
+                resolved.add(UnaryAtomCQ(atom.predicate, _substitute_term(atom.term, bindings)))
+            else:
+                resolved.add(
+                    BinaryAtomCQ(
+                        atom.predicate,
+                        _substitute_term(atom.first, bindings),
+                        _substitute_term(atom.second, bindings),
+                    )
+                )
+        atoms = resolved
+
+    return ConjunctiveQuery(head=head, atoms=frozenset(atoms))

@@ -1,0 +1,125 @@
+"""Chandra--Merlin containment of conjunctive queries (the NP-hard baseline).
+
+The classical result [CM77, cited as CM93 in the paper] characterizes
+containment: ``Q1 ⊆ Q2`` (the answers of ``Q1`` are contained in those of
+``Q2`` over every database) iff there is a *containment mapping* (a
+homomorphism) from ``Q2`` to ``Q1`` that
+
+* maps the head variable of ``Q2`` to the head variable of ``Q1``,
+* maps constants to themselves, and
+* maps every atom of ``Q2`` onto an atom of ``Q1``.
+
+Deciding the existence of such a homomorphism is NP-complete; the
+backtracking search below is exponential in the worst case, which is exactly
+the contrast experiment E4 draws against the paper's polynomial structural
+algorithm (the two must *agree* on ``QL`` inputs with an empty schema, and
+they do -- see ``tests/baselines/test_containment.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
+
+from ..fol.syntax import Const, Var
+from .conjunctive import Atom, BinaryAtomCQ, ConjunctiveQuery, Term, UnaryAtomCQ
+
+__all__ = ["ContainmentStatistics", "find_containment_mapping", "cq_contained_in"]
+
+
+@dataclass
+class ContainmentStatistics:
+    """Search counters of one containment test (used in the E4 benchmark)."""
+
+    candidate_assignments_tried: int = 0
+    backtracks: int = 0
+    mapping_found: bool = False
+
+
+def _atom_terms(atom: Atom) -> Tuple[Term, ...]:
+    if isinstance(atom, UnaryAtomCQ):
+        return (atom.term,)
+    return (atom.first, atom.second)
+
+
+def _compatible(atom: Atom, target: Atom, mapping: Dict[Term, Term]) -> Optional[Dict[Term, Term]]:
+    """Extend ``mapping`` so that ``atom`` maps onto ``target``, if possible."""
+    if type(atom) is not type(target) or atom.predicate != target.predicate:
+        return None
+    extended = dict(mapping)
+    for source, image in zip(_atom_terms(atom), _atom_terms(target)):
+        if isinstance(source, Const):
+            if source != image:
+                return None
+            continue
+        bound = extended.get(source)
+        if bound is None:
+            extended[source] = image
+        elif bound != image:
+            return None
+    return extended
+
+
+def find_containment_mapping(
+    container: ConjunctiveQuery,
+    containee: ConjunctiveQuery,
+    statistics: Optional[ContainmentStatistics] = None,
+) -> Optional[Dict[Term, Term]]:
+    """A homomorphism from ``container`` into ``containee`` fixing the head, if one exists.
+
+    Following Chandra--Merlin, ``containee ⊆ container`` holds iff this
+    function returns a mapping.  Atoms of the container are processed in a
+    most-constrained-first order (fewest compatible targets first), which
+    keeps the search fast on easy instances while remaining complete.
+    """
+    statistics = statistics if statistics is not None else ContainmentStatistics()
+
+    initial: Dict[Term, Term] = {container.head: containee.head}
+    containee_atoms = sorted(containee.atoms, key=str)
+
+    # Pre-compute candidate target atoms per container atom.
+    atoms = sorted(container.atoms, key=str)
+    candidates: List[Tuple[Atom, List[Atom]]] = []
+    for atom in atoms:
+        targets = [
+            target
+            for target in containee_atoms
+            if type(target) is type(atom) and target.predicate == atom.predicate
+        ]
+        if not targets:
+            return None
+        candidates.append((atom, targets))
+    candidates.sort(key=lambda item: len(item[1]))
+
+    def search(index: int, mapping: Dict[Term, Term]) -> Optional[Dict[Term, Term]]:
+        if index == len(candidates):
+            return mapping
+        atom, targets = candidates[index]
+        for target in targets:
+            statistics.candidate_assignments_tried += 1
+            extended = _compatible(atom, target, mapping)
+            if extended is None:
+                continue
+            result = search(index + 1, extended)
+            if result is not None:
+                return result
+            statistics.backtracks += 1
+        return None
+
+    mapping = search(0, initial)
+    statistics.mapping_found = mapping is not None
+    return mapping
+
+
+def cq_contained_in(
+    containee: ConjunctiveQuery,
+    container: ConjunctiveQuery,
+    statistics: Optional[ContainmentStatistics] = None,
+) -> bool:
+    """``True`` iff the answers of ``containee`` are contained in those of ``container``.
+
+    This is containment over arbitrary databases with no schema, i.e. it
+    corresponds to Σ-subsumption with the *empty* schema in the paper's
+    framework.
+    """
+    return find_containment_mapping(container, containee, statistics) is not None

@@ -1,0 +1,113 @@
+"""Clash detection for constraint systems (Section 4.2).
+
+A *clash* is an obviously Σ-unsatisfiable constraint system of one of the
+forms
+
+* ``{a : {b}}`` where ``a`` and ``b`` are distinct constants (Unique Name
+  Assumption), or
+* ``{s P a, s P b, s : A}`` where ``A ⊑ (≤1 P) ∈ Σ`` and ``a ≠ b`` are
+  constants (a functional attribute would need two distinct values).
+
+If the completion of ``{x:C} : {x:D}`` contains a clash, the concept ``C``
+is Σ-unsatisfiable and hence trivially Σ-subsumed by every concept
+(Theorem 4.7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from ..concepts.schema import Schema
+from ..concepts.syntax import Primitive, Singleton
+from .constraints import (
+    AttributeConstraint,
+    Constraint,
+    MembershipConstraint,
+    Pair,
+)
+
+__all__ = ["Clash", "find_clashes", "has_clash"]
+
+
+@dataclass(frozen=True)
+class Clash:
+    """A witness that a constraint system is Σ-unsatisfiable."""
+
+    kind: str
+    constraints: Tuple[Constraint, ...]
+    description: str
+
+    def __str__(self) -> str:
+        return f"{self.kind}: {self.description}"
+
+
+def find_clashes(facts: Iterable[Constraint], schema: Schema) -> List[Clash]:
+    """All clashes contained in ``facts`` with respect to ``schema``."""
+    facts = list(facts)
+    clashes: List[Clash] = []
+
+    # Clash kind 1: a constant asserted to be a different constant.
+    for constraint in facts:
+        if not isinstance(constraint, MembershipConstraint):
+            continue
+        if not isinstance(constraint.concept, Singleton):
+            continue
+        subject = constraint.subject
+        if subject.is_variable:
+            continue
+        if subject.name != constraint.concept.constant:
+            clashes.append(
+                Clash(
+                    kind="singleton-clash",
+                    constraints=(constraint,),
+                    description=(
+                        f"constant {subject.name} asserted to equal distinct constant "
+                        f"{constraint.concept.constant}"
+                    ),
+                )
+            )
+
+    # Clash kind 2: two distinct constant fillers of a functional attribute.
+    memberships = [
+        constraint
+        for constraint in facts
+        if isinstance(constraint, MembershipConstraint)
+        and isinstance(constraint.concept, Primitive)
+    ]
+    attribute_facts = [
+        constraint
+        for constraint in facts
+        if isinstance(constraint, AttributeConstraint) and not constraint.attribute.inverted
+    ]
+    for membership in memberships:
+        functional = schema.functional_attributes(membership.concept.name)
+        if not functional:
+            continue
+        for attribute_name in sorted(functional):
+            constant_fillers = [
+                constraint
+                for constraint in attribute_facts
+                if constraint.subject == membership.subject
+                and constraint.attribute.name == attribute_name
+                and not constraint.filler.is_variable
+            ]
+            names = {constraint.filler.name for constraint in constant_fillers}
+            if len(names) >= 2:
+                clashes.append(
+                    Clash(
+                        kind="functional-clash",
+                        constraints=tuple(constant_fillers) + (membership,),
+                        description=(
+                            f"{membership.subject} has distinct constant fillers "
+                            f"{sorted(names)} for functional attribute {attribute_name}"
+                        ),
+                    )
+                )
+    return clashes
+
+
+def has_clash(pair_or_facts, schema: Schema) -> bool:
+    """``True`` iff the facts contain a clash with respect to ``schema``."""
+    facts = pair_or_facts.facts if isinstance(pair_or_facts, Pair) else pair_or_facts
+    return bool(find_clashes(facts, schema))

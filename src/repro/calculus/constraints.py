@@ -1,0 +1,337 @@
+"""Constraints, constraint systems and fact/goal pairs (Section 4.1).
+
+The calculus works on syntactic entities called *constraints*::
+
+    s : C      ("s is an instance of concept C")
+    s R t      ("t is an R-filler of s")
+    s p t      ("s and t are related through the path p")
+
+where ``s`` and ``t`` are *individuals* -- constants of the query/view or
+variables introduced by the rules.  A *constraint system* is a set of
+constraints, and the rules operate on *pairs* ``F : G`` of constraint
+systems, ``F`` being the **facts** and ``G`` the **goals**.
+
+:class:`Pair` also tracks the two distinguished individuals of the
+procedure: the subject of the original fact ``x : C`` and the subject ``o``
+of the original goal ``x : D`` (which may be renamed by the substitution
+rules D3 and S4).  Theorem 4.7 needs ``o`` for the final test
+``o : D ∈ F_C``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple, Union
+
+from ..concepts.syntax import Attribute, Concept, Path
+
+__all__ = [
+    "Individual",
+    "Variable",
+    "Constant",
+    "Constraint",
+    "MembershipConstraint",
+    "AttributeConstraint",
+    "PathConstraint",
+    "Substitution",
+    "Pair",
+]
+
+
+# ---------------------------------------------------------------------------
+# Individuals
+# ---------------------------------------------------------------------------
+
+
+class Individual:
+    """Base class for the individuals (constants and variables) of the calculus."""
+
+    __slots__ = ()
+
+    @property
+    def is_variable(self) -> bool:
+        raise NotImplementedError
+
+    def sort_key(self) -> Tuple:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, order=True)
+class Variable(Individual):
+    """A variable introduced by the rules (``x``, ``y`` in the paper)."""
+
+    name: str
+
+    @property
+    def is_variable(self) -> bool:
+        return True
+
+    def sort_key(self) -> Tuple:
+        return (1, self.name)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, order=True)
+class Constant(Individual):
+    """A constant of the query language (interpreted under the UNA)."""
+
+    name: str
+
+    @property
+    def is_variable(self) -> bool:
+        return False
+
+    def sort_key(self) -> Tuple:
+        return (0, self.name)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+# ---------------------------------------------------------------------------
+# Constraints
+# ---------------------------------------------------------------------------
+
+
+class Constraint:
+    """Base class of the three constraint forms of the calculus."""
+
+    __slots__ = ()
+
+    def substitute(self, old: Individual, new: Individual) -> "Constraint":
+        """Return this constraint with every occurrence of ``old`` replaced by ``new``."""
+        raise NotImplementedError
+
+    def individuals(self) -> Tuple[Individual, ...]:
+        """The individuals mentioned by this constraint."""
+        raise NotImplementedError
+
+    def sort_key(self) -> Tuple:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class MembershipConstraint(Constraint):
+    """The constraint ``s : C`` ("``s`` is an instance of ``C``")."""
+
+    subject: Individual
+    concept: Concept
+
+    def substitute(self, old: Individual, new: Individual) -> "MembershipConstraint":
+        if self.subject == old:
+            return MembershipConstraint(new, self.concept)
+        return self
+
+    def individuals(self) -> Tuple[Individual, ...]:
+        return (self.subject,)
+
+    def sort_key(self) -> Tuple:
+        return (0, self.subject.sort_key(), str(self.concept))
+
+    def __str__(self) -> str:
+        return f"{self.subject}: {self.concept}"
+
+
+@dataclass(frozen=True)
+class AttributeConstraint(Constraint):
+    """The constraint ``s R t`` ("``t`` is an ``R``-filler of ``s``")."""
+
+    subject: Individual
+    attribute: Attribute
+    filler: Individual
+
+    def substitute(self, old: Individual, new: Individual) -> "AttributeConstraint":
+        subject = new if self.subject == old else self.subject
+        filler = new if self.filler == old else self.filler
+        if subject is self.subject and filler is self.filler:
+            return self
+        return AttributeConstraint(subject, self.attribute, filler)
+
+    def individuals(self) -> Tuple[Individual, ...]:
+        return (self.subject, self.filler)
+
+    def sort_key(self) -> Tuple:
+        return (1, self.subject.sort_key(), str(self.attribute), self.filler.sort_key())
+
+    def __str__(self) -> str:
+        return f"{self.subject} {self.attribute} {self.filler}"
+
+
+@dataclass(frozen=True)
+class PathConstraint(Constraint):
+    """The constraint ``s p t`` ("``s`` and ``t`` are related through path ``p``")."""
+
+    subject: Individual
+    path: Path
+    filler: Individual
+
+    def substitute(self, old: Individual, new: Individual) -> "PathConstraint":
+        subject = new if self.subject == old else self.subject
+        filler = new if self.filler == old else self.filler
+        if subject is self.subject and filler is self.filler:
+            return self
+        return PathConstraint(subject, self.path, filler)
+
+    def individuals(self) -> Tuple[Individual, ...]:
+        return (self.subject, self.filler)
+
+    def sort_key(self) -> Tuple:
+        return (2, self.subject.sort_key(), str(self.path), self.filler.sort_key())
+
+    def __str__(self) -> str:
+        return f"{self.subject} {self.path} {self.filler}"
+
+
+Substitution = Tuple[Individual, Individual]
+
+
+# ---------------------------------------------------------------------------
+# Pairs of constraint systems
+# ---------------------------------------------------------------------------
+
+
+class Pair:
+    """A pair ``F : G`` of constraint systems (facts and goals).
+
+    The object is mutable: the rules of :mod:`repro.calculus.rules` add
+    constraints or apply substitutions through the methods below, and the
+    engine (:mod:`repro.calculus.engine`) drives them to completion.
+    """
+
+    def __init__(
+        self,
+        facts: Iterable[Constraint] = (),
+        goals: Iterable[Constraint] = (),
+        root_fact_subject: Optional[Individual] = None,
+        root_goal_subject: Optional[Individual] = None,
+    ) -> None:
+        self.facts: Set[Constraint] = set(facts)
+        self.goals: Set[Constraint] = set(goals)
+        self.root_fact_subject = root_fact_subject
+        self.root_goal_subject = root_goal_subject
+        self._fresh_counter = itertools.count(1)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def initial(cls, query: Concept, view: Concept, subject_name: str = "x") -> "Pair":
+        """The starting pair ``{x : C} : {x : D}`` of the decision procedure."""
+        subject = Variable(subject_name)
+        pair = cls(
+            facts=[MembershipConstraint(subject, query)],
+            goals=[MembershipConstraint(subject, view)],
+            root_fact_subject=subject,
+            root_goal_subject=subject,
+        )
+        return pair
+
+    # -- fresh variables ------------------------------------------------------
+
+    def fresh_variable(self) -> Variable:
+        """A variable not occurring anywhere in the pair."""
+        existing = {
+            individual.name
+            for constraint in self.constraints()
+            for individual in constraint.individuals()
+            if individual.is_variable
+        }
+        while True:
+            candidate = Variable(f"y{next(self._fresh_counter)}")
+            if candidate.name not in existing:
+                return candidate
+
+    # -- queries ---------------------------------------------------------------
+
+    def constraints(self) -> Iterator[Constraint]:
+        """Iterate over facts then goals."""
+        yield from self.facts
+        yield from self.goals
+
+    def individuals(self) -> FrozenSet[Individual]:
+        """Every individual occurring in the pair."""
+        found: Set[Individual] = set()
+        for constraint in self.constraints():
+            found.update(constraint.individuals())
+        return frozenset(found)
+
+    def fact_individuals(self) -> FrozenSet[Individual]:
+        """Every individual occurring in the facts (Proposition 4.8 counts these)."""
+        found: Set[Individual] = set()
+        for constraint in self.facts:
+            found.update(constraint.individuals())
+        return frozenset(found)
+
+    def constants(self) -> FrozenSet[Constant]:
+        """Every constant occurring in the pair."""
+        return frozenset(
+            individual for individual in self.individuals() if not individual.is_variable
+        )
+
+    def attribute_fillers(self, subject: Individual, attribute: Attribute) -> FrozenSet[Individual]:
+        """The individuals ``t`` such that ``subject attribute t`` is a fact."""
+        return frozenset(
+            constraint.filler
+            for constraint in self.facts
+            if isinstance(constraint, AttributeConstraint)
+            and constraint.subject == subject
+            and constraint.attribute == attribute
+        )
+
+    def has_fact(self, constraint: Constraint) -> bool:
+        return constraint in self.facts
+
+    def has_goal(self, constraint: Constraint) -> bool:
+        return constraint in self.goals
+
+    def sorted_facts(self) -> List[Constraint]:
+        """The facts in a deterministic order (used by the rules for determinism)."""
+        return sorted(self.facts, key=lambda constraint: constraint.sort_key())
+
+    def sorted_goals(self) -> List[Constraint]:
+        """The goals in a deterministic order."""
+        return sorted(self.goals, key=lambda constraint: constraint.sort_key())
+
+    # -- mutation ----------------------------------------------------------------
+
+    def add_facts(self, constraints: Iterable[Constraint]) -> Tuple[Constraint, ...]:
+        """Add fact constraints; return the ones that were actually new."""
+        added = tuple(constraint for constraint in constraints if constraint not in self.facts)
+        self.facts.update(added)
+        return added
+
+    def add_goals(self, constraints: Iterable[Constraint]) -> Tuple[Constraint, ...]:
+        """Add goal constraints; return the ones that were actually new."""
+        added = tuple(constraint for constraint in constraints if constraint not in self.goals)
+        self.goals.update(added)
+        return added
+
+    def apply_substitution(self, old: Individual, new: Individual) -> bool:
+        """Replace ``old`` by ``new`` throughout the pair; return ``True`` if it changed."""
+        if old == new:
+            return False
+        new_facts = {constraint.substitute(old, new) for constraint in self.facts}
+        new_goals = {constraint.substitute(old, new) for constraint in self.goals}
+        changed = new_facts != self.facts or new_goals != self.goals
+        self.facts = new_facts
+        self.goals = new_goals
+        if self.root_fact_subject == old:
+            self.root_fact_subject = new
+            changed = True
+        if self.root_goal_subject == old:
+            self.root_goal_subject = new
+            changed = True
+        return changed
+
+    # -- presentation --------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"Pair(|F|={len(self.facts)}, |G|={len(self.goals)})"
+
+    def pretty(self) -> str:
+        """A human-readable rendering of the pair (used by the trace module)."""
+        fact_lines = "\n".join(f"  {constraint}" for constraint in self.sorted_facts())
+        goal_lines = "\n".join(f"  {constraint}" for constraint in self.sorted_goals())
+        return f"Facts:\n{fact_lines}\nGoals:\n{goal_lines}"

@@ -1,0 +1,198 @@
+"""The completion engine: driving the rules of the calculus to a fixpoint.
+
+Section 4.1 of the paper prescribes the control strategy:
+
+* a rule is applicable only if it *alters* the pair (this is built into the
+  individual rules: they report ``None`` when nothing new can be added);
+* "A schema rule can be applied only if no decomposition rule is
+  applicable" -- decomposition rules receive priority because the
+  individuals they introduce carry more specific information than the
+  variables created by schema rules;
+* rule S5 fires only when a goal demands a path step, which bounds the
+  number of fresh variables (Proposition 4.8).
+
+The engine applies rules in the priority order *decomposition > goal >
+composition > schema* until no rule is applicable, which respects the
+paper's constraint and is deterministic (each rule scans constraints in a
+fixed order).  Because all rules either add constraints built from
+sub-expressions of ``C``, ``D`` and ``Σ`` or eliminate a variable, the loop
+terminates; a generous safety bound guards against implementation bugs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..concepts.schema import Schema
+from ..concepts.size import concept_size, schema_size
+from ..concepts.syntax import Concept
+from .constraints import Pair
+from .rules import (
+    COMPOSITION_RULES,
+    DECOMPOSITION_RULES,
+    GOAL_RULES,
+    PAPER_SCHEMA_RULES,
+    SCHEMA_RULES,
+    Rule,
+    RuleApplication,
+)
+
+__all__ = ["CompletionStatistics", "CompletionResult", "CompletionEngine", "CompletionError"]
+
+
+class CompletionError(RuntimeError):
+    """Raised if the completion loop exceeds its safety bound (implementation bug)."""
+
+
+@dataclass
+class CompletionStatistics:
+    """Counters describing one completion run (used by experiment E3)."""
+
+    rule_applications: Dict[str, int] = field(default_factory=dict)
+    total_applications: int = 0
+    individuals: int = 0
+    fact_count: int = 0
+    goal_count: int = 0
+    fresh_variables: int = 0
+    substitutions: int = 0
+
+    def record(self, application: RuleApplication) -> None:
+        self.rule_applications[application.rule] = (
+            self.rule_applications.get(application.rule, 0) + 1
+        )
+        self.total_applications += 1
+        if application.substitution is not None:
+            self.substitutions += 1
+
+    def by_category(self, rules_by_name: Dict[str, str]) -> Dict[str, int]:
+        """Aggregate rule applications by category given a name->category map."""
+        result: Dict[str, int] = {}
+        for name, count in self.rule_applications.items():
+            category = rules_by_name.get(name, "other")
+            result[category] = result.get(category, 0) + count
+        return result
+
+
+@dataclass
+class CompletionResult:
+    """The outcome of completing an initial pair ``{x:C} : {x:D}``."""
+
+    pair: Pair
+    trace: Tuple[RuleApplication, ...]
+    statistics: CompletionStatistics
+
+    @property
+    def facts(self):
+        return self.pair.facts
+
+    @property
+    def goals(self):
+        return self.pair.goals
+
+
+class CompletionEngine:
+    """Runs the rules of the calculus on a pair until no rule is applicable.
+
+    Parameters
+    ----------
+    use_repair_rule:
+        When ``True`` (default) the schema rule set includes the S6
+        domain-propagation repair (see
+        :mod:`repro.calculus.rules.schema_rules`); when ``False`` the
+        paper's literal Figure 8 rules are used.
+    keep_trace:
+        When ``True`` (default) every rule application is recorded so the
+        derivation can be printed (Figure 11); disable for benchmark runs
+        that only need the decision and the statistics.
+    max_steps:
+        Optional hard upper bound on rule applications.  By default a
+        generous polynomial bound derived from the input sizes is used.
+    """
+
+    def __init__(
+        self,
+        use_repair_rule: bool = True,
+        keep_trace: bool = True,
+        max_steps: Optional[int] = None,
+    ) -> None:
+        schema_rules = SCHEMA_RULES if use_repair_rule else PAPER_SCHEMA_RULES
+        self._rule_groups: Tuple[Sequence[Rule], ...] = (
+            DECOMPOSITION_RULES,
+            GOAL_RULES,
+            COMPOSITION_RULES,
+            schema_rules,
+        )
+        self.keep_trace = keep_trace
+        self.max_steps = max_steps
+
+    # -- public API -----------------------------------------------------------
+
+    def complete(self, pair: Pair, schema: Schema) -> CompletionResult:
+        """Apply rules to ``pair`` (mutating it) until it is complete."""
+        statistics = CompletionStatistics()
+        trace: List[RuleApplication] = []
+        budget = self.max_steps or self._default_budget(pair, schema)
+
+        steps = 0
+        while True:
+            application = self._apply_one(pair, schema)
+            if application is None:
+                break
+            statistics.record(application)
+            if self.keep_trace:
+                trace.append(application)
+            steps += 1
+            if steps > budget:
+                raise CompletionError(
+                    f"completion exceeded the safety bound of {budget} rule applications; "
+                    "this indicates a non-terminating rule interaction"
+                )
+
+        statistics.individuals = len(pair.fact_individuals())
+        statistics.fact_count = len(pair.facts)
+        statistics.goal_count = len(pair.goals)
+        statistics.fresh_variables = sum(
+            1 for individual in pair.fact_individuals() if individual.is_variable
+        )
+        return CompletionResult(pair=pair, trace=tuple(trace), statistics=statistics)
+
+    def complete_concepts(
+        self, query: Concept, view: Concept, schema: Schema
+    ) -> CompletionResult:
+        """Complete the initial pair ``{x : query} : {x : view}``."""
+        return self.complete(Pair.initial(query, view), schema)
+
+    # -- internals --------------------------------------------------------------
+
+    def _apply_one(self, pair: Pair, schema: Schema) -> Optional[RuleApplication]:
+        """Apply the highest-priority applicable rule, if any."""
+        for group in self._rule_groups:
+            for rule in group:
+                application = rule.apply(pair, schema)
+                if application is not None:
+                    return application
+        return None
+
+    @staticmethod
+    def _default_budget(pair: Pair, schema: Schema) -> int:
+        """A generous polynomial budget on rule applications.
+
+        The completion adds constraints built from sub-expressions of the
+        input over at most ``M·N + |constants|`` individuals
+        (Proposition 4.8); the budget below over-approximates that count
+        comfortably without permitting runaway loops.
+        """
+        concept_total = sum(
+            concept_size(constraint.concept)
+            for constraint in pair.constraints()
+            if hasattr(constraint, "concept")
+        )
+        base = (concept_total + schema_size(schema) + 10) ** 3
+        return max(base, 10_000)
+
+    def rule_categories(self) -> Dict[str, str]:
+        """Map from rule name to category for every rule the engine may fire."""
+        return {
+            rule.name: rule.category for group in self._rule_groups for rule in group
+        }

@@ -1,0 +1,17 @@
+"""The rules of the subsumption calculus (Figures 7--10 of the paper)."""
+
+from .base import Rule, RuleApplication
+from .composition import COMPOSITION_RULES
+from .decomposition import DECOMPOSITION_RULES
+from .goal import GOAL_RULES
+from .schema_rules import PAPER_SCHEMA_RULES, SCHEMA_RULES
+
+__all__ = [
+    "Rule",
+    "RuleApplication",
+    "DECOMPOSITION_RULES",
+    "SCHEMA_RULES",
+    "PAPER_SCHEMA_RULES",
+    "GOAL_RULES",
+    "COMPOSITION_RULES",
+]

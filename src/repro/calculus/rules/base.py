@@ -1,0 +1,82 @@
+"""Common infrastructure for the rules of the subsumption calculus.
+
+Every rule of Figures 7--10 of the paper is implemented as a subclass of
+:class:`Rule`.  A rule examines the current pair ``F : G`` (and the schema
+``Σ`` for the schema rules) and, if an instance of the rule is applicable
+*and would alter the pair*, applies it and reports a
+:class:`RuleApplication` record.  The engine uses these records to build the
+derivation trace (the reproduction of Figure 11) and the complexity
+statistics of experiment E3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ...concepts.schema import Schema
+from ..constraints import Constraint, Individual, Pair
+
+__all__ = ["RuleApplication", "Rule"]
+
+
+@dataclass(frozen=True)
+class RuleApplication:
+    """The record of one rule firing.
+
+    Attributes
+    ----------
+    rule:
+        The paper's name of the rule (``"D1"`` ... ``"C6"``).
+    category:
+        One of ``"decomposition"``, ``"schema"``, ``"goal"``, ``"composition"``.
+    added_facts / added_goals:
+        The constraints that were newly added to the facts / goals.
+    substitution:
+        For the identification rules D3 and S4: the pair ``(old, new)`` of the
+        replacement performed on the whole pair, else ``None``.
+    description:
+        A short human-readable account of the firing (used in traces).
+    """
+
+    rule: str
+    category: str
+    added_facts: Tuple[Constraint, ...] = ()
+    added_goals: Tuple[Constraint, ...] = ()
+    substitution: Optional[Tuple[Individual, Individual]] = None
+    description: str = ""
+
+    def __str__(self) -> str:
+        parts = []
+        if self.added_facts:
+            parts.append("F += {" + ", ".join(str(c) for c in self.added_facts) + "}")
+        if self.added_goals:
+            parts.append("G += {" + ", ".join(str(c) for c in self.added_goals) + "}")
+        if self.substitution is not None:
+            old, new = self.substitution
+            parts.append(f"[{old} := {new}]")
+        detail = "; ".join(parts) if parts else self.description
+        return f"{self.rule}: {detail}"
+
+
+class Rule:
+    """Base class of all calculus rules.
+
+    Subclasses set :attr:`name` and :attr:`category` and implement
+    :meth:`apply`, which must
+
+    * find the first applicable instance in a deterministic order,
+    * mutate the pair accordingly, and
+    * return a :class:`RuleApplication`, or ``None`` when no instance is
+      applicable (the paper's side condition "the pair is altered when
+      transformed according to the rule" is part of applicability).
+    """
+
+    name: str = "?"
+    category: str = "?"
+
+    def apply(self, pair: Pair, schema: Schema) -> Optional[RuleApplication]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<Rule {self.name}>"

@@ -1,0 +1,214 @@
+"""The composition rules C1--C6 (Figure 10 of the paper).
+
+The composition rules compose complex facts from simpler ones, directed by
+the goals; this amounts to a bottom-up evaluation of the view concept ``D``
+over the facts ``F``.  The subsumption test of Theorem 4.7 succeeds exactly
+when this evaluation manages to compose the fact ``o : D``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from ...concepts.syntax import And, ExistsPath, Path, PathAgreement, Top
+from ..constraints import Individual, MembershipConstraint, Pair, PathConstraint
+from .base import Rule, RuleApplication
+
+__all__ = ["RuleC1", "RuleC2", "RuleC3", "RuleC4", "RuleC5", "RuleC6", "COMPOSITION_RULES"]
+
+
+def _membership_goals(pair: Pair) -> Iterator[MembershipConstraint]:
+    for constraint in pair.sorted_goals():
+        if isinstance(constraint, MembershipConstraint):
+            yield constraint
+
+
+class RuleC1(Rule):
+    """C1: if ``s : C`` and ``s : D`` are facts and ``s : C ⊓ D`` is a goal, add the fact ``s : C ⊓ D``."""
+
+    name = "C1"
+    category = "composition"
+
+    def apply(self, pair: Pair, schema) -> Optional[RuleApplication]:
+        for goal in _membership_goals(pair):
+            concept = goal.concept
+            if not isinstance(concept, And):
+                continue
+            if (
+                MembershipConstraint(goal.subject, concept.left) in pair.facts
+                and MembershipConstraint(goal.subject, concept.right) in pair.facts
+            ):
+                added = pair.add_facts([MembershipConstraint(goal.subject, concept)])
+                if added:
+                    return RuleApplication(
+                        self.name, self.category, added_facts=added,
+                        description=f"compose {goal}",
+                    )
+        return None
+
+
+class RuleC2(Rule):
+    """C2: if ``s : ⊤`` is a goal, add the fact ``s : ⊤``."""
+
+    name = "C2"
+    category = "composition"
+
+    def apply(self, pair: Pair, schema) -> Optional[RuleApplication]:
+        for goal in _membership_goals(pair):
+            if not isinstance(goal.concept, Top):
+                continue
+            added = pair.add_facts([MembershipConstraint(goal.subject, goal.concept)])
+            if added:
+                return RuleApplication(
+                    self.name, self.category, added_facts=added, description=str(goal)
+                )
+        return None
+
+
+class RuleC3(Rule):
+    """C3: if ``s : ∃p`` is a goal and ``p = ε`` or some ``s p t`` is a fact, add the fact ``s : ∃p``."""
+
+    name = "C3"
+    category = "composition"
+
+    def apply(self, pair: Pair, schema) -> Optional[RuleApplication]:
+        for goal in _membership_goals(pair):
+            concept = goal.concept
+            if not isinstance(concept, ExistsPath):
+                continue
+            witnessed = concept.path.is_empty or any(
+                isinstance(fact, PathConstraint)
+                and fact.subject == goal.subject
+                and fact.path == concept.path
+                for fact in pair.facts
+            )
+            if not witnessed:
+                continue
+            added = pair.add_facts([MembershipConstraint(goal.subject, concept)])
+            if added:
+                return RuleApplication(
+                    self.name, self.category, added_facts=added, description=str(goal)
+                )
+        return None
+
+
+class RuleC4(Rule):
+    """C4: if ``s : ∃p ≐ ε`` is a goal and ``p = ε`` or ``s p s`` is a fact, add the fact ``s : ∃p ≐ ε``."""
+
+    name = "C4"
+    category = "composition"
+
+    def apply(self, pair: Pair, schema) -> Optional[RuleApplication]:
+        for goal in _membership_goals(pair):
+            concept = goal.concept
+            if not isinstance(concept, PathAgreement) or not concept.right.is_empty:
+                continue
+            witnessed = concept.left.is_empty or (
+                PathConstraint(goal.subject, concept.left, goal.subject) in pair.facts
+            )
+            if not witnessed:
+                continue
+            added = pair.add_facts([MembershipConstraint(goal.subject, concept)])
+            if added:
+                return RuleApplication(
+                    self.name, self.category, added_facts=added, description=str(goal)
+                )
+        return None
+
+
+def _goal_paths_with_tail(pair: Pair) -> Iterator[Tuple[Individual, Path]]:
+    """Goals ``s : ∃(R:C)p`` or ``s : ∃(R:C)p ≐ ε`` whose path has length ≥ 2."""
+    for goal in _membership_goals(pair):
+        concept = goal.concept
+        if isinstance(concept, ExistsPath) and len(concept.path) >= 2:
+            yield goal.subject, concept.path
+        elif (
+            isinstance(concept, PathAgreement)
+            and concept.right.is_empty
+            and len(concept.left) >= 2
+        ):
+            yield goal.subject, concept.left
+
+
+def _goal_paths_single(pair: Pair) -> Iterator[Tuple[Individual, Path]]:
+    """Goals ``s : ∃(R:C)`` or ``s : ∃(R:C) ≐ ε`` whose path has length exactly 1."""
+    for goal in _membership_goals(pair):
+        concept = goal.concept
+        if isinstance(concept, ExistsPath) and len(concept.path) == 1:
+            yield goal.subject, concept.path
+        elif (
+            isinstance(concept, PathAgreement)
+            and concept.right.is_empty
+            and len(concept.left) == 1
+        ):
+            yield goal.subject, concept.left
+
+
+class RuleC5(Rule):
+    """C5: compose a multi-step path fact.
+
+    If a goal ``s : ∃(R:C)p`` (or ``≐ ε``) exists and there are ``t'``, ``t``
+    with ``s R t'``, ``t' : C`` and ``t' p t`` in the facts, add the fact
+    ``s (R:C)p t``.
+    """
+
+    name = "C5"
+    category = "composition"
+
+    def apply(self, pair: Pair, schema) -> Optional[RuleApplication]:
+        for subject, path in _goal_paths_with_tail(pair):
+            head, tail = path.head, path.tail
+            for intermediate in sorted(
+                pair.attribute_fillers(subject, head.attribute),
+                key=lambda individual: individual.sort_key(),
+            ):
+                if MembershipConstraint(intermediate, head.concept) not in pair.facts:
+                    continue
+                for fact in pair.sorted_facts():
+                    if (
+                        isinstance(fact, PathConstraint)
+                        and fact.subject == intermediate
+                        and fact.path == tail
+                    ):
+                        added = pair.add_facts([PathConstraint(subject, path, fact.filler)])
+                        if added:
+                            return RuleApplication(
+                                self.name,
+                                self.category,
+                                added_facts=added,
+                                description=f"compose path at {subject} via {intermediate}",
+                            )
+        return None
+
+
+class RuleC6(Rule):
+    """C6: compose a single-step path fact.
+
+    If a goal ``s : ∃(R:C)`` (or ``≐ ε``) exists and ``s R t`` and ``t : C``
+    are facts, add the fact ``s (R:C) t``.
+    """
+
+    name = "C6"
+    category = "composition"
+
+    def apply(self, pair: Pair, schema) -> Optional[RuleApplication]:
+        for subject, path in _goal_paths_single(pair):
+            step = path.head
+            for filler in sorted(
+                pair.attribute_fillers(subject, step.attribute),
+                key=lambda individual: individual.sort_key(),
+            ):
+                if MembershipConstraint(filler, step.concept) not in pair.facts:
+                    continue
+                added = pair.add_facts([PathConstraint(subject, path, filler)])
+                if added:
+                    return RuleApplication(
+                        self.name,
+                        self.category,
+                        added_facts=added,
+                        description=f"compose step at {subject} via {filler}",
+                    )
+        return None
+
+
+COMPOSITION_RULES = (RuleC1(), RuleC2(), RuleC3(), RuleC4(), RuleC5(), RuleC6())

@@ -1,0 +1,257 @@
+"""The decomposition rules D1--D7 (Figure 7 of the paper).
+
+The decomposition rules work on the facts.  They break the initial fact
+``x : C`` up into constraints involving only primitive concepts, primitive
+attributes and singletons; rules D4 and D6 introduce fresh variables to
+represent the objects along paths.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...concepts.syntax import And, ExistsPath, PathAgreement, Singleton
+from ..constraints import (
+    AttributeConstraint,
+    Constant,
+    MembershipConstraint,
+    Pair,
+    PathConstraint,
+)
+from .base import Rule, RuleApplication
+
+__all__ = [
+    "RuleD1",
+    "RuleD2",
+    "RuleD3",
+    "RuleD4",
+    "RuleD5",
+    "RuleD6",
+    "RuleD7",
+    "DECOMPOSITION_RULES",
+]
+
+
+class RuleD1(Rule):
+    """D1: from ``s : C ⊓ D`` add ``s : C`` and ``s : D``."""
+
+    name = "D1"
+    category = "decomposition"
+
+    def apply(self, pair: Pair, schema) -> Optional[RuleApplication]:
+        for constraint in pair.sorted_facts():
+            if not isinstance(constraint, MembershipConstraint):
+                continue
+            concept = constraint.concept
+            if not isinstance(concept, And):
+                continue
+            additions = [
+                MembershipConstraint(constraint.subject, concept.left),
+                MembershipConstraint(constraint.subject, concept.right),
+            ]
+            added = pair.add_facts(additions)
+            if added:
+                return RuleApplication(
+                    self.name,
+                    self.category,
+                    added_facts=added,
+                    description=f"decompose {constraint}",
+                )
+        return None
+
+
+class RuleD2(Rule):
+    """D2: from ``t R^-1 s`` add ``s R t`` (make converse edges explicit)."""
+
+    name = "D2"
+    category = "decomposition"
+
+    def apply(self, pair: Pair, schema) -> Optional[RuleApplication]:
+        for constraint in pair.sorted_facts():
+            if not isinstance(constraint, AttributeConstraint):
+                continue
+            converse = AttributeConstraint(
+                constraint.filler, constraint.attribute.inverse(), constraint.subject
+            )
+            added = pair.add_facts([converse])
+            if added:
+                return RuleApplication(
+                    self.name,
+                    self.category,
+                    added_facts=added,
+                    description=f"invert {constraint}",
+                )
+        return None
+
+
+class RuleD3(Rule):
+    """D3: from ``y : {a}`` (``y`` a variable) identify ``y`` with the constant ``a``."""
+
+    name = "D3"
+    category = "decomposition"
+
+    def apply(self, pair: Pair, schema) -> Optional[RuleApplication]:
+        for constraint in pair.sorted_facts():
+            if not isinstance(constraint, MembershipConstraint):
+                continue
+            if not isinstance(constraint.concept, Singleton):
+                continue
+            subject = constraint.subject
+            if not subject.is_variable:
+                continue
+            constant = Constant(constraint.concept.constant)
+            if pair.apply_substitution(subject, constant):
+                return RuleApplication(
+                    self.name,
+                    self.category,
+                    substitution=(subject, constant),
+                    description=f"identify {subject} with constant {constant}",
+                )
+        return None
+
+
+class RuleD4(Rule):
+    """D4: from ``s : ∃p`` with no ``s p t`` in the facts, add ``s p y`` (``y`` fresh)."""
+
+    name = "D4"
+    category = "decomposition"
+
+    def apply(self, pair: Pair, schema) -> Optional[RuleApplication]:
+        for constraint in pair.sorted_facts():
+            if not isinstance(constraint, MembershipConstraint):
+                continue
+            concept = constraint.concept
+            if not isinstance(concept, ExistsPath) or concept.path.is_empty:
+                continue
+            subject = constraint.subject
+            has_witness = any(
+                isinstance(fact, PathConstraint)
+                and fact.subject == subject
+                and fact.path == concept.path
+                for fact in pair.facts
+            )
+            if has_witness:
+                continue
+            fresh = pair.fresh_variable()
+            added = pair.add_facts([PathConstraint(subject, concept.path, fresh)])
+            if added:
+                return RuleApplication(
+                    self.name,
+                    self.category,
+                    added_facts=added,
+                    description=f"witness {constraint} with fresh {fresh}",
+                )
+        return None
+
+
+class RuleD5(Rule):
+    """D5: from ``s : ∃p ≐ ε`` add the loop constraint ``s p s``."""
+
+    name = "D5"
+    category = "decomposition"
+
+    def apply(self, pair: Pair, schema) -> Optional[RuleApplication]:
+        for constraint in pair.sorted_facts():
+            if not isinstance(constraint, MembershipConstraint):
+                continue
+            concept = constraint.concept
+            if not isinstance(concept, PathAgreement):
+                continue
+            if not concept.right.is_empty or concept.left.is_empty:
+                continue
+            added = pair.add_facts(
+                [PathConstraint(constraint.subject, concept.left, constraint.subject)]
+            )
+            if added:
+                return RuleApplication(
+                    self.name,
+                    self.category,
+                    added_facts=added,
+                    description=f"loop for {constraint}",
+                )
+        return None
+
+
+class RuleD6(Rule):
+    """D6: decompose the first step of a path constraint of length ≥ 2.
+
+    From ``s (R:C) p t`` (``p ≠ ε``), unless some ``t'`` already has
+    ``s R t'``, ``t' : C`` and ``t' p t`` in the facts, add
+    ``s R y``, ``y : C`` and ``y p t`` for a fresh variable ``y``.
+    """
+
+    name = "D6"
+    category = "decomposition"
+
+    def apply(self, pair: Pair, schema) -> Optional[RuleApplication]:
+        for constraint in pair.sorted_facts():
+            if not isinstance(constraint, PathConstraint):
+                continue
+            if len(constraint.path) < 2:
+                continue
+            head = constraint.path.head
+            tail = constraint.path.tail
+            subject, target = constraint.subject, constraint.filler
+            witnesses = pair.attribute_fillers(subject, head.attribute)
+            satisfied = any(
+                MembershipConstraint(candidate, head.concept) in pair.facts
+                and PathConstraint(candidate, tail, target) in pair.facts
+                for candidate in witnesses
+            )
+            if satisfied:
+                continue
+            fresh = pair.fresh_variable()
+            added = pair.add_facts(
+                [
+                    AttributeConstraint(subject, head.attribute, fresh),
+                    MembershipConstraint(fresh, head.concept),
+                    PathConstraint(fresh, tail, target),
+                ]
+            )
+            if added:
+                return RuleApplication(
+                    self.name,
+                    self.category,
+                    added_facts=added,
+                    description=f"unfold {constraint} via fresh {fresh}",
+                )
+        return None
+
+
+class RuleD7(Rule):
+    """D7: from ``s (R:C) t`` (a single-step path) add ``s R t`` and ``t : C``."""
+
+    name = "D7"
+    category = "decomposition"
+
+    def apply(self, pair: Pair, schema) -> Optional[RuleApplication]:
+        for constraint in pair.sorted_facts():
+            if not isinstance(constraint, PathConstraint):
+                continue
+            if len(constraint.path) != 1:
+                continue
+            step = constraint.path.head
+            additions = [
+                AttributeConstraint(constraint.subject, step.attribute, constraint.filler),
+                MembershipConstraint(constraint.filler, step.concept),
+            ]
+            added = pair.add_facts(additions)
+            if added:
+                return RuleApplication(
+                    self.name,
+                    self.category,
+                    added_facts=added,
+                    description=f"flatten {constraint}",
+                )
+        return None
+
+
+DECOMPOSITION_RULES = (
+    RuleD1(),
+    RuleD2(),
+    RuleD3(),
+    RuleD4(),
+    RuleD5(),
+    RuleD6(),
+    RuleD7(),
+)

@@ -1,0 +1,124 @@
+"""The goal rules G1--G3 (Figure 9 of the paper).
+
+The goal rules work on the goals.  They guide the evaluation of the view
+concept ``D`` by deriving subgoals from the original goal ``x : D``; rules
+G2 and G3 relate goals to facts: a path goal at ``s`` is only propagated to
+individuals ``t`` that are explicitly recorded as ``R``-fillers of ``s`` in
+the facts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from ...concepts.syntax import And, ExistsPath, Path, PathAgreement
+from ..constraints import AttributeConstraint, Individual, MembershipConstraint, Pair
+from .base import Rule, RuleApplication
+
+__all__ = ["RuleG1", "RuleG2", "RuleG3", "GOAL_RULES"]
+
+
+def _path_goals(pair: Pair) -> Iterator[Tuple[Individual, Path]]:
+    """Goals ``s : ∃p`` or ``s : ∃p ≐ ε`` with non-empty ``p``, in order."""
+    for constraint in pair.sorted_goals():
+        if not isinstance(constraint, MembershipConstraint):
+            continue
+        concept = constraint.concept
+        if isinstance(concept, ExistsPath) and not concept.path.is_empty:
+            yield constraint.subject, concept.path
+        elif (
+            isinstance(concept, PathAgreement)
+            and concept.right.is_empty
+            and not concept.left.is_empty
+        ):
+            yield constraint.subject, concept.left
+
+
+class RuleG1(Rule):
+    """G1: from the goal ``s : C ⊓ D`` add the goals ``s : C`` and ``s : D``."""
+
+    name = "G1"
+    category = "goal"
+
+    def apply(self, pair: Pair, schema) -> Optional[RuleApplication]:
+        for constraint in pair.sorted_goals():
+            if not isinstance(constraint, MembershipConstraint):
+                continue
+            concept = constraint.concept
+            if not isinstance(concept, And):
+                continue
+            added = pair.add_goals(
+                [
+                    MembershipConstraint(constraint.subject, concept.left),
+                    MembershipConstraint(constraint.subject, concept.right),
+                ]
+            )
+            if added:
+                return RuleApplication(
+                    self.name,
+                    self.category,
+                    added_goals=added,
+                    description=f"split goal {constraint}",
+                )
+        return None
+
+
+class RuleG2(Rule):
+    """G2: from goal ``s : ∃(R:C)`` (or ``≐ ε``) and fact ``s R t`` add goal ``t : C``."""
+
+    name = "G2"
+    category = "goal"
+
+    def apply(self, pair: Pair, schema) -> Optional[RuleApplication]:
+        for subject, path in _path_goals(pair):
+            if len(path) != 1:
+                continue
+            step = path.head
+            for filler in sorted(
+                pair.attribute_fillers(subject, step.attribute),
+                key=lambda individual: individual.sort_key(),
+            ):
+                added = pair.add_goals([MembershipConstraint(filler, step.concept)])
+                if added:
+                    return RuleApplication(
+                        self.name,
+                        self.category,
+                        added_goals=added,
+                        description=f"goal filler {filler} : {step.concept}",
+                    )
+        return None
+
+
+class RuleG3(Rule):
+    """G3: from goal ``s : ∃(R:C)p`` (or ``≐ ε``, ``p ≠ ε``) and fact ``s R t`` add goals ``t : C`` and ``t : ∃p``."""
+
+    name = "G3"
+    category = "goal"
+
+    def apply(self, pair: Pair, schema) -> Optional[RuleApplication]:
+        for subject, path in _path_goals(pair):
+            if len(path) < 2:
+                continue
+            step = path.head
+            tail = path.tail
+            for filler in sorted(
+                pair.attribute_fillers(subject, step.attribute),
+                key=lambda individual: individual.sort_key(),
+            ):
+                added = pair.add_goals(
+                    [
+                        MembershipConstraint(filler, step.concept),
+                        MembershipConstraint(filler, ExistsPath(tail)),
+                    ]
+                )
+                if added:
+                    return RuleApplication(
+                        self.name,
+                        self.category,
+                        added_goals=added,
+                        description=f"goal continuation at {filler}",
+                    )
+        return None
+
+
+GOAL_RULES = (RuleG1(), RuleG2(), RuleG3())

@@ -1,0 +1,288 @@
+"""The schema rules S1--S5 (Figure 8) plus the domain-propagation repair S6.
+
+The schema rules add information derivable from the schema ``Σ`` and the
+current facts:
+
+* S1 propagates declared superclasses (``A1 ⊑ A2``),
+* S2 propagates attribute typings of classes (``A1 ⊑ ∀P.A2``),
+* S3 propagates attribute domain/range declarations (``P ⊑ A1 × A2``),
+* S4 identifies fillers of functional attributes (``A ⊑ (≤1 P)``),
+* S5 creates a filler for a *necessary* attribute (``A ⊑ ∃P``) -- but only
+  when a goal asks for a path starting with ``P``, which is the control that
+  keeps the procedure polynomial (Section 4.1).
+
+**S6 (reproduction addition).** The paper's canonical-interpretation
+construction gives every individual ``s`` with ``s : A ∈ F`` and
+``A ⊑ ∃P ∈ Σ`` an implicit ``P``-filler ``u``; for the typing axiom
+``P ⊑ A1 × A2`` to hold in that structure, ``s`` must also be an instance of
+``A1``.  The rules of the paper never derive ``s : A1`` in this situation
+(the proof of Proposition 4.5 dismisses the case), so without a repair the
+calculus misses entailments such as ``{A ⊑ ∃P, P ⊑ A1×A2} ⊨ A ⊑ A1``.
+Rule S6 adds exactly this propagation; it preserves soundness (the inference
+is semantically valid) and polynomiality (at most one new membership
+constraint per fact/axiom combination).  It can be disabled to study the
+paper's literal rule set (see :class:`repro.calculus.engine.CompletionEngine`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...concepts.schema import Schema
+from ...concepts.syntax import ExistsPath, PathAgreement, Primitive
+from ..constraints import (
+    AttributeConstraint,
+    MembershipConstraint,
+    Pair,
+)
+from .base import Rule, RuleApplication
+
+__all__ = [
+    "RuleS1",
+    "RuleS2",
+    "RuleS3",
+    "RuleS4",
+    "RuleS5",
+    "RuleS6",
+    "SCHEMA_RULES",
+    "PAPER_SCHEMA_RULES",
+]
+
+
+def _membership_facts(pair: Pair):
+    """The membership facts ``s : A`` with a primitive concept, in order."""
+    for constraint in pair.sorted_facts():
+        if isinstance(constraint, MembershipConstraint) and isinstance(
+            constraint.concept, Primitive
+        ):
+            yield constraint
+
+
+def _goal_path_heads(pair: Pair):
+    """The goals of the form ``s : ∃(R:C)p`` or ``s : ∃(R:C)p ≐ ε`` with their head step."""
+    for constraint in pair.sorted_goals():
+        if not isinstance(constraint, MembershipConstraint):
+            continue
+        concept = constraint.concept
+        if isinstance(concept, ExistsPath) and not concept.path.is_empty:
+            yield constraint.subject, concept.path.head
+        elif (
+            isinstance(concept, PathAgreement)
+            and concept.right.is_empty
+            and not concept.left.is_empty
+        ):
+            yield constraint.subject, concept.left.head
+
+
+class RuleS1(Rule):
+    """S1: from ``s : A1`` and ``A1 ⊑ A2 ∈ Σ`` add ``s : A2``."""
+
+    name = "S1"
+    category = "schema"
+
+    def apply(self, pair: Pair, schema: Schema) -> Optional[RuleApplication]:
+        for constraint in _membership_facts(pair):
+            for superclass in sorted(schema.primitive_superclasses(constraint.concept.name)):
+                added = pair.add_facts(
+                    [MembershipConstraint(constraint.subject, Primitive(superclass))]
+                )
+                if added:
+                    return RuleApplication(
+                        self.name,
+                        self.category,
+                        added_facts=added,
+                        description=f"{constraint.concept.name} ⊑ {superclass}",
+                    )
+        return None
+
+
+class RuleS2(Rule):
+    """S2: from ``s : A1``, ``s P t`` and ``A1 ⊑ ∀P.A2 ∈ Σ`` add ``t : A2``."""
+
+    name = "S2"
+    category = "schema"
+
+    def apply(self, pair: Pair, schema: Schema) -> Optional[RuleApplication]:
+        for constraint in _membership_facts(pair):
+            restrictions = schema.value_restrictions(constraint.concept.name)
+            if not restrictions:
+                continue
+            for attribute, filler_class in sorted(restrictions):
+                for fact in pair.sorted_facts():
+                    if not isinstance(fact, AttributeConstraint):
+                        continue
+                    if fact.subject != constraint.subject:
+                        continue
+                    if fact.attribute.inverted or fact.attribute.name != attribute:
+                        continue
+                    added = pair.add_facts(
+                        [MembershipConstraint(fact.filler, Primitive(filler_class))]
+                    )
+                    if added:
+                        return RuleApplication(
+                            self.name,
+                            self.category,
+                            added_facts=added,
+                            description=(
+                                f"{constraint.concept.name} ⊑ ∀{attribute}.{filler_class}"
+                            ),
+                        )
+        return None
+
+
+class RuleS3(Rule):
+    """S3: from ``s P t`` and ``P ⊑ A1 × A2 ∈ Σ`` add ``s : A1`` and ``t : A2``."""
+
+    name = "S3"
+    category = "schema"
+
+    def apply(self, pair: Pair, schema: Schema) -> Optional[RuleApplication]:
+        for fact in pair.sorted_facts():
+            if not isinstance(fact, AttributeConstraint) or fact.attribute.inverted:
+                continue
+            typing = schema.attribute_typing(fact.attribute.name)
+            if typing is None:
+                continue
+            domain, range_ = typing
+            added = pair.add_facts(
+                [
+                    MembershipConstraint(fact.subject, Primitive(domain)),
+                    MembershipConstraint(fact.filler, Primitive(range_)),
+                ]
+            )
+            if added:
+                return RuleApplication(
+                    self.name,
+                    self.category,
+                    added_facts=added,
+                    description=f"{fact.attribute.name} ⊑ {domain} × {range_}",
+                )
+        return None
+
+
+class RuleS4(Rule):
+    """S4: identify fillers of a functional attribute.
+
+    From ``s : A``, ``s P y``, ``s P t`` with ``A ⊑ (≤1 P) ∈ Σ`` and ``y`` a
+    variable distinct from ``t``, replace ``y`` by ``t`` throughout the pair.
+    """
+
+    name = "S4"
+    category = "schema"
+
+    def apply(self, pair: Pair, schema: Schema) -> Optional[RuleApplication]:
+        for constraint in _membership_facts(pair):
+            functional = schema.functional_attributes(constraint.concept.name)
+            if not functional:
+                continue
+            for attribute_name in sorted(functional):
+                fillers = sorted(
+                    (
+                        fact.filler
+                        for fact in pair.facts
+                        if isinstance(fact, AttributeConstraint)
+                        and fact.subject == constraint.subject
+                        and not fact.attribute.inverted
+                        and fact.attribute.name == attribute_name
+                    ),
+                    key=lambda individual: individual.sort_key(),
+                )
+                if len(fillers) < 2:
+                    continue
+                # Prefer keeping a constant: merge the first variable into the
+                # first other filler (constants sort before variables).
+                variables = [filler for filler in fillers if filler.is_variable]
+                if not variables:
+                    continue
+                keep_candidates = [f for f in fillers if f != variables[-1]]
+                old, new = variables[-1], keep_candidates[0]
+                if pair.apply_substitution(old, new):
+                    return RuleApplication(
+                        self.name,
+                        self.category,
+                        substitution=(old, new),
+                        description=(
+                            f"{constraint.concept.name} ⊑ (≤1 {attribute_name}): {old} := {new}"
+                        ),
+                    )
+        return None
+
+
+class RuleS5(Rule):
+    """S5: create a filler for a necessary attribute demanded by a goal.
+
+    From a goal ``s : ∃(P:C)p`` or ``s : ∃(P:C)p ≐ ε``, if no ``s P t`` is in
+    the facts and there is an ``A`` with ``s : A`` in the facts and
+    ``A ⊑ ∃P ∈ Σ``, add ``s P y`` for a fresh variable ``y``.
+    """
+
+    name = "S5"
+    category = "schema"
+
+    def apply(self, pair: Pair, schema: Schema) -> Optional[RuleApplication]:
+        for subject, head in _goal_path_heads(pair):
+            attribute = head.attribute
+            if attribute.inverted:
+                continue
+            if pair.attribute_fillers(subject, attribute):
+                continue
+            has_necessity = any(
+                isinstance(fact, MembershipConstraint)
+                and fact.subject == subject
+                and isinstance(fact.concept, Primitive)
+                and schema.is_necessary_for(fact.concept.name, attribute.name)
+                for fact in pair.facts
+            )
+            if not has_necessity:
+                continue
+            fresh = pair.fresh_variable()
+            added = pair.add_facts([AttributeConstraint(subject, attribute, fresh)])
+            if added:
+                return RuleApplication(
+                    self.name,
+                    self.category,
+                    added_facts=added,
+                    description=f"necessary {attribute.name} filler {fresh} for {subject}",
+                )
+        return None
+
+
+class RuleS6(Rule):
+    """S6 (repair): from ``s : A``, ``A ⊑ ∃P ∈ Σ`` and ``P ⊑ A1 × A2 ∈ Σ`` add ``s : A1``.
+
+    See the module docstring for why this semantically valid propagation is
+    needed to make the canonical interpretation a Σ-model in the presence of
+    implicit (``u``) fillers.
+    """
+
+    name = "S6"
+    category = "schema"
+
+    def apply(self, pair: Pair, schema: Schema) -> Optional[RuleApplication]:
+        for constraint in _membership_facts(pair):
+            for attribute in sorted(schema.necessary_attributes(constraint.concept.name)):
+                typing = schema.attribute_typing(attribute)
+                if typing is None:
+                    continue
+                domain, _range = typing
+                added = pair.add_facts(
+                    [MembershipConstraint(constraint.subject, Primitive(domain))]
+                )
+                if added:
+                    return RuleApplication(
+                        self.name,
+                        self.category,
+                        added_facts=added,
+                        description=(
+                            f"{constraint.concept.name} ⊑ ∃{attribute}, "
+                            f"{attribute} ⊑ {domain} × {_range}"
+                        ),
+                    )
+        return None
+
+
+#: The paper's literal rule set (Figure 8).
+PAPER_SCHEMA_RULES = (RuleS1(), RuleS2(), RuleS3(), RuleS4(), RuleS5())
+
+#: The default rule set of the reproduction: Figure 8 plus the S6 repair.
+SCHEMA_RULES = PAPER_SCHEMA_RULES + (RuleS6(),)

@@ -1,0 +1,85 @@
+"""The abstract concept languages ``SL`` (schemas) and ``QL`` (queries).
+
+This package implements Section 3 of Buchheit et al. (EDBT'94):
+
+* :mod:`repro.concepts.syntax` -- the concept, path and attribute ASTs,
+* :mod:`repro.concepts.schema` -- ``SL`` schemas (sets of axioms) with indexes,
+* :mod:`repro.concepts.builders` -- a small construction DSL,
+* :mod:`repro.concepts.normalize` -- the ``∃p ≐ q  ⇒  ∃p' ≐ ε`` rewriting,
+* :mod:`repro.concepts.visitors` -- traversals and vocabulary collectors,
+* :mod:`repro.concepts.size` -- the size measures used in complexity bounds.
+"""
+
+from .schema import AttributeTyping, InclusionAxiom, Schema, SchemaAxiom, SchemaError
+from .syntax import (
+    And,
+    AtMostOne,
+    Attribute,
+    AttributeRestriction,
+    Concept,
+    EMPTY_PATH,
+    ExistsAttribute,
+    ExistsPath,
+    Path,
+    PathAgreement,
+    Primitive,
+    Singleton,
+    SLConcept,
+    SLPrimitive,
+    Top,
+    TOP,
+    ValueRestriction,
+)
+from .normalize import invert_path, normalize_agreement, normalize_concept
+from .size import concept_size, path_size, schema_size, sl_concept_size
+from .visitors import (
+    conjuncts,
+    constants,
+    paths_of,
+    primitive_attributes,
+    primitive_concepts,
+    subconcepts,
+)
+
+__all__ = [
+    # syntax
+    "Attribute",
+    "AttributeRestriction",
+    "Path",
+    "EMPTY_PATH",
+    "Concept",
+    "Primitive",
+    "Top",
+    "TOP",
+    "Singleton",
+    "And",
+    "ExistsPath",
+    "PathAgreement",
+    "SLConcept",
+    "SLPrimitive",
+    "ValueRestriction",
+    "ExistsAttribute",
+    "AtMostOne",
+    # schema
+    "Schema",
+    "SchemaAxiom",
+    "SchemaError",
+    "InclusionAxiom",
+    "AttributeTyping",
+    # normalize
+    "invert_path",
+    "normalize_agreement",
+    "normalize_concept",
+    # size
+    "concept_size",
+    "path_size",
+    "sl_concept_size",
+    "schema_size",
+    # visitors
+    "subconcepts",
+    "paths_of",
+    "primitive_concepts",
+    "primitive_attributes",
+    "constants",
+    "conjuncts",
+]

@@ -1,0 +1,215 @@
+"""Convenience constructors for ``QL``/``SL`` expressions.
+
+The raw AST in :mod:`repro.concepts.syntax` is deliberately minimal; this
+module provides the small DSL used throughout the examples, tests and
+workloads, e.g.::
+
+    from repro.concepts import builders as b
+
+    patient = b.concept("Patient")
+    query = b.conjoin(
+        b.concept("Male"),
+        patient,
+        b.agreement(
+            b.path(("consults", b.concept("Female"))),
+            b.path("suffers", ("specialist", b.concept("Doctor"))),
+        ),
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple, Union
+
+from .syntax import (
+    And,
+    AtMostOne,
+    Attribute,
+    AttributeRestriction,
+    Concept,
+    EMPTY_PATH,
+    ExistsAttribute,
+    ExistsPath,
+    Path,
+    PathAgreement,
+    Primitive,
+    Singleton,
+    SLPrimitive,
+    Top,
+    TOP,
+    ValueRestriction,
+)
+from .schema import AttributeTyping, InclusionAxiom, Schema
+
+__all__ = [
+    "concept",
+    "top",
+    "singleton",
+    "conjoin",
+    "attr",
+    "inv",
+    "restriction",
+    "path",
+    "exists",
+    "agreement",
+    "loops",
+    "isa",
+    "typed",
+    "necessary",
+    "functional",
+    "attribute_typing",
+    "schema",
+]
+
+PathStep = Union[str, Attribute, AttributeRestriction, Tuple]
+
+
+# ---------------------------------------------------------------------------
+# Concepts
+# ---------------------------------------------------------------------------
+
+
+def concept(name: str) -> Primitive:
+    """A primitive concept ``A``."""
+    return Primitive(name)
+
+
+def top() -> Top:
+    """The universal concept ``⊤``."""
+    return TOP
+
+
+def singleton(constant: str) -> Singleton:
+    """The singleton concept ``{a}``."""
+    return Singleton(constant)
+
+
+def conjoin(*concepts: Union[Concept, Iterable[Concept]]) -> Concept:
+    """Fold concepts into a (right-nested) conjunction ``C1 ⊓ (C2 ⊓ ...)``.
+
+    With no argument the result is ``⊤``; with a single concept the concept
+    itself is returned unchanged.
+    """
+    flat: list = []
+    for item in concepts:
+        if isinstance(item, Concept):
+            flat.append(item)
+        else:
+            flat.extend(item)
+    if not flat:
+        return TOP
+    result = flat[-1]
+    for part in reversed(flat[:-1]):
+        result = And(part, result)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Attributes, restrictions and paths
+# ---------------------------------------------------------------------------
+
+
+def attr(name: str) -> Attribute:
+    """The primitive attribute ``P``."""
+    return Attribute(name, False)
+
+
+def inv(name_or_attr: Union[str, Attribute]) -> Attribute:
+    """The inverse attribute ``P^-1`` (or the inverse of a given attribute)."""
+    if isinstance(name_or_attr, Attribute):
+        return name_or_attr.inverse()
+    return Attribute(name_or_attr, True)
+
+
+def restriction(attribute: Union[str, Attribute], filler: Concept = TOP) -> AttributeRestriction:
+    """The attribute restriction ``(R : C)``; the filler defaults to ``⊤``."""
+    if isinstance(attribute, str):
+        attribute = attr(attribute)
+    return AttributeRestriction(attribute, filler)
+
+
+def _coerce_step(step: PathStep) -> AttributeRestriction:
+    if isinstance(step, AttributeRestriction):
+        return step
+    if isinstance(step, Attribute):
+        return AttributeRestriction(step, TOP)
+    if isinstance(step, str):
+        return AttributeRestriction(attr(step), TOP)
+    if isinstance(step, tuple) and len(step) == 2:
+        attribute, filler = step
+        if isinstance(attribute, str):
+            attribute = attr(attribute)
+        if not isinstance(filler, Concept):
+            raise TypeError(f"path step filler must be a Concept, got {filler!r}")
+        return AttributeRestriction(attribute, filler)
+    raise TypeError(f"cannot interpret {step!r} as a path step")
+
+
+def path(*steps: PathStep) -> Path:
+    """Build a path from a sequence of steps.
+
+    Each step may be a plain attribute name (restricted by ``⊤``), an
+    :class:`~repro.concepts.syntax.Attribute`, a ``(attribute, concept)``
+    pair, or an already-built restriction.
+    """
+    return Path(tuple(_coerce_step(step) for step in steps))
+
+
+def exists(*steps: PathStep) -> ExistsPath:
+    """The concept ``∃p`` for the path built from ``steps``."""
+    return ExistsPath(path(*steps))
+
+
+def agreement(left: Union[Path, Sequence[PathStep]], right: Union[Path, Sequence[PathStep]] = EMPTY_PATH) -> PathAgreement:
+    """The path agreement ``∃p ≐ q``; ``q`` defaults to the empty path."""
+    if not isinstance(left, Path):
+        left = path(*left)
+    if not isinstance(right, Path):
+        right = path(*right)
+    return PathAgreement(left, right)
+
+
+def loops(*steps: PathStep) -> PathAgreement:
+    """The self-agreement ``∃p ≐ ε`` ("the path p loops back to its start")."""
+    return PathAgreement(path(*steps), EMPTY_PATH)
+
+
+# ---------------------------------------------------------------------------
+# Schema axioms
+# ---------------------------------------------------------------------------
+
+
+def isa(sub: str, sup: str) -> InclusionAxiom:
+    """The axiom ``sub ⊑ sup`` between primitive concepts."""
+    return InclusionAxiom(sub, SLPrimitive(sup))
+
+
+def typed(cls: str, attribute: str, filler: str) -> InclusionAxiom:
+    """The attribute-typing axiom ``cls ⊑ ∀attribute. filler``."""
+    return InclusionAxiom(cls, ValueRestriction(attribute, filler))
+
+
+def necessary(cls: str, attribute: str) -> InclusionAxiom:
+    """The necessary-attribute axiom ``cls ⊑ ∃attribute``."""
+    return InclusionAxiom(cls, ExistsAttribute(attribute))
+
+
+def functional(cls: str, attribute: str) -> InclusionAxiom:
+    """The single-valued-attribute axiom ``cls ⊑ (≤1 attribute)``."""
+    return InclusionAxiom(cls, AtMostOne(attribute))
+
+
+def attribute_typing(attribute: str, domain: str, range_: str) -> AttributeTyping:
+    """The axiom ``attribute ⊑ domain × range`` declaring domain and range."""
+    return AttributeTyping(attribute, domain, range_)
+
+
+def schema(*axioms) -> Schema:
+    """Build a :class:`~repro.concepts.schema.Schema` from axioms or iterables of axioms."""
+    flat: list = []
+    for item in axioms:
+        if isinstance(item, (InclusionAxiom, AttributeTyping)):
+            flat.append(item)
+        else:
+            flat.extend(item)
+    return Schema(flat)

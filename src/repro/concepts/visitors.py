@@ -1,0 +1,137 @@
+"""Generic traversals over ``QL`` concept expressions.
+
+Several parts of the library need to walk a concept tree: the size measures
+(:mod:`repro.concepts.size`), the normalizer, the vocabulary collectors used
+by the brute-force oracle and the workload generators, and the translation
+into conjunctive queries.  This module centralizes those traversals.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Iterator, Set, Tuple
+
+from .syntax import (
+    And,
+    Attribute,
+    AttributeRestriction,
+    Concept,
+    ExistsPath,
+    Path,
+    PathAgreement,
+    Primitive,
+    Singleton,
+    Top,
+)
+
+__all__ = [
+    "subconcepts",
+    "paths_of",
+    "primitive_concepts",
+    "primitive_attributes",
+    "constants",
+    "map_fillers",
+    "conjuncts",
+]
+
+
+def subconcepts(concept: Concept) -> Iterator[Concept]:
+    """Yield ``concept`` and every concept nested inside it (pre-order).
+
+    Fillers of attribute restrictions inside paths are included, so the
+    iterator visits exactly the sub-expressions the decomposition and goal
+    rules of the calculus may ever mention.
+    """
+    yield concept
+    if isinstance(concept, And):
+        yield from subconcepts(concept.left)
+        yield from subconcepts(concept.right)
+    elif isinstance(concept, ExistsPath):
+        for step in concept.path:
+            yield from subconcepts(step.concept)
+    elif isinstance(concept, PathAgreement):
+        for step in concept.left:
+            yield from subconcepts(step.concept)
+        for step in concept.right:
+            yield from subconcepts(step.concept)
+
+
+def paths_of(concept: Concept) -> Iterator[Path]:
+    """Yield every path occurring in ``concept`` (including nested ones)."""
+    if isinstance(concept, And):
+        yield from paths_of(concept.left)
+        yield from paths_of(concept.right)
+    elif isinstance(concept, ExistsPath):
+        yield concept.path
+        for step in concept.path:
+            yield from paths_of(step.concept)
+    elif isinstance(concept, PathAgreement):
+        yield concept.left
+        yield concept.right
+        for step in concept.left:
+            yield from paths_of(step.concept)
+        for step in concept.right:
+            yield from paths_of(step.concept)
+
+
+def primitive_concepts(concept: Concept) -> FrozenSet[str]:
+    """The names of all primitive concepts occurring in ``concept``."""
+    names: Set[str] = set()
+    for sub in subconcepts(concept):
+        if isinstance(sub, Primitive):
+            names.add(sub.name)
+    return frozenset(names)
+
+
+def primitive_attributes(concept: Concept) -> FrozenSet[str]:
+    """The names of all primitive attributes occurring in ``concept``.
+
+    Both ``P`` and ``P^-1`` contribute the primitive name ``P``.
+    """
+    names: Set[str] = set()
+    for a_path in paths_of(concept):
+        for step in a_path:
+            names.add(step.attribute.primitive_name)
+    return frozenset(names)
+
+
+def constants(concept: Concept) -> FrozenSet[str]:
+    """The constants occurring in singletons anywhere inside ``concept``."""
+    names: Set[str] = set()
+    for sub in subconcepts(concept):
+        if isinstance(sub, Singleton):
+            names.add(sub.constant)
+    return frozenset(names)
+
+
+def conjuncts(concept: Concept) -> Tuple[Concept, ...]:
+    """Flatten nested conjunctions into the tuple of top-level conjuncts."""
+    if isinstance(concept, And):
+        return conjuncts(concept.left) + conjuncts(concept.right)
+    return (concept,)
+
+
+def map_fillers(concept: Concept, transform: Callable[[Concept], Concept]) -> Concept:
+    """Rebuild ``concept`` applying ``transform`` bottom-up to every node.
+
+    ``transform`` receives each (already rebuilt) node and returns its
+    replacement; the identity function reproduces the concept unchanged.
+    """
+
+    def rebuild_path(a_path: Path) -> Path:
+        steps = tuple(
+            AttributeRestriction(step.attribute, map_fillers(step.concept, transform))
+            for step in a_path
+        )
+        return Path(steps)
+
+    if isinstance(concept, And):
+        rebuilt: Concept = And(
+            map_fillers(concept.left, transform), map_fillers(concept.right, transform)
+        )
+    elif isinstance(concept, ExistsPath):
+        rebuilt = ExistsPath(rebuild_path(concept.path))
+    elif isinstance(concept, PathAgreement):
+        rebuilt = PathAgreement(rebuild_path(concept.left), rebuild_path(concept.right))
+    else:
+        rebuilt = concept
+    return transform(rebuilt)

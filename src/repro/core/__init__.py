@@ -1,0 +1,11 @@
+"""Public facade of the reproduction: checker and errors."""
+
+from .checker import SubsumptionChecker
+from .errors import NonStructuralViewError, ReproError, UnsupportedQueryError
+
+__all__ = [
+    "SubsumptionChecker",
+    "ReproError",
+    "UnsupportedQueryError",
+    "NonStructuralViewError",
+]

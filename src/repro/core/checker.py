@@ -1,0 +1,138 @@
+"""The public facade: :class:`SubsumptionChecker`.
+
+The checker bundles a schema with the completion engine configuration and
+offers the operations a query optimizer needs:
+
+* :meth:`SubsumptionChecker.subsumes` -- the boolean test ``C ⊑_Σ D``,
+* :meth:`SubsumptionChecker.explain` -- the full result with trace and
+  countermodel,
+* :meth:`SubsumptionChecker.is_satisfiable` -- Σ-satisfiability of a concept
+  (``C`` is unsatisfiable iff its completion contains a clash),
+* :meth:`SubsumptionChecker.equivalent` -- mutual subsumption,
+* :meth:`SubsumptionChecker.classify` -- insert a set of named concepts into
+  their subsumption hierarchy (the "virtual class integration" of related
+  OODB view mechanisms discussed in Section 5).
+
+A small memoization cache keyed by the concept pair avoids repeating work
+when the optimizer checks the same query against many views that share
+sub-expressions, or re-checks a query later.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..calculus.subsume import SubsumptionResult, decide_subsumption
+from ..concepts.normalize import normalize_concept
+from ..concepts.schema import Schema
+from ..concepts.syntax import Concept
+
+__all__ = ["SubsumptionChecker"]
+
+
+class SubsumptionChecker:
+    """Decides Σ-subsumption between ``QL`` concepts for a fixed schema ``Σ``."""
+
+    def __init__(
+        self,
+        schema: Optional[Schema] = None,
+        *,
+        use_repair_rule: bool = True,
+        cache: bool = True,
+    ) -> None:
+        self.schema = schema if schema is not None else Schema.empty()
+        self.use_repair_rule = use_repair_rule
+        self._cache_enabled = cache
+        self._cache: Dict[Tuple[Concept, Concept], bool] = {}
+        self._checks = 0
+        self._cache_hits = 0
+
+    # -- basic decisions -------------------------------------------------------
+
+    def subsumes(self, query: Concept, view: Concept) -> bool:
+        """``True`` iff every instance of ``query`` is an instance of ``view`` in every Σ-state."""
+        key = (normalize_concept(query), normalize_concept(view))
+        self._checks += 1
+        if self._cache_enabled and key in self._cache:
+            self._cache_hits += 1
+            return self._cache[key]
+        decision = decide_subsumption(
+            key[0], key[1], self.schema, use_repair_rule=self.use_repair_rule, keep_trace=False
+        ).subsumed
+        if self._cache_enabled:
+            self._cache[key] = decision
+        return decision
+
+    def explain(self, query: Concept, view: Concept) -> SubsumptionResult:
+        """The full :class:`SubsumptionResult` (trace, statistics, countermodel)."""
+        return decide_subsumption(
+            query, view, self.schema, use_repair_rule=self.use_repair_rule, keep_trace=True
+        )
+
+    def is_satisfiable(self, concept: Concept) -> bool:
+        """Σ-satisfiability: ``False`` iff the completion of ``concept`` contains a clash.
+
+        In ``QL`` with ``SL`` schemas the only sources of unsatisfiability are
+        the Unique Name Assumption clashes of Section 4.2, so a concept is
+        unsatisfiable exactly when it is subsumed by an arbitrary fresh
+        primitive concept via a clash.
+        """
+        from ..concepts.syntax import Primitive
+
+        probe = Primitive("__repro_unsatisfiability_probe__")
+        result = decide_subsumption(
+            concept, probe, self.schema, use_repair_rule=self.use_repair_rule, keep_trace=False
+        )
+        return not result.clashes
+
+    def equivalent(self, left: Concept, right: Concept) -> bool:
+        """Mutual Σ-subsumption."""
+        return self.subsumes(left, right) and self.subsumes(right, left)
+
+    # -- classification ---------------------------------------------------------
+
+    def classify(self, concepts: Mapping[str, Concept]) -> Dict[str, List[str]]:
+        """Compute the subsumption hierarchy among named concepts.
+
+        Returns, for every name, the list of *direct* subsumers (most specific
+        named concepts that strictly subsume it).  This mirrors how OODB view
+        mechanisms integrate virtual classes into the class hierarchy
+        (Section 5 of the paper).
+        """
+        names = sorted(concepts)
+        subsumers: Dict[str, set] = {name: set() for name in names}
+        for name in names:
+            for other in names:
+                if name == other:
+                    continue
+                if self.subsumes(concepts[name], concepts[other]):
+                    subsumers[name].add(other)
+        direct: Dict[str, List[str]] = {}
+        for name in names:
+            candidates = subsumers[name]
+            redundant = set()
+            for candidate in candidates:
+                # candidate is redundant if some other subsumer is below it.
+                for other in candidates:
+                    if other != candidate and candidate in subsumers[other]:
+                        # other ⊑ candidate, so candidate is not a *direct* parent
+                        # unless they are mutually subsuming (equivalent).
+                        if other not in subsumers.get(candidate, set()):
+                            redundant.add(candidate)
+            direct[name] = sorted(candidates - redundant)
+        return direct
+
+    # -- statistics ----------------------------------------------------------------
+
+    @property
+    def statistics(self) -> Dict[str, int]:
+        """Counters: how many checks were asked and how many hit the cache."""
+        return {
+            "checks": self._checks,
+            "cache_hits": self._cache_hits,
+            "cache_size": len(self._cache),
+        }
+
+    def clear_cache(self) -> None:
+        """Drop all memoized decisions (e.g. after changing the schema)."""
+        self._cache.clear()

@@ -1,0 +1,34 @@
+"""Exception hierarchy of the ``repro`` library.
+
+All library-specific exceptions derive from :class:`ReproError`, so callers
+can distinguish library failures from programming errors with a single
+``except`` clause.  Sub-packages define more specific errors (parser errors,
+schema errors, ...) that are re-exported here for convenience.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ReproError", "UnsupportedQueryError", "NonStructuralViewError"]
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the ``repro`` library."""
+
+
+class UnsupportedQueryError(ReproError):
+    """Raised when a query uses constructs outside the supported language.
+
+    The structural query language ``QL`` was deliberately designed to stay
+    polynomial (Section 4.4 of the paper); constructs such as universal
+    quantification, disjunction or negation are rejected with this error
+    rather than silently ignored.
+    """
+
+
+class NonStructuralViewError(ReproError):
+    """Raised when a query with a non-structural part is registered as a view.
+
+    The paper requires views to be *entirely* captured by their structural
+    part (Section 2.2); otherwise using the view extension as a filter would
+    be unsound (Proposition 3.1).
+    """

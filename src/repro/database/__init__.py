@@ -1,0 +1,14 @@
+"""The OODB substrate: database states, query evaluation, materialized views."""
+
+from .query_eval import EvaluationStatistics, QueryEvaluator
+from .store import DatabaseState, IntegrityViolation
+from .views import MaterializedView, ViewCatalog
+
+__all__ = [
+    "DatabaseState",
+    "IntegrityViolation",
+    "QueryEvaluator",
+    "EvaluationStatistics",
+    "MaterializedView",
+    "ViewCatalog",
+]

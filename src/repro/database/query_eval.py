@@ -1,0 +1,164 @@
+"""Evaluating query classes and ``QL`` concepts over database states.
+
+A query class retrieves the stored objects that satisfy its membership
+condition (Section 2.2).  The evaluator splits the work the same way the
+paper splits query definitions:
+
+* the *structural part* (superclasses, derived paths, where equalities) is
+  the ``QL`` concept produced by :mod:`repro.dl.abstraction`; its extension
+  over the state-as-interpretation is computed with the set semantics
+  evaluator;
+* the *non-structural part* (the ``constraint`` clause) is translated to a
+  first-order formula and checked per candidate object.
+
+Because the structural extension is a superset of the full answer set
+(Proposition 3.1 in executable form), candidates only ever need to be
+*filtered*; this is also exactly how the optimizer exploits a subsuming
+materialized view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Optional, Set
+
+from ..concepts.syntax import Concept
+from ..dl.abstraction import query_class_to_concept
+from ..dl.ast import DLSchema, QueryClassDecl
+from ..dl.fol_translation import THIS, constraint_to_fol
+from ..fol.evaluate import evaluate as fol_evaluate
+from ..fol.syntax import (
+    AndF,
+    BinaryAtom,
+    Const,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    OrF,
+    UnaryAtom,
+    Var,
+)
+from ..semantics.evaluate import concept_extension
+from ..semantics.interpretation import Interpretation
+from .store import DatabaseState
+
+__all__ = ["EvaluationStatistics", "QueryEvaluator"]
+
+
+def _formula_constants(formula: Formula) -> Set[str]:
+    """The constant names occurring in a first-order formula."""
+    found: Set[str] = set()
+
+    def walk(node: Formula) -> None:
+        if isinstance(node, (UnaryAtom,)):
+            if isinstance(node.term, Const):
+                found.add(node.term.name)
+        elif isinstance(node, (BinaryAtom,)):
+            for term in (node.first, node.second):
+                if isinstance(term, Const):
+                    found.add(term.name)
+        elif isinstance(node, Equals):
+            for term in (node.first, node.second):
+                if isinstance(term, Const):
+                    found.add(term.name)
+        elif isinstance(node, Not):
+            walk(node.operand)
+        elif isinstance(node, (AndF, OrF, Implies)):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, (Exists, Forall)):
+            walk(node.body)
+
+    walk(formula)
+    return found
+
+
+@dataclass
+class EvaluationStatistics:
+    """Counters describing one query evaluation (candidates vs answers)."""
+
+    candidates_examined: int = 0
+    structural_matches: int = 0
+    answers: int = 0
+    used_view: Optional[str] = None
+
+
+class QueryEvaluator:
+    """Evaluates query classes over a :class:`~repro.database.store.DatabaseState`."""
+
+    def __init__(self, dl_schema: Optional[DLSchema] = None) -> None:
+        self.dl_schema = dl_schema
+
+    # -- structural part ---------------------------------------------------------
+
+    def concept_answers(
+        self, concept: Concept, state: DatabaseState, candidates: Optional[Iterable[str]] = None
+    ) -> FrozenSet[str]:
+        """The objects of the state that belong to the extension of a ``QL`` concept.
+
+        When ``candidates`` is given, only those objects are considered (this
+        is the "filter the materialized view" code path of the optimizer);
+        otherwise all stored objects are candidates.
+        """
+        interpretation = state.to_interpretation()
+        extension = concept_extension(concept, interpretation)
+        pool = frozenset(candidates) if candidates is not None else state.objects
+        return frozenset(pool) & extension
+
+    # -- full query classes ---------------------------------------------------------
+
+    def answers(
+        self,
+        query: QueryClassDecl,
+        state: DatabaseState,
+        candidates: Optional[Iterable[str]] = None,
+        statistics: Optional[EvaluationStatistics] = None,
+    ) -> FrozenSet[str]:
+        """The answer set of a query class over a database state.
+
+        Answer objects are existing objects deduced as instances of the query
+        class: they satisfy the structural concept *and* the constraint
+        clause (if any).
+        """
+        statistics = statistics if statistics is not None else EvaluationStatistics()
+        concept = query_class_to_concept(query, self.dl_schema)
+        if query.constraint is not None:
+            constraint = constraint_to_fol(query.constraint, {"this": THIS})
+            # Constants mentioned by the constraint (e.g. "Aspirin") must
+            # denote; unknown ones become fresh elements distinct from every
+            # stored object, as the Unique Name Assumption prescribes.
+            interpretation = state.to_interpretation(constants=_formula_constants(constraint))
+        else:
+            constraint = None
+            interpretation = state.to_interpretation()
+        pool = frozenset(candidates) if candidates is not None else state.objects
+        statistics.candidates_examined = len(pool)
+
+        structural = frozenset(pool) & concept_extension(concept, interpretation)
+        statistics.structural_matches = len(structural)
+
+        if constraint is None:
+            statistics.answers = len(structural)
+            return structural
+        answers: Set[str] = set()
+        for candidate in structural:
+            if fol_evaluate(constraint, interpretation, {THIS: candidate}):
+                answers.add(candidate)
+        statistics.answers = len(answers)
+        return frozenset(answers)
+
+    def answers_from_source(
+        self, source: str, state: DatabaseState, query_name: Optional[str] = None
+    ) -> FrozenSet[str]:
+        """Convenience: parse a ``QueryClass`` declaration and evaluate it."""
+        from ..dl.parser import parse_schema
+
+        parsed = parse_schema(source)
+        if not parsed.query_classes:
+            raise ValueError("the source contains no QueryClass declaration")
+        if query_name is None:
+            query_name = next(iter(parsed.query_classes))
+        return self.answers(parsed.query_classes[query_name], state)

@@ -1,0 +1,266 @@
+"""An in-memory OODB state: objects, class memberships, attribute values.
+
+The paper assumes "every state of the database gives rise to exactly one
+model of [the schema] formulas" (Section 2.1); a :class:`DatabaseState` is a
+finite such structure:
+
+* a set of *objects* (identified by strings),
+* explicit class membership assertions (closed upwards along the ``isA``
+  hierarchy when exported as an interpretation, i.e. classification and
+  generalization),
+* attribute value assignments (aggregation).
+
+A state can be checked against the structural schema
+(:meth:`DatabaseState.integrity_violations`) -- typing, necessary and single
+constraints -- and converted into a
+:class:`repro.semantics.interpretation.Interpretation` so that concepts,
+query classes and constraint formulas can be evaluated over it.
+
+This module is the "simulated ConceptBase" substrate of the reproduction
+(see DESIGN.md): the paper's optimizer only needs a store that can
+materialize view extensions and evaluate queries, which this provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..concepts.schema import Schema
+from ..semantics.interpretation import Interpretation
+from ..dl.ast import DLSchema
+
+__all__ = ["IntegrityViolation", "DatabaseState"]
+
+
+@dataclass(frozen=True)
+class IntegrityViolation:
+    """One violation of the structural schema by a database state."""
+
+    kind: str
+    object_id: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.kind} on {self.object_id}: {self.detail}"
+
+
+class DatabaseState:
+    """A mutable, in-memory object base.
+
+    Parameters
+    ----------
+    schema:
+        The ``SL`` schema governing the state (used for the upward closure of
+        memberships along ``isA`` and for integrity checking).  May be
+        ``None`` for schema-less scratch states.
+    """
+
+    def __init__(self, schema: Optional[Schema] = None) -> None:
+        self.schema = schema if schema is not None else Schema.empty()
+        self._objects: Set[str] = set()
+        self._memberships: Dict[str, Set[str]] = {}
+        self._attributes: Dict[str, Set[Tuple[str, str]]] = {}
+
+    # -- population -----------------------------------------------------------
+
+    def add_object(self, object_id: str, *classes: str) -> str:
+        """Create an object (idempotent) and optionally assert memberships."""
+        self._objects.add(object_id)
+        for class_name in classes:
+            self.assert_membership(object_id, class_name)
+        return object_id
+
+    def assert_membership(self, object_id: str, class_name: str) -> None:
+        """Assert that the object is an instance of the class."""
+        self._objects.add(object_id)
+        self._memberships.setdefault(class_name, set()).add(object_id)
+
+    def retract_membership(self, object_id: str, class_name: str) -> None:
+        """Remove an explicit membership assertion (no cascade)."""
+        self._memberships.get(class_name, set()).discard(object_id)
+
+    def set_attribute(self, subject: str, attribute: str, value: str) -> None:
+        """Assert an attribute value ``(subject attribute value)``."""
+        self._objects.add(subject)
+        self._objects.add(value)
+        self._attributes.setdefault(attribute, set()).add((subject, value))
+
+    def remove_attribute(self, subject: str, attribute: str, value: str) -> None:
+        """Retract an attribute value assertion."""
+        self._attributes.get(attribute, set()).discard((subject, value))
+
+    def remove_object(self, object_id: str) -> None:
+        """Delete an object together with its memberships and attribute values."""
+        self._objects.discard(object_id)
+        for members in self._memberships.values():
+            members.discard(object_id)
+        for name, pairs in self._attributes.items():
+            self._attributes[name] = {
+                pair for pair in pairs if object_id not in pair
+            }
+
+    # -- inspection ------------------------------------------------------------
+
+    @property
+    def objects(self) -> FrozenSet[str]:
+        """All object identifiers of the state."""
+        return frozenset(self._objects)
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def explicit_extent(self, class_name: str) -> FrozenSet[str]:
+        """The objects explicitly asserted to be members of the class."""
+        return frozenset(self._memberships.get(class_name, ()))
+
+    def extent(self, class_name: str) -> FrozenSet[str]:
+        """The class extent closed upwards along ``isA``.
+
+        An object explicitly asserted to belong to ``Patient`` is also a
+        member of every (transitive) superclass such as ``Person``.
+        """
+        members: Set[str] = set(self._memberships.get(class_name, ()))
+        for other, extent in self._memberships.items():
+            if other == class_name:
+                continue
+            if class_name in self.schema.all_superclasses(other):
+                members.update(extent)
+        return frozenset(members)
+
+    def attribute_pairs(self, attribute: str) -> FrozenSet[Tuple[str, str]]:
+        """All value assignments of one attribute."""
+        return frozenset(self._attributes.get(attribute, ()))
+
+    def attribute_values(self, subject: str, attribute: str) -> FrozenSet[str]:
+        """The values of ``attribute`` for one object."""
+        return frozenset(
+            value for subj, value in self._attributes.get(attribute, ()) if subj == subject
+        )
+
+    def classes(self) -> FrozenSet[str]:
+        """Class names with at least one explicit member, plus schema classes."""
+        return frozenset(self._memberships) | self.schema.concept_names()
+
+    def attributes(self) -> FrozenSet[str]:
+        """Attribute names with at least one assignment, plus schema attributes."""
+        return frozenset(self._attributes) | self.schema.attribute_names()
+
+    # -- integrity --------------------------------------------------------------
+
+    def integrity_violations(self) -> List[IntegrityViolation]:
+        """Check the state against the structural schema.
+
+        The checks mirror the three kinds of restrictions of Section 2.1:
+        attribute typing (value must belong to the declared range when the
+        subject belongs to the declaring class), necessary attributes (at
+        least one value) and single-valued attributes (at most one value),
+        plus the global attribute domain/range declarations.
+        """
+        violations: List[IntegrityViolation] = []
+        extents = {name: self.extent(name) for name in self.classes()}
+
+        for axiom_class in self.schema.concept_names():
+            members = extents.get(axiom_class, frozenset())
+            for attribute, range_class in self.schema.value_restrictions(axiom_class):
+                range_extent = extents.get(range_class, frozenset())
+                for subject in members:
+                    for value in self.attribute_values(subject, attribute):
+                        if value not in range_extent:
+                            violations.append(
+                                IntegrityViolation(
+                                    "typing",
+                                    subject,
+                                    f"value {value!r} of {attribute!r} is not in {range_class!r}",
+                                )
+                            )
+            for attribute in self.schema.necessary_attributes(axiom_class):
+                for subject in members:
+                    if not self.attribute_values(subject, attribute):
+                        violations.append(
+                            IntegrityViolation(
+                                "necessary",
+                                subject,
+                                f"member of {axiom_class!r} has no value for {attribute!r}",
+                            )
+                        )
+            for attribute in self.schema.functional_attributes(axiom_class):
+                for subject in members:
+                    values = self.attribute_values(subject, attribute)
+                    if len(values) > 1:
+                        violations.append(
+                            IntegrityViolation(
+                                "single",
+                                subject,
+                                f"member of {axiom_class!r} has {len(values)} values "
+                                f"for functional attribute {attribute!r}",
+                            )
+                        )
+
+        for typing in self.schema.attribute_typings:
+            domain_extent = extents.get(typing.domain, frozenset())
+            range_extent = extents.get(typing.range, frozenset())
+            for subject, value in self.attribute_pairs(typing.attribute):
+                if subject not in domain_extent:
+                    violations.append(
+                        IntegrityViolation(
+                            "domain",
+                            subject,
+                            f"subject of {typing.attribute!r} is not in {typing.domain!r}",
+                        )
+                    )
+                if value not in range_extent:
+                    violations.append(
+                        IntegrityViolation(
+                            "range",
+                            value,
+                            f"value of {typing.attribute!r} is not in {typing.range!r}",
+                        )
+                    )
+        return violations
+
+    def is_consistent(self) -> bool:
+        """``True`` iff the state satisfies all structural schema constraints."""
+        return not self.integrity_violations()
+
+    # -- export -----------------------------------------------------------------
+
+    def to_interpretation(self, constants: Optional[Iterable[str]] = None) -> Interpretation:
+        """The state as a finite interpretation (classes upward-closed along ``isA``).
+
+        Every object identifier also serves as a constant denoting itself, so
+        singleton concepts ``{o}`` in queries refer to stored objects;
+        ``constants`` may add further constant names that should denote
+        themselves (they are added to the domain if missing).
+        """
+        domain: Set[str] = set(self._objects)
+        constant_map: Dict[str, str] = {obj: obj for obj in self._objects}
+        for name in constants or ():
+            domain.add(name)
+            constant_map[name] = name
+        if not domain:
+            domain = {"__empty__"}
+        concepts = {name: self.extent(name) & frozenset(domain) for name in self.classes()}
+        attributes = {name: self.attribute_pairs(name) for name in self.attributes()}
+        return Interpretation(domain, concepts, attributes, constant_map)
+
+    # -- synonym handling ----------------------------------------------------------
+
+    def apply_inverse_synonyms(self, dl_schema: DLSchema) -> None:
+        """Materialize inverse-synonym attribute values (e.g. ``specialist``).
+
+        For every attribute declaration with an ``inverse`` synonym, the
+        synonym's pairs are kept in sync with the primitive attribute in both
+        directions, so that query evaluation over the concrete state can use
+        either name.
+        """
+        for decl in dl_schema.attributes.values():
+            if decl.inverse is None:
+                continue
+            primitive_pairs = set(self._attributes.get(decl.name, set()))
+            synonym_pairs = set(self._attributes.get(decl.inverse, set()))
+            primitive_pairs.update((second, first) for first, second in synonym_pairs)
+            self._attributes[decl.name] = primitive_pairs
+            self._attributes[decl.inverse] = {
+                (second, first) for first, second in primitive_pairs
+            }

@@ -1,0 +1,178 @@
+"""Materialized views over database states (Sections 1 and 2.2).
+
+A *view* is a query class without a constraint clause (purely structural);
+*materialization* means that membership of objects in the view, although
+derivable by the view definition, is stored explicitly so that access to the
+view is as fast as to any other class.  The optimizer then uses a subsuming
+view's stored extension to restrict the search space of new queries.
+
+:class:`MaterializedView` holds one view together with its stored extent and
+refresh bookkeeping; :class:`ViewCatalog` is the registry the optimizer
+scans.  Registration enforces the paper's soundness requirement: queries
+with a non-structural part are rejected as views
+(:class:`~repro.core.errors.NonStructuralViewError`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from ..concepts.normalize import normalize_concept
+from ..concepts.syntax import Concept
+from ..core.errors import NonStructuralViewError
+from ..dl.abstraction import query_class_to_concept
+from ..dl.ast import DLSchema, QueryClassDecl
+from .query_eval import QueryEvaluator
+from .store import DatabaseState
+
+__all__ = ["MaterializedView", "ViewCatalog"]
+
+
+class MaterializedView:
+    """One materialized view: definition, abstract concept, stored extent."""
+
+    def __init__(
+        self,
+        name: str,
+        definition: QueryClassDecl,
+        concept: Concept,
+    ) -> None:
+        if not definition.is_structural:
+            raise NonStructuralViewError(
+                f"query class {definition.name!r} has a constraint clause and "
+                "cannot be materialized as a view (its structural part would "
+                "not capture it completely)"
+            )
+        self.name = name
+        self.definition = definition
+        self.concept = normalize_concept(concept)
+        self._extent: FrozenSet[str] = frozenset()
+        self.refresh_count = 0
+        self.access_count = 0
+
+    # -- maintenance -----------------------------------------------------------
+
+    def refresh(self, state: DatabaseState, evaluator: QueryEvaluator) -> FrozenSet[str]:
+        """Recompute and store the view extension over the given state.
+
+        Views are structural, so their answer set equals the extension of
+        their ``QL`` concept restricted to the stored objects.
+        """
+        self._extent = evaluator.concept_answers(self.concept, state)
+        self.refresh_count += 1
+        return self._extent
+
+    def on_object_added(
+        self, object_id: str, state: DatabaseState, evaluator: QueryEvaluator
+    ) -> None:
+        """Incremental maintenance: re-evaluate only the changed object."""
+        matches = evaluator.concept_answers(self.concept, state, candidates=[object_id])
+        if matches:
+            self._extent = self._extent | matches
+        else:
+            self._extent = self._extent - {object_id}
+
+    def on_object_removed(self, object_id: str) -> None:
+        """Incremental maintenance: drop a deleted object from the extent."""
+        self._extent = self._extent - {object_id}
+
+    # -- access ------------------------------------------------------------------
+
+    @property
+    def extent(self) -> FrozenSet[str]:
+        """The stored answer set of the view (as of the last refresh)."""
+        self.access_count += 1
+        return self._extent
+
+    @property
+    def size(self) -> int:
+        """Number of stored objects (without counting as an access)."""
+        return len(self._extent)
+
+    def __repr__(self) -> str:
+        return f"MaterializedView({self.name!r}, |extent|={len(self._extent)})"
+
+
+class ViewCatalog:
+    """The registry of materialized views the optimizer consults."""
+
+    def __init__(self, dl_schema: Optional[DLSchema] = None) -> None:
+        self.dl_schema = dl_schema
+        self._views: Dict[str, MaterializedView] = {}
+        self._evaluator = QueryEvaluator(dl_schema)
+
+    # -- registration -----------------------------------------------------------
+
+    def register(
+        self,
+        definition: QueryClassDecl,
+        state: Optional[DatabaseState] = None,
+        name: Optional[str] = None,
+    ) -> MaterializedView:
+        """Register (and optionally immediately materialize) a view.
+
+        Raises :class:`~repro.core.errors.NonStructuralViewError` if the
+        query class has a constraint clause.
+        """
+        concept = query_class_to_concept(definition, self.dl_schema)
+        view = MaterializedView(name or definition.name, definition, concept)
+        self._views[view.name] = view
+        if state is not None:
+            view.refresh(state, self._evaluator)
+        return view
+
+    def register_concept(
+        self,
+        name: str,
+        concept: Concept,
+        definition: Optional[QueryClassDecl] = None,
+    ) -> MaterializedView:
+        """Register a view given directly as a ``QL`` concept (no DL source).
+
+        Used by the synthetic workloads, which generate abstract concepts;
+        a trivial structural :class:`~repro.dl.ast.QueryClassDecl` shell is
+        created when none is supplied.
+        """
+        definition = definition or QueryClassDecl(name=name)
+        view = MaterializedView(name, definition, concept)
+        self._views[name] = view
+        return view
+
+    def unregister(self, name: str) -> None:
+        """Drop a view from the catalog."""
+        self._views.pop(name, None)
+
+    # -- access ---------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[MaterializedView]:
+        return iter(self._views.values())
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._views
+
+    def get(self, name: str) -> Optional[MaterializedView]:
+        return self._views.get(name)
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._views)
+
+    # -- maintenance --------------------------------------------------------------------
+
+    def refresh_all(self, state: DatabaseState) -> None:
+        """Re-materialize every registered view over the given state."""
+        for view in self._views.values():
+            view.refresh(state, self._evaluator)
+
+    def notify_object_added(self, object_id: str, state: DatabaseState) -> None:
+        """Propagate an insertion to every view (incremental maintenance)."""
+        for view in self._views.values():
+            view.on_object_added(object_id, state, self._evaluator)
+
+    def notify_object_removed(self, object_id: str) -> None:
+        """Propagate a deletion to every view."""
+        for view in self._views.values():
+            view.on_object_removed(object_id)

@@ -1,0 +1,302 @@
+"""Abstract syntax of the concrete database language ``DL`` (Section 2).
+
+``DL`` is the generic frame-like schema and query language of the paper.  A
+schema consists of *class declarations* and *attribute declarations*
+(Figure 1); queries are *query classes* (Figures 3 and 5) with
+
+* superclasses (``isA``),
+* a ``derived`` clause of labeled paths,
+* a ``where`` clause of label equalities, and
+* an optional non-structural ``constraint`` clause.
+
+The classes below are plain immutable dataclasses produced by the parser
+(:mod:`repro.dl.parser`) or constructed programmatically; the abstraction
+into ``SL``/``QL`` lives in :mod:`repro.dl.abstraction` and the first-order
+semantics (Figures 2 and 4) in :mod:`repro.dl.fol_translation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple, Union
+
+__all__ = [
+    "AttributeFlag",
+    "AttributeSpec",
+    "ClassDecl",
+    "AttributeDecl",
+    "PathStep",
+    "LabeledPath",
+    "LabelEquality",
+    "QueryClassDecl",
+    "DLSchema",
+    "DLConstraint",
+    "InAtom",
+    "AttrAtom",
+    "EqualAtom",
+    "NotC",
+    "AndC",
+    "OrC",
+    "QuantifiedC",
+]
+
+
+# ---------------------------------------------------------------------------
+# Constraint formulas (the non-structural parts)
+# ---------------------------------------------------------------------------
+
+
+class DLConstraint:
+    """Base class of the constraint formulas of ``DL``.
+
+    Constraints are first-order formulas whose quantifiers range over
+    classes and whose atoms are ``(x in C)``, ``(x a y)`` and ``(x = y)``
+    (Section 2.1).  The distinguished identifier ``this`` refers to the
+    object whose membership is being constrained.
+    """
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class InAtom(DLConstraint):
+    """The atom ``(term in ClassName)``."""
+
+    term: str
+    class_name: str
+
+    def __str__(self) -> str:
+        return f"({self.term} in {self.class_name})"
+
+
+@dataclass(frozen=True)
+class AttrAtom(DLConstraint):
+    """The atom ``(subject attribute value)``."""
+
+    subject: str
+    attribute: str
+    value: str
+
+    def __str__(self) -> str:
+        return f"({self.subject} {self.attribute} {self.value})"
+
+
+@dataclass(frozen=True)
+class EqualAtom(DLConstraint):
+    """The atom ``(left = right)``."""
+
+    left: str
+    right: str
+
+    def __str__(self) -> str:
+        return f"({self.left} = {self.right})"
+
+
+@dataclass(frozen=True)
+class NotC(DLConstraint):
+    """Negation of a constraint."""
+
+    operand: DLConstraint
+
+    def __str__(self) -> str:
+        return f"not {self.operand}"
+
+
+@dataclass(frozen=True)
+class AndC(DLConstraint):
+    """Conjunction of constraints."""
+
+    left: DLConstraint
+    right: DLConstraint
+
+    def __str__(self) -> str:
+        return f"({self.left} and {self.right})"
+
+
+@dataclass(frozen=True)
+class OrC(DLConstraint):
+    """Disjunction of constraints."""
+
+    left: DLConstraint
+    right: DLConstraint
+
+    def __str__(self) -> str:
+        return f"({self.left} or {self.right})"
+
+
+@dataclass(frozen=True)
+class QuantifiedC(DLConstraint):
+    """Sorted quantification ``forall v/Class body`` or ``exists v/Class body``."""
+
+    quantifier: str  # "forall" | "exists"
+    variable: str
+    sort: str
+    body: DLConstraint
+
+    def __str__(self) -> str:
+        return f"{self.quantifier} {self.variable}/{self.sort} {self.body}"
+
+
+# ---------------------------------------------------------------------------
+# Schema declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AttributeFlag:
+    """The modifiers of an ``attribute`` block: ``necessary`` and/or ``single``."""
+
+    necessary: bool = False
+    single: bool = False
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """One line ``attr: Class`` of an ``attribute`` block, with its flags."""
+
+    name: str
+    range_class: str
+    necessary: bool = False
+    single: bool = False
+
+
+@dataclass(frozen=True)
+class ClassDecl:
+    """A class declaration (``Class Name isA ... with ... end Name``)."""
+
+    name: str
+    superclasses: Tuple[str, ...] = ()
+    attributes: Tuple[AttributeSpec, ...] = ()
+    constraint: Optional[DLConstraint] = None
+
+    @property
+    def has_constraint(self) -> bool:
+        """``True`` iff the declaration has a non-structural part."""
+        return self.constraint is not None
+
+
+@dataclass(frozen=True)
+class AttributeDecl:
+    """An attribute declaration with domain, range and optional inverse synonym."""
+
+    name: str
+    domain: str
+    range: str
+    inverse: Optional[str] = None
+
+
+# ---------------------------------------------------------------------------
+# Query classes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One step of a labeled path: an attribute restricted by a class or a singleton.
+
+    ``filler_class`` holds the class name for ``(a: C)``;
+    ``filler_constant`` holds the constant for ``(a: {i})``; a bare attribute
+    ``a`` is shorthand for ``(a: Object)`` and leaves both fillers ``None``.
+    """
+
+    attribute: str
+    filler_class: Optional[str] = None
+    filler_constant: Optional[str] = None
+
+    def __str__(self) -> str:
+        if self.filler_constant is not None:
+            return f"({self.attribute}: {{{self.filler_constant}}})"
+        if self.filler_class is not None:
+            return f"({self.attribute}: {self.filler_class})"
+        return self.attribute
+
+
+@dataclass(frozen=True)
+class LabeledPath:
+    """A (possibly unlabeled) path of the ``derived`` clause."""
+
+    label: Optional[str]
+    steps: Tuple[PathStep, ...]
+
+    def __str__(self) -> str:
+        body = ".".join(str(step) for step in self.steps)
+        return f"{self.label}: {body}" if self.label else body
+
+
+@dataclass(frozen=True)
+class LabelEquality:
+    """An equality ``l_j = l_k`` of the ``where`` clause."""
+
+    left: str
+    right: str
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class QueryClassDecl:
+    """A query class declaration (Figure 3 / Figure 5).
+
+    Query classes whose ``constraint`` is ``None`` are *structural queries*
+    and may serve as views (Section 2.2: views are queries whose constraint
+    part is empty).
+    """
+
+    name: str
+    superclasses: Tuple[str, ...] = ()
+    derived: Tuple[LabeledPath, ...] = ()
+    where: Tuple[LabelEquality, ...] = ()
+    constraint: Optional[DLConstraint] = None
+
+    @property
+    def is_structural(self) -> bool:
+        """``True`` iff the query has no non-structural part (may be a view)."""
+        return self.constraint is None
+
+    def labels(self) -> FrozenSet[str]:
+        """The labels declared in the ``derived`` clause."""
+        return frozenset(p.label for p in self.derived if p.label is not None)
+
+
+# ---------------------------------------------------------------------------
+# Whole schemas
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DLSchema:
+    """A parsed ``DL`` source: classes, attributes and query classes.
+
+    Declaration order is preserved; lookup dictionaries are provided for
+    convenience.  Use :func:`repro.dl.validate.validate_schema` to check
+    well-formedness and :mod:`repro.dl.abstraction` to obtain the ``SL``
+    schema and ``QL`` concepts.
+    """
+
+    classes: Dict[str, ClassDecl] = field(default_factory=dict)
+    attributes: Dict[str, AttributeDecl] = field(default_factory=dict)
+    query_classes: Dict[str, QueryClassDecl] = field(default_factory=dict)
+
+    def add_class(self, decl: ClassDecl) -> None:
+        self.classes[decl.name] = decl
+
+    def add_attribute(self, decl: AttributeDecl) -> None:
+        self.attributes[decl.name] = decl
+
+    def add_query_class(self, decl: QueryClassDecl) -> None:
+        self.query_classes[decl.name] = decl
+
+    def inverse_synonyms(self) -> Dict[str, str]:
+        """Map from inverse-synonym name to the primitive attribute it inverts."""
+        return {
+            decl.inverse: decl.name
+            for decl in self.attributes.values()
+            if decl.inverse is not None
+        }
+
+    def class_names(self) -> FrozenSet[str]:
+        return frozenset(self.classes)
+
+    def attribute_names(self) -> FrozenSet[str]:
+        return frozenset(self.attributes)

@@ -1,0 +1,134 @@
+"""Tokenizer for the concrete ``DL`` frame syntax.
+
+The syntax (Figures 1, 3, 5 of the paper) is line-oriented but the lexer is
+a plain token stream so the parser does not need to care about layout.
+Identifiers may contain letters, digits and underscores; the punctuation
+tokens are ``: , . ( ) { } =`` and the keywords are listed in
+:data:`KEYWORDS`.  Comments start with ``--`` or ``%`` and run to the end of
+the line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+__all__ = ["Token", "LexerError", "tokenize", "KEYWORDS"]
+
+
+KEYWORDS = frozenset(
+    {
+        "Class",
+        "QueryClass",
+        "Attribute",
+        "isA",
+        "with",
+        "end",
+        "attribute",
+        "necessary",
+        "single",
+        "constraint",
+        "derived",
+        "where",
+        "domain",
+        "range",
+        "inverse",
+        "forall",
+        "exists",
+        "not",
+        "and",
+        "or",
+        "in",
+        "this",
+    }
+)
+
+PUNCTUATION = {
+    ":": "COLON",
+    ",": "COMMA",
+    ".": "DOT",
+    "(": "LPAREN",
+    ")": "RPAREN",
+    "{": "LBRACE",
+    "}": "RBRACE",
+    "=": "EQUALS",
+    "/": "SLASH",
+}
+
+
+class LexerError(ValueError):
+    """Raised on an unrecognized character in the input."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with its position (1-based line and column)."""
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.value!r})@{self.line}:{self.column}"
+
+
+def _is_ident_start(char: str) -> bool:
+    return char.isalpha() or char == "_"
+
+
+def _is_ident_char(char: str) -> bool:
+    return char.isalnum() or char == "_"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Turn ``DL`` source text into a list of tokens (ending with an EOF token)."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+
+    while index < length:
+        char = source[index]
+
+        # Newlines / whitespace
+        if char == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if char.isspace():
+            index += 1
+            column += 1
+            continue
+
+        # Comments: "--" or "%" to end of line
+        if char == "%" or source.startswith("--", index):
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+
+        # Punctuation
+        if char in PUNCTUATION:
+            tokens.append(Token(PUNCTUATION[char], char, line, column))
+            index += 1
+            column += 1
+            continue
+
+        # Identifiers and keywords
+        if _is_ident_start(char):
+            start = index
+            start_column = column
+            while index < length and _is_ident_char(source[index]):
+                index += 1
+                column += 1
+            word = source[start:index]
+            kind = "KEYWORD" if word in KEYWORDS else "IDENT"
+            tokens.append(Token(kind, word, line, start_column))
+            continue
+
+        raise LexerError(f"unexpected character {char!r} at line {line}, column {column}")
+
+    tokens.append(Token("EOF", "", line, column))
+    return tokens

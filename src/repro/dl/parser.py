@@ -1,0 +1,417 @@
+"""Recursive-descent parser for the concrete ``DL`` frame syntax.
+
+The grammar implemented here covers the language of Section 2 of the paper
+(class declarations, attribute declarations, query classes) exactly as it
+appears in Figures 1, 3 and 5::
+
+    schema        ::= (class_decl | attribute_decl | query_decl)*
+
+    class_decl    ::= "Class" NAME ["isA" NAME ("," NAME)*] "with"
+                          attribute_block*
+                          ["constraint" ":" constraint]
+                      "end" NAME
+
+    attribute_block ::= "attribute" ("," ("necessary" | "single"))*
+                            (NAME ":" NAME)*
+
+    attribute_decl ::= "Attribute" NAME "with"
+                          "domain" ":" NAME
+                          "range" ":" NAME
+                          ["inverse" ":" NAME]
+                      "end" NAME
+
+    query_decl    ::= "QueryClass" NAME ["isA" NAME ("," NAME)*] "with"
+                          ["derived" derived_entry*]
+                          ["where" (NAME "=" NAME)*]
+                          ["constraint" ":" constraint]
+                      "end" NAME
+
+    derived_entry ::= [LABEL ":"] path
+    path          ::= step ("." step)*
+    step          ::= NAME | "(" NAME ":" NAME ")" | "(" NAME ":" "{" NAME "}" ")"
+
+    constraint    ::= ("forall" | "exists") NAME "/" NAME constraint
+                    | disjunct
+    disjunct      ::= conjunct ("or" conjunct)*
+    conjunct      ::= unary ("and" unary)*
+    unary         ::= "not" unary | "(" atom-or-constraint ")"
+    atom          ::= term "in" NAME | term "=" term | term NAME term
+    term          ::= "this" | NAME
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .ast import (
+    AndC,
+    AttrAtom,
+    AttributeDecl,
+    AttributeSpec,
+    ClassDecl,
+    DLConstraint,
+    DLSchema,
+    EqualAtom,
+    InAtom,
+    LabelEquality,
+    LabeledPath,
+    NotC,
+    OrC,
+    PathStep,
+    QuantifiedC,
+    QueryClassDecl,
+)
+from .lexer import Token, tokenize
+
+__all__ = ["ParseError", "Parser", "parse_schema", "parse_query_class"]
+
+
+class ParseError(ValueError):
+    """Raised when the input does not conform to the ``DL`` grammar."""
+
+
+class Parser:
+    """A hand-written recursive-descent parser over the token list."""
+
+    def __init__(self, source: str) -> None:
+        self.tokens: List[Token] = tokenize(source)
+        self.position = 0
+
+    # -- token utilities ------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.kind != "EOF":
+            self.position += 1
+        return token
+
+    def _check(self, kind: str, value: Optional[str] = None, offset: int = 0) -> bool:
+        token = self._peek(offset)
+        if token.kind != kind:
+            return False
+        return value is None or token.value == value
+
+    def _expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self._peek()
+        if not self._check(kind, value):
+            expected = value or kind
+            raise ParseError(
+                f"expected {expected!r} but found {token.value!r} "
+                f"at line {token.line}, column {token.column}"
+            )
+        return self._advance()
+
+    def _expect_keyword(self, word: str) -> Token:
+        return self._expect("KEYWORD", word)
+
+    def _expect_name(self) -> str:
+        token = self._peek()
+        if token.kind == "IDENT":
+            return self._advance().value
+        raise ParseError(
+            f"expected an identifier but found {token.value!r} "
+            f"at line {token.line}, column {token.column}"
+        )
+
+    def _at_keyword(self, *words: str) -> bool:
+        return self._peek().kind == "KEYWORD" and self._peek().value in words
+
+    # -- top level --------------------------------------------------------------
+
+    def parse_schema(self) -> DLSchema:
+        """Parse a whole ``DL`` source (classes, attributes, query classes)."""
+        schema = DLSchema()
+        while not self._check("EOF"):
+            if self._at_keyword("Class"):
+                schema.add_class(self.parse_class())
+            elif self._at_keyword("Attribute"):
+                schema.add_attribute(self.parse_attribute())
+            elif self._at_keyword("QueryClass"):
+                schema.add_query_class(self.parse_query_class())
+            else:
+                token = self._peek()
+                raise ParseError(
+                    f"expected a declaration but found {token.value!r} "
+                    f"at line {token.line}, column {token.column}"
+                )
+        return schema
+
+    # -- class declarations -------------------------------------------------------
+
+    def parse_class(self) -> ClassDecl:
+        self._expect_keyword("Class")
+        name = self._expect_name()
+        superclasses = self._parse_isa()
+        self._expect_keyword("with")
+
+        attributes: List[AttributeSpec] = []
+        constraint: Optional[DLConstraint] = None
+        while not self._at_keyword("end"):
+            if self._at_keyword("attribute"):
+                attributes.extend(self._parse_attribute_block())
+            elif self._at_keyword("constraint"):
+                self._advance()
+                self._expect("COLON")
+                constraint = self.parse_constraint()
+            else:
+                token = self._peek()
+                raise ParseError(
+                    f"unexpected {token.value!r} in class body at line {token.line}"
+                )
+        self._expect_keyword("end")
+        end_name = self._expect_name()
+        if end_name != name:
+            raise ParseError(f"declaration of {name!r} closed with 'end {end_name}'")
+        return ClassDecl(
+            name=name,
+            superclasses=superclasses,
+            attributes=tuple(attributes),
+            constraint=constraint,
+        )
+
+    def _parse_isa(self) -> Tuple[str, ...]:
+        if not self._at_keyword("isA"):
+            return ()
+        self._advance()
+        names = [self._expect_name()]
+        while self._check("COMMA"):
+            self._advance()
+            names.append(self._expect_name())
+        return tuple(names)
+
+    def _parse_attribute_block(self) -> List[AttributeSpec]:
+        self._expect_keyword("attribute")
+        necessary = False
+        single = False
+        while self._check("COMMA"):
+            self._advance()
+            flag = self._expect("KEYWORD")
+            if flag.value == "necessary":
+                necessary = True
+            elif flag.value == "single":
+                single = True
+            else:
+                raise ParseError(
+                    f"unknown attribute modifier {flag.value!r} at line {flag.line}"
+                )
+        specs: List[AttributeSpec] = []
+        # Attribute lines: NAME ":" NAME, until the next block / constraint / end.
+        while self._check("IDENT") and self._check("COLON", offset=1):
+            attribute = self._expect_name()
+            self._expect("COLON")
+            range_class = self._expect_name()
+            specs.append(
+                AttributeSpec(
+                    name=attribute,
+                    range_class=range_class,
+                    necessary=necessary,
+                    single=single,
+                )
+            )
+        return specs
+
+    # -- attribute declarations ------------------------------------------------------
+
+    def parse_attribute(self) -> AttributeDecl:
+        self._expect_keyword("Attribute")
+        name = self._expect_name()
+        self._expect_keyword("with")
+        domain: Optional[str] = None
+        range_: Optional[str] = None
+        inverse: Optional[str] = None
+        while not self._at_keyword("end"):
+            keyword = self._expect("KEYWORD")
+            self._expect("COLON")
+            value = self._expect_name()
+            if keyword.value == "domain":
+                domain = value
+            elif keyword.value == "range":
+                range_ = value
+            elif keyword.value == "inverse":
+                inverse = value
+            else:
+                raise ParseError(
+                    f"unexpected {keyword.value!r} in attribute declaration at line {keyword.line}"
+                )
+        self._expect_keyword("end")
+        end_name = self._expect_name()
+        if end_name != name:
+            raise ParseError(f"declaration of {name!r} closed with 'end {end_name}'")
+        if domain is None or range_ is None:
+            raise ParseError(f"attribute {name!r} must declare both a domain and a range")
+        return AttributeDecl(name=name, domain=domain, range=range_, inverse=inverse)
+
+    # -- query classes -------------------------------------------------------------------
+
+    def parse_query_class(self) -> QueryClassDecl:
+        self._expect_keyword("QueryClass")
+        name = self._expect_name()
+        superclasses = self._parse_isa()
+        self._expect_keyword("with")
+
+        derived: List[LabeledPath] = []
+        where: List[LabelEquality] = []
+        constraint: Optional[DLConstraint] = None
+        while not self._at_keyword("end"):
+            if self._at_keyword("derived"):
+                self._advance()
+                derived.extend(self._parse_derived_entries())
+            elif self._at_keyword("where"):
+                self._advance()
+                where.extend(self._parse_where_entries())
+            elif self._at_keyword("constraint"):
+                self._advance()
+                self._expect("COLON")
+                constraint = self.parse_constraint()
+            else:
+                token = self._peek()
+                raise ParseError(
+                    f"unexpected {token.value!r} in query class body at line {token.line}"
+                )
+        self._expect_keyword("end")
+        end_name = self._expect_name()
+        if end_name != name:
+            raise ParseError(f"declaration of {name!r} closed with 'end {end_name}'")
+        return QueryClassDecl(
+            name=name,
+            superclasses=superclasses,
+            derived=tuple(derived),
+            where=tuple(where),
+            constraint=constraint,
+        )
+
+    def _parse_derived_entries(self) -> List[LabeledPath]:
+        entries: List[LabeledPath] = []
+        while True:
+            if self._at_keyword("where", "constraint", "end"):
+                break
+            label: Optional[str] = None
+            # "label: path" -- an identifier followed by a colon that is NOT a
+            # parenthesized step start.
+            if self._check("IDENT") and self._check("COLON", offset=1):
+                label = self._expect_name()
+                self._expect("COLON")
+            steps = self._parse_path_steps()
+            entries.append(LabeledPath(label=label, steps=tuple(steps)))
+        return entries
+
+    def _parse_path_steps(self) -> List[PathStep]:
+        steps = [self._parse_path_step()]
+        while self._check("DOT"):
+            self._advance()
+            steps.append(self._parse_path_step())
+        return steps
+
+    def _parse_path_step(self) -> PathStep:
+        if self._check("LPAREN"):
+            self._advance()
+            attribute = self._expect_name()
+            self._expect("COLON")
+            if self._check("LBRACE"):
+                self._advance()
+                constant = self._expect_name()
+                self._expect("RBRACE")
+                self._expect("RPAREN")
+                return PathStep(attribute=attribute, filler_constant=constant)
+            filler = self._expect_name()
+            self._expect("RPAREN")
+            return PathStep(attribute=attribute, filler_class=filler)
+        attribute = self._expect_name()
+        return PathStep(attribute=attribute)
+
+    def _parse_where_entries(self) -> List[LabelEquality]:
+        entries: List[LabelEquality] = []
+        while self._check("IDENT") and self._check("EQUALS", offset=1):
+            left = self._expect_name()
+            self._expect("EQUALS")
+            right = self._expect_name()
+            entries.append(LabelEquality(left=left, right=right))
+        return entries
+
+    # -- constraint formulas ------------------------------------------------------------------
+
+    def parse_constraint(self) -> DLConstraint:
+        """Parse a constraint formula (quantifiers bind as far right as possible)."""
+        if self._at_keyword("forall", "exists"):
+            quantifier = self._advance().value
+            variable = self._expect_name()
+            self._expect("SLASH")
+            sort = self._expect_name()
+            body = self.parse_constraint()
+            return QuantifiedC(quantifier=quantifier, variable=variable, sort=sort, body=body)
+        return self._parse_disjunction()
+
+    def _parse_disjunction(self) -> DLConstraint:
+        left = self._parse_conjunction()
+        while self._at_keyword("or"):
+            self._advance()
+            right = self._parse_conjunction()
+            left = OrC(left, right)
+        return left
+
+    def _parse_conjunction(self) -> DLConstraint:
+        left = self._parse_unary()
+        while self._at_keyword("and"):
+            self._advance()
+            right = self._parse_unary()
+            left = AndC(left, right)
+        return left
+
+    def _parse_unary(self) -> DLConstraint:
+        if self._at_keyword("not"):
+            self._advance()
+            return NotC(self._parse_unary())
+        if self._check("LPAREN"):
+            return self._parse_parenthesized()
+        token = self._peek()
+        raise ParseError(
+            f"expected a constraint but found {token.value!r} at line {token.line}"
+        )
+
+    def _parse_parenthesized(self) -> DLConstraint:
+        self._expect("LPAREN")
+        # Either an atom or a nested formula.
+        if self._at_keyword("forall", "exists", "not") or self._check("LPAREN"):
+            inner = self.parse_constraint()
+            self._expect("RPAREN")
+            return inner
+        first = self._parse_term()
+        if self._at_keyword("in"):
+            self._advance()
+            class_name = self._expect_name()
+            self._expect("RPAREN")
+            return InAtom(term=first, class_name=class_name)
+        if self._check("EQUALS"):
+            self._advance()
+            second = self._parse_term()
+            self._expect("RPAREN")
+            return EqualAtom(left=first, right=second)
+        attribute = self._expect_name()
+        second = self._parse_term()
+        self._expect("RPAREN")
+        return AttrAtom(subject=first, attribute=attribute, value=second)
+
+    def _parse_term(self) -> str:
+        if self._at_keyword("this"):
+            self._advance()
+            return "this"
+        return self._expect_name()
+
+
+def parse_schema(source: str) -> DLSchema:
+    """Parse a full ``DL`` source text into a :class:`~repro.dl.ast.DLSchema`."""
+    return Parser(source).parse_schema()
+
+
+def parse_query_class(source: str) -> QueryClassDecl:
+    """Parse a single ``QueryClass`` declaration."""
+    parser = Parser(source)
+    query = parser.parse_query_class()
+    if not parser._check("EOF"):
+        token = parser._peek()
+        raise ParseError(f"trailing input after query class at line {token.line}")
+    return query

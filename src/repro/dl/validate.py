@@ -1,0 +1,271 @@
+"""Well-formedness checks for parsed ``DL`` schemas.
+
+Section 2.1 (footnote 2) notes that "a complete schema must contain a
+declaration for every class and attribute"; this module checks that and a
+few further conditions the rest of the library relies on:
+
+* every class name used (in ``isA``, attribute ranges, attribute
+  domains/ranges, constraint sorts, derived-path fillers) is declared;
+* every attribute used in a derived path or constraint atom is declared
+  either as an attribute of some class, as a standalone attribute
+  declaration, or as an inverse synonym;
+* inverse synonyms do not collide with declared attribute names (the paper
+  forbids synonyms in other schema declarations);
+* the ``isA`` hierarchy is acyclic;
+* ``where`` labels are declared in the ``derived`` clause.
+
+Issues are collected as :class:`ValidationIssue` records; callers decide
+whether warnings are acceptable (``validate_schema(..., strict=True)``
+raises on any error-level issue).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from .ast import (
+    AndC,
+    AttrAtom,
+    DLConstraint,
+    DLSchema,
+    EqualAtom,
+    InAtom,
+    NotC,
+    OrC,
+    QuantifiedC,
+    QueryClassDecl,
+)
+from .abstraction import UNIVERSAL_CLASS
+
+__all__ = ["ValidationIssue", "SchemaValidationError", "validate_schema"]
+
+
+class SchemaValidationError(ValueError):
+    """Raised in strict mode when a schema has error-level issues."""
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One problem found in a schema (``level`` is ``"error"`` or ``"warning"``)."""
+
+    level: str
+    location: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.level}] {self.location}: {self.message}"
+
+
+def _constraint_class_names(constraint: DLConstraint) -> Set[str]:
+    if isinstance(constraint, InAtom):
+        return {constraint.class_name}
+    if isinstance(constraint, (AttrAtom, EqualAtom)):
+        return set()
+    if isinstance(constraint, NotC):
+        return _constraint_class_names(constraint.operand)
+    if isinstance(constraint, (AndC, OrC)):
+        return _constraint_class_names(constraint.left) | _constraint_class_names(
+            constraint.right
+        )
+    if isinstance(constraint, QuantifiedC):
+        return {constraint.sort} | _constraint_class_names(constraint.body)
+    raise TypeError(f"not a DL constraint: {constraint!r}")
+
+
+def _constraint_attribute_names(constraint: DLConstraint) -> Set[str]:
+    if isinstance(constraint, AttrAtom):
+        return {constraint.attribute}
+    if isinstance(constraint, (InAtom, EqualAtom)):
+        return set()
+    if isinstance(constraint, NotC):
+        return _constraint_attribute_names(constraint.operand)
+    if isinstance(constraint, (AndC, OrC)):
+        return _constraint_attribute_names(constraint.left) | _constraint_attribute_names(
+            constraint.right
+        )
+    if isinstance(constraint, QuantifiedC):
+        return _constraint_attribute_names(constraint.body)
+    raise TypeError(f"not a DL constraint: {constraint!r}")
+
+
+def _known_attributes(schema: DLSchema) -> Set[str]:
+    names: Set[str] = set(schema.attributes)
+    names.update(
+        spec.name for decl in schema.classes.values() for spec in decl.attributes
+    )
+    names.update(schema.inverse_synonyms())
+    return names
+
+
+def _check_isa_cycles(schema: DLSchema, issues: List[ValidationIssue]) -> None:
+    graph: Dict[str, Tuple[str, ...]] = {
+        name: decl.superclasses for name, decl in schema.classes.items()
+    }
+
+    state: Dict[str, int] = {}
+
+    def visit(node: str, stack: List[str]) -> None:
+        state[node] = 1
+        for parent in graph.get(node, ()):
+            if state.get(parent, 0) == 1:
+                cycle = " -> ".join(stack + [node, parent])
+                issues.append(
+                    ValidationIssue("error", node, f"isA hierarchy contains a cycle: {cycle}")
+                )
+            elif state.get(parent, 0) == 0 and parent in graph:
+                visit(parent, stack + [node])
+        state[node] = 2
+
+    for name in graph:
+        if state.get(name, 0) == 0:
+            visit(name, [])
+
+
+def _check_query_class(
+    query: QueryClassDecl,
+    schema: DLSchema,
+    known_classes: Set[str],
+    known_attributes: Set[str],
+    issues: List[ValidationIssue],
+) -> None:
+    location = f"QueryClass {query.name}"
+    for superclass in query.superclasses:
+        if superclass not in known_classes and superclass not in schema.query_classes:
+            issues.append(
+                ValidationIssue("error", location, f"undeclared superclass {superclass!r}")
+            )
+    declared_labels = query.labels()
+    for equality in query.where:
+        for label in (equality.left, equality.right):
+            if label not in declared_labels:
+                issues.append(
+                    ValidationIssue(
+                        "error", location, f"where clause uses undeclared label {label!r}"
+                    )
+                )
+    label_uses: Dict[str, int] = {}
+    for equality in query.where:
+        for label in (equality.left, equality.right):
+            label_uses[label] = label_uses.get(label, 0) + 1
+    for label, count in label_uses.items():
+        if count > 1:
+            issues.append(
+                ValidationIssue(
+                    "warning",
+                    location,
+                    f"label {label!r} occurs {count} times in the where clause; the paper "
+                    "restricts labels to a single occurrence (footnote 5) but the calculus "
+                    "remains polynomial",
+                )
+            )
+    for labeled in query.derived:
+        for step in labeled.steps:
+            if step.attribute not in known_attributes:
+                issues.append(
+                    ValidationIssue(
+                        "error", location, f"undeclared attribute {step.attribute!r} in path"
+                    )
+                )
+            if (
+                step.filler_class is not None
+                and step.filler_class != UNIVERSAL_CLASS
+                and step.filler_class not in known_classes
+            ):
+                issues.append(
+                    ValidationIssue(
+                        "error",
+                        location,
+                        f"undeclared class {step.filler_class!r} used as a path filler",
+                    )
+                )
+    if query.constraint is not None:
+        for class_name in _constraint_class_names(query.constraint):
+            if class_name not in known_classes and class_name != UNIVERSAL_CLASS:
+                issues.append(
+                    ValidationIssue(
+                        "error", location, f"undeclared class {class_name!r} in constraint"
+                    )
+                )
+        for attribute in _constraint_attribute_names(query.constraint):
+            if attribute not in known_attributes:
+                issues.append(
+                    ValidationIssue(
+                        "error", location, f"undeclared attribute {attribute!r} in constraint"
+                    )
+                )
+
+
+def validate_schema(schema: DLSchema, strict: bool = False) -> List[ValidationIssue]:
+    """Check a parsed schema and return the list of issues found.
+
+    With ``strict=True`` a :class:`SchemaValidationError` is raised if any
+    error-level issue is present.
+    """
+    issues: List[ValidationIssue] = []
+    known_classes = set(schema.classes) | {UNIVERSAL_CLASS}
+    known_attributes = _known_attributes(schema)
+    synonyms = schema.inverse_synonyms()
+
+    for name, decl in schema.classes.items():
+        location = f"Class {name}"
+        for superclass in decl.superclasses:
+            if superclass not in known_classes:
+                issues.append(
+                    ValidationIssue("error", location, f"undeclared superclass {superclass!r}")
+                )
+        for spec in decl.attributes:
+            if spec.range_class not in known_classes:
+                issues.append(
+                    ValidationIssue(
+                        "error",
+                        location,
+                        f"attribute {spec.name!r} has undeclared range {spec.range_class!r}",
+                    )
+                )
+            if spec.name in synonyms:
+                issues.append(
+                    ValidationIssue(
+                        "error",
+                        location,
+                        f"attribute {spec.name!r} is also declared as an inverse synonym; "
+                        "synonyms must not occur in other schema declarations",
+                    )
+                )
+        if decl.constraint is not None:
+            for class_name in _constraint_class_names(decl.constraint):
+                if class_name not in known_classes:
+                    issues.append(
+                        ValidationIssue(
+                            "error", location, f"undeclared class {class_name!r} in constraint"
+                        )
+                    )
+
+    for name, decl in schema.attributes.items():
+        location = f"Attribute {name}"
+        for role, value in (("domain", decl.domain), ("range", decl.range)):
+            if value not in known_classes:
+                issues.append(
+                    ValidationIssue("error", location, f"undeclared {role} class {value!r}")
+                )
+        if decl.inverse is not None and decl.inverse in schema.attributes:
+            issues.append(
+                ValidationIssue(
+                    "error",
+                    location,
+                    f"inverse synonym {decl.inverse!r} collides with a declared attribute",
+                )
+            )
+
+    _check_isa_cycles(schema, issues)
+
+    for query in schema.query_classes.values():
+        _check_query_class(query, schema, known_classes, known_attributes, issues)
+
+    if strict:
+        errors = [issue for issue in issues if issue.level == "error"]
+        if errors:
+            raise SchemaValidationError(
+                "schema validation failed:\n" + "\n".join(str(issue) for issue in errors)
+            )
+    return issues

@@ -1,0 +1,81 @@
+"""Language extensions studied in Section 4.4 of the paper.
+
+* :mod:`repro.extensions.variables` -- variables on paths + skolemization,
+* :mod:`repro.extensions.ale` -- the language ``L`` (qualified ∀/∃) with a
+  complete but exponential checker,
+* :mod:`repro.extensions.disjunction` -- concept disjunction with a complete
+  DNF-based checker,
+* :mod:`repro.extensions.hardness` -- parameterized hard instance families.
+"""
+
+from .ale import (
+    DescriptionNode,
+    LAnd,
+    LConcept,
+    LExists,
+    LForall,
+    LPrimitive,
+    build_description_tree,
+    l_and,
+    l_size,
+    l_subsumes,
+    l_to_ql,
+)
+from .disjunction import (
+    DAnd,
+    DConcept,
+    DOr,
+    DPrimitive,
+    d_and,
+    d_or,
+    d_primitive,
+    d_subsumes,
+    disjunctive_normal_form,
+    dnf_size,
+)
+from .hardness import (
+    disjunction_family,
+    forall_exists_family,
+    ql_chain_family,
+    qualified_schema_family,
+)
+from .variables import (
+    VariableSingleton,
+    collect_variables,
+    concept_has_variables,
+    skolemize,
+    subsumes_with_variables,
+)
+
+__all__ = [
+    "VariableSingleton",
+    "collect_variables",
+    "concept_has_variables",
+    "skolemize",
+    "subsumes_with_variables",
+    "LConcept",
+    "LPrimitive",
+    "LAnd",
+    "LForall",
+    "LExists",
+    "l_and",
+    "l_size",
+    "l_subsumes",
+    "l_to_ql",
+    "DescriptionNode",
+    "build_description_tree",
+    "DConcept",
+    "DPrimitive",
+    "DAnd",
+    "DOr",
+    "d_primitive",
+    "d_and",
+    "d_or",
+    "disjunctive_normal_form",
+    "dnf_size",
+    "d_subsumes",
+    "forall_exists_family",
+    "qualified_schema_family",
+    "ql_chain_family",
+    "disjunction_family",
+]

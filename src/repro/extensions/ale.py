@@ -1,0 +1,280 @@
+"""The extension language ``L`` with qualified quantification (Section 4.4).
+
+Donini et al. [DHL+92] showed that the language ::
+
+    C, D  -->  A  |  C ⊓ D  |  ∀P.C  |  ∃P.C
+
+(the paper calls it ``L``; it is the description logic FL⁻E) has an NP-hard
+subsumption problem because of the *interplay of universal and existential
+quantification*: completing an existential filler with all applicable value
+restrictions can multiply out exponentially.  The paper uses this result to
+argue that neither ``SL`` nor ``QL`` may contain both constructs.
+
+This module implements
+
+* the AST of ``L`` (:class:`LConcept` and friends),
+* a *complete but worst-case exponential* subsumption checker based on the
+  description-tree homomorphism characterization (normalize the subsumee by
+  propagating value restrictions into existential fillers, then search for a
+  homomorphism from the subsumer's description tree),
+* an embedding of the ``QL``-compatible fragment (no ∀) into ``QL`` so the
+  polynomial algorithm can be run on comparable inputs.
+
+Experiment E5 measures the exponential growth of this checker on the hard
+family of :mod:`repro.extensions.hardness` against the polynomial behaviour
+of the ``QL`` calculus.  The checker itself is validated against brute-force
+model enumeration on small random instances in
+``tests/extensions/test_ale.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..concepts import builders as b
+from ..concepts.syntax import Concept
+
+__all__ = [
+    "LConcept",
+    "LPrimitive",
+    "LAnd",
+    "LForall",
+    "LExists",
+    "l_and",
+    "l_size",
+    "DescriptionNode",
+    "build_description_tree",
+    "l_subsumes",
+    "l_to_ql",
+]
+
+
+# ---------------------------------------------------------------------------
+# Syntax
+# ---------------------------------------------------------------------------
+
+
+class LConcept:
+    """Base class of concepts of the extension language ``L``."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, order=True)
+class LPrimitive(LConcept):
+    """A primitive concept ``A``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class LAnd(LConcept):
+    """Conjunction ``C ⊓ D``."""
+
+    left: LConcept
+    right: LConcept
+
+    def __str__(self) -> str:
+        return f"({self.left} AND {self.right})"
+
+
+@dataclass(frozen=True)
+class LForall(LConcept):
+    """Qualified value restriction ``∀P.C``."""
+
+    attribute: str
+    concept: LConcept
+
+    def __str__(self) -> str:
+        return f"ALL {self.attribute}.({self.concept})"
+
+
+@dataclass(frozen=True)
+class LExists(LConcept):
+    """Qualified existential quantification ``∃P.C``."""
+
+    attribute: str
+    concept: LConcept
+
+    def __str__(self) -> str:
+        return f"SOME {self.attribute}.({self.concept})"
+
+
+def l_and(*concepts: LConcept) -> LConcept:
+    """Fold concepts of ``L`` into a conjunction."""
+    concepts = tuple(concepts)
+    if not concepts:
+        raise ValueError("l_and needs at least one conjunct")
+    result = concepts[-1]
+    for concept in reversed(concepts[:-1]):
+        result = LAnd(concept, result)
+    return result
+
+
+def l_size(concept: LConcept) -> int:
+    """Number of symbols of an ``L`` concept."""
+    if isinstance(concept, LPrimitive):
+        return 1
+    if isinstance(concept, LAnd):
+        return 1 + l_size(concept.left) + l_size(concept.right)
+    if isinstance(concept, (LForall, LExists)):
+        return 2 + l_size(concept.concept)
+    raise TypeError(f"not an L concept: {concept!r}")
+
+
+def _conjuncts(concept: LConcept) -> Tuple[LConcept, ...]:
+    if isinstance(concept, LAnd):
+        return _conjuncts(concept.left) + _conjuncts(concept.right)
+    return (concept,)
+
+
+# ---------------------------------------------------------------------------
+# Description trees and the complete subsumption check
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DescriptionNode:
+    """A node of a description tree: primitive labels, ∃-successors, ∀-successors."""
+
+    primitives: Set[str]
+    exists_successors: List[Tuple[str, "DescriptionNode"]]
+    forall_successors: Dict[str, "DescriptionNode"]
+
+    @staticmethod
+    def empty() -> "DescriptionNode":
+        return DescriptionNode(set(), [], {})
+
+    def node_count(self) -> int:
+        """Total number of nodes of the (sub)tree -- the E5 blow-up measure."""
+        total = 1
+        for _, child in self.exists_successors:
+            total += child.node_count()
+        for child in self.forall_successors.values():
+            total += child.node_count()
+        return total
+
+
+def _merge_into(node: DescriptionNode, concept: LConcept) -> None:
+    """Add the constraints of ``concept`` to a description-tree node."""
+    for part in _conjuncts(concept):
+        if isinstance(part, LPrimitive):
+            node.primitives.add(part.name)
+        elif isinstance(part, LExists):
+            child = DescriptionNode.empty()
+            _merge_into(child, part.concept)
+            node.exists_successors.append((part.attribute, child))
+        elif isinstance(part, LForall):
+            child = node.forall_successors.get(part.attribute)
+            if child is None:
+                child = DescriptionNode.empty()
+                node.forall_successors[part.attribute] = child
+            _merge_into(child, part.concept)
+        else:
+            raise TypeError(f"not an L concept: {part!r}")
+
+
+def _merge_trees(target: DescriptionNode, source: DescriptionNode) -> None:
+    """Merge ``source`` into ``target`` (used when propagating ∀ into ∃ fillers)."""
+    target.primitives.update(source.primitives)
+    for attribute, child in source.exists_successors:
+        copy = DescriptionNode.empty()
+        _merge_trees(copy, child)
+        target.exists_successors.append((attribute, copy))
+    for attribute, child in source.forall_successors.items():
+        existing = target.forall_successors.get(attribute)
+        if existing is None:
+            existing = DescriptionNode.empty()
+            target.forall_successors[attribute] = existing
+        _merge_trees(existing, child)
+
+
+def _normalize(node: DescriptionNode) -> None:
+    """Propagate value restrictions onto existential successors, recursively.
+
+    After normalization, each ∃-successor for attribute ``P`` also carries
+    everything the node's ``∀P`` restriction demands; this is the step that
+    may blow up exponentially and is the source of NP-hardness (Section 4.4).
+    """
+    for attribute, child in node.exists_successors:
+        restriction = node.forall_successors.get(attribute)
+        if restriction is not None:
+            _merge_trees(child, restriction)
+    for attribute, child in node.forall_successors.items():
+        _normalize(child)
+    for _attribute, child in node.exists_successors:
+        _normalize(child)
+
+
+def build_description_tree(concept: LConcept, normalize: bool = True) -> DescriptionNode:
+    """The description tree of an ``L`` concept (normalized by default)."""
+    root = DescriptionNode.empty()
+    _merge_into(root, concept)
+    if normalize:
+        _normalize(root)
+    return root
+
+
+def _homomorphic(subsumer: DescriptionNode, subsumee: DescriptionNode) -> bool:
+    """Does the subsumer's tree map into the (normalized) subsumee's tree?
+
+    * every primitive required by the subsumer must be present,
+    * every ``∀P`` subtree of the subsumer must be implied by the subsumee's
+      ``∀P`` subtree (a model may always have extra ``P``-fillers, so only a
+      value restriction can guarantee a value restriction),
+    * every ``∃P.C`` of the subsumer must be matched by some ``∃P`` successor
+      of the subsumee whose subtree satisfies ``C``'s subtree.
+    """
+    if not subsumer.primitives <= subsumee.primitives:
+        return False
+    for attribute, required in subsumer.forall_successors.items():
+        available = subsumee.forall_successors.get(attribute)
+        if available is None or not _homomorphic(required, available):
+            return False
+    for attribute, required in subsumer.exists_successors:
+        if not any(
+            edge_attribute == attribute and _homomorphic(required, child)
+            for edge_attribute, child in subsumee.exists_successors
+        ):
+            return False
+    return True
+
+
+def l_subsumes(subsumee: LConcept, subsumer: LConcept) -> bool:
+    """Complete subsumption test ``subsumee ⊑ subsumer`` for the language ``L``.
+
+    Worst-case exponential (the normalization of the subsumee may square the
+    tree size at every nesting level of ∀/∃ alternation).
+    """
+    subsumee_tree = build_description_tree(subsumee, normalize=True)
+    subsumer_tree = build_description_tree(subsumer, normalize=False)
+    return _homomorphic(subsumer_tree, subsumee_tree)
+
+
+# ---------------------------------------------------------------------------
+# Embedding of the ∀-free fragment into QL
+# ---------------------------------------------------------------------------
+
+
+def l_to_ql(concept: LConcept) -> Concept:
+    """Translate the ∀-free fragment of ``L`` (i.e. EL) into ``QL``.
+
+    ``∃P.C`` becomes ``∃(P : C')`` where ``C'`` is the translation of ``C``;
+    concepts containing ``∀`` raise ``ValueError`` since ``QL`` deliberately
+    has no universal quantification (Proposition 4.11).
+    """
+    if isinstance(concept, LPrimitive):
+        return b.concept(concept.name)
+    if isinstance(concept, LAnd):
+        return b.conjoin(l_to_ql(concept.left), l_to_ql(concept.right))
+    if isinstance(concept, LExists):
+        return b.exists((concept.attribute, l_to_ql(concept.concept)))
+    if isinstance(concept, LForall):
+        raise ValueError(
+            "universal quantification cannot be expressed in QL (Proposition 4.11)"
+        )
+    raise TypeError(f"not an L concept: {concept!r}")

@@ -1,0 +1,131 @@
+"""Disjunction of concepts (Proposition 4.12) and a complete DNF-based checker.
+
+Extending ``QL`` with disjunction makes unsatisfiability -- and therefore
+subsumption -- co-NP-hard (Kasper & Rounds for feature structures, cited in
+the paper).  To exhibit the blow-up experimentally, this module defines a
+tiny propositional-style concept language with disjunction::
+
+    C, D  -->  A  |  C ⊓ D  |  C ⊔ D
+
+and decides subsumption *completely* by distributing to disjunctive normal
+form: ``C ⊑ D`` iff every disjunct of ``DNF(C)`` is subsumed by some
+disjunct of ``DNF(D)``, where a conjunction of primitives ``S1`` is subsumed
+by ``S2`` iff ``S2 ⊆ S1``.  (This simple criterion is sound and complete for
+the ⊓/⊔/primitive fragment, which is all experiment E5 needs; it is the
+exponential DNF size that matters.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Tuple
+
+__all__ = [
+    "DConcept",
+    "DPrimitive",
+    "DAnd",
+    "DOr",
+    "d_primitive",
+    "d_and",
+    "d_or",
+    "disjunctive_normal_form",
+    "d_subsumes",
+    "dnf_size",
+]
+
+
+class DConcept:
+    """Base class of the disjunctive extension language."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, order=True)
+class DPrimitive(DConcept):
+    """A primitive concept."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class DAnd(DConcept):
+    """Conjunction."""
+
+    left: DConcept
+    right: DConcept
+
+    def __str__(self) -> str:
+        return f"({self.left} AND {self.right})"
+
+
+@dataclass(frozen=True)
+class DOr(DConcept):
+    """Disjunction (the extension construct of Proposition 4.12)."""
+
+    left: DConcept
+    right: DConcept
+
+    def __str__(self) -> str:
+        return f"({self.left} OR {self.right})"
+
+
+def d_primitive(name: str) -> DPrimitive:
+    return DPrimitive(name)
+
+
+def d_and(*concepts: DConcept) -> DConcept:
+    concepts = tuple(concepts)
+    if not concepts:
+        raise ValueError("d_and needs at least one conjunct")
+    result = concepts[-1]
+    for concept in reversed(concepts[:-1]):
+        result = DAnd(concept, result)
+    return result
+
+
+def d_or(*concepts: DConcept) -> DConcept:
+    concepts = tuple(concepts)
+    if not concepts:
+        raise ValueError("d_or needs at least one disjunct")
+    result = concepts[-1]
+    for concept in reversed(concepts[:-1]):
+        result = DOr(concept, result)
+    return result
+
+
+def disjunctive_normal_form(concept: DConcept) -> Tuple[FrozenSet[str], ...]:
+    """The DNF as a tuple of disjuncts, each a set of primitive names.
+
+    The distribution of ⊓ over ⊔ is the exponential step: a conjunction of
+    ``n`` binary disjunctions yields ``2^n`` disjuncts.
+    """
+    if isinstance(concept, DPrimitive):
+        return (frozenset({concept.name}),)
+    if isinstance(concept, DOr):
+        return disjunctive_normal_form(concept.left) + disjunctive_normal_form(concept.right)
+    if isinstance(concept, DAnd):
+        left = disjunctive_normal_form(concept.left)
+        right = disjunctive_normal_form(concept.right)
+        return tuple(l | r for l in left for r in right)
+    raise TypeError(f"not a D concept: {concept!r}")
+
+
+def dnf_size(concept: DConcept) -> int:
+    """Number of disjuncts of the DNF (the blow-up measure of experiment E5)."""
+    return len(disjunctive_normal_form(concept))
+
+
+def d_subsumes(subsumee: DConcept, subsumer: DConcept) -> bool:
+    """Complete subsumption for the ⊓/⊔ fragment via DNF comparison.
+
+    ``C ⊑ D`` iff every disjunct of ``DNF(C)`` contains (as a superset of
+    primitives) some disjunct of ``DNF(D)``.
+    """
+    subsumee_dnf = disjunctive_normal_form(subsumee)
+    subsumer_dnf = disjunctive_normal_form(subsumer)
+    return all(
+        any(required <= disjunct for required in subsumer_dnf) for disjunct in subsumee_dnf
+    )

@@ -1,0 +1,121 @@
+"""Hard instance families for the language extensions of Section 4.4.
+
+The paper's Propositions 4.10--4.13 show that natural extensions of ``SL`` /
+``QL`` make subsumption (co-)NP-hard.  For the reproduction we need concrete
+*parameterized families* of instances on which the complete checkers for the
+extended languages exhibit their exponential behaviour while the polynomial
+``QL`` calculus keeps scaling politely on comparable restricted inputs
+(experiment E5).
+
+Three families are provided:
+
+* :func:`forall_exists_family` -- the ∀/∃ interplay of Donini et al.
+  [DHL+92]: ``n`` levels of alternation force the normalization of the
+  subsumee description tree to grow exponentially (the paper's intuition:
+  "for every fact s:A we have to create two P-values ... the process may
+  have to be iterated ... we may end up with exponentially many facts").
+* :func:`qualified_schema_family` -- the same phenomenon expressed as a
+  schema extension ``A ⊑ ∃P.A'`` (Proposition 4.10, case 1), encoded in
+  ``L`` by unfolding the axioms ``k`` times.
+* :func:`disjunction_family` -- concepts whose disjunctive normal form has
+  exponentially many disjuncts (Proposition 4.12); used by the DNF-based
+  checker of :mod:`repro.extensions.disjunction`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..concepts import builders as b
+from ..concepts.syntax import Concept
+from .ale import LAnd, LConcept, LExists, LForall, LPrimitive, l_and
+from .disjunction import DConcept, DOr, d_and, d_primitive
+
+__all__ = [
+    "forall_exists_family",
+    "qualified_schema_family",
+    "ql_chain_family",
+    "disjunction_family",
+]
+
+
+def forall_exists_family(depth: int) -> Tuple[LConcept, LConcept]:
+    """A subsumption instance of ``L`` whose normalization doubles ``depth`` times.
+
+    The subsumee interleaves, at every level, two existential successors with
+    a value restriction that itself contains the next level::
+
+        C_0 = A ⊓ B
+        C_{i+1} = ∃P.A ⊓ ∃P.B ⊓ ∀P.C_i
+
+    The subsumer asks for the chain ``∃P.∃P. ... ∃P.(A ⊓ B)`` of length
+    ``depth``.  The subsumption holds (every explicit P-filler inherits the
+    value restriction), but a complete checker must propagate ``C_i`` into
+    *both* existential successors at every level -- the doubling that makes
+    the problem hard.
+    """
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    a, bee = LPrimitive("A"), LPrimitive("B")
+    subsumee: LConcept = LAnd(a, bee)
+    for _ in range(depth):
+        subsumee = l_and(LExists("P", a), LExists("P", bee), LForall("P", subsumee))
+
+    subsumer: LConcept = LAnd(a, bee)
+    for _ in range(depth):
+        subsumer = LExists("P", subsumer)
+    return subsumee, subsumer
+
+
+def qualified_schema_family(depth: int) -> Tuple[LConcept, LConcept]:
+    """Proposition 4.10 (case 1): qualified existentials in the schema.
+
+    The schema axioms ``A ⊑ ∃P.A'`` and ``A ⊑ ∃P.A''`` with
+    ``A', A'' ⊑ ... `` force, after ``depth`` unfoldings, an exponential
+    number of distinguishable fillers.  Schemas cannot be passed to the ``L``
+    checker directly, so the axioms are unfolded into the concept (standard
+    acyclic-TBox expansion), which is where the exponential size shows up.
+    """
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    leaf = LAnd(LPrimitive("A"), LPrimitive("B"))
+    subsumee: LConcept = leaf
+    for _ in range(depth):
+        subsumee = l_and(
+            LExists("P", LAnd(LPrimitive("A"), subsumee)),
+            LExists("P", LAnd(LPrimitive("B"), subsumee)),
+        )
+    subsumer: LConcept = LPrimitive("A")
+    for _ in range(depth):
+        subsumer = LExists("P", subsumer)
+    return subsumee, subsumer
+
+
+def ql_chain_family(depth: int) -> Tuple[Concept, Concept]:
+    """The comparable (∀-free) instance expressed in plain ``QL``.
+
+    A chain query ``∃(P:A⊓B)(P:A⊓B)...`` of length ``depth`` against the view
+    chain ``∃(P:A)(P:A)...``; the polynomial calculus decides it in time
+    polynomial in ``depth``, which is the contrast curve of experiment E5.
+    """
+    filler = b.conjoin(b.concept("A"), b.concept("B"))
+    query = b.exists(*[("P", filler) for _ in range(max(depth, 1))])
+    view = b.exists(*[("P", b.concept("A")) for _ in range(max(depth, 1))])
+    return query, view
+
+
+def disjunction_family(width: int) -> Tuple[DConcept, DConcept]:
+    """Proposition 4.12: a conjunction of ``width`` disjunctions.
+
+    ``(A_1 ⊔ B_1) ⊓ ... ⊓ (A_n ⊔ B_n)`` has ``2^n`` disjuncts in DNF; testing
+    it against the subsumer ``A_1 ⊔ B_1`` forces the DNF-based complete
+    checker to enumerate them.
+    """
+    if width < 1:
+        raise ValueError("width must be positive")
+    conjuncts = [
+        DOr(d_primitive(f"A{i}"), d_primitive(f"B{i}")) for i in range(1, width + 1)
+    ]
+    subsumee = d_and(*conjuncts)
+    subsumer = DOr(d_primitive("A1"), d_primitive("B1"))
+    return subsumee, subsumer

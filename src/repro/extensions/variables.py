@@ -1,0 +1,152 @@
+"""Variables on paths and the skolemization trick (Section 4.4, first case).
+
+Some object-oriented query languages allow arbitrary coreferences between
+path positions through *variables* (e.g. XSQL, discussed in Section 5).  The
+paper shows:
+
+* adding variable singletons ``{x}`` to ``QL`` gives the full power of
+  conjunctive queries over unary/binary predicates, whose subsumption
+  problem is NP-hard [CM93];
+* **but** if variables occur only in the *query* ``C`` (not in the view
+  ``D``), the problem ``C ⊑_Σ D`` is logically equivalent to ``C' ⊑_Σ D``
+  where ``C'`` replaces each variable by a fresh constant (skolemization),
+  and ``C'`` is an ordinary ``QL`` concept that the polynomial calculus
+  handles soundly and completely.
+
+This module implements the extended syntax (:class:`VariableSingleton`), the
+skolemization, and the guarded decision procedure
+(:func:`subsumes_with_variables`), which refuses views containing variables.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
+
+from ..calculus.subsume import decide_subsumption
+from ..concepts.schema import Schema
+from ..concepts.syntax import (
+    And,
+    AttributeRestriction,
+    Concept,
+    ExistsPath,
+    Path,
+    PathAgreement,
+    Singleton,
+)
+from ..core.errors import UnsupportedQueryError
+
+__all__ = [
+    "VariableSingleton",
+    "concept_has_variables",
+    "collect_variables",
+    "skolemize",
+    "subsumes_with_variables",
+]
+
+
+@dataclass(frozen=True, order=True)
+class VariableSingleton(Concept):
+    """The concept ``{x}`` for a *variable* ``x`` (implicitly existentially quantified).
+
+    Two occurrences of the same variable force the corresponding path
+    positions to be the same object (a coreference), which ordinary ``QL``
+    singletons -- that denote fixed constants -- cannot express.
+    """
+
+    variable: str
+
+    def __str__(self) -> str:
+        return "{?" + self.variable + "}"
+
+
+def _walk_paths(path: Path, transform) -> Path:
+    return Path(
+        tuple(
+            AttributeRestriction(step.attribute, _transform_concept(step.concept, transform))
+            for step in path
+        )
+    )
+
+
+def _transform_concept(concept: Concept, transform) -> Concept:
+    if isinstance(concept, And):
+        rebuilt: Concept = And(
+            _transform_concept(concept.left, transform),
+            _transform_concept(concept.right, transform),
+        )
+    elif isinstance(concept, ExistsPath):
+        rebuilt = ExistsPath(_walk_paths(concept.path, transform))
+    elif isinstance(concept, PathAgreement):
+        rebuilt = PathAgreement(
+            _walk_paths(concept.left, transform), _walk_paths(concept.right, transform)
+        )
+    else:
+        rebuilt = concept
+    return transform(rebuilt)
+
+
+def collect_variables(concept: Concept) -> Set[str]:
+    """The variable names occurring in ``VariableSingleton`` sub-concepts."""
+    found: Set[str] = set()
+
+    def record(node: Concept) -> Concept:
+        if isinstance(node, VariableSingleton):
+            found.add(node.variable)
+        return node
+
+    _transform_concept(concept, record)
+    return found
+
+
+def concept_has_variables(concept: Concept) -> bool:
+    """``True`` iff the concept uses the variables-on-paths extension."""
+    return bool(collect_variables(concept))
+
+
+def skolemize(concept: Concept, prefix: str = "__skolem_") -> Tuple[Concept, Dict[str, str]]:
+    """Replace every variable by a fresh constant (existential skolemization).
+
+    Returns the rewritten concept and the mapping from variable names to the
+    skolem constant names.  The transformation preserves the subsumption
+    problem ``C ⊑_Σ D`` when ``D`` contains no variables (Section 4.4):
+    existentially quantified variables on the left of an entailment can be
+    replaced by fresh constants.
+    """
+    mapping: Dict[str, str] = {}
+    counter = itertools.count(1)
+
+    def rename(node: Concept) -> Concept:
+        if isinstance(node, VariableSingleton):
+            if node.variable not in mapping:
+                mapping[node.variable] = f"{prefix}{next(counter)}_{node.variable}"
+            return Singleton(mapping[node.variable])
+        return node
+
+    return _transform_concept(concept, rename), dict(mapping)
+
+
+def subsumes_with_variables(
+    query: Concept,
+    view: Concept,
+    schema: Optional[Schema] = None,
+    *,
+    use_repair_rule: bool = True,
+) -> bool:
+    """Decide ``query ⊑_Σ view`` for queries that may contain variables.
+
+    Variables in the *view* are rejected (the problem becomes NP-hard and
+    the skolemization argument no longer applies); variables in the *query*
+    are skolemized away and the ordinary polynomial procedure is used, which
+    remains sound and complete (Section 4.4).
+    """
+    if concept_has_variables(view):
+        raise UnsupportedQueryError(
+            "the view concept contains path variables; subsumption with variables in "
+            "the subsumer is NP-hard and outside the supported language"
+        )
+    skolemized, _mapping = skolemize(query)
+    return decide_subsumption(
+        skolemized, view, schema, use_repair_rule=use_repair_rule, keep_trace=False
+    ).subsumed

@@ -1,0 +1,136 @@
+"""Evaluation of first-order formulas over finite interpretations.
+
+The evaluator interprets the formulas of :mod:`repro.fol.syntax` over the
+finite structures of :mod:`repro.semantics.interpretation` (unary predicates
+are primitive concepts, binary predicates are primitive attributes, constants
+denote themselves under the Unique Name Assumption).
+
+It is used to check, by property testing, that the transformational
+semantics of Table 1 (column 2) agrees with the set semantics (column 3),
+and to evaluate the non-structural constraint parts of ``DL`` queries over
+database states.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from ..semantics.interpretation import Interpretation
+from .syntax import (
+    AndF,
+    BinaryAtom,
+    Const,
+    Equals,
+    Exists,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    OrF,
+    Term,
+    TrueFormula,
+    UnaryAtom,
+    Var,
+)
+
+__all__ = ["EvaluationError", "evaluate", "satisfying_assignments"]
+
+
+class EvaluationError(ValueError):
+    """Raised when a formula cannot be evaluated (e.g. an unbound free variable)."""
+
+
+def _term_value(term: Term, interpretation: Interpretation, assignment: Mapping[Var, object]):
+    if isinstance(term, Const):
+        return interpretation.constant_value(term.name)
+    if isinstance(term, Var):
+        try:
+            return assignment[term]
+        except KeyError as exc:
+            raise EvaluationError(f"unbound variable {term}") from exc
+    raise TypeError(f"not a term: {term!r}")
+
+
+def evaluate(
+    formula: Formula,
+    interpretation: Interpretation,
+    assignment: Optional[Mapping[Var, object]] = None,
+) -> bool:
+    """Truth value of ``formula`` in ``interpretation`` under ``assignment``.
+
+    Sorted quantifiers (``∃x/Class``, ``∀x/Class``) range over the extension
+    of the sort; unsorted quantifiers range over the whole domain.
+    """
+    assignment = dict(assignment or {})
+
+    if isinstance(formula, TrueFormula):
+        return True
+    if isinstance(formula, UnaryAtom):
+        value = _term_value(formula.term, interpretation, assignment)
+        return value in interpretation.concept_extension(formula.predicate)
+    if isinstance(formula, BinaryAtom):
+        first = _term_value(formula.first, interpretation, assignment)
+        second = _term_value(formula.second, interpretation, assignment)
+        return (first, second) in interpretation.attribute_extension(formula.predicate)
+    if isinstance(formula, Equals):
+        first = _term_value(formula.first, interpretation, assignment)
+        second = _term_value(formula.second, interpretation, assignment)
+        return first == second
+    if isinstance(formula, Not):
+        return not evaluate(formula.operand, interpretation, assignment)
+    if isinstance(formula, AndF):
+        return evaluate(formula.left, interpretation, assignment) and evaluate(
+            formula.right, interpretation, assignment
+        )
+    if isinstance(formula, OrF):
+        return evaluate(formula.left, interpretation, assignment) or evaluate(
+            formula.right, interpretation, assignment
+        )
+    if isinstance(formula, Implies):
+        return (not evaluate(formula.left, interpretation, assignment)) or evaluate(
+            formula.right, interpretation, assignment
+        )
+    if isinstance(formula, Exists):
+        candidates = (
+            interpretation.concept_extension(formula.sort)
+            if formula.sort is not None
+            else interpretation.domain
+        )
+        for value in candidates:
+            assignment[formula.variable] = value
+            if evaluate(formula.body, interpretation, assignment):
+                del assignment[formula.variable]
+                return True
+        assignment.pop(formula.variable, None)
+        return False
+    if isinstance(formula, Forall):
+        candidates = (
+            interpretation.concept_extension(formula.sort)
+            if formula.sort is not None
+            else interpretation.domain
+        )
+        for value in candidates:
+            assignment[formula.variable] = value
+            if not evaluate(formula.body, interpretation, assignment):
+                del assignment[formula.variable]
+                return False
+        assignment.pop(formula.variable, None)
+        return True
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def satisfying_assignments(
+    formula: Formula,
+    free_variable: Var,
+    interpretation: Interpretation,
+) -> frozenset:
+    """The domain elements ``d`` such that ``formula[free_variable := d]`` holds.
+
+    This is how a query formula with one free variable (Figure 4 of the
+    paper) denotes its answer set.
+    """
+    return frozenset(
+        value
+        for value in interpretation.domain
+        if evaluate(formula, interpretation, {free_variable: value})
+    )

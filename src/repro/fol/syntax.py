@@ -1,0 +1,259 @@
+"""A small first-order logic substrate (unary/binary predicates, equality).
+
+The paper gives the semantics of both the concrete language ``DL``
+(Figures 2 and 4) and the abstract languages ``SL``/``QL`` (Table 1,
+column 2) by translation into first-order formulas over unary predicates
+(class / concept names), binary predicates (attribute names) and constants.
+This module provides the formula AST used by those translations and by the
+finite-model evaluator in :mod:`repro.fol.evaluate`.
+
+Only the fragment actually needed is implemented: terms are variables or
+constants; atoms are unary, binary or equational; formulas are closed under
+negation, conjunction, disjunction, implication and (restricted)
+quantification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, Optional, Set, Tuple, Union
+
+__all__ = [
+    "Term",
+    "Var",
+    "Const",
+    "Formula",
+    "UnaryAtom",
+    "BinaryAtom",
+    "Equals",
+    "TrueFormula",
+    "Not",
+    "AndF",
+    "OrF",
+    "Implies",
+    "Exists",
+    "Forall",
+    "conjunction",
+    "disjunction",
+    "free_variables",
+]
+
+
+# ---------------------------------------------------------------------------
+# Terms
+# ---------------------------------------------------------------------------
+
+
+class Term:
+    """Base class of first-order terms (the language is function-free)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, order=True)
+class Var(Term):
+    """A first-order variable."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, order=True)
+class Const(Term):
+    """A constant symbol (interpreted under the Unique Name Assumption)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+# ---------------------------------------------------------------------------
+# Formulas
+# ---------------------------------------------------------------------------
+
+
+class Formula:
+    """Base class of first-order formulas."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return AndF(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return OrF(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class TrueFormula(Formula):
+    """The formula ``true``."""
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class UnaryAtom(Formula):
+    """An atom ``A(t)`` for a class / concept name ``A``."""
+
+    predicate: str
+    term: Term
+
+    def __str__(self) -> str:
+        return f"{self.predicate}({self.term})"
+
+
+@dataclass(frozen=True)
+class BinaryAtom(Formula):
+    """An atom ``P(s, t)`` for an attribute name ``P``."""
+
+    predicate: str
+    first: Term
+    second: Term
+
+    def __str__(self) -> str:
+        return f"{self.predicate}({self.first}, {self.second})"
+
+
+@dataclass(frozen=True)
+class Equals(Formula):
+    """The equality atom ``s = t``."""
+
+    first: Term
+    second: Term
+
+    def __str__(self) -> str:
+        return f"{self.first} = {self.second}"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation."""
+
+    operand: Formula
+
+    def __str__(self) -> str:
+        return f"not ({self.operand})"
+
+
+@dataclass(frozen=True)
+class AndF(Formula):
+    """Binary conjunction."""
+
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} and {self.right})"
+
+
+@dataclass(frozen=True)
+class OrF(Formula):
+    """Binary disjunction."""
+
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} or {self.right})"
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    """Implication."""
+
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} -> {self.right})"
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    """Existential quantification, optionally sorted: ``∃x/Class. φ``."""
+
+    variable: Var
+    body: Formula
+    sort: Optional[str] = None
+
+    def __str__(self) -> str:
+        sort = f"/{self.sort}" if self.sort else ""
+        return f"exists {self.variable}{sort}. ({self.body})"
+
+
+@dataclass(frozen=True)
+class Forall(Formula):
+    """Universal quantification, optionally sorted: ``∀x/Class. φ``."""
+
+    variable: Var
+    body: Formula
+    sort: Optional[str] = None
+
+    def __str__(self) -> str:
+        sort = f"/{self.sort}" if self.sort else ""
+        return f"forall {self.variable}{sort}. ({self.body})"
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def conjunction(formulas) -> Formula:
+    """Right-fold formulas into a conjunction (``true`` when empty)."""
+    formulas = list(formulas)
+    if not formulas:
+        return TrueFormula()
+    result = formulas[-1]
+    for formula in reversed(formulas[:-1]):
+        result = AndF(formula, result)
+    return result
+
+
+def disjunction(formulas) -> Formula:
+    """Right-fold formulas into a disjunction (``not true`` when empty)."""
+    formulas = list(formulas)
+    if not formulas:
+        return Not(TrueFormula())
+    result = formulas[-1]
+    for formula in reversed(formulas[:-1]):
+        result = OrF(formula, result)
+    return result
+
+
+def free_variables(formula: Formula) -> FrozenSet[Var]:
+    """The free variables of a formula."""
+
+    def walk(node: Formula, bound: Set[Var]) -> Set[Var]:
+        if isinstance(node, TrueFormula):
+            return set()
+        if isinstance(node, UnaryAtom):
+            return {node.term} - bound if isinstance(node.term, Var) else set()
+        if isinstance(node, BinaryAtom):
+            found = set()
+            for term in (node.first, node.second):
+                if isinstance(term, Var) and term not in bound:
+                    found.add(term)
+            return found
+        if isinstance(node, Equals):
+            found = set()
+            for term in (node.first, node.second):
+                if isinstance(term, Var) and term not in bound:
+                    found.add(term)
+            return found
+        if isinstance(node, Not):
+            return walk(node.operand, bound)
+        if isinstance(node, (AndF, OrF, Implies)):
+            return walk(node.left, bound) | walk(node.right, bound)
+        if isinstance(node, (Exists, Forall)):
+            return walk(node.body, bound | {node.variable})
+        raise TypeError(f"not a formula: {node!r}")
+
+    return frozenset(walk(formula, set()))

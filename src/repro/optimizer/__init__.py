@@ -1,0 +1,13 @@
+"""The subsumption-based semantic query optimizer."""
+
+from .optimizer import OptimizationOutcome, OptimizerStatistics, SemanticQueryOptimizer
+from .plans import FullScanPlan, QueryPlan, ViewFilterPlan
+
+__all__ = [
+    "SemanticQueryOptimizer",
+    "OptimizerStatistics",
+    "OptimizationOutcome",
+    "QueryPlan",
+    "FullScanPlan",
+    "ViewFilterPlan",
+]

@@ -1,0 +1,66 @@
+"""Query evaluation plans produced by the semantic query optimizer.
+
+The paper's optimizer "modifies the query evaluation plans by adding access
+operations to the stored extensions of subsuming views, thus restricting the
+search space" (Section 3.2).  Two plan shapes are enough to express this:
+
+* :class:`FullScanPlan` -- the conventional plan: evaluate the query over
+  all stored objects (optionally narrowed to the extent of a declared
+  superclass, which is what a conventional OODB compiler would already do);
+* :class:`ViewFilterPlan` -- the semantically optimized plan: evaluate the
+  query only over the stored extension of a subsuming materialized view.
+
+Both plans return exactly the same answer set (Proposition 3.1); they differ
+only in the number of candidate objects examined, which is what the E7
+benchmark measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from ..dl.ast import QueryClassDecl
+from ..database.views import MaterializedView
+
+__all__ = ["QueryPlan", "FullScanPlan", "ViewFilterPlan"]
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """Base class of query evaluation plans."""
+
+    query: QueryClassDecl
+
+    @property
+    def description(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FullScanPlan(QueryPlan):
+    """Evaluate the query against every stored object (or a superclass extent).
+
+    ``anchor_class`` is the most specific declared superclass of the query,
+    if any; a conventional optimizer restricts the scan to its extent.
+    """
+
+    anchor_class: Optional[str] = None
+
+    @property
+    def description(self) -> str:
+        scope = f"extent of class {self.anchor_class}" if self.anchor_class else "all objects"
+        return f"full scan over {scope}"
+
+
+@dataclass(frozen=True)
+class ViewFilterPlan(QueryPlan):
+    """Evaluate the query only against the stored extension of a subsuming view."""
+
+    view: MaterializedView = None
+    alternatives: Tuple[str, ...] = ()
+
+    @property
+    def description(self) -> str:
+        extra = f" (other subsuming views: {', '.join(self.alternatives)})" if self.alternatives else ""
+        return f"filter the materialized view {self.view.name!r}{extra}"

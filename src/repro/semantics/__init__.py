@@ -1,0 +1,48 @@
+"""Set semantics of ``SL`` and ``QL`` (Table 1 of the paper).
+
+* :mod:`repro.semantics.interpretation` -- finite interpretations,
+* :mod:`repro.semantics.evaluate` -- extensions of concepts, paths, attributes,
+* :mod:`repro.semantics.sigma` -- Σ-interpretations and subsumption on models,
+* :mod:`repro.semantics.canonical` -- the canonical interpretation ``I_F``,
+* :mod:`repro.semantics.enumerate_models` -- exhaustive small-model enumeration.
+"""
+
+from .canonical import UNIVERSAL_FILLER, canonical_interpretation, element_for
+from .enumerate_models import enumerate_interpretations, enumerate_sigma_interpretations
+from .evaluate import (
+    attribute_denotation,
+    concept_extension,
+    is_instance,
+    path_denotation,
+    restriction_denotation,
+    sl_concept_extension,
+)
+from .interpretation import Interpretation, InterpretationError
+from .sigma import (
+    counterexample_elements,
+    extension_contained,
+    is_sigma_interpretation,
+    satisfies_axiom,
+    violated_axioms,
+)
+
+__all__ = [
+    "Interpretation",
+    "InterpretationError",
+    "attribute_denotation",
+    "restriction_denotation",
+    "path_denotation",
+    "concept_extension",
+    "sl_concept_extension",
+    "is_instance",
+    "satisfies_axiom",
+    "violated_axioms",
+    "is_sigma_interpretation",
+    "extension_contained",
+    "counterexample_elements",
+    "canonical_interpretation",
+    "element_for",
+    "UNIVERSAL_FILLER",
+    "enumerate_interpretations",
+    "enumerate_sigma_interpretations",
+]

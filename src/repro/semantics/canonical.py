@@ -1,0 +1,147 @@
+"""The canonical interpretation of a constraint system (Section 4.2).
+
+From a clash-free, complete set of facts ``F`` the paper constructs the
+*canonical interpretation* ``I_F``:
+
+* the domain consists of the individuals of ``F``, all constants, and one
+  extra element ``u``;
+* every constant denotes itself;
+* ``A^I = {s | s:A ∈ F} ∪ {u}`` for every primitive concept ``A``;
+* ``P^I = {(s,t) | sPt ∈ F} ∪ {(u,u)} ∪ {(s,u) | no sPt ∈ F, but s:A ∈ F
+  for some A with A ⊑ ∃P ∈ Σ}``.
+
+The special element ``u`` compensates for necessary attributes whose fillers
+were never materialized by rule S5 (which is goal-directed).  Proposition 4.5
+states that ``I_F`` is a Σ-model of ``F``; Proposition 4.6 is the key to
+completeness: every goal concept satisfied by ``I_F`` is already a fact.
+
+When the subsumption test fails, ``I_F`` is the countermodel: the root
+object is an instance of the query concept but not of the view concept.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from ..concepts.schema import Schema
+from ..concepts.syntax import Primitive
+from ..calculus.constraints import (
+    AttributeConstraint,
+    Constant,
+    Constraint,
+    Individual,
+    MembershipConstraint,
+    Variable,
+)
+from .interpretation import Interpretation
+
+__all__ = ["UNIVERSAL_FILLER", "element_for", "canonical_interpretation"]
+
+#: The name of the extra domain element ``u`` of the canonical interpretation.
+UNIVERSAL_FILLER = "__u__"
+
+
+def element_for(individual: Individual) -> str:
+    """The domain element representing an individual of the constraint system.
+
+    Constants map to their own name (so the constant denotes itself, as the
+    Unique Name Assumption requires); variables are prefixed to avoid
+    accidental collision with constant names.
+    """
+    if individual.is_variable:
+        return f"?{individual.name}"
+    return individual.name
+
+
+def canonical_interpretation(
+    facts: Iterable[Constraint],
+    schema: Schema,
+    extra_constants: Iterable[str] = (),
+    extra_concepts: Iterable[str] = (),
+    extra_attributes: Iterable[str] = (),
+) -> Interpretation:
+    """Build the canonical interpretation ``I_F`` of a set of facts.
+
+    ``extra_constants``, ``extra_concepts`` and ``extra_attributes`` let the
+    caller enlarge the vocabulary (e.g. with names that occur only in the
+    view concept ``D`` or in the schema), so that the resulting structure
+    interprets every symbol relevant to an evaluation.
+    """
+    facts = list(facts)
+
+    individuals: Set[Individual] = set()
+    for constraint in facts:
+        individuals.update(constraint.individuals())
+
+    constants: Set[str] = {ind.name for ind in individuals if not ind.is_variable}
+    constants.update(extra_constants)
+
+    domain: Set[str] = {element_for(ind) for ind in individuals}
+    domain.update(constants)
+    domain.add(UNIVERSAL_FILLER)
+
+    concept_names: Set[str] = set(extra_concepts) | set(schema.concept_names())
+    attribute_names: Set[str] = set(extra_attributes) | set(schema.attribute_names())
+
+    concept_extensions: Dict[str, Set[str]] = {}
+    attribute_extensions: Dict[str, Set[Tuple[str, str]]] = {}
+
+    for constraint in facts:
+        if isinstance(constraint, MembershipConstraint) and isinstance(
+            constraint.concept, Primitive
+        ):
+            concept_names.add(constraint.concept.name)
+            concept_extensions.setdefault(constraint.concept.name, set()).add(
+                element_for(constraint.subject)
+            )
+        elif isinstance(constraint, AttributeConstraint):
+            name = constraint.attribute.primitive_name
+            attribute_names.add(name)
+            if constraint.attribute.inverted:
+                pair = (element_for(constraint.filler), element_for(constraint.subject))
+            else:
+                pair = (element_for(constraint.subject), element_for(constraint.filler))
+            attribute_extensions.setdefault(name, set()).add(pair)
+
+    # u belongs to every primitive concept.
+    for name in concept_names:
+        concept_extensions.setdefault(name, set()).add(UNIVERSAL_FILLER)
+
+    # (u, u) belongs to every primitive attribute; individuals whose necessary
+    # attribute has no explicit filler get the implicit filler u.
+    for name in attribute_names:
+        pairs = attribute_extensions.setdefault(name, set())
+        pairs.add((UNIVERSAL_FILLER, UNIVERSAL_FILLER))
+
+    memberships: Dict[Individual, Set[str]] = {}
+    for constraint in facts:
+        if isinstance(constraint, MembershipConstraint) and isinstance(
+            constraint.concept, Primitive
+        ):
+            memberships.setdefault(constraint.subject, set()).add(constraint.concept.name)
+
+    explicit_fillers: Dict[Tuple[Individual, str], bool] = {}
+    for constraint in facts:
+        if isinstance(constraint, AttributeConstraint) and not constraint.attribute.inverted:
+            explicit_fillers[(constraint.subject, constraint.attribute.name)] = True
+        elif isinstance(constraint, AttributeConstraint) and constraint.attribute.inverted:
+            explicit_fillers[(constraint.filler, constraint.attribute.name)] = True
+
+    for individual, classes in memberships.items():
+        for class_name in classes:
+            for attribute in schema.necessary_attributes(class_name):
+                if explicit_fillers.get((individual, attribute)):
+                    continue
+                attribute_names.add(attribute)
+                attribute_extensions.setdefault(attribute, set()).add(
+                    (element_for(individual), UNIVERSAL_FILLER)
+                )
+
+    constant_map = {name: name for name in constants}
+
+    return Interpretation(
+        domain=domain,
+        concepts=concept_extensions,
+        attributes=attribute_extensions,
+        constants=constant_map,
+    )

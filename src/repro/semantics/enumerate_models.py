@@ -1,0 +1,102 @@
+"""Exhaustive enumeration of small interpretations.
+
+The calculus of Section 4 is proven sound and complete in the paper; the
+reproduction cross-checks the implementation against model theory:
+
+* *soundness check*: if the calculus reports ``C ⊑_Σ D`` then no enumerated
+  Σ-interpretation may contain an object in ``C^I \\ D^I``;
+* *agreement check* (on very small vocabularies): the calculus and the
+  brute-force decision over all interpretations up to a fixed domain size
+  agree whenever the brute-force search finds a counterexample.
+
+Enumerating every interpretation is exponential, so the enumerator is only
+meant for tiny vocabularies (a couple of concept/attribute names, domains of
+one to three elements); callers cap the number of structures explicitly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..concepts.schema import Schema
+from .interpretation import Interpretation
+from .sigma import is_sigma_interpretation
+
+__all__ = ["enumerate_interpretations", "enumerate_sigma_interpretations"]
+
+
+def _subsets(elements: Sequence) -> Iterator[Tuple]:
+    """All subsets of ``elements`` (as tuples), smallest first."""
+    for size in range(len(elements) + 1):
+        yield from itertools.combinations(elements, size)
+
+
+def enumerate_interpretations(
+    concept_names: Iterable[str],
+    attribute_names: Iterable[str],
+    constant_names: Iterable[str] = (),
+    domain_size: int = 2,
+    limit: Optional[int] = None,
+) -> Iterator[Interpretation]:
+    """Yield every interpretation over the given vocabulary and domain size.
+
+    The domain is ``{"d0", ..., "d{n-1}"}``.  Constants are injectively mapped
+    into the domain in every possible way (Unique Name Assumption); if there
+    are more constants than domain elements nothing is yielded.
+
+    ``limit``, when given, caps the number of yielded interpretations; the
+    caller is responsible for choosing vocabulary sizes for which the cap is
+    meaningful.
+    """
+    concept_names = sorted(set(concept_names))
+    attribute_names = sorted(set(attribute_names))
+    constant_names = sorted(set(constant_names))
+    domain = tuple(f"d{i}" for i in range(domain_size))
+    if len(constant_names) > len(domain):
+        return
+
+    pairs = tuple(itertools.product(domain, domain))
+    produced = 0
+
+    concept_choices = [list(_subsets(domain)) for _ in concept_names]
+    attribute_choices = [list(_subsets(pairs)) for _ in attribute_names]
+    constant_assignments = list(itertools.permutations(domain, len(constant_names)))
+
+    for constant_images in constant_assignments:
+        constants: Dict[str, str] = dict(zip(constant_names, constant_images))
+        for concept_extents in itertools.product(*concept_choices) if concept_choices else [()]:
+            concepts = dict(zip(concept_names, concept_extents))
+            for attribute_extents in (
+                itertools.product(*attribute_choices) if attribute_choices else [()]
+            ):
+                attributes = dict(zip(attribute_names, attribute_extents))
+                yield Interpretation(domain, concepts, attributes, constants)
+                produced += 1
+                if limit is not None and produced >= limit:
+                    return
+
+
+def enumerate_sigma_interpretations(
+    schema: Schema,
+    concept_names: Iterable[str],
+    attribute_names: Iterable[str],
+    constant_names: Iterable[str] = (),
+    domain_size: int = 2,
+    limit: Optional[int] = None,
+) -> Iterator[Interpretation]:
+    """Like :func:`enumerate_interpretations` but keep only Σ-interpretations.
+
+    ``limit`` caps the number of *candidate* structures inspected, not the
+    number of Σ-interpretations yielded, so the enumeration always
+    terminates within a predictable budget.
+    """
+    inspected = 0
+    for interpretation in enumerate_interpretations(
+        concept_names, attribute_names, constant_names, domain_size, limit=None
+    ):
+        inspected += 1
+        if is_sigma_interpretation(interpretation, schema):
+            yield interpretation
+        if limit is not None and inspected >= limit:
+            return

@@ -1,0 +1,141 @@
+"""Model-theoretic evaluation of ``QL``/``SL`` expressions (Table 1, column 3).
+
+Every construct of the abstract languages denotes a set (concepts) or a
+binary relation (attributes, attribute restrictions, paths) over the domain
+of an interpretation.  This module computes those denotations explicitly for
+the finite interpretations of :mod:`repro.semantics.interpretation`.
+
+The evaluator is deliberately straightforward -- it mirrors the definition in
+the paper line by line -- because it serves as the *specification* against
+which the calculus and the FOL translation are property-tested.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Set, Tuple
+
+from ..concepts.schema import Schema
+from ..concepts.syntax import (
+    And,
+    AtMostOne,
+    Attribute,
+    AttributeRestriction,
+    Concept,
+    ExistsAttribute,
+    ExistsPath,
+    Path,
+    PathAgreement,
+    Primitive,
+    Singleton,
+    SLConcept,
+    SLPrimitive,
+    Top,
+    ValueRestriction,
+)
+from .interpretation import Interpretation
+
+__all__ = [
+    "attribute_denotation",
+    "restriction_denotation",
+    "path_denotation",
+    "concept_extension",
+    "sl_concept_extension",
+    "is_instance",
+]
+
+Pair = Tuple[object, object]
+
+
+def attribute_denotation(attribute: Attribute, interpretation: Interpretation) -> FrozenSet[Pair]:
+    """The relation denoted by ``P`` or ``P^-1``."""
+    pairs = interpretation.attribute_extension(attribute.primitive_name)
+    if attribute.inverted:
+        return frozenset((second, first) for first, second in pairs)
+    return pairs
+
+
+def restriction_denotation(
+    restriction: AttributeRestriction, interpretation: Interpretation
+) -> FrozenSet[Pair]:
+    """The relation denoted by ``(R : C)``: pairs of ``R`` whose second component is in ``C``."""
+    filler = concept_extension(restriction.concept, interpretation)
+    return frozenset(
+        (first, second)
+        for first, second in attribute_denotation(restriction.attribute, interpretation)
+        if second in filler
+    )
+
+
+def path_denotation(path: Path, interpretation: Interpretation) -> FrozenSet[Pair]:
+    """The relation denoted by a path (composition of its restrictions).
+
+    The empty path denotes the identity relation on the domain.
+    """
+    if path.is_empty:
+        return frozenset((element, element) for element in interpretation.domain)
+    current: FrozenSet[Pair] = restriction_denotation(path.head, interpretation)
+    for step in path.steps[1:]:
+        step_pairs = restriction_denotation(step, interpretation)
+        by_first = {}
+        for first, second in step_pairs:
+            by_first.setdefault(first, set()).add(second)
+        composed: Set[Pair] = set()
+        for first, middle in current:
+            for last in by_first.get(middle, ()):
+                composed.add((first, last))
+        current = frozenset(composed)
+    return current
+
+
+def concept_extension(concept: Concept, interpretation: Interpretation) -> FrozenSet:
+    """The extension ``C^I`` of a ``QL`` concept."""
+    if isinstance(concept, Primitive):
+        return interpretation.concept_extension(concept.name)
+    if isinstance(concept, Top):
+        return interpretation.domain
+    if isinstance(concept, Singleton):
+        if not interpretation.has_constant(concept.constant):
+            return frozenset()
+        return frozenset({interpretation.constant_value(concept.constant)})
+    if isinstance(concept, And):
+        return concept_extension(concept.left, interpretation) & concept_extension(
+            concept.right, interpretation
+        )
+    if isinstance(concept, ExistsPath):
+        return frozenset(first for first, _ in path_denotation(concept.path, interpretation))
+    if isinstance(concept, PathAgreement):
+        left = path_denotation(concept.left, interpretation)
+        right = path_denotation(concept.right, interpretation)
+        return frozenset(first for first, second in left if (first, second) in right)
+    raise TypeError(f"not a QL concept: {concept!r}")
+
+
+def sl_concept_extension(concept: SLConcept, interpretation: Interpretation) -> FrozenSet:
+    """The extension of an ``SL`` concept (axiom right-hand side)."""
+    if isinstance(concept, SLPrimitive):
+        return interpretation.concept_extension(concept.name)
+    if isinstance(concept, ValueRestriction):
+        filler = interpretation.concept_extension(concept.concept)
+        return frozenset(
+            element
+            for element in interpretation.domain
+            if interpretation.successors(concept.attribute, element) <= filler
+        )
+    if isinstance(concept, ExistsAttribute):
+        return frozenset(
+            element
+            for element in interpretation.domain
+            if interpretation.successors(concept.attribute, element)
+        )
+    if isinstance(concept, AtMostOne):
+        return frozenset(
+            element
+            for element in interpretation.domain
+            if len(interpretation.successors(concept.attribute, element)) <= 1
+        )
+    raise TypeError(f"not an SL concept: {concept!r}")
+
+
+def is_instance(element: object, concept: Concept, interpretation: Interpretation) -> bool:
+    """``True`` iff ``element ∈ C^I``."""
+    return element in concept_extension(concept, interpretation)

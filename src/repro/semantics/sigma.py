@@ -1,0 +1,76 @@
+"""Σ-interpretations: checking that an interpretation satisfies a schema.
+
+Section 3.1 of the paper: an interpretation ``I`` *satisfies* the axiom
+``A ⊑ D`` if ``A^I ⊆ D^I`` and the axiom ``P ⊑ A1 × A2`` if
+``P^I ⊆ A1^I × A2^I``.  A *Σ-interpretation* satisfies every axiom of the
+schema ``Σ``.  A concept ``C`` is *Σ-satisfiable* if some Σ-interpretation
+gives it a non-empty extension, and ``C`` is *Σ-subsumed* by ``D``
+(``C ⊑_Σ D``) if ``C^I ⊆ D^I`` for every Σ-interpretation ``I``.
+
+This module provides the model-side notions; the calculus
+(:mod:`repro.calculus`) provides the proof-theoretic decision procedure, and
+:mod:`repro.baselines.bruteforce` uses the functions here to build the
+small-model oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from ..concepts.schema import AttributeTyping, InclusionAxiom, Schema, SchemaAxiom
+from ..concepts.syntax import Concept
+from .evaluate import concept_extension, sl_concept_extension
+from .interpretation import Interpretation
+
+__all__ = [
+    "satisfies_axiom",
+    "violated_axioms",
+    "is_sigma_interpretation",
+    "extension_contained",
+    "counterexample_elements",
+]
+
+
+def satisfies_axiom(interpretation: Interpretation, axiom: SchemaAxiom) -> bool:
+    """``True`` iff ``interpretation`` satisfies the single axiom."""
+    if isinstance(axiom, InclusionAxiom):
+        left = interpretation.concept_extension(axiom.left)
+        right = sl_concept_extension(axiom.right, interpretation)
+        return left <= right
+    if isinstance(axiom, AttributeTyping):
+        domain = interpretation.concept_extension(axiom.domain)
+        range_ = interpretation.concept_extension(axiom.range)
+        return all(
+            first in domain and second in range_
+            for first, second in interpretation.attribute_extension(axiom.attribute)
+        )
+    raise TypeError(f"not a schema axiom: {axiom!r}")
+
+
+def violated_axioms(interpretation: Interpretation, schema: Schema) -> List[SchemaAxiom]:
+    """The axioms of ``schema`` that ``interpretation`` does not satisfy."""
+    return [axiom for axiom in schema.axioms() if not satisfies_axiom(interpretation, axiom)]
+
+
+def is_sigma_interpretation(interpretation: Interpretation, schema: Schema) -> bool:
+    """``True`` iff ``interpretation`` is a Σ-interpretation for ``schema``."""
+    return all(satisfies_axiom(interpretation, axiom) for axiom in schema.axioms())
+
+
+def extension_contained(
+    query: Concept, view: Concept, interpretation: Interpretation
+) -> bool:
+    """``True`` iff ``query^I ⊆ view^I`` in the given interpretation."""
+    return concept_extension(query, interpretation) <= concept_extension(view, interpretation)
+
+
+def counterexample_elements(
+    query: Concept, view: Concept, interpretation: Interpretation
+) -> Tuple:
+    """The elements of ``query^I \\ view^I`` (witnesses against subsumption)."""
+    return tuple(
+        sorted(
+            concept_extension(query, interpretation) - concept_extension(view, interpretation),
+            key=repr,
+        )
+    )

@@ -1,0 +1,76 @@
+"""Workloads: the paper's running example, further domain schemas and generators."""
+
+from .chains import (
+    agreement_pair,
+    chain_pair,
+    chain_schema,
+    fan_pair,
+    hierarchy_schema,
+    non_subsumed_chain_pair,
+)
+from .medical import (
+    MEDICAL_DL_SOURCE,
+    medical_schema,
+    query_patient_concept,
+    view_patient_concept,
+)
+from .synthetic import (
+    SchemaProfile,
+    ViewWorkload,
+    WorkloadConfig,
+    generate_view_workload,
+    random_concept,
+    random_schema,
+    random_state,
+    specialize_concept,
+)
+from .trading import (
+    TRADING_DL_SOURCE,
+    generate_trading_state,
+    trading_concepts,
+    trading_dl_schema,
+    trading_schema,
+)
+from .university import (
+    UNIVERSITY_DL_SOURCE,
+    generate_university_state,
+    university_concepts,
+    university_dl_schema,
+    university_schema,
+)
+
+__all__ = [
+    # medical (the paper's running example)
+    "MEDICAL_DL_SOURCE",
+    "medical_schema",
+    "query_patient_concept",
+    "view_patient_concept",
+    # university
+    "UNIVERSITY_DL_SOURCE",
+    "university_dl_schema",
+    "university_schema",
+    "university_concepts",
+    "generate_university_state",
+    # trading
+    "TRADING_DL_SOURCE",
+    "trading_dl_schema",
+    "trading_schema",
+    "trading_concepts",
+    "generate_trading_state",
+    # scaling workloads
+    "chain_pair",
+    "non_subsumed_chain_pair",
+    "agreement_pair",
+    "fan_pair",
+    "chain_schema",
+    "hierarchy_schema",
+    # synthetic generators
+    "SchemaProfile",
+    "random_schema",
+    "random_concept",
+    "specialize_concept",
+    "random_state",
+    "WorkloadConfig",
+    "ViewWorkload",
+    "generate_view_workload",
+]

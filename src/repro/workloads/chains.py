@@ -1,0 +1,120 @@
+"""Chain- and grid-shaped workloads for the scaling experiments (E2, E3).
+
+Theorem 4.9 states that Σ-subsumption of ``QL`` concepts is decidable in
+time polynomial in the sizes of ``C``, ``D`` and ``Σ``; Proposition 4.8
+bounds the number of individuals of the completion by ``M · N``.  The
+workloads below scale one dimension at a time so the benchmarks can plot
+runtime / individual counts against it:
+
+* :func:`chain_pair` -- query and view are attribute chains of length ``n``
+  (the query's fillers are strictly stronger, so subsumption holds),
+* :func:`chain_schema` -- a subclass chain of depth ``d`` plus typing
+  axioms, to scale the schema size,
+* :func:`agreement_pair` -- looping path agreements of length ``n``,
+* :func:`fan_pair` -- ``k`` parallel existential branches (width scaling),
+* :func:`non_subsumed_chain_pair` -- a near-miss pair (the view demands one
+  extra step), to measure the cost of *failing* checks, which dominate an
+  optimizer's workload.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..concepts import builders as b
+from ..concepts.schema import Schema
+from ..concepts.syntax import Concept
+
+__all__ = [
+    "chain_pair",
+    "non_subsumed_chain_pair",
+    "agreement_pair",
+    "fan_pair",
+    "chain_schema",
+    "hierarchy_schema",
+]
+
+
+def chain_pair(length: int) -> Tuple[Concept, Concept]:
+    """Query/view chains ``∃(r_1:A_1⊓B_1)...`` vs ``∃(r_1:A_1)...`` of the given length."""
+    if length < 1:
+        raise ValueError("length must be positive")
+    query_steps = [
+        (f"r{i}", b.conjoin(b.concept(f"A{i}"), b.concept(f"B{i}"))) for i in range(length)
+    ]
+    view_steps = [(f"r{i}", b.concept(f"A{i}")) for i in range(length)]
+    query = b.conjoin(b.concept("Root"), b.exists(*query_steps))
+    view = b.conjoin(b.concept("Root"), b.exists(*view_steps))
+    return query, view
+
+
+def non_subsumed_chain_pair(length: int) -> Tuple[Concept, Concept]:
+    """A chain pair where the view requires one step more than the query provides."""
+    query, _ = chain_pair(length)
+    view_steps = [(f"r{i}", b.concept(f"A{i}")) for i in range(length + 1)]
+    view = b.conjoin(b.concept("Root"), b.exists(*view_steps))
+    return query, view
+
+
+def agreement_pair(length: int) -> Tuple[Concept, Concept]:
+    """Looping path agreements: the query's loop fillers are stronger than the view's."""
+    if length < 1:
+        raise ValueError("length must be positive")
+    forward = [(f"r{i}", b.conjoin(b.concept(f"A{i}"), b.concept(f"B{i}"))) for i in range(length)]
+    backward = [(b.inv(f"r{i}"), b.top()) for i in reversed(range(length))]
+    query = b.conjoin(b.concept("Root"), b.agreement(b.path(*(forward + backward))))
+    view_forward = [(f"r{i}", b.concept(f"A{i}")) for i in range(length)]
+    view_backward = [(b.inv(f"r{i}"), b.top()) for i in reversed(range(length))]
+    view = b.conjoin(b.concept("Root"), b.agreement(b.path(*(view_forward + view_backward))))
+    return query, view
+
+
+def fan_pair(width: int, depth: int = 2) -> Tuple[Concept, Concept]:
+    """``width`` parallel existential branches of the given depth."""
+    if width < 1 or depth < 1:
+        raise ValueError("width and depth must be positive")
+    query_parts: List[Concept] = [b.concept("Root")]
+    view_parts: List[Concept] = [b.concept("Root")]
+    for branch in range(width):
+        query_steps = [
+            (f"r{branch}_{level}", b.conjoin(b.concept(f"A{branch}_{level}"), b.concept("Extra")))
+            for level in range(depth)
+        ]
+        view_steps = [(f"r{branch}_{level}", b.concept(f"A{branch}_{level}")) for level in range(depth)]
+        query_parts.append(b.exists(*query_steps))
+        view_parts.append(b.exists(*view_steps))
+    return b.conjoin(query_parts), b.conjoin(view_parts)
+
+
+def chain_schema(depth: int, branching: int = 1) -> Schema:
+    """A subclass chain ``C_0 ⊑ C_1 ⊑ ... ⊑ C_depth`` with attribute typings.
+
+    Each class ``C_i`` types an attribute ``a_i`` with range ``C_{i+1}`` and
+    declares it necessary, so schema-rule work grows with ``depth``.
+    ``branching`` adds that many extra (irrelevant) sibling axioms per level
+    to scale the schema without affecting the result.
+    """
+    axioms = []
+    for level in range(depth):
+        axioms.append(b.isa(f"C{level}", f"C{level + 1}"))
+        axioms.append(b.typed(f"C{level}", f"a{level}", f"C{level + 1}"))
+        axioms.append(b.necessary(f"C{level}", f"a{level}"))
+        axioms.append(b.attribute_typing(f"a{level}", f"C{level}", f"C{level + 1}"))
+        for extra in range(branching - 1):
+            axioms.append(b.isa(f"D{level}_{extra}", f"C{level + 1}"))
+    return b.schema(axioms)
+
+
+def hierarchy_schema(width: int, depth: int) -> Schema:
+    """A class tree of the given width and depth (pure ``isA`` axioms)."""
+    axioms = []
+    previous_level = ["Root"]
+    for level in range(1, depth + 1):
+        current_level = []
+        for parent_index, parent in enumerate(previous_level):
+            for child_index in range(width):
+                child = f"N{level}_{parent_index}_{child_index}"
+                axioms.append(b.isa(child, parent))
+                current_level.append(child)
+        previous_level = current_level
+    return b.schema(axioms)

@@ -1,0 +1,179 @@
+"""The paper's running example: the medical database (Figures 1--6).
+
+This module builds, directly in the abstract languages,
+
+* the schema axioms of Figure 6 (:func:`medical_schema`),
+* the query concept ``C_Q`` of ``QueryPatient`` (Figure 3 / Section 3.2),
+* the view concept ``D_V`` of ``ViewPatient`` (Figure 5 / Section 3.2),
+
+and, in the concrete frame syntax of Section 2, the textual declarations of
+Figure 1, 3 and 5 (:data:`MEDICAL_DL_SOURCE`), which the ``repro.dl`` parser
+turns into the same abstract objects (checked by the integration tests).
+
+The subsumption ``C_Q ⊑_Σ D_V`` is the paper's worked example (Figure 11).
+"""
+
+from __future__ import annotations
+
+from ..concepts import builders as b
+from ..concepts.schema import Schema
+from ..concepts.syntax import Concept
+
+__all__ = [
+    "medical_schema",
+    "query_patient_concept",
+    "view_patient_concept",
+    "MEDICAL_DL_SOURCE",
+]
+
+
+def medical_schema() -> Schema:
+    """The schema axioms of Figure 6 plus the attribute typing of ``skilled_in``.
+
+    The paper's Figure 6 lists::
+
+        Patient ⊑ Person            Person ⊑ ∀name.String
+        Patient ⊑ ∀takes.Drug       Person ⊑ ∃name
+        Patient ⊑ ∀consults.Doctor  Person ⊑ (≤1 name)
+        Patient ⊑ ∀suffers.Disease  Doctor ⊑ ∀skilled_in.Disease
+        Patient ⊑ ∃suffers          skilled_in ⊑ Person × Topic
+    """
+    return b.schema(
+        b.isa("Patient", "Person"),
+        b.typed("Patient", "takes", "Drug"),
+        b.typed("Patient", "consults", "Doctor"),
+        b.typed("Patient", "suffers", "Disease"),
+        b.necessary("Patient", "suffers"),
+        b.typed("Person", "name", "String"),
+        b.necessary("Person", "name"),
+        b.functional("Person", "name"),
+        b.typed("Doctor", "skilled_in", "Disease"),
+        b.attribute_typing("skilled_in", "Person", "Topic"),
+    )
+
+
+def query_patient_concept() -> Concept:
+    """The concept ``C_Q`` of the query class ``QueryPatient`` (Section 3.2).
+
+    ``QueryPatient`` retrieves the male patients that consult a female who is
+    a doctor and a specialist in a disease the patient suffers from
+    (the non-structural Aspirin constraint of Figure 3 is dropped by the
+    abstraction, as prescribed by the paper)::
+
+        C_Q = Male ⊓ Patient ⊓
+              ∃(consults:Female) ≐ (suffers:⊤)(skilled_in⁻¹:Doctor)
+    """
+    return b.conjoin(
+        b.concept("Male"),
+        b.concept("Patient"),
+        b.agreement(
+            b.path(("consults", b.concept("Female"))),
+            b.path("suffers", (b.inv("skilled_in"), b.concept("Doctor"))),
+        ),
+    )
+
+
+def view_patient_concept() -> Concept:
+    """The concept ``D_V`` of the view ``ViewPatient`` (Section 3.2).
+
+    ``ViewPatient`` contains the patients whose name is stored and that
+    consult a doctor who is a specialist for one of their diseases::
+
+        D_V = Patient ⊓ ∃(name:String) ⊓
+              ∃(consults:Doctor)(skilled_in:Disease) ≐ (suffers:Disease)
+    """
+    return b.conjoin(
+        b.concept("Patient"),
+        b.exists(("name", b.concept("String"))),
+        b.agreement(
+            b.path(("consults", b.concept("Doctor")), ("skilled_in", b.concept("Disease"))),
+            b.path(("suffers", b.concept("Disease"))),
+        ),
+    )
+
+
+#: The concrete DL declarations of Figures 1, 3 and 5 (parsed by ``repro.dl``).
+MEDICAL_DL_SOURCE = """
+Class Person with
+  attribute, necessary, single
+    name: String
+end Person
+
+Class Patient isA Person with
+  attribute
+    takes: Drug
+    consults: Doctor
+  attribute, necessary
+    suffers: Disease
+  constraint:
+    not (this in Doctor)
+end Patient
+
+Class Doctor with
+  attribute
+    skilled_in: Disease
+end Doctor
+
+Class Male isA Person with
+end Male
+
+Class Female isA Person with
+end Female
+
+Class Drug with
+end Drug
+
+Class Disease isA Topic with
+end Disease
+
+Class Topic with
+end Topic
+
+Class String with
+end String
+
+Attribute skilled_in with
+  domain: Person
+  range: Topic
+  inverse: specialist
+end skilled_in
+
+Attribute name with
+  domain: Person
+  range: String
+end name
+
+Attribute takes with
+  domain: Patient
+  range: Drug
+end takes
+
+Attribute consults with
+  domain: Patient
+  range: Doctor
+end consults
+
+Attribute suffers with
+  domain: Patient
+  range: Disease
+end suffers
+
+QueryClass QueryPatient isA Male, Patient with
+  derived
+    l_1: (consults: Female)
+    l_2: suffers.(specialist: Doctor)
+  where
+    l_1 = l_2
+  constraint:
+    forall d/Drug not (this takes d) or (d = Aspirin)
+end QueryPatient
+
+QueryClass ViewPatient isA Patient with
+  derived
+    (name: String)
+    l_1: (consults: Doctor).(skilled_in: Disease)
+    l_2: (suffers: Disease)
+  where
+    l_1 = l_2
+end ViewPatient
+"""

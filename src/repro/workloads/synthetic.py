@@ -1,0 +1,278 @@
+"""Synthetic schema / query / database generators for the experiments.
+
+The paper leaves "the actual performance gain ... to be validated in
+practical experiments" (Section 6); since the original workloads are not
+available, these generators produce parameterized synthetic ones:
+
+* :func:`random_schema` -- a class hierarchy with typed / necessary /
+  functional attributes (controls: number of classes, attributes, depth),
+* :func:`random_concept` -- random ``QL`` concepts over a schema
+  (controls: number of conjuncts, path length, singleton probability),
+* :func:`specialize_concept` -- derive a query that is *guaranteed* to be
+  subsumed by a given view (strengthen fillers / add conjuncts), used to
+  control the optimizer hit rate in experiment E7,
+* :func:`random_state` -- a database state roughly consistent with a schema,
+* :class:`WorkloadConfig` / :func:`generate_view_workload` -- the bundled
+  view-pool + query-stream workload of the optimizer benchmark.
+
+All generators take an explicit ``random.Random`` (or seed) so every
+experiment is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..concepts import builders as b
+from ..concepts.normalize import normalize_concept
+from ..concepts.schema import Schema
+from ..concepts.syntax import (
+    And,
+    AttributeRestriction,
+    Concept,
+    ExistsPath,
+    Path,
+    PathAgreement,
+    Primitive,
+    Singleton,
+    Top,
+)
+from ..concepts.visitors import conjuncts
+from ..database.store import DatabaseState
+
+__all__ = [
+    "SchemaProfile",
+    "random_schema",
+    "random_concept",
+    "specialize_concept",
+    "random_state",
+    "WorkloadConfig",
+    "ViewWorkload",
+    "generate_view_workload",
+]
+
+
+def _rng(seed_or_rng) -> random.Random:
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    return random.Random(seed_or_rng)
+
+
+# ---------------------------------------------------------------------------
+# Schemas
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SchemaProfile:
+    """Knobs of the random schema generator."""
+
+    classes: int = 12
+    attributes: int = 8
+    hierarchy_depth: int = 3
+    necessary_probability: float = 0.3
+    functional_probability: float = 0.2
+    typing_probability: float = 0.7
+
+
+def random_schema(profile: SchemaProfile = SchemaProfile(), seed=0) -> Schema:
+    """A random schema following the given profile."""
+    rng = _rng(seed)
+    class_names = [f"K{i}" for i in range(profile.classes)]
+    attribute_names = [f"p{i}" for i in range(profile.attributes)]
+    axioms = []
+
+    # A layered hierarchy: each class (except the roots) gets one parent from
+    # the previous layer.
+    layers: List[List[str]] = []
+    remaining = list(class_names)
+    layer_size = max(1, len(remaining) // max(profile.hierarchy_depth, 1))
+    while remaining:
+        layers.append(remaining[:layer_size])
+        remaining = remaining[layer_size:]
+    for depth in range(1, len(layers)):
+        for class_name in layers[depth]:
+            parent = rng.choice(layers[depth - 1])
+            axioms.append(b.isa(class_name, parent))
+
+    for attribute in attribute_names:
+        domain = rng.choice(class_names)
+        range_ = rng.choice(class_names)
+        axioms.append(b.attribute_typing(attribute, domain, range_))
+        if rng.random() < profile.typing_probability:
+            axioms.append(b.typed(domain, attribute, range_))
+        if rng.random() < profile.necessary_probability:
+            axioms.append(b.necessary(domain, attribute))
+        if rng.random() < profile.functional_probability:
+            axioms.append(b.functional(domain, attribute))
+    return b.schema(axioms)
+
+
+# ---------------------------------------------------------------------------
+# Concepts
+# ---------------------------------------------------------------------------
+
+
+def _schema_vocabulary(schema: Schema) -> Tuple[List[str], List[str]]:
+    classes = sorted(schema.concept_names()) or ["K0", "K1"]
+    attributes = sorted(schema.attribute_names()) or ["p0", "p1"]
+    return classes, attributes
+
+
+def random_concept(
+    schema: Schema,
+    seed=0,
+    *,
+    conjunct_count: int = 3,
+    max_path_length: int = 3,
+    agreement_probability: float = 0.3,
+    singleton_probability: float = 0.05,
+) -> Concept:
+    """A random ``QL`` concept over the vocabulary of ``schema``."""
+    rng = _rng(seed)
+    classes, attributes = _schema_vocabulary(schema)
+
+    def random_filler() -> Concept:
+        if rng.random() < singleton_probability:
+            return Singleton(f"obj{rng.randint(0, 5)}")
+        if rng.random() < 0.2:
+            return b.top()
+        return b.concept(rng.choice(classes))
+
+    def random_path(length: int) -> Path:
+        steps = []
+        for _ in range(length):
+            attribute = rng.choice(attributes)
+            if rng.random() < 0.15:
+                steps.append((b.inv(attribute), random_filler()))
+            else:
+                steps.append((attribute, random_filler()))
+        return b.path(*steps)
+
+    parts: List[Concept] = [b.concept(rng.choice(classes))]
+    for _ in range(max(conjunct_count - 1, 0)):
+        roll = rng.random()
+        length = rng.randint(1, max(max_path_length, 1))
+        if roll < agreement_probability:
+            parts.append(PathAgreement(random_path(length), random_path(rng.randint(1, max_path_length))))
+        elif roll < 0.85:
+            parts.append(ExistsPath(random_path(length)))
+        else:
+            parts.append(b.concept(rng.choice(classes)))
+    return normalize_concept(b.conjoin(parts))
+
+
+def specialize_concept(view: Concept, schema: Schema, seed=0, extra_conjuncts: int = 2) -> Concept:
+    """A concept guaranteed to be subsumed by ``view``.
+
+    Specialization only *adds* conjuncts (extra primitive memberships and
+    extra existential paths); since ``QL`` has no negation, ``C ⊓ E ⊑ C``
+    always holds, so the result is subsumed by the view in every schema.
+    Used by the workload generator to control the optimizer's hit rate.
+    """
+    rng = _rng(seed)
+    classes, attributes = _schema_vocabulary(schema)
+    parts: List[Concept] = list(conjuncts(normalize_concept(view)))
+    for _ in range(extra_conjuncts):
+        if rng.random() < 0.5:
+            parts.append(b.concept(rng.choice(classes)))
+        else:
+            attribute = rng.choice(attributes)
+            parts.append(b.exists((attribute, b.concept(rng.choice(classes)))))
+    return normalize_concept(b.conjoin(parts))
+
+
+# ---------------------------------------------------------------------------
+# Database states
+# ---------------------------------------------------------------------------
+
+
+def random_state(
+    schema: Schema,
+    objects: int = 500,
+    membership_probability: float = 0.25,
+    attribute_fanout: int = 2,
+    seed=0,
+) -> DatabaseState:
+    """A random database state over the schema's vocabulary.
+
+    The state respects the ``isA`` closure by construction (memberships are
+    asserted on the most specific class only and closed upwards by
+    :class:`~repro.database.store.DatabaseState`), and attribute values are
+    drawn so that declared domains/ranges are *mostly* respected -- enough
+    structure for queries and views to have overlapping, non-trivial extents.
+    """
+    rng = _rng(seed)
+    classes, attributes = _schema_vocabulary(schema)
+    state = DatabaseState(schema)
+    object_ids = [f"o{i}" for i in range(objects)]
+    for object_id in object_ids:
+        state.add_object(object_id)
+        for class_name in classes:
+            if rng.random() < membership_probability:
+                state.assert_membership(object_id, class_name)
+    for object_id in object_ids:
+        for attribute in attributes:
+            for _ in range(rng.randint(0, attribute_fanout)):
+                state.set_attribute(object_id, attribute, rng.choice(object_ids))
+    return state
+
+
+# ---------------------------------------------------------------------------
+# Optimizer workloads
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Configuration of a view-pool + query-stream workload (experiment E7)."""
+
+    view_count: int = 10
+    query_count: int = 50
+    subsumed_fraction: float = 0.6
+    objects: int = 800
+    seed: int = 42
+
+
+@dataclass
+class ViewWorkload:
+    """A generated workload: schema, state, views and the query stream."""
+
+    schema: Schema
+    state: DatabaseState
+    views: Dict[str, Concept]
+    queries: List[Tuple[str, Concept, Optional[str]]] = field(default_factory=list)
+    """Each query is ``(name, concept, name_of_view_it_specializes_or_None)``."""
+
+
+def generate_view_workload(config: WorkloadConfig = WorkloadConfig()) -> ViewWorkload:
+    """Generate a reproducible optimizer workload.
+
+    ``subsumed_fraction`` of the queries are specializations of a randomly
+    chosen view (guaranteed hits); the rest are independent random concepts
+    (mostly misses).  The E7 benchmark compares the optimizer's measured hit
+    rate and candidate reduction against these ground-truth labels.
+    """
+    rng = random.Random(config.seed)
+    schema = random_schema(SchemaProfile(), seed=rng.random())
+    state = random_state(schema, objects=config.objects, seed=rng.random())
+
+    views: Dict[str, Concept] = {}
+    for index in range(config.view_count):
+        views[f"view{index}"] = random_concept(
+            schema, seed=rng.random(), conjunct_count=2, max_path_length=2
+        )
+
+    queries: List[Tuple[str, Concept, Optional[str]]] = []
+    view_names = list(views)
+    for index in range(config.query_count):
+        if rng.random() < config.subsumed_fraction and view_names:
+            base = rng.choice(view_names)
+            concept = specialize_concept(views[base], schema, seed=rng.random())
+            queries.append((f"query{index}", concept, base))
+        else:
+            concept = random_concept(schema, seed=rng.random(), conjunct_count=3)
+            queries.append((f"query{index}", concept, None))
+    return ViewWorkload(schema=schema, state=state, views=views, queries=queries)

@@ -1,0 +1,256 @@
+"""A product/order workload (third domain scenario): a trading company.
+
+The scenario mirrors the paper's motivation for materialized views in
+data-intensive cooperative environments (Section 6): order-processing,
+shipping and quality-management tools repeatedly query overlapping subsets
+of customers and orders, so the first tool's query becomes a view the
+trader component reuses for the others.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from ..concepts.schema import Schema
+from ..concepts.syntax import Concept
+from ..database.store import DatabaseState
+from ..dl.abstraction import query_classes_to_concepts, schema_to_sl
+from ..dl.ast import DLSchema
+from ..dl.parser import parse_schema
+
+__all__ = [
+    "TRADING_DL_SOURCE",
+    "trading_dl_schema",
+    "trading_schema",
+    "trading_concepts",
+    "generate_trading_state",
+]
+
+TRADING_DL_SOURCE = """
+Class Party with
+  attribute, necessary, single
+    name: String
+end Party
+
+Class Customer isA Party with
+  attribute
+    places: Order
+  attribute, necessary
+    located_in: Region
+end Customer
+
+Class PremiumCustomer isA Customer with
+end PremiumCustomer
+
+Class Supplier isA Party with
+  attribute
+    supplies: Product
+end Supplier
+
+Class Order with
+  attribute, necessary
+    contains: Product
+  attribute, necessary, single
+    handled_by: Clerk
+end Order
+
+Class UrgentOrder isA Order with
+end UrgentOrder
+
+Class Product with
+  attribute
+    made_by: Supplier
+  attribute, necessary, single
+    category: Category
+end Product
+
+Class FragileProduct isA Product with
+end FragileProduct
+
+Class Clerk isA Party with
+  attribute
+    responsible_for: Region
+end Clerk
+
+Class Region with
+end Region
+
+Class Category with
+end Category
+
+Class String with
+end String
+
+Attribute places with
+  domain: Customer
+  range: Order
+  inverse: placed_by
+end places
+
+Attribute contains with
+  domain: Order
+  range: Product
+end contains
+
+Attribute handled_by with
+  domain: Order
+  range: Clerk
+end handled_by
+
+Attribute made_by with
+  domain: Product
+  range: Supplier
+end made_by
+
+Attribute supplies with
+  domain: Supplier
+  range: Product
+end supplies
+
+Attribute located_in with
+  domain: Customer
+  range: Region
+end located_in
+
+Attribute responsible_for with
+  domain: Clerk
+  range: Region
+end responsible_for
+
+Attribute category with
+  domain: Product
+  range: Category
+end category
+
+Attribute name with
+  domain: Party
+  range: String
+end name
+
+QueryClass CustomersWithOrders isA Customer with
+  derived
+    l_1: (places: Order)
+end CustomersWithOrders
+
+QueryClass LocallyHandledCustomers isA Customer with
+  derived
+    l_1: (places: Order).(handled_by: Clerk).(responsible_for: Region)
+    l_2: (located_in: Region)
+  where
+    l_1 = l_2
+end LocallyHandledCustomers
+
+QueryClass PremiumLocalFragile isA PremiumCustomer with
+  derived
+    l_1: (places: UrgentOrder).(handled_by: Clerk).(responsible_for: Region)
+    l_2: (located_in: Region)
+    l_3: (places: UrgentOrder).(contains: FragileProduct)
+  where
+    l_1 = l_2
+end PremiumLocalFragile
+
+QueryClass NamedCustomers isA Customer with
+  derived
+    (name: String)
+end NamedCustomers
+"""
+
+
+def trading_dl_schema() -> DLSchema:
+    """The parsed concrete trading schema."""
+    return parse_schema(TRADING_DL_SOURCE)
+
+
+def trading_schema() -> Schema:
+    """The abstract ``SL`` schema of the trading domain."""
+    return schema_to_sl(trading_dl_schema())
+
+
+def trading_concepts() -> Dict[str, Concept]:
+    """The ``QL`` concepts of the trading query classes.
+
+    ``PremiumLocalFragile ⊑ LocallyHandledCustomers ⊑ CustomersWithOrders``
+    and all of them are subsumed by ``NamedCustomers`` (every party has a
+    name), giving the optimizer a small view lattice to exploit.
+    """
+    return query_classes_to_concepts(trading_dl_schema())
+
+
+def generate_trading_state(
+    customers: int = 200,
+    orders: int = 400,
+    products: int = 80,
+    clerks: int = 15,
+    regions: int = 6,
+    seed: int = 13,
+) -> DatabaseState:
+    """A consistent random database state for the trading schema."""
+    rng = random.Random(seed)
+    dl = trading_dl_schema()
+    state = DatabaseState(trading_schema())
+
+    region_ids = [f"region{i}" for i in range(regions)]
+    for region in region_ids:
+        state.add_object(region, "Region")
+    category_ids = [f"cat{i}" for i in range(max(3, products // 10))]
+    for category in category_ids:
+        state.add_object(category, "Category")
+
+    clerk_ids = [f"clerk{i}" for i in range(clerks)]
+    for clerk in clerk_ids:
+        state.add_object(clerk, "Clerk", "Party")
+        state.add_object(f"{clerk}_name", "String")
+        state.set_attribute(clerk, "name", f"{clerk}_name")
+        for region in rng.sample(region_ids, k=rng.randint(1, 2)):
+            state.set_attribute(clerk, "responsible_for", region)
+
+    supplier_ids = [f"supplier{i}" for i in range(max(3, products // 20))]
+    for supplier in supplier_ids:
+        state.add_object(supplier, "Supplier", "Party")
+        state.add_object(f"{supplier}_name", "String")
+        state.set_attribute(supplier, "name", f"{supplier}_name")
+
+    product_ids = [f"product{i}" for i in range(products)]
+    for product in product_ids:
+        state.add_object(product, "Product")
+        if rng.random() < 0.25:
+            state.assert_membership(product, "FragileProduct")
+        state.set_attribute(product, "category", rng.choice(category_ids))
+        supplier = rng.choice(supplier_ids)
+        state.set_attribute(product, "made_by", supplier)
+        state.set_attribute(supplier, "supplies", product)
+
+    customer_ids = [f"customer{i}" for i in range(customers)]
+    for customer in customer_ids:
+        state.add_object(customer, "Customer", "Party")
+        if rng.random() < 0.3:
+            state.assert_membership(customer, "PremiumCustomer")
+        state.add_object(f"{customer}_name", "String")
+        state.set_attribute(customer, "name", f"{customer}_name")
+        state.set_attribute(customer, "located_in", rng.choice(region_ids))
+
+    for index in range(orders):
+        order = f"order{index}"
+        customer = rng.choice(customer_ids)
+        state.add_object(order, "Order")
+        if rng.random() < 0.3:
+            state.assert_membership(order, "UrgentOrder")
+        state.set_attribute(customer, "places", order)
+        for product in rng.sample(product_ids, k=rng.randint(1, 3)):
+            state.set_attribute(order, "contains", product)
+        # Half of the orders are handled by a clerk responsible for the
+        # customer's region, populating the coreference queries.
+        customer_regions = state.attribute_values(customer, "located_in")
+        local_clerks = [
+            clerk
+            for clerk in clerk_ids
+            if customer_regions & state.attribute_values(clerk, "responsible_for")
+        ]
+        if local_clerks and rng.random() < 0.5:
+            state.set_attribute(order, "handled_by", rng.choice(local_clerks))
+        else:
+            state.set_attribute(order, "handled_by", rng.choice(clerk_ids))
+
+    state.apply_inverse_synonyms(dl)
+    return state

@@ -1,0 +1,232 @@
+"""A university-domain workload (second domain scenario).
+
+The paper motivates view reuse in "an environment where many views are
+materialized" (Section 1) and in cooperative, distributed settings where
+"different people work on the same set of objects -- specified by a query"
+(Section 6).  A university information system is a natural such setting:
+advisors, lecturers and administrators repeatedly ask overlapping queries
+about students, courses and supervision.
+
+The module provides the concrete ``DL`` source (schema + several query
+classes and views), helpers returning the abstract objects, and a generator
+for consistent database states of configurable size used by the optimizer
+example and the E7 benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Tuple
+
+from ..concepts.schema import Schema
+from ..concepts.syntax import Concept
+from ..database.store import DatabaseState
+from ..dl.abstraction import query_classes_to_concepts, schema_to_sl
+from ..dl.ast import DLSchema
+from ..dl.parser import parse_schema
+
+__all__ = [
+    "UNIVERSITY_DL_SOURCE",
+    "university_dl_schema",
+    "university_schema",
+    "university_concepts",
+    "generate_university_state",
+]
+
+UNIVERSITY_DL_SOURCE = """
+Class Person with
+  attribute, necessary, single
+    name: String
+end Person
+
+Class Student isA Person with
+  attribute
+    enrolled_in: Course
+    advised_by: Professor
+  attribute, necessary
+    registered_at: Department
+end Student
+
+Class GradStudent isA Student with
+  attribute, necessary
+    advised_by: Professor
+end GradStudent
+
+Class Professor isA Person with
+  attribute
+    teaches: Course
+    member_of: Department
+end Professor
+
+Class FullProfessor isA Professor with
+end FullProfessor
+
+Class Course with
+  attribute, necessary, single
+    offered_by: Department
+  attribute
+    taught_by: Professor
+end Course
+
+Class HardCourse isA Course with
+end HardCourse
+
+Class Department with
+end Department
+
+Class String with
+end String
+
+Attribute enrolled_in with
+  domain: Student
+  range: Course
+  inverse: has_participant
+end enrolled_in
+
+Attribute advised_by with
+  domain: Student
+  range: Professor
+  inverse: advises
+end advised_by
+
+Attribute teaches with
+  domain: Professor
+  range: Course
+  inverse: taught_by_rel
+end teaches
+
+Attribute registered_at with
+  domain: Student
+  range: Department
+end registered_at
+
+Attribute member_of with
+  domain: Professor
+  range: Department
+end member_of
+
+Attribute offered_by with
+  domain: Course
+  range: Department
+end offered_by
+
+Attribute name with
+  domain: Person
+  range: String
+end name
+
+QueryClass AdvisedGradStudents isA GradStudent with
+  derived
+    l_1: (advised_by: FullProfessor)
+end AdvisedGradStudents
+
+QueryClass StudentsOfTheirAdvisor isA Student with
+  derived
+    l_1: (enrolled_in: Course).(taught_by_rel: Professor)
+    l_2: (advised_by: Professor)
+  where
+    l_1 = l_2
+end StudentsOfTheirAdvisor
+
+QueryClass GradsTaughtByAdvisor isA GradStudent with
+  derived
+    l_1: (enrolled_in: HardCourse).(taught_by_rel: FullProfessor)
+    l_2: (advised_by: FullProfessor)
+  where
+    l_1 = l_2
+end GradsTaughtByAdvisor
+
+QueryClass NamedStudents isA Student with
+  derived
+    (name: String)
+end NamedStudents
+"""
+
+
+def university_dl_schema() -> DLSchema:
+    """The parsed concrete schema (classes, attributes, query classes)."""
+    return parse_schema(UNIVERSITY_DL_SOURCE)
+
+
+def university_schema() -> Schema:
+    """The abstract ``SL`` schema of the university domain."""
+    return schema_to_sl(university_dl_schema())
+
+
+def university_concepts() -> Dict[str, Concept]:
+    """The ``QL`` concepts of the query classes, keyed by name.
+
+    ``GradsTaughtByAdvisor`` is subsumed by ``StudentsOfTheirAdvisor`` (and by
+    ``NamedStudents`` thanks to the necessary ``name`` attribute inherited
+    from ``Person``), which the example and the tests exercise.
+    """
+    return query_classes_to_concepts(university_dl_schema())
+
+
+def generate_university_state(
+    students: int = 100,
+    professors: int = 20,
+    courses: int = 30,
+    departments: int = 5,
+    seed: int = 7,
+) -> DatabaseState:
+    """A consistent random database state for the university schema.
+
+    Every student gets a name, a department and some enrolments; a fraction
+    of the students are graduate students advised by the professor teaching
+    one of their courses, so the interesting query classes have non-empty
+    answers.
+    """
+    rng = random.Random(seed)
+    dl = university_dl_schema()
+    state = DatabaseState(university_schema())
+
+    department_ids = [f"dept{i}" for i in range(departments)]
+    for dept in department_ids:
+        state.add_object(dept, "Department")
+
+    course_ids = [f"course{i}" for i in range(courses)]
+    professor_ids = [f"prof{i}" for i in range(professors)]
+
+    for prof in professor_ids:
+        state.add_object(prof, "Professor", "Person")
+        if rng.random() < 0.4:
+            state.assert_membership(prof, "FullProfessor")
+        state.add_object(f"{prof}_name", "String")
+        state.set_attribute(prof, "name", f"{prof}_name")
+        state.set_attribute(prof, "member_of", rng.choice(department_ids))
+
+    for course in course_ids:
+        state.add_object(course, "Course")
+        if rng.random() < 0.3:
+            state.assert_membership(course, "HardCourse")
+        state.set_attribute(course, "offered_by", rng.choice(department_ids))
+        teacher = rng.choice(professor_ids)
+        state.set_attribute(teacher, "teaches", course)
+        state.set_attribute(course, "taught_by", teacher)
+
+    for index in range(students):
+        student = f"student{index}"
+        state.add_object(student, "Student", "Person")
+        state.add_object(f"{student}_name", "String")
+        state.set_attribute(student, "name", f"{student}_name")
+        state.set_attribute(student, "registered_at", rng.choice(department_ids))
+        enrolled = rng.sample(course_ids, k=min(len(course_ids), rng.randint(1, 4)))
+        for course in enrolled:
+            state.set_attribute(student, "enrolled_in", course)
+        if rng.random() < 0.4:
+            state.assert_membership(student, "GradStudent")
+            # Half of the grad students are advised by a teacher of one of
+            # their courses (these populate the coreference queries).
+            if rng.random() < 0.5 and enrolled:
+                course = rng.choice(enrolled)
+                teachers = [p for p in professor_ids if (p, course) in state.attribute_pairs("teaches")]
+                advisor = teachers[0] if teachers else rng.choice(professor_ids)
+            else:
+                advisor = rng.choice(professor_ids)
+            state.set_attribute(student, "advised_by", advisor)
+        elif rng.random() < 0.3:
+            state.set_attribute(student, "advised_by", rng.choice(professor_ids))
+
+    state.apply_inverse_synonyms(dl)
+    return state

@@ -1,0 +1,137 @@
+"""Tests for the conjunctive-query baseline and the brute-force oracle."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.baselines.bruteforce import brute_force_subsumes, find_counterexample
+from repro.baselines.conjunctive import BinaryAtomCQ, UnaryAtomCQ, concept_to_cq
+from repro.baselines.containment import (
+    ContainmentStatistics,
+    cq_contained_in,
+    find_containment_mapping,
+)
+from repro.calculus import subsumes
+from repro.concepts import builders as b
+from repro.fol.syntax import Const, Var
+from repro.workloads.medical import query_patient_concept, view_patient_concept
+
+from ..strategies import concepts
+
+
+class TestConceptToCQ:
+    def test_primitive_and_conjunction(self):
+        cq = concept_to_cq(b.conjoin(b.concept("A"), b.concept("B")))
+        assert {a.predicate for a in cq.unary_atoms()} == {"A", "B"}
+        assert all(a.term == cq.head for a in cq.unary_atoms())
+
+    def test_path_produces_chain_of_binary_atoms(self):
+        cq = concept_to_cq(b.exists(("p", b.concept("A")), ("q", b.concept("B"))))
+        assert len(cq.binary_atoms()) == 2
+        predicates = {a.predicate for a in cq.binary_atoms()}
+        assert predicates == {"p", "q"}
+        assert len(cq.variables()) == 3  # head + two path positions
+
+    def test_inverse_attribute_swaps_argument_order(self):
+        cq = concept_to_cq(b.exists((b.inv("p"), b.concept("A"))))
+        atom = cq.binary_atoms()[0]
+        assert atom.second == cq.head
+
+    def test_agreement_creates_shared_meeting_variable(self):
+        cq = concept_to_cq(
+            b.agreement(b.path(("p", b.top())), b.path(("q", b.top())))
+        )
+        p_atom = next(a for a in cq.binary_atoms() if a.predicate == "p")
+        q_atom = next(a for a in cq.binary_atoms() if a.predicate == "q")
+        assert p_atom.second == q_atom.second
+
+    def test_loop_agreement_reuses_head(self):
+        cq = concept_to_cq(b.loops(("p", b.top())))
+        atom = cq.binary_atoms()[0]
+        assert atom.first == cq.head and atom.second == cq.head
+
+    def test_singleton_filler_becomes_constant(self):
+        cq = concept_to_cq(b.exists(("takes", b.singleton("Aspirin"))))
+        atom = cq.binary_atoms()[0]
+        assert atom.second == Const("Aspirin")
+
+    def test_top_contributes_no_atom(self):
+        cq = concept_to_cq(b.top())
+        assert cq.size == 0
+
+
+class TestContainment:
+    def test_containment_matches_paper_example_without_schema(self):
+        query = concept_to_cq(query_patient_concept())
+        view = concept_to_cq(view_patient_concept())
+        # Without the schema the inclusion does not hold (no name edge, no typing).
+        assert not cq_contained_in(query, view)
+
+    def test_simple_containment_and_mapping(self):
+        query = concept_to_cq(b.conjoin(b.concept("A"), b.exists(("p", b.concept("B")))))
+        view = concept_to_cq(b.exists("p"))
+        statistics = ContainmentStatistics()
+        assert cq_contained_in(query, view, statistics)
+        assert statistics.mapping_found
+        mapping = find_containment_mapping(view, query)
+        assert mapping[view.head] == query.head
+
+    def test_constants_must_map_to_themselves(self):
+        pinned = concept_to_cq(b.exists(("p", b.singleton("a"))))
+        other = concept_to_cq(b.exists(("p", b.singleton("b"))))
+        unconstrained = concept_to_cq(b.exists("p"))
+        assert cq_contained_in(pinned, unconstrained)
+        assert not cq_contained_in(unconstrained, pinned)
+        assert not cq_contained_in(pinned, other)
+
+    @settings(
+        max_examples=50,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        concepts(max_depth=2, allow_singletons=False),
+        concepts(max_depth=2, allow_singletons=False),
+    )
+    def test_agreement_with_structural_subsumption_on_empty_schema(self, query, view):
+        """Chandra-Merlin containment and the paper's calculus agree on QL, Σ = ∅.
+
+        Singletons are excluded: classical conjunctive-query containment
+        assumes satisfiable queries, whereas QL concepts with conflicting
+        singletons are unsatisfiable under the Unique Name Assumption (the
+        calculus reports them as subsumed-by-everything via a clash) -- see
+        the dedicated test below.
+        """
+        structural = subsumes(query, view)
+        containment = cq_contained_in(concept_to_cq(query), concept_to_cq(view))
+        assert structural == containment, (
+            f"disagreement on query={query} view={view}: calculus={structural}, CM={containment}"
+        )
+
+    def test_una_unsatisfiable_queries_are_where_the_baselines_diverge(self):
+        """A query with clashing singletons is subsumed by everything (clash),
+        while the homomorphism criterion -- which presupposes a satisfiable
+        canonical database -- does not report the containment."""
+        query = b.agreement(
+            b.path(("p", b.singleton("a"))), b.path(("p", b.singleton("b")))
+        )
+        view = b.concept("A")
+        assert subsumes(query, view)
+        assert not cq_contained_in(concept_to_cq(query), concept_to_cq(view))
+
+
+class TestBruteForce:
+    def test_counterexample_found_for_non_subsumption(self):
+        outcome = find_counterexample(b.concept("A"), b.concept("B"), domain_size=1)
+        assert not outcome.subsumed_up_to_bound
+        assert outcome.counterexample is not None
+        assert outcome.witnesses
+
+    def test_no_counterexample_for_valid_subsumption(self):
+        assert brute_force_subsumes(
+            b.conjoin(b.concept("A"), b.concept("B")), b.concept("A"), domain_size=2
+        )
+
+    def test_schema_axioms_are_respected(self):
+        schema = b.schema(b.isa("A", "B"))
+        assert brute_force_subsumes(b.concept("A"), b.concept("B"), schema, domain_size=2)
+        assert not brute_force_subsumes(b.concept("B"), b.concept("A"), schema, domain_size=2)

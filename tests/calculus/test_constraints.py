@@ -1,0 +1,104 @@
+"""Unit tests for constraints, individuals and fact/goal pairs."""
+
+from repro.calculus.constraints import (
+    AttributeConstraint,
+    Constant,
+    MembershipConstraint,
+    Pair,
+    PathConstraint,
+    Variable,
+)
+from repro.concepts import builders as b
+from repro.concepts.syntax import Primitive
+
+
+class TestIndividuals:
+    def test_variable_and_constant_flags(self):
+        assert Variable("x").is_variable
+        assert not Constant("a").is_variable
+
+    def test_sort_keys_put_constants_first(self):
+        assert Constant("z").sort_key() < Variable("a").sort_key()
+
+
+class TestConstraints:
+    def test_membership_substitution(self):
+        constraint = MembershipConstraint(Variable("y"), Primitive("A"))
+        substituted = constraint.substitute(Variable("y"), Constant("a"))
+        assert substituted.subject == Constant("a")
+        assert constraint.substitute(Variable("z"), Constant("a")) is constraint
+
+    def test_attribute_substitution_touches_both_ends(self):
+        constraint = AttributeConstraint(Variable("x"), b.attr("p"), Variable("x"))
+        substituted = constraint.substitute(Variable("x"), Constant("a"))
+        assert substituted.subject == Constant("a") and substituted.filler == Constant("a")
+
+    def test_path_constraint_individuals(self):
+        constraint = PathConstraint(Variable("x"), b.path("p"), Constant("a"))
+        assert set(constraint.individuals()) == {Variable("x"), Constant("a")}
+
+    def test_constraints_are_hashable_and_comparable_for_sets(self):
+        first = MembershipConstraint(Variable("x"), Primitive("A"))
+        second = MembershipConstraint(Variable("x"), Primitive("A"))
+        assert {first} == {second}
+
+
+class TestPair:
+    def test_initial_pair_shape(self):
+        pair = Pair.initial(b.concept("A"), b.concept("B"))
+        assert pair.root_fact_subject == pair.root_goal_subject == Variable("x")
+        assert MembershipConstraint(Variable("x"), Primitive("A")) in pair.facts
+        assert MembershipConstraint(Variable("x"), Primitive("B")) in pair.goals
+
+    def test_fresh_variables_never_collide(self):
+        pair = Pair.initial(b.concept("A"), b.concept("B"))
+        seen = set()
+        for _ in range(5):
+            fresh = pair.fresh_variable()
+            pair.add_facts([MembershipConstraint(fresh, Primitive("A"))])
+            assert fresh not in seen
+            seen.add(fresh)
+
+    def test_add_facts_reports_only_new_constraints(self):
+        pair = Pair.initial(b.concept("A"), b.concept("B"))
+        constraint = MembershipConstraint(Variable("x"), Primitive("A"))
+        assert pair.add_facts([constraint]) == ()
+        new = MembershipConstraint(Variable("x"), Primitive("C"))
+        assert pair.add_facts([new, constraint]) == (new,)
+
+    def test_substitution_rewrites_everything_and_tracks_roots(self):
+        pair = Pair.initial(b.concept("A"), b.concept("B"))
+        pair.add_facts([AttributeConstraint(Variable("x"), b.attr("p"), Variable("y"))])
+        changed = pair.apply_substitution(Variable("x"), Constant("a"))
+        assert changed
+        assert pair.root_fact_subject == Constant("a")
+        assert pair.root_goal_subject == Constant("a")
+        assert AttributeConstraint(Constant("a"), b.attr("p"), Variable("y")) in pair.facts
+        assert all(Variable("x") not in c.individuals() for c in pair.constraints())
+
+    def test_substitution_of_absent_individual_reports_no_change(self):
+        pair = Pair.initial(b.concept("A"), b.concept("B"))
+        assert not pair.apply_substitution(Variable("zzz"), Constant("a"))
+
+    def test_attribute_fillers_lookup(self):
+        pair = Pair.initial(b.concept("A"), b.concept("B"))
+        pair.add_facts(
+            [
+                AttributeConstraint(Variable("x"), b.attr("p"), Variable("y")),
+                AttributeConstraint(Variable("x"), b.attr("p"), Constant("a")),
+                AttributeConstraint(Variable("x"), b.inv("p"), Constant("b")),
+            ]
+        )
+        assert pair.attribute_fillers(Variable("x"), b.attr("p")) == {Variable("y"), Constant("a")}
+        assert pair.attribute_fillers(Variable("x"), b.inv("p")) == {Constant("b")}
+
+    def test_individual_and_constant_collections(self):
+        pair = Pair.initial(b.concept("A"), b.concept("B"))
+        pair.add_facts([AttributeConstraint(Variable("x"), b.attr("p"), Constant("a"))])
+        assert Constant("a") in pair.constants()
+        assert Variable("x") in pair.fact_individuals()
+
+    def test_pretty_rendering_mentions_facts_and_goals(self):
+        pair = Pair.initial(b.concept("A"), b.concept("B"))
+        rendered = pair.pretty()
+        assert "Facts:" in rendered and "Goals:" in rendered and "x: A" in rendered

@@ -1,0 +1,144 @@
+"""Experiment E1: the paper's worked example (Figures 1-6 and 11).
+
+The calculus must derive that ``QueryPatient`` is Σ-subsumed by
+``ViewPatient`` over the medical schema, and must refuse the converse
+direction; the derivation should use the same ingredients as Figure 11
+(decomposition of the agreement, the inverse ``skilled_in`` edge, the
+schema-supplied ``name`` filler, composition of the view's path).
+"""
+
+import pytest
+
+from repro.calculus import decide_subsumption, rule_histogram, subsumes
+from repro.calculus.trace import format_result, format_trace
+from repro.concepts.normalize import normalize_concept
+from repro.concepts.size import concept_size
+from repro.dl import parse_schema, query_classes_to_concepts, schema_to_sl, validate_schema
+from repro.workloads.medical import (
+    MEDICAL_DL_SOURCE,
+    medical_schema,
+    query_patient_concept,
+    view_patient_concept,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return decide_subsumption(
+        query_patient_concept(), view_patient_concept(), medical_schema()
+    )
+
+
+class TestWorkedExample:
+    def test_query_is_subsumed_by_view(self, result):
+        assert result.subsumed
+        assert result.goal_established
+        assert not result.clashes  # C_Q is satisfiable; subsumption is genuine
+
+    def test_reverse_direction_fails(self):
+        assert not subsumes(
+            view_patient_concept(), query_patient_concept(), medical_schema()
+        )
+
+    def test_subsumption_needs_the_schema(self):
+        """Without Figure 6's axioms the inclusion is not derivable (name, suffers, inverses)."""
+        assert not subsumes(query_patient_concept(), view_patient_concept())
+
+    def test_key_schema_ingredients_are_needed(self):
+        """Dropping the axioms the paper's explanation relies on breaks the proof.
+
+        The paper (Section 2.2) points out that subsumption needs (1) every
+        person (and hence every patient) has a name, and (2) the fillers can
+        be recognized as diseases.  Ablating the corresponding axioms must
+        make the checker reject the inclusion; the disease typing is
+        redundant (derivable from either ``suffers`` or ``skilled_in``
+        typing), so only removing *both* breaks the proof.
+        """
+        from repro.concepts import builders as b
+
+        full = medical_schema()
+
+        def without(*rendered_axioms):
+            return b.schema(a for a in full.axioms() if str(a) not in rendered_axioms)
+
+        query, view = query_patient_concept(), view_patient_concept()
+        assert not subsumes(query, view, without("Person <= EXISTS name"))
+        assert not subsumes(query, view, without("Patient <= Person"))
+        assert not subsumes(query, view, without("Person <= ALL name. String"))
+        # Each disease-typing axiom alone is redundant ...
+        assert subsumes(query, view, without("Patient <= ALL suffers. Disease"))
+        assert subsumes(query, view, without("Doctor <= ALL skilled_in. Disease"))
+        # ... but dropping both removes every way to derive the Disease filler.
+        assert not subsumes(
+            query,
+            view,
+            without("Patient <= ALL suffers. Disease", "Doctor <= ALL skilled_in. Disease"),
+        )
+
+    def test_derivation_uses_the_figure_11_rule_mix(self, result):
+        histogram = rule_histogram(result.trace)
+        # Decomposition of the agreement and paths.
+        for rule in ("D1", "D2", "D5", "D6", "D7"):
+            assert histogram.get(rule, 0) >= 1, f"rule {rule} never fired"
+        # Schema reasoning: superclass, value restriction, attribute typing, S5 name filler.
+        for rule in ("S1", "S2", "S3", "S5"):
+            assert histogram.get(rule, 0) >= 1, f"rule {rule} never fired"
+        # Goal-directed evaluation and composition of the view concept.
+        for rule in ("G1", "G3", "C1", "C4", "C5", "C6"):
+            assert histogram.get(rule, 0) >= 1, f"rule {rule} never fired"
+
+    def test_individuals_match_figure_11(self, result):
+        """Figure 11 introduces x, y1, y2 (the loop) and y3 (the name filler)."""
+        individuals = result.completion.pair.fact_individuals()
+        assert len(individuals) == 4
+
+    def test_individual_count_respects_proposition_4_8(self, result):
+        bound = concept_size(result.query) * concept_size(result.view)
+        assert result.statistics.individuals <= bound
+
+    def test_trace_rendering_is_presentable(self, result):
+        text = format_result(result)
+        assert "C ⊑_Σ D  is  TRUE" in text
+        assert "derivation" in text
+        assert format_trace(result.trace).count("\n") == len(result.trace) - 1
+
+
+class TestConcreteToAbstractPipeline:
+    def test_parsed_schema_is_valid(self):
+        parsed = parse_schema(MEDICAL_DL_SOURCE)
+        assert validate_schema(parsed) == []
+
+    def test_parsed_concepts_match_hand_built_ones(self):
+        parsed = parse_schema(MEDICAL_DL_SOURCE)
+        concepts = query_classes_to_concepts(parsed)
+        assert normalize_concept(concepts["QueryPatient"]) == normalize_concept(
+            query_patient_concept()
+        )
+        assert normalize_concept(concepts["ViewPatient"]) == normalize_concept(
+            view_patient_concept()
+        )
+
+    def test_pipeline_reproduces_the_subsumption(self):
+        parsed = parse_schema(MEDICAL_DL_SOURCE)
+        sl = schema_to_sl(parsed)
+        concepts = query_classes_to_concepts(parsed)
+        assert subsumes(concepts["QueryPatient"], concepts["ViewPatient"], sl)
+        assert not subsumes(concepts["ViewPatient"], concepts["QueryPatient"], sl)
+
+    def test_parsed_sl_schema_contains_figure_6_axioms(self):
+        parsed = parse_schema(MEDICAL_DL_SOURCE)
+        sl = schema_to_sl(parsed)
+        rendered = {str(axiom) for axiom in sl.axioms()}
+        for expected in (
+            "Patient <= Person",
+            "Patient <= ALL takes. Drug",
+            "Patient <= ALL consults. Doctor",
+            "Patient <= ALL suffers. Disease",
+            "Patient <= EXISTS suffers",
+            "Person <= ALL name. String",
+            "Person <= EXISTS name",
+            "Person <= (<= 1 name)",
+            "Doctor <= ALL skilled_in. Disease",
+            "skilled_in <= Person x Topic",
+        ):
+            assert expected in rendered, f"missing axiom {expected}"

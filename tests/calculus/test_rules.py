@@ -1,0 +1,248 @@
+"""Unit tests for the individual rules of the calculus (Figures 7-10)."""
+
+import pytest
+
+from repro.calculus.constraints import (
+    AttributeConstraint,
+    Constant,
+    MembershipConstraint,
+    Pair,
+    PathConstraint,
+    Variable,
+)
+from repro.calculus.rules.composition import RuleC1, RuleC2, RuleC3, RuleC4, RuleC5, RuleC6
+from repro.calculus.rules.decomposition import (
+    RuleD1,
+    RuleD2,
+    RuleD3,
+    RuleD4,
+    RuleD5,
+    RuleD6,
+    RuleD7,
+)
+from repro.calculus.rules.goal import RuleG1, RuleG2, RuleG3
+from repro.calculus.rules.schema_rules import RuleS1, RuleS2, RuleS3, RuleS4, RuleS5, RuleS6
+from repro.concepts import builders as b
+from repro.concepts.schema import Schema
+from repro.concepts.syntax import ExistsPath, PathAgreement, Primitive
+
+X = Variable("x")
+EMPTY = Schema.empty()
+
+
+def fact_pair(*facts, goals=()):
+    return Pair(facts=facts, goals=goals, root_fact_subject=X, root_goal_subject=X)
+
+
+class TestDecompositionRules:
+    def test_d1_splits_conjunction(self):
+        pair = fact_pair(MembershipConstraint(X, b.conjoin(b.concept("A"), b.concept("B"))))
+        application = RuleD1().apply(pair, EMPTY)
+        assert application is not None and application.rule == "D1"
+        assert MembershipConstraint(X, Primitive("A")) in pair.facts
+        assert MembershipConstraint(X, Primitive("B")) in pair.facts
+        assert RuleD1().apply(pair, EMPTY) is None  # not applicable twice
+
+    def test_d2_adds_converse_edge(self):
+        pair = fact_pair(AttributeConstraint(X, b.inv("p"), Variable("y")))
+        RuleD2().apply(pair, EMPTY)
+        assert AttributeConstraint(Variable("y"), b.attr("p"), X) in pair.facts
+
+    def test_d3_substitutes_variable_by_constant(self):
+        pair = fact_pair(
+            MembershipConstraint(Variable("y"), b.singleton("a")),
+            AttributeConstraint(X, b.attr("p"), Variable("y")),
+        )
+        application = RuleD3().apply(pair, EMPTY)
+        assert application.substitution == (Variable("y"), Constant("a"))
+        assert AttributeConstraint(X, b.attr("p"), Constant("a")) in pair.facts
+
+    def test_d3_does_not_touch_constants(self):
+        pair = fact_pair(MembershipConstraint(Constant("b"), b.singleton("a")))
+        assert RuleD3().apply(pair, EMPTY) is None
+
+    def test_d4_creates_witness_once(self):
+        concept = b.exists(("p", b.concept("A")))
+        pair = fact_pair(MembershipConstraint(X, concept))
+        RuleD4().apply(pair, EMPTY)
+        witnesses = [c for c in pair.facts if isinstance(c, PathConstraint)]
+        assert len(witnesses) == 1 and witnesses[0].path == concept.path
+        assert RuleD4().apply(pair, EMPTY) is None
+
+    def test_d5_adds_loop(self):
+        concept = b.loops(("p", b.concept("A")))
+        pair = fact_pair(MembershipConstraint(X, concept))
+        RuleD5().apply(pair, EMPTY)
+        assert PathConstraint(X, concept.left, X) in pair.facts
+
+    def test_d6_unfolds_long_path(self):
+        path = b.path(("p", b.concept("A")), ("q", b.concept("B")))
+        pair = fact_pair(PathConstraint(X, path, X))
+        RuleD6().apply(pair, EMPTY)
+        attribute_facts = [c for c in pair.facts if isinstance(c, AttributeConstraint)]
+        assert len(attribute_facts) == 1
+        fresh = attribute_facts[0].filler
+        assert MembershipConstraint(fresh, Primitive("A")) in pair.facts
+        assert PathConstraint(fresh, path.tail, X) in pair.facts
+        assert RuleD6().apply(pair, EMPTY) is None  # witness now exists
+
+    def test_d7_flattens_single_step(self):
+        path = b.path(("p", b.concept("A")))
+        pair = fact_pair(PathConstraint(X, path, Constant("a")))
+        RuleD7().apply(pair, EMPTY)
+        assert AttributeConstraint(X, b.attr("p"), Constant("a")) in pair.facts
+        assert MembershipConstraint(Constant("a"), Primitive("A")) in pair.facts
+
+
+class TestSchemaRules:
+    def test_s1_superclass_propagation(self):
+        schema = b.schema(b.isa("A", "B"))
+        pair = fact_pair(MembershipConstraint(X, Primitive("A")))
+        RuleS1().apply(pair, schema)
+        assert MembershipConstraint(X, Primitive("B")) in pair.facts
+
+    def test_s2_value_restriction_propagation(self):
+        schema = b.schema(b.typed("A", "p", "B"))
+        pair = fact_pair(
+            MembershipConstraint(X, Primitive("A")),
+            AttributeConstraint(X, b.attr("p"), Variable("y")),
+        )
+        RuleS2().apply(pair, schema)
+        assert MembershipConstraint(Variable("y"), Primitive("B")) in pair.facts
+
+    def test_s2_ignores_inverted_edges(self):
+        schema = b.schema(b.typed("A", "p", "B"))
+        pair = fact_pair(
+            MembershipConstraint(X, Primitive("A")),
+            AttributeConstraint(X, b.inv("p"), Variable("y")),
+        )
+        assert RuleS2().apply(pair, schema) is None
+
+    def test_s3_domain_range_propagation(self):
+        schema = b.schema(b.attribute_typing("p", "A", "B"))
+        pair = fact_pair(AttributeConstraint(X, b.attr("p"), Variable("y")))
+        RuleS3().apply(pair, schema)
+        assert MembershipConstraint(X, Primitive("A")) in pair.facts
+        assert MembershipConstraint(Variable("y"), Primitive("B")) in pair.facts
+
+    def test_s4_identifies_functional_fillers(self):
+        schema = b.schema(b.functional("A", "p"))
+        pair = fact_pair(
+            MembershipConstraint(X, Primitive("A")),
+            AttributeConstraint(X, b.attr("p"), Variable("y")),
+            AttributeConstraint(X, b.attr("p"), Constant("a")),
+        )
+        application = RuleS4().apply(pair, schema)
+        assert application is not None
+        # The variable was merged into the constant, never the other way.
+        assert pair.attribute_fillers(X, b.attr("p")) == {Constant("a")}
+
+    def test_s4_leaves_two_constants_alone(self):
+        schema = b.schema(b.functional("A", "p"))
+        pair = fact_pair(
+            MembershipConstraint(X, Primitive("A")),
+            AttributeConstraint(X, b.attr("p"), Constant("a")),
+            AttributeConstraint(X, b.attr("p"), Constant("b")),
+        )
+        assert RuleS4().apply(pair, schema) is None  # this is a clash, not a merge
+
+    def test_s5_needs_goal_demand_and_necessity(self):
+        schema = b.schema(b.necessary("A", "p"))
+        goal = MembershipConstraint(X, b.exists(("p", b.concept("B"))))
+        # Without the goal: not applicable.
+        pair = fact_pair(MembershipConstraint(X, Primitive("A")))
+        assert RuleS5().apply(pair, schema) is None
+        # With the goal: creates exactly one filler.
+        pair = fact_pair(MembershipConstraint(X, Primitive("A")), goals=[goal])
+        RuleS5().apply(pair, schema)
+        assert len(pair.attribute_fillers(X, b.attr("p"))) == 1
+        assert RuleS5().apply(pair, schema) is None
+
+    def test_s5_not_applicable_without_schema_necessity(self):
+        goal = MembershipConstraint(X, b.exists(("p", b.concept("B"))))
+        pair = fact_pair(MembershipConstraint(X, Primitive("A")), goals=[goal])
+        assert RuleS5().apply(pair, EMPTY) is None
+
+    def test_s6_domain_propagation_repair(self):
+        schema = b.schema(b.necessary("A", "p"), b.attribute_typing("p", "A1", "A2"))
+        pair = fact_pair(MembershipConstraint(X, Primitive("A")))
+        RuleS6().apply(pair, schema)
+        assert MembershipConstraint(X, Primitive("A1")) in pair.facts
+
+
+class TestGoalAndCompositionRules:
+    def test_g1_splits_goal_conjunction(self):
+        goal = MembershipConstraint(X, b.conjoin(b.concept("A"), b.concept("B")))
+        pair = fact_pair(goals=[goal])
+        RuleG1().apply(pair, EMPTY)
+        assert MembershipConstraint(X, Primitive("A")) in pair.goals
+        assert MembershipConstraint(X, Primitive("B")) in pair.goals
+
+    def test_g2_propagates_goal_to_explicit_fillers_only(self):
+        goal = MembershipConstraint(X, b.exists(("p", b.concept("A"))))
+        pair = fact_pair(goals=[goal])
+        assert RuleG2().apply(pair, EMPTY) is None
+        pair.add_facts([AttributeConstraint(X, b.attr("p"), Variable("y"))])
+        RuleG2().apply(pair, EMPTY)
+        assert MembershipConstraint(Variable("y"), Primitive("A")) in pair.goals
+
+    def test_g3_adds_continuation_goal(self):
+        goal = MembershipConstraint(
+            X, b.exists(("p", b.concept("A")), ("q", b.concept("B")))
+        )
+        pair = fact_pair(
+            AttributeConstraint(X, b.attr("p"), Variable("y")), goals=[goal]
+        )
+        RuleG3().apply(pair, EMPTY)
+        assert MembershipConstraint(Variable("y"), Primitive("A")) in pair.goals
+        assert MembershipConstraint(Variable("y"), ExistsPath(b.path(("q", b.concept("B"))))) in pair.goals
+
+    def test_c1_composes_conjunction_only_when_goal_asks(self):
+        conjunction = b.conjoin(b.concept("A"), b.concept("B"))
+        pair = fact_pair(
+            MembershipConstraint(X, Primitive("A")),
+            MembershipConstraint(X, Primitive("B")),
+        )
+        assert RuleC1().apply(pair, EMPTY) is None
+        pair.add_goals([MembershipConstraint(X, conjunction)])
+        RuleC1().apply(pair, EMPTY)
+        assert MembershipConstraint(X, conjunction) in pair.facts
+
+    def test_c2_establishes_top_goals(self):
+        pair = fact_pair(goals=[MembershipConstraint(X, b.top())])
+        RuleC2().apply(pair, EMPTY)
+        assert MembershipConstraint(X, b.top()) in pair.facts
+
+    def test_c3_and_c6_compose_single_step_paths(self):
+        concept = b.exists(("p", b.concept("A")))
+        pair = fact_pair(
+            AttributeConstraint(X, b.attr("p"), Variable("y")),
+            MembershipConstraint(Variable("y"), Primitive("A")),
+            goals=[MembershipConstraint(X, concept)],
+        )
+        RuleC6().apply(pair, EMPTY)
+        assert PathConstraint(X, concept.path, Variable("y")) in pair.facts
+        RuleC3().apply(pair, EMPTY)
+        assert MembershipConstraint(X, concept) in pair.facts
+
+    def test_c4_composes_agreements_from_loops(self):
+        concept = b.loops(("p", b.concept("A")))
+        pair = fact_pair(
+            PathConstraint(X, concept.left, X),
+            goals=[MembershipConstraint(X, concept)],
+        )
+        RuleC4().apply(pair, EMPTY)
+        assert MembershipConstraint(X, concept) in pair.facts
+
+    def test_c5_composes_long_paths_through_verified_intermediates(self):
+        path = b.path(("p", b.concept("A")), ("q", b.concept("B")))
+        goal = MembershipConstraint(X, ExistsPath(path))
+        y, z = Variable("y"), Variable("z")
+        pair = fact_pair(
+            AttributeConstraint(X, b.attr("p"), y),
+            MembershipConstraint(y, Primitive("A")),
+            PathConstraint(y, path.tail, z),
+            goals=[goal],
+        )
+        RuleC5().apply(pair, EMPTY)
+        assert PathConstraint(X, path, z) in pair.facts

@@ -1,0 +1,116 @@
+"""Experiment E8: property-based checks of Theorem 4.7 (soundness & completeness).
+
+Three executable readings of the theorem:
+
+* **Soundness vs models**: whenever the calculus claims ``C ⊑_Σ D``, no small
+  Σ-interpretation may exhibit a counterexample object (the brute-force
+  oracle searches all of them up to a domain bound).
+* **Completeness via countermodels**: whenever the calculus denies the
+  subsumption (and no clash occurred), the canonical interpretation of the
+  completed facts must be a Σ-model containing the root object in ``C`` but
+  not in ``D`` -- i.e. the denial is always justified by an explicit
+  countermodel.
+* **Agreement on the empty schema** with the Chandra--Merlin containment
+  baseline (checked in ``tests/baselines/test_containment.py``).
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.baselines.bruteforce import find_counterexample
+from repro.calculus import decide_subsumption, subsumes
+from repro.concepts.schema import Schema
+from repro.semantics.canonical import element_for
+from repro.semantics.evaluate import concept_extension
+from repro.semantics.sigma import is_sigma_interpretation
+
+from ..strategies import concepts, schemas
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+class TestSoundness:
+    @RELAXED
+    @given(concepts(max_depth=2), concepts(max_depth=2))
+    def test_no_small_counterexample_when_subsumed_empty_schema(self, query, view):
+        if subsumes(query, view):
+            outcome = find_counterexample(query, view, domain_size=2, limit=40_000)
+            assert outcome.subsumed_up_to_bound, (
+                f"calculus claims {query} ⊑ {view} but a 2-element countermodel exists"
+            )
+
+    @RELAXED
+    @given(concepts(max_depth=1, allow_singletons=False), schemas(max_axioms=3))
+    def test_no_small_counterexample_when_subsumed_with_schema(self, query, schema):
+        # Test against a primitive view to keep the oracle's vocabulary small.
+        from repro.concepts.syntax import Primitive
+
+        view = Primitive("B")
+        if subsumes(query, view, schema):
+            outcome = find_counterexample(query, view, schema, domain_size=2, limit=40_000)
+            assert outcome.subsumed_up_to_bound
+
+
+class TestCompletenessViaCountermodels:
+    @RELAXED
+    @given(concepts(max_depth=2, allow_singletons=False), concepts(max_depth=2, allow_singletons=False))
+    def test_denials_are_witnessed_by_the_canonical_countermodel(self, query, view):
+        result = decide_subsumption(query, view, Schema.empty())
+        if result.subsumed:
+            return
+        countermodel = result.countermodel()
+        assert countermodel is not None
+        root = element_for(result.root_goal_subject)
+        assert root in concept_extension(result.query, countermodel)
+        assert root not in concept_extension(result.view, countermodel)
+
+    @RELAXED
+    @given(
+        concepts(max_depth=2, allow_singletons=False),
+        concepts(max_depth=1, allow_singletons=False),
+        schemas(max_axioms=4),
+    )
+    def test_countermodels_are_sigma_models(self, query, view, schema):
+        result = decide_subsumption(query, view, schema)
+        if result.subsumed:
+            return
+        countermodel = result.countermodel()
+        assert countermodel is not None
+        assert is_sigma_interpretation(countermodel, schema), (
+            "the canonical countermodel violates a schema axiom "
+            f"(query={query}, view={view})"
+        )
+        root = element_for(result.root_goal_subject)
+        assert root in concept_extension(result.query, countermodel)
+        assert root not in concept_extension(result.view, countermodel)
+
+
+class TestDecisionProperties:
+    @RELAXED
+    @given(concepts(max_depth=2), schemas(max_axioms=3))
+    def test_reflexivity(self, concept, schema):
+        assert subsumes(concept, concept, schema)
+
+    @RELAXED
+    @given(concepts(max_depth=1), concepts(max_depth=1), concepts(max_depth=1))
+    def test_transitivity_on_empty_schema(self, first, second, third):
+        if subsumes(first, second) and subsumes(second, third):
+            assert subsumes(first, third)
+
+    @RELAXED
+    @given(concepts(max_depth=2), concepts(max_depth=2), schemas(max_axioms=3))
+    def test_conjunction_introduction(self, query, view, schema):
+        from repro.concepts import builders as b
+
+        if subsumes(query, view, schema):
+            assert subsumes(b.conjoin(query, b.concept("Z")), view, schema)
+
+    @RELAXED
+    @given(concepts(max_depth=2), schemas(max_axioms=3))
+    def test_everything_subsumed_by_top(self, concept, schema):
+        from repro.concepts import builders as b
+
+        assert subsumes(concept, b.top(), schema)

@@ -1,0 +1,205 @@
+"""Behavioural tests of the subsumption decision procedure (Theorem 4.7)."""
+
+import pytest
+
+from repro.calculus import decide_subsumption, subsumes
+from repro.calculus.clash import find_clashes
+from repro.concepts import builders as b
+from repro.concepts.schema import Schema
+
+EMPTY = Schema.empty()
+
+
+class TestEmptySchemaBasics:
+    def test_reflexivity(self):
+        concept = b.conjoin(b.concept("A"), b.exists(("p", b.concept("B"))))
+        assert subsumes(concept, concept)
+
+    def test_everything_subsumed_by_top(self):
+        assert subsumes(b.concept("A"), b.top())
+        assert subsumes(b.exists("p"), b.top())
+
+    def test_top_not_subsumed_by_primitive(self):
+        assert not subsumes(b.top(), b.concept("A"))
+
+    def test_conjunction_elimination_and_introduction(self):
+        a, bee = b.concept("A"), b.concept("B")
+        assert subsumes(b.conjoin(a, bee), a)
+        assert subsumes(b.conjoin(a, bee), bee)
+        assert not subsumes(a, b.conjoin(a, bee))
+
+    def test_distinct_primitives_incomparable(self):
+        assert not subsumes(b.concept("A"), b.concept("B"))
+
+    def test_exists_weakening_of_filler(self):
+        strong = b.exists(("p", b.conjoin(b.concept("A"), b.concept("B"))))
+        weak = b.exists(("p", b.concept("A")))
+        weakest = b.exists("p")
+        assert subsumes(strong, weak)
+        assert subsumes(strong, weakest)
+        assert not subsumes(weak, strong)
+
+    def test_longer_chains_are_not_implied_by_shorter_ones(self):
+        short = b.exists(("p", b.concept("A")))
+        long = b.exists(("p", b.concept("A")), ("p", b.concept("A")))
+        assert not subsumes(short, long)
+        # ... while the longer chain does imply its own prefix.
+        assert subsumes(long, short)
+
+    def test_chain_prefix_is_implied(self):
+        long = b.exists(("p", b.concept("A")), ("q", b.concept("B")))
+        prefix = b.exists(("p", b.concept("A")))
+        assert subsumes(long, prefix)
+
+    def test_agreement_implies_both_existentials(self):
+        agreement = b.agreement(
+            b.path(("p", b.concept("A"))), b.path(("q", b.concept("B")))
+        )
+        assert subsumes(agreement, b.exists(("p", b.concept("A"))))
+        assert subsumes(agreement, b.exists(("q", b.concept("B"))))
+        assert not subsumes(
+            b.conjoin(b.exists(("p", b.concept("A"))), b.exists(("q", b.concept("B")))),
+            agreement,
+        )
+
+    def test_inverse_attribute_round_trip(self):
+        looping = b.agreement(b.path("p", b.inv("p")), b.path())
+        assert subsumes(looping, b.exists("p"))
+        assert subsumes(b.exists(("p", b.concept("A"))), b.exists("p"))
+
+    def test_singleton_filler_subsumes_existential(self):
+        pinned = b.exists(("takes", b.singleton("Aspirin")))
+        assert subsumes(pinned, b.exists("takes"))
+        assert not subsumes(b.exists("takes"), pinned)
+
+    def test_same_singleton_subsumes_itself(self):
+        pinned = b.exists(("takes", b.singleton("Aspirin")))
+        assert subsumes(pinned, pinned)
+
+
+class TestSchemaDrivenSubsumption:
+    def test_declared_subclass(self):
+        schema = b.schema(b.isa("Patient", "Person"))
+        assert subsumes(b.concept("Patient"), b.concept("Person"), schema)
+        assert not subsumes(b.concept("Person"), b.concept("Patient"), schema)
+
+    def test_transitive_subclass_chain(self):
+        schema = b.schema(b.isa("A", "B"), b.isa("B", "C"), b.isa("C", "D"))
+        assert subsumes(b.concept("A"), b.concept("D"), schema)
+        assert not subsumes(b.concept("D"), b.concept("A"), schema)
+
+    def test_attribute_typing_strengthens_paths(self):
+        schema = b.schema(b.typed("Patient", "consults", "Doctor"))
+        query = b.conjoin(b.concept("Patient"), b.exists("consults"))
+        view = b.exists(("consults", b.concept("Doctor")))
+        assert subsumes(query, view, schema)
+        assert not subsumes(b.exists("consults"), view, schema)
+
+    def test_necessary_attribute_supplies_existential(self):
+        schema = b.schema(b.necessary("Patient", "suffers"))
+        assert subsumes(b.concept("Patient"), b.exists("suffers"), schema)
+        assert not subsumes(b.concept("Patient"), b.exists("consults"), schema)
+
+    def test_necessary_plus_typing_supplies_qualified_existential(self):
+        schema = b.schema(
+            b.necessary("Patient", "suffers"), b.typed("Patient", "suffers", "Disease")
+        )
+        assert subsumes(
+            b.concept("Patient"), b.exists(("suffers", b.concept("Disease"))), schema
+        )
+
+    def test_domain_range_of_attribute_propagates(self):
+        schema = b.schema(b.attribute_typing("skilled_in", "Person", "Topic"))
+        query = b.exists(("skilled_in", b.top()))
+        assert subsumes(query, b.concept("Person"), schema)
+        assert subsumes(query, b.exists(("skilled_in", b.concept("Topic"))), schema)
+
+    def test_inverse_direction_uses_range(self):
+        schema = b.schema(b.attribute_typing("skilled_in", "Person", "Topic"))
+        query = b.exists((b.inv("skilled_in"), b.top()))
+        assert subsumes(query, b.concept("Topic"), schema)
+
+    def test_functional_attribute_merges_paths(self):
+        # With a single-valued attribute, two paths through it must coincide.
+        schema = b.schema(b.functional("A", "p"))
+        query = b.conjoin(
+            b.concept("A"),
+            b.exists(("p", b.concept("B"))),
+            b.exists(("p", b.concept("C"))),
+        )
+        view = b.exists(("p", b.conjoin(b.concept("B"), b.concept("C"))))
+        assert subsumes(query, view, schema)
+        assert not subsumes(query, view, Schema.empty())
+
+    def test_domain_propagation_repair_rule(self):
+        """{A ⊑ ∃p, p ⊑ A1×A2} entails A ⊑ A1 -- found only with rule S6."""
+        schema = b.schema(b.necessary("A", "p"), b.attribute_typing("p", "A1", "A2"))
+        assert subsumes(b.concept("A"), b.concept("A1"), schema)
+        assert not subsumes(
+            b.concept("A"), b.concept("A1"), schema, use_repair_rule=False
+        )
+
+    def test_schema_does_not_create_unsound_subsumptions(self):
+        schema = b.schema(b.isa("A", "B"), b.typed("A", "p", "C"))
+        assert not subsumes(b.concept("B"), b.concept("A"), schema)
+        assert not subsumes(b.exists("p"), b.exists(("p", b.concept("C"))), schema)
+
+
+class TestClashesAndUnsatisfiability:
+    def test_singleton_clash_makes_concept_unsatisfiable(self):
+        # {a} ⊓ {b} is unsatisfiable under the UNA, hence subsumed by anything.
+        query = b.conjoin(
+            b.exists(("p", b.singleton("a"))),
+            b.exists(("p", b.conjoin(b.singleton("a"), b.singleton("b")))),
+        )
+        result = decide_subsumption(query, b.concept("Z"))
+        assert result.subsumed
+        assert result.clashes
+
+    def test_functional_attribute_clash(self):
+        schema = b.schema(b.functional("A", "p"))
+        query = b.conjoin(
+            b.concept("A"),
+            b.exists(("p", b.singleton("a"))),
+            b.exists(("p", b.singleton("b"))),
+        )
+        result = decide_subsumption(query, b.concept("Z"), schema)
+        assert result.subsumed and result.clashes
+        assert any(clash.kind == "functional-clash" for clash in result.clashes)
+
+    def test_satisfiable_concepts_have_no_clash(self):
+        result = decide_subsumption(
+            b.conjoin(b.concept("A"), b.exists(("p", b.singleton("a")))), b.concept("A")
+        )
+        assert result.subsumed and not result.clashes
+
+    def test_find_clashes_reports_constraints(self):
+        schema = b.schema(b.functional("A", "p"))
+        result = decide_subsumption(
+            b.conjoin(
+                b.concept("A"),
+                b.exists(("p", b.singleton("a"))),
+                b.exists(("p", b.singleton("b"))),
+            ),
+            b.concept("Z"),
+            schema,
+        )
+        clashes = find_clashes(result.completion.facts, schema)
+        assert clashes and all(clash.constraints for clash in clashes)
+
+
+class TestResultObject:
+    def test_result_exposes_trace_and_statistics(self):
+        result = decide_subsumption(
+            b.conjoin(b.concept("A"), b.concept("B")), b.concept("A")
+        )
+        assert result.subsumed and result.goal_established
+        assert result.statistics.total_applications == len(result.trace) > 0
+        assert result.statistics.individuals >= 1
+
+    def test_keep_trace_false_still_decides(self):
+        result = decide_subsumption(
+            b.conjoin(b.concept("A"), b.concept("B")), b.concept("A"), keep_trace=False
+        )
+        assert result.subsumed
+        assert result.trace == ()

@@ -1,0 +1,99 @@
+"""Unit tests for the construction DSL (repro.concepts.builders)."""
+
+import pytest
+
+from repro.concepts import builders as b
+from repro.concepts.syntax import (
+    And,
+    Attribute,
+    AttributeRestriction,
+    ExistsPath,
+    PathAgreement,
+    Primitive,
+    Singleton,
+    Top,
+)
+
+
+class TestConceptBuilders:
+    def test_conjoin_empty_is_top(self):
+        assert b.conjoin() == Top()
+
+    def test_conjoin_single_returns_unchanged(self):
+        assert b.conjoin(b.concept("A")) == Primitive("A")
+
+    def test_conjoin_accepts_iterables(self):
+        concept = b.conjoin([b.concept("A"), b.concept("B")], b.concept("C"))
+        parts = set()
+
+        def collect(node):
+            if isinstance(node, And):
+                collect(node.left)
+                collect(node.right)
+            else:
+                parts.add(node)
+
+        collect(concept)
+        assert parts == {Primitive("A"), Primitive("B"), Primitive("C")}
+
+    def test_singleton(self):
+        assert b.singleton("Aspirin") == Singleton("Aspirin")
+
+
+class TestPathBuilders:
+    def test_bare_string_step_defaults_to_top(self):
+        path = b.path("suffers")
+        assert path.head.concept == Top()
+        assert path.head.attribute == Attribute("suffers")
+
+    def test_tuple_step_with_filler(self):
+        path = b.path(("consults", b.concept("Doctor")))
+        assert path.head.concept == Primitive("Doctor")
+
+    def test_inverse_step(self):
+        path = b.path((b.inv("skilled_in"), b.concept("Doctor")))
+        assert path.head.attribute == Attribute("skilled_in", inverted=True)
+
+    def test_restriction_object_passes_through(self):
+        restriction = b.restriction("p", b.concept("A"))
+        assert b.path(restriction).head is restriction
+
+    def test_invalid_step_raises(self):
+        with pytest.raises(TypeError):
+            b.path(42)
+
+    def test_invalid_filler_raises(self):
+        with pytest.raises(TypeError):
+            b.path(("p", "not a concept"))
+
+    def test_exists_and_agreement(self):
+        assert isinstance(b.exists("p"), ExistsPath)
+        agreement = b.agreement(b.path("p"), b.path("q"))
+        assert isinstance(agreement, PathAgreement)
+        assert b.loops("p").right.is_empty
+
+    def test_agreement_accepts_step_sequences(self):
+        agreement = b.agreement([("p", b.concept("A"))], ["q"])
+        assert agreement.left.head.concept == Primitive("A")
+        assert agreement.right.head.concept == Top()
+
+
+class TestSchemaBuilders:
+    def test_axiom_builders(self):
+        schema = b.schema(
+            b.isa("A", "B"),
+            b.typed("A", "p", "C"),
+            b.necessary("A", "p"),
+            b.functional("A", "p"),
+            b.attribute_typing("p", "A", "C"),
+        )
+        assert schema.primitive_superclasses("A") == {"B"}
+        assert schema.value_restrictions("A") == {("p", "C")}
+        assert schema.is_necessary_for("A", "p")
+        assert schema.is_functional_for("A", "p")
+        assert schema.attribute_typing("p") == ("A", "C")
+
+    def test_schema_accepts_iterables(self):
+        axioms = [b.isa("A", "B"), b.isa("B", "C")]
+        schema = b.schema(axioms, b.isa("C", "D"))
+        assert len(schema) == 3

@@ -1,0 +1,111 @@
+"""Tests for concept normalization, including the paper's Section 4.1 rewriting."""
+
+from hypothesis import given, settings
+
+from repro.concepts import builders as b
+from repro.concepts.normalize import invert_path, normalize_agreement, normalize_concept
+from repro.concepts.syntax import (
+    And,
+    EMPTY_PATH,
+    ExistsPath,
+    PathAgreement,
+    Primitive,
+    Top,
+)
+from repro.concepts.visitors import conjuncts, subconcepts
+from repro.semantics.evaluate import concept_extension
+from repro.workloads.medical import query_patient_concept, view_patient_concept
+
+from ..strategies import concepts, interpretations
+
+
+class TestInvertPath:
+    def test_empty_path_inverts_to_empty(self):
+        assert invert_path(EMPTY_PATH) == EMPTY_PATH
+
+    def test_single_step_inversion_uses_inverse_attribute(self):
+        inverted = invert_path(b.path(("suffers", b.concept("Disease"))))
+        assert len(inverted) == 1
+        assert inverted.head.attribute == b.inv("suffers")
+        # The filler of the original end point is not representable on the
+        # inverted chain; the start filler defaults to TOP.
+        assert inverted.head.concept == Top()
+
+    def test_two_step_inversion_shifts_fillers(self):
+        path = b.path(("p", b.concept("A")), ("q", b.concept("B")))
+        inverted = invert_path(path)
+        assert [step.attribute for step in inverted] == [b.inv("q"), b.inv("p")]
+        # Walking backwards, the first step lands on the intermediate node,
+        # which the original path constrained to A.
+        assert inverted[0].concept == Primitive("A")
+        assert inverted[1].concept == Top()
+
+
+class TestNormalizeAgreement:
+    def test_paper_example_query_concept(self):
+        """The C_Q rewriting shown at the start of Section 4.1 (Figure 11, F_1)."""
+        agreement = b.agreement(
+            b.path(("consults", b.concept("Female"))),
+            b.path("suffers", (b.inv("skilled_in"), b.concept("Doctor"))),
+        )
+        normalized = normalize_agreement(agreement)
+        assert isinstance(normalized, PathAgreement)
+        assert normalized.right.is_empty
+        attributes = [str(step.attribute) for step in normalized.left]
+        assert attributes == ["consults", "skilled_in", "suffers^-1"]
+        first_filler = normalized.left[0].concept
+        assert set(conjuncts(first_filler)) == {Primitive("Female"), Primitive("Doctor")}
+
+    def test_already_normalized_left_alone(self):
+        agreement = b.loops(("p", b.concept("A")))
+        assert normalize_agreement(agreement) == agreement
+
+    def test_empty_left_path_swaps_sides(self):
+        agreement = PathAgreement(EMPTY_PATH, b.path("p"))
+        normalized = normalize_agreement(agreement)
+        assert isinstance(normalized, PathAgreement)
+        assert normalized.left == b.path("p")
+        assert normalized.right.is_empty
+
+    def test_both_empty_is_top(self):
+        assert normalize_agreement(PathAgreement(EMPTY_PATH, EMPTY_PATH)) == Top()
+
+
+class TestNormalizeConcept:
+    def test_exists_empty_path_is_top(self):
+        assert normalize_concept(ExistsPath(EMPTY_PATH)) == Top()
+
+    def test_conjunction_drops_top_and_duplicates(self):
+        concept = b.conjoin(b.concept("A"), b.top(), b.concept("A"), b.concept("B"))
+        normalized = normalize_concept(concept)
+        assert set(conjuncts(normalized)) == {Primitive("A"), Primitive("B")}
+
+    def test_conjunction_of_only_top_is_top(self):
+        assert normalize_concept(b.conjoin(b.top(), b.top())) == Top()
+
+    def test_normal_form_is_order_independent(self):
+        first = normalize_concept(b.conjoin(b.concept("B"), b.concept("A")))
+        second = normalize_concept(b.conjoin(b.concept("A"), b.concept("B")))
+        assert first == second
+
+    def test_no_non_epsilon_agreements_remain(self):
+        for concept in (query_patient_concept(), view_patient_concept()):
+            for sub in subconcepts(normalize_concept(concept)):
+                if isinstance(sub, PathAgreement):
+                    assert sub.right.is_empty
+
+    def test_nested_fillers_are_normalized(self):
+        inner = b.agreement(b.path("p"), b.path("q"))
+        concept = b.exists(("r", inner))
+        normalized = normalize_concept(concept)
+        step_filler = normalized.path.head.concept
+        assert isinstance(step_filler, PathAgreement)
+        assert step_filler.right.is_empty
+
+    @settings(max_examples=60, deadline=None)
+    @given(concepts(max_depth=2), interpretations(domain_size=3))
+    def test_normalization_preserves_set_semantics(self, concept, interpretation):
+        """Normalization is an equivalence transformation (Table 1 semantics)."""
+        original = concept_extension(concept, interpretation)
+        normalized = concept_extension(normalize_concept(concept), interpretation)
+        assert original == normalized

@@ -1,0 +1,96 @@
+"""Unit tests for SL schemas (repro.concepts.schema)."""
+
+import pytest
+
+from repro.concepts import builders as b
+from repro.concepts.schema import AttributeTyping, InclusionAxiom, Schema, SchemaError
+from repro.concepts.syntax import SLPrimitive
+
+
+@pytest.fixture
+def sample_schema():
+    return b.schema(
+        b.isa("Patient", "Person"),
+        b.isa("Person", "Agent"),
+        b.typed("Patient", "takes", "Drug"),
+        b.necessary("Patient", "suffers"),
+        b.functional("Person", "name"),
+        b.attribute_typing("skilled_in", "Person", "Topic"),
+    )
+
+
+class TestConstruction:
+    def test_len_counts_all_axioms(self, sample_schema):
+        assert len(sample_schema) == 6
+
+    def test_duplicate_conflicting_typing_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(
+                [
+                    b.attribute_typing("p", "A", "B"),
+                    b.attribute_typing("p", "A", "C"),
+                ]
+            )
+
+    def test_identical_typing_twice_is_fine(self):
+        schema = Schema([b.attribute_typing("p", "A", "B"), b.attribute_typing("p", "A", "B")])
+        assert schema.attribute_typing("p") == ("A", "B")
+
+    def test_rejects_non_axiom(self):
+        with pytest.raises(SchemaError):
+            Schema(["not an axiom"])
+
+    def test_rejects_ql_concept_on_rhs(self):
+        from repro.concepts.syntax import Primitive
+
+        with pytest.raises(SchemaError):
+            Schema([InclusionAxiom("A", Primitive("B"))])  # type: ignore[arg-type]
+
+    def test_empty_schema(self):
+        assert len(Schema.empty()) == 0
+        assert Schema.empty().concept_names() == frozenset()
+
+
+class TestIndexes:
+    def test_primitive_superclasses(self, sample_schema):
+        assert sample_schema.primitive_superclasses("Patient") == {"Person"}
+        assert sample_schema.primitive_superclasses("Unknown") == frozenset()
+
+    def test_all_superclasses_is_transitive_and_reflexive(self, sample_schema):
+        assert sample_schema.all_superclasses("Patient") == {"Patient", "Person", "Agent"}
+
+    def test_value_restrictions(self, sample_schema):
+        assert sample_schema.value_restrictions("Patient") == {("takes", "Drug")}
+
+    def test_necessary_and_functional(self, sample_schema):
+        assert sample_schema.is_necessary_for("Patient", "suffers")
+        assert not sample_schema.is_necessary_for("Patient", "takes")
+        assert sample_schema.is_functional_for("Person", "name")
+        assert sample_schema.functional_attributes("Person") == {"name"}
+
+    def test_attribute_typing_lookup(self, sample_schema):
+        assert sample_schema.attribute_typing("skilled_in") == ("Person", "Topic")
+        assert sample_schema.attribute_typing("missing") is None
+
+    def test_vocabulary_collection(self, sample_schema):
+        assert "Drug" in sample_schema.concept_names()
+        assert "Topic" in sample_schema.concept_names()
+        assert {"takes", "suffers", "name", "skilled_in"} <= sample_schema.attribute_names()
+
+
+class TestManipulation:
+    def test_extended_returns_new_schema(self, sample_schema):
+        bigger = sample_schema.extended([b.isa("Doctor", "Person")])
+        assert len(bigger) == len(sample_schema) + 1
+        assert "Doctor" not in sample_schema.concept_names()
+
+    def test_equality_and_hash_are_structural(self, sample_schema):
+        clone = Schema(list(sample_schema.axioms()))
+        assert clone == sample_schema
+        assert hash(clone) == hash(sample_schema)
+
+    def test_iteration_yields_every_axiom(self, sample_schema):
+        axioms = list(sample_schema)
+        assert len(axioms) == len(sample_schema)
+        assert any(isinstance(a, AttributeTyping) for a in axioms)
+        assert any(isinstance(a, InclusionAxiom) for a in axioms)

@@ -1,0 +1,119 @@
+"""Unit tests for the QL/SL abstract syntax (repro.concepts.syntax)."""
+
+import pytest
+
+from repro.concepts import builders as b
+from repro.concepts.syntax import (
+    And,
+    AtMostOne,
+    Attribute,
+    AttributeRestriction,
+    EMPTY_PATH,
+    ExistsAttribute,
+    ExistsPath,
+    Path,
+    PathAgreement,
+    Primitive,
+    Singleton,
+    SLPrimitive,
+    Top,
+    TOP,
+    ValueRestriction,
+)
+
+
+class TestAttribute:
+    def test_inverse_flips_direction(self):
+        attribute = Attribute("consults")
+        assert attribute.inverse() == Attribute("consults", inverted=True)
+        assert attribute.inverse().inverse() == attribute
+
+    def test_primitive_name_is_shared_by_both_directions(self):
+        assert Attribute("p", True).primitive_name == "p"
+        assert Attribute("p", False).primitive_name == "p"
+
+    def test_string_rendering(self):
+        assert str(Attribute("p")) == "p"
+        assert str(Attribute("p", True)) == "p^-1"
+
+
+class TestPath:
+    def test_empty_path_properties(self):
+        assert EMPTY_PATH.is_empty
+        assert len(EMPTY_PATH) == 0
+        with pytest.raises(ValueError):
+            EMPTY_PATH.head
+        with pytest.raises(ValueError):
+            EMPTY_PATH.tail
+
+    def test_head_and_tail(self):
+        path = b.path("p", "q", "r")
+        assert path.head.attribute == Attribute("p")
+        assert len(path.tail) == 2
+        assert path.tail.head.attribute == Attribute("q")
+
+    def test_concat_and_append(self):
+        left = b.path("p")
+        right = b.path("q")
+        assert len(left.concat(right)) == 2
+        assert left.append(b.restriction("q")) == left.concat(right)
+        assert right.prepend(b.restriction("p")) == left.concat(right)
+
+    def test_paths_are_hashable_and_equal_by_structure(self):
+        assert b.path("p", ("q", b.concept("A"))) == b.path("p", ("q", b.concept("A")))
+        assert hash(b.path("p")) == hash(b.path("p"))
+        assert b.path("p") != b.path("q")
+
+    def test_iteration_yields_restrictions(self):
+        path = b.path(("p", b.concept("A")), "q")
+        steps = list(path)
+        assert all(isinstance(step, AttributeRestriction) for step in steps)
+        assert steps[0].concept == Primitive("A")
+        assert steps[1].concept == TOP
+
+
+class TestConceptConstruction:
+    def test_and_operator_builds_intersection(self):
+        concept = b.concept("A") & b.concept("B")
+        assert isinstance(concept, And)
+        assert concept.left == Primitive("A")
+        assert concept.right == Primitive("B")
+
+    def test_structural_equality_of_concepts(self):
+        first = b.exists(("p", b.concept("A")))
+        second = ExistsPath(Path((AttributeRestriction(Attribute("p"), Primitive("A")),)))
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_top_is_singleton_like(self):
+        assert Top() == TOP
+        assert b.top() is TOP
+
+    def test_singleton_holds_constant_name(self):
+        assert Singleton("Aspirin").constant == "Aspirin"
+        assert str(Singleton("Aspirin")) == "{Aspirin}"
+
+    def test_agreement_default_right_path_is_empty(self):
+        agreement = b.loops(("p", b.concept("A")))
+        assert isinstance(agreement, PathAgreement)
+        assert agreement.right.is_empty
+
+    def test_string_renderings_are_informative(self):
+        concept = b.conjoin(
+            b.concept("A"), b.exists(("p", b.concept("B"))), b.loops("q")
+        )
+        rendered = str(concept)
+        assert "A" in rendered and "EXISTS" in rendered and "q" in rendered
+
+
+class TestSLConcepts:
+    def test_sl_constructors(self):
+        assert SLPrimitive("Person").name == "Person"
+        assert ValueRestriction("takes", "Drug").attribute == "takes"
+        assert ExistsAttribute("suffers").attribute == "suffers"
+        assert AtMostOne("name").attribute == "name"
+
+    def test_sl_renderings(self):
+        assert "ALL takes. Drug" == str(ValueRestriction("takes", "Drug"))
+        assert "EXISTS suffers" == str(ExistsAttribute("suffers"))
+        assert "(<= 1 name)" == str(AtMostOne("name"))

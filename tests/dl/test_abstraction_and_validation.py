@@ -1,0 +1,183 @@
+"""Tests for DL validation, abstraction into SL/QL, and the FOL translation."""
+
+import pytest
+
+from repro.concepts.syntax import Attribute, PathAgreement, Primitive, Singleton, Top
+from repro.core.errors import UnsupportedQueryError
+from repro.dl.abstraction import (
+    labeled_path_to_path,
+    path_step_to_restriction,
+    query_class_to_concept,
+    schema_to_sl,
+)
+from repro.dl.ast import LabeledPath, PathStep, QueryClassDecl, LabelEquality
+from repro.dl.fol_translation import THIS, constraint_to_fol, query_class_to_formula
+from repro.dl.parser import parse_query_class, parse_schema
+from repro.dl.validate import SchemaValidationError, validate_schema
+from repro.fol.evaluate import satisfying_assignments
+from repro.fol.syntax import Var
+from repro.semantics.evaluate import concept_extension
+from repro.workloads.medical import MEDICAL_DL_SOURCE
+from repro.workloads.university import UNIVERSITY_DL_SOURCE
+
+
+class TestValidation:
+    def test_valid_sources_have_no_issues(self):
+        assert validate_schema(parse_schema(MEDICAL_DL_SOURCE)) == []
+        assert validate_schema(parse_schema(UNIVERSITY_DL_SOURCE)) == []
+
+    def test_undeclared_superclass_detected(self):
+        schema = parse_schema("Class A isA Missing with end A")
+        issues = validate_schema(schema)
+        assert any("Missing" in issue.message for issue in issues)
+        with pytest.raises(SchemaValidationError):
+            validate_schema(schema, strict=True)
+
+    def test_undeclared_range_detected(self):
+        schema = parse_schema("Class A with attribute p: Nowhere end A")
+        assert any("Nowhere" in i.message for i in validate_schema(schema))
+
+    def test_isa_cycle_detected(self):
+        schema = parse_schema("Class A isA B with end A Class B isA A with end B")
+        assert any("cycle" in i.message for i in validate_schema(schema))
+
+    def test_undeclared_label_in_where_detected(self):
+        schema = parse_schema(
+            """
+            Class A with end A
+            Attribute p with domain: A range: A end p
+            QueryClass Q isA A with
+              derived
+                l_1: (p: A)
+              where
+                l_1 = l_2
+            end Q
+            """
+        )
+        assert any("l_2" in i.message for i in validate_schema(schema))
+
+    def test_inverse_synonym_collision_detected(self):
+        schema = parse_schema(
+            """
+            Class A with end A
+            Attribute p with domain: A range: A inverse: q end p
+            Attribute q with domain: A range: A end q
+            """
+        )
+        assert any("collides" in i.message for i in validate_schema(schema))
+
+
+class TestAbstraction:
+    def test_schema_to_sl_counts(self):
+        sl = schema_to_sl(parse_schema(MEDICAL_DL_SOURCE))
+        assert len(sl.attribute_typings) == 5
+        assert sl.is_necessary_for("Patient", "suffers")
+        assert sl.is_functional_for("Person", "name")
+
+    def test_path_step_translations(self):
+        synonyms = {"specialist": "skilled_in"}
+        assert path_step_to_restriction(PathStep("takes", "Drug"), {}).concept == Primitive("Drug")
+        assert path_step_to_restriction(PathStep("takes"), {}).concept == Top()
+        assert path_step_to_restriction(PathStep("takes", None, "Aspirin"), {}).concept == Singleton("Aspirin")
+        resolved = path_step_to_restriction(PathStep("specialist", "Doctor"), synonyms)
+        assert resolved.attribute == Attribute("skilled_in", inverted=True)
+
+    def test_object_filler_becomes_top(self):
+        assert path_step_to_restriction(PathStep("p", "Object"), {}).concept == Top()
+
+    def test_query_without_where_uses_exists(self):
+        query = QueryClassDecl(
+            name="Q",
+            superclasses=("A",),
+            derived=(LabeledPath("l_1", (PathStep("p", "B"),)),),
+        )
+        concept = query_class_to_concept(query)
+        rendered = str(concept)
+        assert "EXISTS" in rendered and "==" not in rendered
+
+    def test_where_equality_becomes_agreement(self):
+        query = QueryClassDecl(
+            name="Q",
+            superclasses=("A",),
+            derived=(
+                LabeledPath("l_1", (PathStep("p", "B"),)),
+                LabeledPath("l_2", (PathStep("q", "C"),)),
+            ),
+            where=(LabelEquality("l_1", "l_2"),),
+        )
+        concept = query_class_to_concept(query)
+        agreements = [c for c in str(concept).split("AND") if "==" in c]
+        assert agreements
+
+    def test_duplicate_label_rejected(self):
+        query = QueryClassDecl(
+            name="Q",
+            derived=(
+                LabeledPath("l_1", (PathStep("p"),)),
+                LabeledPath("l_1", (PathStep("q"),)),
+            ),
+        )
+        with pytest.raises(UnsupportedQueryError):
+            query_class_to_concept(query)
+
+    def test_undeclared_where_label_rejected(self):
+        query = QueryClassDecl(
+            name="Q",
+            derived=(LabeledPath("l_1", (PathStep("p"),)),),
+            where=(LabelEquality("l_1", "l_9"),),
+        )
+        with pytest.raises(UnsupportedQueryError):
+            query_class_to_concept(query)
+
+    def test_empty_query_class_is_top(self):
+        assert query_class_to_concept(QueryClassDecl(name="Q")) == Top()
+
+
+class TestFOLTranslation:
+    def test_constraint_translation_resolves_bound_and_free_names(self):
+        query = parse_query_class(
+            """
+            QueryClass Q isA Patient with
+              constraint:
+                forall d/Drug not (this takes d) or (d = Aspirin)
+            end Q
+            """
+        )
+        formula = constraint_to_fol(query.constraint, {"this": THIS})
+        text = str(formula)
+        assert "forall d/Drug" in text and "takes(this, d)" in text and "Aspirin" in text
+
+    def test_query_formula_answers_match_structural_semantics_for_structural_queries(self):
+        """For a structural query, the Figure 4 formula and the QL concept agree."""
+        schema = parse_schema(MEDICAL_DL_SOURCE)
+        view = schema.query_classes["ViewPatient"]
+        concept = query_class_to_concept(view, schema)
+        formula = query_class_to_formula(view, schema)
+
+        from repro.semantics.interpretation import Interpretation
+
+        interpretation = Interpretation(
+            domain={"mary", "dr_lee", "flu", "n1"},
+            concepts={
+                "Patient": {"mary"},
+                "Doctor": {"dr_lee"},
+                "Disease": {"flu"},
+                "String": {"n1"},
+            },
+            attributes={
+                "name": {("mary", "n1")},
+                "consults": {("mary", "dr_lee")},
+                "skilled_in": {("dr_lee", "flu")},
+                "suffers": {("mary", "flu")},
+            },
+        )
+        structural = concept_extension(concept, interpretation)
+        logical = satisfying_assignments(formula, THIS, interpretation)
+        assert structural == logical == {"mary"}
+
+    def test_non_structural_query_formula_is_stricter(self):
+        schema = parse_schema(MEDICAL_DL_SOURCE)
+        query = schema.query_classes["QueryPatient"]
+        formula = query_class_to_formula(query, schema)
+        text = str(formula)
+        assert "Male(this)" in text and "forall d/Drug" in text

@@ -1,0 +1,148 @@
+"""Tests for the DL lexer and parser."""
+
+import pytest
+
+from repro.dl.ast import AndC, AttrAtom, EqualAtom, InAtom, NotC, OrC, QuantifiedC
+from repro.dl.lexer import LexerError, tokenize
+from repro.dl.parser import ParseError, parse_query_class, parse_schema
+from repro.workloads.medical import MEDICAL_DL_SOURCE
+from repro.workloads.trading import TRADING_DL_SOURCE
+from repro.workloads.university import UNIVERSITY_DL_SOURCE
+
+
+class TestLexer:
+    def test_keywords_and_identifiers_are_distinguished(self):
+        tokens = tokenize("Class Patient isA Person with end Patient")
+        kinds = [(t.kind, t.value) for t in tokens[:4]]
+        assert kinds == [
+            ("KEYWORD", "Class"),
+            ("IDENT", "Patient"),
+            ("KEYWORD", "isA"),
+            ("IDENT", "Person"),
+        ]
+
+    def test_punctuation_and_positions(self):
+        tokens = tokenize("a: (b).{c}")
+        assert [t.kind for t in tokens[:-1]] == [
+            "IDENT", "COLON", "LPAREN", "IDENT", "RPAREN", "DOT", "LBRACE", "IDENT", "RBRACE",
+        ]
+        assert tokens[0].line == 1 and tokens[0].column == 1
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("-- a comment\nClass % trailing\nFoo")
+        values = [t.value for t in tokens if t.kind != "EOF"]
+        assert values == ["Class", "Foo"]
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("Class $illegal")
+
+    def test_eof_token_always_present(self):
+        assert tokenize("")[-1].kind == "EOF"
+
+
+class TestClassAndAttributeParsing:
+    def test_medical_schema_declarations(self):
+        schema = parse_schema(MEDICAL_DL_SOURCE)
+        assert set(schema.classes) >= {"Patient", "Person", "Doctor", "Drug", "Disease"}
+        assert set(schema.query_classes) == {"QueryPatient", "ViewPatient"}
+        patient = schema.classes["Patient"]
+        assert patient.superclasses == ("Person",)
+        specs = {spec.name: spec for spec in patient.attributes}
+        assert specs["takes"].range_class == "Drug" and not specs["takes"].necessary
+        assert specs["suffers"].necessary and not specs["suffers"].single
+        assert patient.has_constraint
+
+    def test_attribute_flags_necessary_and_single(self):
+        schema = parse_schema(MEDICAL_DL_SOURCE)
+        name_spec = next(s for s in schema.classes["Person"].attributes if s.name == "name")
+        assert name_spec.necessary and name_spec.single
+
+    def test_attribute_declaration_with_inverse(self):
+        schema = parse_schema(MEDICAL_DL_SOURCE)
+        skilled = schema.attributes["skilled_in"]
+        assert (skilled.domain, skilled.range, skilled.inverse) == ("Person", "Topic", "specialist")
+        assert schema.inverse_synonyms()["specialist"] == "skilled_in"
+
+    def test_mismatched_end_name_raises(self):
+        with pytest.raises(ParseError):
+            parse_schema("Class A with end B")
+
+    def test_attribute_without_domain_raises(self):
+        with pytest.raises(ParseError):
+            parse_schema("Attribute p with range: A end p")
+
+    def test_unexpected_token_raises(self):
+        with pytest.raises(ParseError):
+            parse_schema("Klass A with end A")
+
+    def test_other_domain_sources_parse(self):
+        assert len(parse_schema(UNIVERSITY_DL_SOURCE).query_classes) == 4
+        assert len(parse_schema(TRADING_DL_SOURCE).query_classes) == 4
+
+
+class TestQueryClassParsing:
+    def test_derived_paths_labels_and_where(self):
+        schema = parse_schema(MEDICAL_DL_SOURCE)
+        query = schema.query_classes["QueryPatient"]
+        assert query.superclasses == ("Male", "Patient")
+        assert query.labels() == {"l_1", "l_2"}
+        l2 = next(p for p in query.derived if p.label == "l_2")
+        assert [s.attribute for s in l2.steps] == ["suffers", "specialist"]
+        assert l2.steps[0].filler_class is None  # bare attribute
+        assert l2.steps[1].filler_class == "Doctor"
+        assert len(query.where) == 1 and query.where[0].left == "l_1"
+
+    def test_unlabeled_derived_entry(self):
+        schema = parse_schema(MEDICAL_DL_SOURCE)
+        view = schema.query_classes["ViewPatient"]
+        unlabeled = [p for p in view.derived if p.label is None]
+        assert len(unlabeled) == 1
+        assert unlabeled[0].steps[0].attribute == "name"
+        assert view.is_structural
+
+    def test_singleton_filler_in_path(self):
+        query = parse_query_class(
+            """
+            QueryClass AspirinTakers isA Patient with
+              derived
+                l_1: (takes: {Aspirin})
+            end AspirinTakers
+            """
+        )
+        step = query.derived[0].steps[0]
+        assert step.filler_constant == "Aspirin" and step.filler_class is None
+
+    def test_constraint_formula_structure(self):
+        schema = parse_schema(MEDICAL_DL_SOURCE)
+        constraint = schema.query_classes["QueryPatient"].constraint
+        assert isinstance(constraint, QuantifiedC)
+        assert constraint.quantifier == "forall" and constraint.sort == "Drug"
+        body = constraint.body
+        assert isinstance(body, OrC)
+        assert isinstance(body.left, NotC) and isinstance(body.left.operand, AttrAtom)
+        assert isinstance(body.right, EqualAtom)
+
+    def test_class_constraint_not_in(self):
+        schema = parse_schema(MEDICAL_DL_SOURCE)
+        constraint = schema.classes["Patient"].constraint
+        assert isinstance(constraint, NotC)
+        assert isinstance(constraint.operand, InAtom)
+        assert constraint.operand.term == "this"
+        assert constraint.operand.class_name == "Doctor"
+
+    def test_nested_and_constraint(self):
+        query = parse_query_class(
+            """
+            QueryClass Q isA Patient with
+              constraint:
+                (this in Person) and not ((this in Doctor) or (this takes Aspirin))
+            end Q
+            """
+        )
+        assert isinstance(query.constraint, AndC)
+        assert not query.is_structural
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query_class("QueryClass Q isA A with end Q Class")

@@ -1,0 +1,187 @@
+"""Tests for the Section 4.4 language extensions."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bruteforce import brute_force_subsumes
+from repro.calculus import subsumes
+from repro.concepts import builders as b
+from repro.core.errors import UnsupportedQueryError
+from repro.extensions.ale import (
+    LAnd,
+    LExists,
+    LForall,
+    LPrimitive,
+    build_description_tree,
+    l_and,
+    l_size,
+    l_subsumes,
+    l_to_ql,
+)
+from repro.extensions.disjunction import (
+    DOr,
+    d_and,
+    d_primitive,
+    d_subsumes,
+    disjunctive_normal_form,
+    dnf_size,
+)
+from repro.extensions.hardness import (
+    disjunction_family,
+    forall_exists_family,
+    ql_chain_family,
+    qualified_schema_family,
+)
+from repro.extensions.variables import (
+    VariableSingleton,
+    collect_variables,
+    concept_has_variables,
+    skolemize,
+    subsumes_with_variables,
+)
+
+
+class TestVariablesOnPaths:
+    def make_coreference_query(self):
+        """Patients that consult the very person who treats them (a coreference)."""
+        return b.conjoin(
+            b.concept("Patient"),
+            b.exists(("consults", VariableSingleton("v"))),
+            b.exists(("treated_by", VariableSingleton("v"))),
+        )
+
+    def test_collection_and_detection(self):
+        query = self.make_coreference_query()
+        assert concept_has_variables(query)
+        assert collect_variables(query) == {"v"}
+        assert not concept_has_variables(b.concept("Patient"))
+
+    def test_skolemization_replaces_variables_consistently(self):
+        query = self.make_coreference_query()
+        skolemized, mapping = skolemize(query)
+        assert not concept_has_variables(skolemized)
+        assert set(mapping) == {"v"}
+        # Both occurrences must be replaced by the SAME constant.
+        from repro.concepts.visitors import constants
+
+        assert len(constants(skolemized)) == 1
+
+    def test_variable_query_subsumption_is_sound_and_uses_coreference(self):
+        query = self.make_coreference_query()
+        assert subsumes_with_variables(query, b.exists("consults"))
+        assert subsumes_with_variables(query, b.concept("Patient"))
+        assert not subsumes_with_variables(query, b.exists("unrelated"))
+        # The coreference makes the query stronger than its variable-free version;
+        # a view requiring consults and treated_by separately is still implied.
+        view = b.conjoin(b.exists("consults"), b.exists("treated_by"))
+        assert subsumes_with_variables(query, view)
+
+    def test_variables_in_view_are_rejected(self):
+        view = b.exists(("consults", VariableSingleton("v")))
+        with pytest.raises(UnsupportedQueryError):
+            subsumes_with_variables(b.concept("Patient"), view)
+
+    def test_plain_concepts_fall_through_to_the_calculus(self):
+        assert subsumes_with_variables(
+            b.conjoin(b.concept("A"), b.concept("B")), b.concept("A")
+        )
+
+
+class TestLanguageL:
+    def test_basic_subsumptions(self):
+        a, bee = LPrimitive("A"), LPrimitive("B")
+        assert l_subsumes(LAnd(a, bee), a)
+        assert not l_subsumes(a, LAnd(a, bee))
+        assert l_subsumes(LExists("p", LAnd(a, bee)), LExists("p", a))
+        assert not l_subsumes(LExists("p", a), LExists("p", LAnd(a, bee)))
+        assert l_subsumes(LForall("p", LAnd(a, bee)), LForall("p", a))
+        assert not l_subsumes(LExists("p", a), LForall("p", a))
+        assert not l_subsumes(LForall("p", a), LExists("p", a))
+
+    def test_forall_exists_interaction(self):
+        """∃P.A ⊓ ∀P.B ⊑ ∃P.(A⊓B) -- the interaction that causes NP-hardness."""
+        a, bee = LPrimitive("A"), LPrimitive("B")
+        subsumee = l_and(LExists("p", a), LForall("p", bee))
+        assert l_subsumes(subsumee, LExists("p", LAnd(a, bee)))
+        assert not l_subsumes(LExists("p", a), LExists("p", LAnd(a, bee)))
+
+    def test_nested_propagation(self):
+        a, bee = LPrimitive("A"), LPrimitive("B")
+        subsumee = l_and(LExists("p", LForall("q", a)), LForall("p", LExists("q", bee)))
+        subsumer = LExists("p", LExists("q", LAnd(a, bee)))
+        assert l_subsumes(subsumee, subsumer)
+
+    def test_hard_family_instances_are_subsumed(self):
+        for depth in range(4):
+            subsumee, subsumer = forall_exists_family(depth)
+            assert l_subsumes(subsumee, subsumer)
+            subsumee2, subsumer2 = qualified_schema_family(depth)
+            assert l_subsumes(subsumee2, subsumer2)
+
+    def test_tree_blowup_is_exponential_in_depth(self):
+        sizes = []
+        for depth in (2, 4, 6):
+            subsumee, _ = forall_exists_family(depth)
+            sizes.append(build_description_tree(subsumee).node_count())
+        assert sizes[1] > 2 * sizes[0]
+        assert sizes[2] > 2 * sizes[1]
+        # ... while the input size grows only linearly.
+        assert l_size(forall_exists_family(6)[0]) < 4 * l_size(forall_exists_family(2)[0])
+
+    def test_ql_counterpart_stays_polynomial_in_answer(self):
+        query, view = ql_chain_family(6)
+        assert subsumes(query, view)
+
+    def test_el_fragment_embeds_into_ql_and_agrees(self):
+        a, bee = LPrimitive("A"), LPrimitive("B")
+        subsumee = l_and(a, LExists("p", LAnd(a, bee)))
+        subsumer = LExists("p", bee)
+        assert l_subsumes(subsumee, subsumer) == subsumes(l_to_ql(subsumee), l_to_ql(subsumer))
+        with pytest.raises(ValueError):
+            l_to_ql(LForall("p", a))
+
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+    )
+    @given(st.data())
+    def test_l_checker_agrees_with_brute_force_on_el_fragment(self, data):
+        """On the ∀-free fragment, the L checker and the QL calculus agree."""
+        names = ["A", "B"]
+        leaf = st.sampled_from(names).map(LPrimitive)
+        concepts_strategy = st.recursive(
+            leaf,
+            lambda children: st.one_of(
+                st.builds(LAnd, children, children),
+                st.builds(LExists, st.just("p"), children),
+            ),
+            max_leaves=4,
+        )
+        subsumee = data.draw(concepts_strategy)
+        subsumer = data.draw(concepts_strategy)
+        assert l_subsumes(subsumee, subsumer) == subsumes(
+            l_to_ql(subsumee), l_to_ql(subsumer)
+        )
+
+
+class TestDisjunction:
+    def test_dnf_distribution(self):
+        concept = d_and(DOr(d_primitive("A"), d_primitive("B")), d_primitive("C"))
+        dnf = disjunctive_normal_form(concept)
+        assert set(dnf) == {frozenset({"A", "C"}), frozenset({"B", "C"})}
+
+    def test_subsumption_decisions(self):
+        a, bee, cee = d_primitive("A"), d_primitive("B"), d_primitive("C")
+        assert d_subsumes(a, DOr(a, bee))
+        assert d_subsumes(d_and(a, cee), a)
+        assert not d_subsumes(DOr(a, bee), a)
+        assert d_subsumes(DOr(d_and(a, cee), d_and(bee, cee)), cee)
+
+    def test_family_blowup_is_exponential(self):
+        subsumee2, _ = disjunction_family(2)
+        subsumee6, subsumer6 = disjunction_family(6)
+        assert dnf_size(subsumee2) == 4
+        assert dnf_size(subsumee6) == 64
+        assert d_subsumes(subsumee6, subsumer6)

@@ -1,0 +1,158 @@
+"""Tests for the FOL substrate: syntax helpers, evaluation, and Table 1 agreement."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.concepts import builders as b
+from repro.concepts.schema import Schema
+from repro.fol.evaluate import EvaluationError, evaluate, satisfying_assignments
+from repro.fol.syntax import (
+    AndF,
+    BinaryAtom,
+    Const,
+    Equals,
+    Exists,
+    Forall,
+    Implies,
+    Not,
+    OrF,
+    TrueFormula,
+    UnaryAtom,
+    Var,
+    conjunction,
+    disjunction,
+    free_variables,
+)
+from repro.fol.translate import (
+    axiom_to_formula,
+    concept_to_formula,
+    path_to_formula,
+    schema_to_formulas,
+    sl_concept_to_formula,
+)
+from repro.semantics.evaluate import concept_extension, sl_concept_extension
+from repro.semantics.interpretation import Interpretation
+from repro.semantics.sigma import satisfies_axiom
+
+from ..strategies import concepts, interpretations, schemas
+
+
+@pytest.fixture
+def small_world():
+    return Interpretation(
+        domain={"1", "2", "3"},
+        concepts={"A": {"1", "2"}, "B": {"2"}},
+        attributes={"p": {("1", "2"), ("2", "3")}, "q": {("3", "1")}},
+        constants={"a": "1", "b": "2"},
+    )
+
+
+class TestSyntaxHelpers:
+    def test_conjunction_and_disjunction_folds(self):
+        x = Var("x")
+        atoms = [UnaryAtom("A", x), UnaryAtom("B", x)]
+        assert isinstance(conjunction(atoms), AndF)
+        assert isinstance(disjunction(atoms), OrF)
+        assert conjunction([]) == TrueFormula()
+        assert disjunction([]) == Not(TrueFormula())
+
+    def test_free_variables(self):
+        x, y = Var("x"), Var("y")
+        formula = Exists(y, AndF(BinaryAtom("p", x, y), UnaryAtom("A", y)))
+        assert free_variables(formula) == {x}
+        closed = Forall(x, formula)
+        assert free_variables(closed) == frozenset()
+
+    def test_operator_sugar(self):
+        x = Var("x")
+        formula = UnaryAtom("A", x) & ~UnaryAtom("B", x) | UnaryAtom("C", x)
+        assert isinstance(formula, OrF)
+
+
+class TestEvaluation:
+    def test_atoms(self, small_world):
+        x = Var("x")
+        assert evaluate(UnaryAtom("A", Const("a")), small_world)
+        assert not evaluate(UnaryAtom("B", Const("a")), small_world)
+        assert evaluate(BinaryAtom("p", Const("a"), Const("b")), small_world)
+        assert evaluate(Equals(Const("a"), Const("a")), small_world)
+        assert not evaluate(Equals(Const("a"), Const("b")), small_world)
+        assert evaluate(UnaryAtom("A", x), small_world, {x: "1"})
+
+    def test_unbound_variable_raises(self, small_world):
+        with pytest.raises(EvaluationError):
+            evaluate(UnaryAtom("A", Var("x")), small_world)
+
+    def test_connectives(self, small_world):
+        a1 = UnaryAtom("A", Const("a"))
+        b1 = UnaryAtom("B", Const("a"))
+        assert evaluate(OrF(a1, b1), small_world)
+        assert not evaluate(AndF(a1, b1), small_world)
+        assert evaluate(Implies(b1, a1), small_world)
+        assert evaluate(Not(b1), small_world)
+
+    def test_quantifiers_with_and_without_sorts(self, small_world):
+        x = Var("x")
+        assert evaluate(Exists(x, UnaryAtom("B", x)), small_world)
+        assert not evaluate(Forall(x, UnaryAtom("A", x)), small_world)
+        # Sorted: all members of B are members of A.
+        assert evaluate(Forall(x, UnaryAtom("A", x), sort="B"), small_world)
+        assert not evaluate(Exists(x, UnaryAtom("B", x), sort="q_missing"), small_world)
+
+    def test_satisfying_assignments(self, small_world):
+        x, y = Var("x"), Var("y")
+        formula = Exists(y, BinaryAtom("p", x, y))
+        assert satisfying_assignments(formula, x, small_world) == {"1", "2"}
+
+
+class TestTable1Agreement:
+    """Column 2 (FOL translation) and column 3 (set semantics) of Table 1 agree."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(concepts(max_depth=2), interpretations(domain_size=3))
+    def test_concept_translation_agrees_with_set_semantics(self, concept, interpretation):
+        x = Var("x")
+        formula = concept_to_formula(concept, x)
+        assert satisfying_assignments(formula, x, interpretation) == concept_extension(
+            concept, interpretation
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(interpretations(domain_size=3))
+    def test_sl_translations_agree(self, interpretation):
+        from repro.concepts.syntax import (
+            AtMostOne,
+            ExistsAttribute,
+            SLPrimitive,
+            ValueRestriction,
+        )
+
+        x = Var("x")
+        for sl_concept in (
+            SLPrimitive("A"),
+            ValueRestriction("p", "B"),
+            ExistsAttribute("p"),
+            AtMostOne("q"),
+        ):
+            formula = sl_concept_to_formula(sl_concept, x)
+            assert satisfying_assignments(formula, x, interpretation) == sl_concept_extension(
+                sl_concept, interpretation
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(schemas(max_axioms=3), interpretations(domain_size=2))
+    def test_axiom_translation_agrees_with_model_checking(self, schema, interpretation):
+        for axiom in schema.axioms():
+            assert evaluate(axiom_to_formula(axiom), interpretation) == satisfies_axiom(
+                interpretation, axiom
+            )
+
+    def test_path_translation_of_empty_path_is_equality(self, small_world):
+        x, y = Var("x"), Var("y")
+        formula = path_to_formula(b.path(), x, y)
+        assert evaluate(formula, small_world, {x: "1", y: "1"})
+        assert not evaluate(formula, small_world, {x: "1", y: "2"})
+
+    def test_schema_to_formulas_counts(self):
+        schema = b.schema(b.isa("A", "B"), b.attribute_typing("p", "A", "B"))
+        assert len(schema_to_formulas(schema)) == 2

@@ -1,0 +1,132 @@
+"""Tests for the semantic query optimizer (Proposition 3.1 in executable form)."""
+
+import pytest
+
+from repro.concepts import builders as b
+from repro.optimizer import FullScanPlan, SemanticQueryOptimizer, ViewFilterPlan
+from repro.workloads.synthetic import WorkloadConfig, generate_view_workload
+from repro.workloads.university import (
+    generate_university_state,
+    university_dl_schema,
+)
+
+
+@pytest.fixture(scope="module")
+def university():
+    dl = university_dl_schema()
+    state = generate_university_state(students=80, professors=12, courses=20, seed=3)
+    return dl, state
+
+
+class TestPlanning:
+    def test_view_hit_produces_filter_plan(self, university):
+        dl, state = university
+        optimizer = SemanticQueryOptimizer(dl)
+        optimizer.register_view(dl.query_classes["StudentsOfTheirAdvisor"], state)
+        plan = optimizer.plan(dl.query_classes["GradsTaughtByAdvisor"])
+        assert isinstance(plan, ViewFilterPlan)
+        assert plan.view.name == "StudentsOfTheirAdvisor"
+        assert "StudentsOfTheirAdvisor" in plan.description
+
+    def test_miss_produces_full_scan_anchored_at_superclass(self, university):
+        dl, state = university
+        optimizer = SemanticQueryOptimizer(dl)
+        optimizer.register_view(dl.query_classes["GradsTaughtByAdvisor"], state)
+        # The more general query is NOT subsumed by the more specific view.
+        plan = optimizer.plan(dl.query_classes["StudentsOfTheirAdvisor"])
+        assert isinstance(plan, FullScanPlan)
+        assert plan.anchor_class == "Student"
+
+    def test_smallest_subsuming_view_is_preferred(self, university):
+        dl, state = university
+        optimizer = SemanticQueryOptimizer(dl)
+        optimizer.register_view(dl.query_classes["NamedStudents"], state)  # large
+        optimizer.register_view(dl.query_classes["StudentsOfTheirAdvisor"], state)  # small
+        plan = optimizer.plan(dl.query_classes["GradsTaughtByAdvisor"])
+        assert isinstance(plan, ViewFilterPlan)
+        assert plan.view.name == "StudentsOfTheirAdvisor"
+        assert "NamedStudents" in plan.alternatives
+
+    def test_statistics_track_hits_and_misses(self, university):
+        dl, state = university
+        optimizer = SemanticQueryOptimizer(dl)
+        optimizer.register_view(dl.query_classes["StudentsOfTheirAdvisor"], state)
+        optimizer.plan(dl.query_classes["GradsTaughtByAdvisor"])
+        optimizer.plan(dl.query_classes["AdvisedGradStudents"])
+        stats = optimizer.statistics
+        assert stats.queries_optimized == 2
+        assert stats.view_hits >= 1
+        assert stats.subsumption_checks >= 2
+
+
+class TestExecution:
+    def test_filtered_plan_returns_exactly_the_unoptimized_answers(self, university):
+        """Proposition 3.1: using the subsuming view never changes the answer set."""
+        dl, state = university
+        optimizer = SemanticQueryOptimizer(dl)
+        optimizer.register_view(dl.query_classes["StudentsOfTheirAdvisor"], state)
+        optimizer.register_view(dl.query_classes["NamedStudents"], state)
+        for query_name in ("GradsTaughtByAdvisor", "AdvisedGradStudents", "StudentsOfTheirAdvisor"):
+            query = dl.query_classes[query_name]
+            outcome = optimizer.optimize_and_execute(query, state)
+            assert outcome.answers == optimizer.evaluate_unoptimized(query, state)
+
+    def test_view_filtering_reduces_candidates(self, university):
+        dl, state = university
+        optimizer = SemanticQueryOptimizer(dl)
+        optimizer.register_view(dl.query_classes["StudentsOfTheirAdvisor"], state)
+        outcome = optimizer.optimize_and_execute(dl.query_classes["GradsTaughtByAdvisor"], state)
+        assert outcome.used_view == "StudentsOfTheirAdvisor"
+        assert outcome.candidates_examined <= outcome.baseline_candidates
+
+    def test_accepts_abstract_schema_and_concept_views(self):
+        from repro.database.store import DatabaseState
+
+        schema = b.schema(b.isa("A", "B"))
+        state = DatabaseState(schema)
+        for index in range(20):
+            state.add_object(f"b{index}", "B")
+        for index in range(5):
+            state.add_object(f"a{index}", "A")
+        optimizer = SemanticQueryOptimizer(schema)
+        view = optimizer.register_view_concept("all_a", b.concept("A"))
+        view.refresh(state, optimizer.evaluator)
+        from repro.dl.ast import QueryClassDecl
+
+        query = QueryClassDecl(name="q", superclasses=("A",))
+        outcome = optimizer.optimize_and_execute(query, state)
+        assert outcome.used_view == "all_a"
+        assert outcome.answers == state.extent("A")
+
+    def test_rejects_unknown_schema_type(self):
+        with pytest.raises(TypeError):
+            SemanticQueryOptimizer("not a schema")
+
+
+class TestSyntheticWorkload:
+    def test_generated_workload_hit_rate_matches_ground_truth(self):
+        config = WorkloadConfig(view_count=4, query_count=12, objects=60, seed=5)
+        workload = generate_view_workload(config)
+        optimizer = SemanticQueryOptimizer(workload.schema)
+        from repro.database.query_eval import QueryEvaluator
+
+        evaluator = QueryEvaluator()
+        for name, concept in workload.views.items():
+            view = optimizer.register_view_concept(name, concept)
+            view.refresh(workload.state, evaluator)
+
+        from repro.dl.ast import QueryClassDecl
+
+        hits = 0
+        for name, concept, specialized_from in workload.queries:
+            subsumers = [
+                view
+                for view in optimizer.catalog
+                if optimizer.checker.subsumes(concept, view.concept)
+            ]
+            if specialized_from is not None:
+                # Specializations are subsumed by construction.
+                assert any(view.name == specialized_from for view in subsumers)
+            if subsumers:
+                hits += 1
+        assert hits >= sum(1 for *_rest, base in workload.queries if base is not None)

@@ -1,0 +1,155 @@
+"""Tests for finite interpretations and the Table 1 set semantics."""
+
+import pytest
+
+from repro.concepts import builders as b
+from repro.concepts.syntax import (
+    AtMostOne,
+    ExistsAttribute,
+    SLPrimitive,
+    ValueRestriction,
+)
+from repro.semantics.evaluate import (
+    attribute_denotation,
+    concept_extension,
+    is_instance,
+    path_denotation,
+    restriction_denotation,
+    sl_concept_extension,
+)
+from repro.semantics.interpretation import Interpretation, InterpretationError
+
+
+@pytest.fixture
+def hospital():
+    """A small hand-built interpretation mirroring the medical example."""
+    return Interpretation(
+        domain={"mary", "john", "dr_lee", "flu", "aspirin"},
+        concepts={
+            "Patient": {"mary", "john"},
+            "Male": {"john"},
+            "Female": {"mary", "dr_lee"},
+            "Doctor": {"dr_lee"},
+            "Disease": {"flu"},
+            "Drug": {"aspirin"},
+        },
+        attributes={
+            "consults": {("mary", "dr_lee"), ("john", "dr_lee")},
+            "suffers": {("mary", "flu"), ("john", "flu")},
+            "skilled_in": {("dr_lee", "flu")},
+            "takes": {("mary", "aspirin")},
+        },
+        constants={"Aspirin": "aspirin"},
+    )
+
+
+class TestInterpretationConstruction:
+    def test_empty_domain_rejected(self):
+        with pytest.raises(InterpretationError):
+            Interpretation(domain=[])
+
+    def test_concept_extension_outside_domain_rejected(self):
+        with pytest.raises(InterpretationError):
+            Interpretation(domain={"a"}, concepts={"A": {"b"}})
+
+    def test_attribute_extension_outside_domain_rejected(self):
+        with pytest.raises(InterpretationError):
+            Interpretation(domain={"a"}, attributes={"p": {("a", "b")}})
+
+    def test_unique_name_assumption_enforced(self):
+        with pytest.raises(InterpretationError):
+            Interpretation(domain={"a"}, constants={"x": "a", "y": "a"})
+
+    def test_constant_without_denotation_raises_on_access(self):
+        interpretation = Interpretation(domain={"a"})
+        assert not interpretation.has_constant("x")
+        with pytest.raises(InterpretationError):
+            interpretation.constant_value("x")
+
+    def test_successors_and_predecessors(self, hospital):
+        assert hospital.successors("consults", "mary") == {"dr_lee"}
+        assert hospital.predecessors("consults", "dr_lee") == {"mary", "john"}
+
+    def test_with_concept_and_with_attribute_are_functional(self, hospital):
+        modified = hospital.with_concept("Doctor", set())
+        assert hospital.concept_extension("Doctor") == {"dr_lee"}
+        assert modified.concept_extension("Doctor") == frozenset()
+        modified2 = hospital.with_attribute("takes", set())
+        assert modified2.attribute_extension("takes") == frozenset()
+
+
+class TestConceptEvaluation:
+    def test_primitive_top_singleton(self, hospital):
+        assert concept_extension(b.concept("Patient"), hospital) == {"mary", "john"}
+        assert concept_extension(b.top(), hospital) == hospital.domain
+        assert concept_extension(b.singleton("Aspirin"), hospital) == {"aspirin"}
+        assert concept_extension(b.singleton("Unknown"), hospital) == frozenset()
+
+    def test_intersection(self, hospital):
+        concept = b.conjoin(b.concept("Patient"), b.concept("Male"))
+        assert concept_extension(concept, hospital) == {"john"}
+
+    def test_attribute_and_inverse_denotation(self, hospital):
+        assert ("mary", "dr_lee") in attribute_denotation(b.attr("consults"), hospital)
+        assert ("dr_lee", "mary") in attribute_denotation(b.inv("consults"), hospital)
+
+    def test_restriction_filters_second_component(self, hospital):
+        restriction = b.restriction("consults", b.concept("Female"))
+        assert restriction_denotation(restriction, hospital) == {
+            ("mary", "dr_lee"),
+            ("john", "dr_lee"),
+        }
+        restriction2 = b.restriction("consults", b.concept("Patient"))
+        assert restriction_denotation(restriction2, hospital) == frozenset()
+
+    def test_path_composition(self, hospital):
+        path = b.path(("consults", b.concept("Doctor")), ("skilled_in", b.concept("Disease")))
+        assert path_denotation(path, hospital) == {("mary", "flu"), ("john", "flu")}
+
+    def test_empty_path_is_identity(self, hospital):
+        assert path_denotation(b.path(), hospital) == {
+            (element, element) for element in hospital.domain
+        }
+
+    def test_exists_path(self, hospital):
+        concept = b.exists(("takes", b.concept("Drug")))
+        assert concept_extension(concept, hospital) == {"mary"}
+
+    def test_agreement_requires_common_filler(self, hospital):
+        # Patients that consult a doctor skilled in a disease they suffer from.
+        concept = b.agreement(
+            b.path(("consults", b.concept("Doctor")), ("skilled_in", b.concept("Disease"))),
+            b.path(("suffers", b.concept("Disease"))),
+        )
+        assert concept_extension(concept, hospital) == {"mary", "john"}
+
+    def test_agreement_with_empty_right_path(self, hospital):
+        # Objects from which "consults then consults^-1" loops back: anyone who
+        # consults someone who is consulted by them (trivially true for consulters).
+        concept = b.agreement(b.path("consults", b.inv("consults")), b.path())
+        assert concept_extension(concept, hospital) == {"mary", "john"}
+
+    def test_is_instance(self, hospital):
+        assert is_instance("john", b.concept("Male"), hospital)
+        assert not is_instance("mary", b.concept("Male"), hospital)
+
+
+class TestSLEvaluation:
+    def test_sl_primitive(self, hospital):
+        assert sl_concept_extension(SLPrimitive("Doctor"), hospital) == {"dr_lee"}
+
+    def test_value_restriction(self, hospital):
+        # Everyone whose every "suffers" value is a Disease (vacuously true for
+        # objects with no suffers edge).
+        extension = sl_concept_extension(ValueRestriction("suffers", "Disease"), hospital)
+        assert extension == hospital.domain
+
+    def test_exists_attribute(self, hospital):
+        assert sl_concept_extension(ExistsAttribute("takes"), hospital) == {"mary"}
+
+    def test_at_most_one(self, hospital):
+        assert sl_concept_extension(AtMostOne("consults"), hospital) == hospital.domain
+        bigger = hospital.with_attribute(
+            "consults", {("mary", "dr_lee"), ("mary", "john"), ("john", "dr_lee")}
+        )
+        assert "mary" not in sl_concept_extension(AtMostOne("consults"), bigger)

@@ -1,0 +1,157 @@
+"""Tests for Σ-interpretations, model enumeration and canonical interpretations."""
+
+import pytest
+
+from repro.calculus.constraints import (
+    AttributeConstraint,
+    Constant,
+    MembershipConstraint,
+    Variable,
+)
+from repro.calculus.subsume import decide_subsumption
+from repro.concepts import builders as b
+from repro.concepts.syntax import Primitive
+from repro.semantics.canonical import UNIVERSAL_FILLER, canonical_interpretation, element_for
+from repro.semantics.enumerate_models import (
+    enumerate_interpretations,
+    enumerate_sigma_interpretations,
+)
+from repro.semantics.evaluate import concept_extension
+from repro.semantics.interpretation import Interpretation
+from repro.semantics.sigma import (
+    counterexample_elements,
+    extension_contained,
+    is_sigma_interpretation,
+    satisfies_axiom,
+    violated_axioms,
+)
+from repro.workloads.medical import medical_schema, query_patient_concept, view_patient_concept
+
+
+class TestSigmaChecks:
+    def setup_method(self):
+        self.schema = b.schema(
+            b.isa("Patient", "Person"),
+            b.typed("Patient", "suffers", "Disease"),
+            b.necessary("Patient", "suffers"),
+            b.functional("Person", "name"),
+            b.attribute_typing("suffers", "Patient", "Disease"),
+        )
+
+    def test_satisfying_interpretation(self):
+        interpretation = Interpretation(
+            domain={"p1", "d1", "n1"},
+            concepts={"Patient": {"p1"}, "Person": {"p1"}, "Disease": {"d1"}},
+            attributes={"suffers": {("p1", "d1")}, "name": {("p1", "n1")}},
+        )
+        assert is_sigma_interpretation(interpretation, self.schema)
+        assert violated_axioms(interpretation, self.schema) == []
+
+    def test_violations_detected_per_axiom_kind(self):
+        interpretation = Interpretation(
+            domain={"p1", "x"},
+            concepts={"Patient": {"p1"}},
+            attributes={"suffers": {("p1", "x")}, "name": set()},
+        )
+        violated = violated_axioms(interpretation, self.schema)
+        # isA violated (p1 not Person), typing violated (x not Disease),
+        # attribute typing violated; necessary is satisfied (has a filler).
+        assert len(violated) >= 3
+
+    def test_functional_violation(self):
+        interpretation = Interpretation(
+            domain={"p", "n1", "n2"},
+            concepts={"Person": {"p"}},
+            attributes={"name": {("p", "n1"), ("p", "n2")}},
+        )
+        axiom = next(a for a in self.schema.inclusion_axioms if "name" in str(a))
+        assert not satisfies_axiom(interpretation, axiom)
+
+    def test_extension_containment_helpers(self):
+        interpretation = Interpretation(
+            domain={"a", "b"},
+            concepts={"A": {"a", "b"}, "B": {"a"}},
+        )
+        assert extension_contained(b.concept("B"), b.concept("A"), interpretation)
+        assert not extension_contained(b.concept("A"), b.concept("B"), interpretation)
+        assert counterexample_elements(b.concept("A"), b.concept("B"), interpretation) == ("b",)
+
+
+class TestEnumeration:
+    def test_counts_without_constants(self):
+        models = list(enumerate_interpretations(["A"], ["p"], domain_size=1))
+        # 2 subsets for A times 2 subsets for the single pair (d0,d0).
+        assert len(models) == 4
+
+    def test_constants_respect_una(self):
+        models = list(enumerate_interpretations(["A"], [], ["a", "b"], domain_size=1))
+        assert models == []  # two constants cannot fit injectively into one element
+        models2 = list(enumerate_interpretations([], [], ["a", "b"], domain_size=2))
+        assert len(models2) == 2  # the two injective assignments
+
+    def test_limit_is_respected(self):
+        models = list(enumerate_interpretations(["A", "B"], ["p"], domain_size=2, limit=10))
+        assert len(models) == 10
+
+    def test_sigma_enumeration_filters(self):
+        schema = b.schema(b.isa("A", "B"))
+        for interpretation in enumerate_sigma_interpretations(
+            schema, ["A", "B"], [], domain_size=2, limit=500
+        ):
+            assert interpretation.concept_extension("A") <= interpretation.concept_extension("B")
+
+
+class TestCanonicalInterpretation:
+    def test_element_naming(self):
+        assert element_for(Variable("y1")) == "?y1"
+        assert element_for(Constant("Aspirin")) == "Aspirin"
+
+    def test_universal_filler_belongs_to_every_concept_and_attribute(self):
+        facts = [MembershipConstraint(Variable("x"), Primitive("A"))]
+        schema = b.schema(b.isa("A", "B"), b.attribute_typing("p", "A", "B"))
+        interpretation = canonical_interpretation(facts, schema)
+        assert UNIVERSAL_FILLER in interpretation.concept_extension("A")
+        assert UNIVERSAL_FILLER in interpretation.concept_extension("B")
+        assert (UNIVERSAL_FILLER, UNIVERSAL_FILLER) in interpretation.attribute_extension("p")
+
+    def test_necessary_attribute_gets_implicit_filler(self):
+        facts = [MembershipConstraint(Variable("x"), Primitive("A"))]
+        schema = b.schema(b.necessary("A", "p"))
+        interpretation = canonical_interpretation(facts, schema)
+        assert ("?x", UNIVERSAL_FILLER) in interpretation.attribute_extension("p")
+
+    def test_explicit_filler_suppresses_implicit_one(self):
+        facts = [
+            MembershipConstraint(Variable("x"), Primitive("A")),
+            AttributeConstraint(Variable("x"), b.attr("p"), Variable("y")),
+        ]
+        schema = b.schema(b.necessary("A", "p"))
+        interpretation = canonical_interpretation(facts, schema)
+        assert ("?x", "?y") in interpretation.attribute_extension("p")
+        assert ("?x", UNIVERSAL_FILLER) not in interpretation.attribute_extension("p")
+
+    def test_inverted_attribute_constraints_are_stored_forward(self):
+        facts = [AttributeConstraint(Variable("x"), b.inv("p"), Variable("y"))]
+        interpretation = canonical_interpretation(facts, b.schema())
+        assert ("?y", "?x") in interpretation.attribute_extension("p")
+
+    def test_countermodel_of_failed_subsumption_is_a_sigma_model(self):
+        """Proposition 4.5/4.6: the canonical interpretation refutes failed subsumptions."""
+        schema = medical_schema()
+        query = view_patient_concept()
+        view = query_patient_concept()  # the reverse direction does NOT hold
+        result = decide_subsumption(query, view, schema)
+        assert not result.subsumed
+        countermodel = result.countermodel()
+        assert countermodel is not None
+        assert is_sigma_interpretation(countermodel, schema)
+        root = element_for(result.root_goal_subject)
+        assert root in concept_extension(result.query, countermodel)
+        assert root not in concept_extension(result.view, countermodel)
+
+    def test_countermodel_is_none_when_subsumed(self):
+        result = decide_subsumption(
+            query_patient_concept(), view_patient_concept(), medical_schema()
+        )
+        assert result.subsumed
+        assert result.countermodel() is None

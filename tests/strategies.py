@@ -1,0 +1,123 @@
+"""Shared hypothesis strategies for the property-based tests.
+
+The strategies generate *small* random vocabularies, ``QL`` concepts,
+``SL`` schemas and finite interpretations, so that exhaustive oracles
+(brute-force model search, FOL evaluation) stay fast while still exercising
+every construct of the languages.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.concepts import builders as b
+from repro.concepts.schema import Schema
+from repro.concepts.syntax import (
+    And,
+    AttributeRestriction,
+    Concept,
+    ExistsPath,
+    Path,
+    PathAgreement,
+    Primitive,
+    Singleton,
+    Top,
+)
+from repro.semantics.interpretation import Interpretation
+
+CONCEPT_NAMES = ["A", "B", "C"]
+ATTRIBUTE_NAMES = ["p", "q"]
+CONSTANT_NAMES = ["a", "b"]
+
+
+def primitive_concepts():
+    return st.sampled_from(CONCEPT_NAMES).map(Primitive)
+
+
+def attributes():
+    return st.builds(
+        b.attr, st.sampled_from(ATTRIBUTE_NAMES)
+    ) | st.builds(b.inv, st.sampled_from(ATTRIBUTE_NAMES))
+
+
+def atomic_concepts(allow_singletons: bool = True):
+    options = [primitive_concepts(), st.just(Top())]
+    if allow_singletons:
+        options.append(st.sampled_from(CONSTANT_NAMES).map(Singleton))
+    return st.one_of(*options)
+
+
+def paths(max_length: int = 2, filler=None, allow_singletons: bool = True):
+    filler = filler if filler is not None else atomic_concepts(allow_singletons)
+    step = st.builds(AttributeRestriction, attributes(), filler)
+    return st.lists(step, min_size=1, max_size=max_length).map(lambda steps: Path(tuple(steps)))
+
+
+def concepts(max_depth: int = 2, allow_singletons: bool = True):
+    """Random QL concepts of bounded depth."""
+    base = atomic_concepts(allow_singletons)
+
+    def extend(children):
+        path_strategy = paths(max_length=2, filler=children, allow_singletons=allow_singletons)
+        return st.one_of(
+            st.builds(And, children, children),
+            st.builds(ExistsPath, path_strategy),
+            st.builds(lambda p: PathAgreement(p, Path(())), path_strategy),
+            st.builds(PathAgreement, path_strategy, path_strategy),
+        )
+
+    return st.recursive(base, extend, max_leaves=max_depth + 3)
+
+
+def schemas(max_axioms: int = 4):
+    """Random small SL schemas over the shared vocabulary."""
+    names = st.sampled_from(CONCEPT_NAMES)
+    attrs = st.sampled_from(ATTRIBUTE_NAMES)
+    axiom = st.one_of(
+        st.builds(b.isa, names, names),
+        st.builds(b.typed, names, attrs, names),
+        st.builds(b.necessary, names, attrs),
+        st.builds(b.functional, names, attrs),
+        st.builds(b.attribute_typing, attrs, names, names),
+    )
+    return st.lists(axiom, max_size=max_axioms).map(_build_schema)
+
+
+def _build_schema(axioms) -> Schema:
+    # Attribute typings may conflict; keep the first one for each attribute.
+    seen_typings = set()
+    filtered = []
+    for axiom in axioms:
+        key = getattr(axiom, "attribute", None)
+        if key is not None and hasattr(axiom, "domain"):
+            if key in seen_typings:
+                continue
+            seen_typings.add(key)
+        filtered.append(axiom)
+    return Schema(filtered)
+
+
+def interpretations(domain_size: int = 3):
+    """Random finite interpretations over the shared vocabulary."""
+    domain = tuple(f"d{i}" for i in range(domain_size))
+    element = st.sampled_from(domain)
+    subset = st.frozensets(element, max_size=domain_size)
+    pair = st.tuples(element, element)
+    relation = st.frozensets(pair, max_size=domain_size * domain_size)
+
+    def build(concept_exts, attribute_exts, constant_elements):
+        constants = dict(zip(CONSTANT_NAMES, constant_elements))
+        return Interpretation(
+            domain,
+            dict(zip(CONCEPT_NAMES, concept_exts)),
+            dict(zip(ATTRIBUTE_NAMES, attribute_exts)),
+            constants,
+        )
+
+    constant_assignment = st.permutations(domain).map(lambda p: p[: len(CONSTANT_NAMES)])
+    return st.builds(
+        build,
+        st.tuples(*[subset for _ in CONCEPT_NAMES]),
+        st.tuples(*[relation for _ in ATTRIBUTE_NAMES]),
+        constant_assignment,
+    )

@@ -1,0 +1,159 @@
+"""Tests for the workload generators and the domain scenarios."""
+
+import random
+
+import pytest
+
+from repro.calculus import subsumes
+from repro.concepts.size import concept_size, schema_size
+from repro.database.query_eval import QueryEvaluator
+from repro.workloads.chains import (
+    agreement_pair,
+    chain_pair,
+    chain_schema,
+    fan_pair,
+    hierarchy_schema,
+    non_subsumed_chain_pair,
+)
+from repro.workloads.synthetic import (
+    SchemaProfile,
+    WorkloadConfig,
+    generate_view_workload,
+    random_concept,
+    random_schema,
+    random_state,
+    specialize_concept,
+)
+from repro.workloads.trading import (
+    generate_trading_state,
+    trading_concepts,
+    trading_dl_schema,
+    trading_schema,
+)
+from repro.workloads.university import (
+    generate_university_state,
+    university_concepts,
+    university_dl_schema,
+    university_schema,
+)
+
+
+class TestChainWorkloads:
+    @pytest.mark.parametrize("length", [1, 2, 5, 9])
+    def test_chain_pairs_are_subsumed(self, length):
+        query, view = chain_pair(length)
+        assert subsumes(query, view)
+
+    @pytest.mark.parametrize("length", [1, 3, 5])
+    def test_non_subsumed_chain_pairs_are_rejected(self, length):
+        query, view = non_subsumed_chain_pair(length)
+        assert not subsumes(query, view)
+
+    @pytest.mark.parametrize("length", [1, 2, 4])
+    def test_agreement_pairs_are_subsumed(self, length):
+        query, view = agreement_pair(length)
+        assert subsumes(query, view)
+
+    @pytest.mark.parametrize("width", [1, 2, 5])
+    def test_fan_pairs_are_subsumed(self, width):
+        query, view = fan_pair(width)
+        assert subsumes(query, view)
+
+    def test_chain_schema_scales_with_depth(self):
+        assert schema_size(chain_schema(4)) < schema_size(chain_schema(12))
+        schema = chain_schema(3)
+        assert schema.is_necessary_for("C0", "a0")
+        assert subsumes_c0_chain(schema)
+
+    def test_hierarchy_schema_shape(self):
+        schema = hierarchy_schema(width=2, depth=3)
+        assert "Root" in schema.concept_names()
+        # 2 + 4 + 8 children
+        assert len(schema) == 14
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            chain_pair(0)
+        with pytest.raises(ValueError):
+            agreement_pair(0)
+        with pytest.raises(ValueError):
+            fan_pair(0)
+
+
+def subsumes_c0_chain(schema):
+    """C0 must be subsumed by the top of the chain thanks to the isA axioms."""
+    from repro.concepts import builders as b
+
+    return subsumes(b.concept("C0"), b.concept("C3"), schema)
+
+
+class TestSyntheticGenerators:
+    def test_random_schema_is_reproducible(self):
+        first = random_schema(SchemaProfile(classes=8, attributes=5), seed=11)
+        second = random_schema(SchemaProfile(classes=8, attributes=5), seed=11)
+        assert first == second
+
+    def test_random_concepts_are_reproducible_and_well_formed(self):
+        schema = random_schema(seed=1)
+        first = random_concept(schema, seed=2)
+        second = random_concept(schema, seed=2)
+        assert first == second
+        assert concept_size(first) >= 1
+
+    def test_specialization_is_always_subsumed(self):
+        rng = random.Random(3)
+        schema = random_schema(seed=3)
+        for _ in range(10):
+            view = random_concept(schema, seed=rng.random(), conjunct_count=2)
+            query = specialize_concept(view, schema, seed=rng.random())
+            assert subsumes(query, view, schema)
+
+    def test_random_state_respects_requested_size(self):
+        schema = random_schema(seed=4)
+        state = random_state(schema, objects=50, seed=4)
+        assert len(state) == 50
+
+    def test_view_workload_bundle(self):
+        config = WorkloadConfig(view_count=3, query_count=8, objects=40, seed=9)
+        workload = generate_view_workload(config)
+        assert len(workload.views) == 3
+        assert len(workload.queries) == 8
+        labelled = [q for q in workload.queries if q[2] is not None]
+        for _name, concept, base in labelled:
+            assert subsumes(concept, workload.views[base], workload.schema)
+
+
+class TestDomainScenarios:
+    def test_university_subsumption_lattice(self):
+        concepts = university_concepts()
+        schema = university_schema()
+        assert subsumes(concepts["GradsTaughtByAdvisor"], concepts["StudentsOfTheirAdvisor"], schema)
+        assert subsumes(concepts["GradsTaughtByAdvisor"], concepts["NamedStudents"], schema)
+        assert subsumes(concepts["AdvisedGradStudents"], concepts["NamedStudents"], schema)
+        assert not subsumes(concepts["NamedStudents"], concepts["AdvisedGradStudents"], schema)
+
+    def test_university_state_is_populated_and_useful(self):
+        dl = university_dl_schema()
+        state = generate_university_state(students=40, professors=8, courses=12, seed=1)
+        evaluator = QueryEvaluator(dl)
+        coref = evaluator.answers(dl.query_classes["StudentsOfTheirAdvisor"], state)
+        grads = evaluator.answers(dl.query_classes["GradsTaughtByAdvisor"], state)
+        assert grads <= coref
+        assert coref  # the generator plants matching advisor/teacher pairs
+
+    def test_trading_subsumption_lattice(self):
+        concepts = trading_concepts()
+        schema = trading_schema()
+        assert subsumes(concepts["PremiumLocalFragile"], concepts["LocallyHandledCustomers"], schema)
+        assert subsumes(concepts["LocallyHandledCustomers"], concepts["CustomersWithOrders"], schema)
+        assert subsumes(concepts["PremiumLocalFragile"], concepts["NamedCustomers"], schema)
+        assert not subsumes(concepts["CustomersWithOrders"], concepts["PremiumLocalFragile"], schema)
+
+    def test_trading_state_answers_are_nested_like_the_views(self):
+        dl = trading_dl_schema()
+        state = generate_trading_state(customers=60, orders=120, products=30, seed=2)
+        evaluator = QueryEvaluator(dl)
+        with_orders = evaluator.answers(dl.query_classes["CustomersWithOrders"], state)
+        local = evaluator.answers(dl.query_classes["LocallyHandledCustomers"], state)
+        assert local <= with_orders
+        assert with_orders
