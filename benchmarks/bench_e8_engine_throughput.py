@@ -1,0 +1,150 @@
+"""Experiment E8: throughput of the indexed agenda engine vs. the naive engine.
+
+The tentpole claim of the indexed-store/agenda refactor is that the
+completion hot path stops paying the restart-from-top re-scan (and the
+re-sorting/re-stringifying it entailed) after every rule application.  This
+benchmark measures **completions per second** on the E2 polynomial-scaling
+series for both engine strategies -- which fire the identical sequence of
+rule applications, so any difference is pure control/probe overhead -- and
+records the series in a ``BENCH_e8.json`` trajectory file for cross-PR
+comparison.
+
+Usage::
+
+    python benchmarks/bench_e8_engine_throughput.py     # full series + JSON
+    pytest benchmarks/ --benchmark-only                 # CI timing points
+"""
+
+import pytest
+
+from repro.calculus import decide_subsumption, subsumes
+from repro.concepts.size import concept_size
+from repro.workloads.chains import (
+    agreement_pair,
+    chain_pair,
+    chain_schema,
+    fan_pair,
+    non_subsumed_chain_pair,
+)
+
+try:
+    from .helpers import measure, print_table, write_trajectory
+except ImportError:  # executed as a script
+    from helpers import measure, print_table, write_trajectory
+
+CHAIN_LENGTHS = [2, 4, 8, 16, 32]
+FAN_WIDTHS = [2, 4, 8, 16]
+SCHEMA_DEPTHS = [4, 16, 32]
+
+
+def _check(query, view, schema=None, naive=False):
+    return subsumes(query, view, schema, naive=naive)
+
+
+@pytest.mark.parametrize("naive", [False, True], ids=["indexed", "naive"])
+def test_e8_chain_throughput(benchmark, naive):
+    query, view = chain_pair(16)
+    assert benchmark(lambda: _check(query, view, naive=naive))
+
+
+@pytest.mark.parametrize("naive", [False, True], ids=["indexed", "naive"])
+def test_e8_failing_chain_throughput(benchmark, naive):
+    query, view = non_subsumed_chain_pair(16)
+    assert not benchmark(lambda: _check(query, view, naive=naive))
+
+
+def _series_point(label, parameter, query, view, schema=None):
+    """Measure one configuration with both engines and cross-check decisions."""
+    naive_result = decide_subsumption(query, view, schema, naive=True, keep_trace=False)
+    indexed_result = decide_subsumption(query, view, schema, naive=False, keep_trace=False)
+    assert naive_result.subsumed == indexed_result.subsumed, (label, parameter)
+    assert (
+        naive_result.statistics.total_applications
+        == indexed_result.statistics.total_applications
+    ), (label, parameter)
+
+    naive_seconds = measure(lambda: _check(query, view, schema, naive=True))
+    indexed_seconds = measure(lambda: _check(query, view, schema, naive=False))
+    return {
+        "series": label,
+        "parameter": parameter,
+        "query_size": concept_size(naive_result.query),
+        "view_size": concept_size(naive_result.view),
+        "rule_applications": naive_result.statistics.total_applications,
+        "subsumed": naive_result.subsumed,
+        "naive_seconds": naive_seconds,
+        "indexed_seconds": indexed_seconds,
+        "naive_per_second": (1.0 / naive_seconds) if naive_seconds else None,
+        "indexed_per_second": (1.0 / indexed_seconds) if indexed_seconds else None,
+        "speedup": (naive_seconds / indexed_seconds) if indexed_seconds else None,
+    }
+
+
+def report() -> None:
+    points = []
+    for length in CHAIN_LENGTHS:
+        points.append(_series_point("chain", length, *chain_pair(length)))
+    for length in CHAIN_LENGTHS:
+        points.append(
+            _series_point("failing-chain", length, *non_subsumed_chain_pair(length))
+        )
+    for length in CHAIN_LENGTHS:
+        points.append(_series_point("agreement", length, *agreement_pair(length)))
+    for width in FAN_WIDTHS:
+        points.append(_series_point("fan", width, *fan_pair(width)))
+    base_query, base_view = chain_pair(3)
+    for depth in SCHEMA_DEPTHS:
+        points.append(
+            _series_point("schema", depth, base_query, base_view, chain_schema(depth))
+        )
+
+    print_table(
+        "E8: completions/sec, naive full-scan vs. indexed agenda engine",
+        [
+            "series",
+            "param",
+            "rule apps",
+            "naive [ms]",
+            "indexed [ms]",
+            "naive /s",
+            "indexed /s",
+            "speedup",
+        ],
+        [
+            (
+                point["series"],
+                point["parameter"],
+                point["rule_applications"],
+                f"{point['naive_seconds'] * 1000:.2f}",
+                f"{point['indexed_seconds'] * 1000:.2f}",
+                f"{point['naive_per_second']:.1f}",
+                f"{point['indexed_per_second']:.1f}",
+                f"{point['speedup']:.1f}x",
+            )
+            for point in points
+        ],
+    )
+
+    largest_chain = max(
+        (point for point in points if point["series"] == "chain"),
+        key=lambda point: point["parameter"],
+    )
+    print(
+        f"\nlargest chain (length {largest_chain['parameter']}): "
+        f"{largest_chain['speedup']:.1f}x speedup "
+        f"({largest_chain['naive_per_second']:.1f} -> "
+        f"{largest_chain['indexed_per_second']:.1f} completions/sec)"
+    )
+
+    write_trajectory(
+        "e8",
+        {
+            "experiment": "e8-engine-throughput",
+            "series": points,
+            "largest_chain_speedup": largest_chain["speedup"],
+        },
+    )
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,27 @@
+"""Pytest wiring for the opt-in benchmark job.
+
+Everything collected under ``benchmarks/`` is marked ``benchmark`` so the
+job can be selected/deselected with ``-m benchmark``; ``pytest benchmarks/
+--benchmark-only`` additionally engages pytest-benchmark's calibrated
+timers.  When pytest-benchmark is not installed the ``benchmark`` fixture
+degrades to a plain call-through so the harnesses still run as smoke tests.
+"""
+
+import pytest
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        item.add_marker(pytest.mark.benchmark)
+
+
+try:  # pragma: no cover - exercised only when the plugin is absent
+    import pytest_benchmark  # noqa: F401
+except ImportError:
+
+    @pytest.fixture
+    def benchmark():
+        def run(callable_, *args, **kwargs):
+            return callable_(*args, **kwargs)
+
+        return run

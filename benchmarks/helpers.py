@@ -10,8 +10,10 @@ Each ``bench_e*.py`` file can be used in two ways:
 
 from __future__ import annotations
 
+import json
+import os
 import time
-from typing import Callable, Iterable, List, Sequence
+from typing import Callable, Iterable, List, Mapping, Sequence
 
 
 def measure(callable_: Callable[[], object], repeat: int = 3) -> float:
@@ -38,3 +40,19 @@ def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[obje
     print("-" * len(line))
     for row in rows:
         print("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+
+
+def write_trajectory(name: str, payload: Mapping[str, object]) -> str:
+    """Write a ``BENCH_<name>.json`` trajectory file next to the repository root.
+
+    Trajectory files record one benchmark run's full series (configuration,
+    per-point measurements, derived ratios) as JSON so successive PRs can
+    compare engine performance over time.  Returns the path written.
+    """
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    path = os.path.join(root, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote trajectory file {path}")
+    return path

@@ -16,16 +16,11 @@ is Σ-unsatisfiable and hence trivially Σ-subsumed by every concept
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Tuple, Union
 
 from ..concepts.schema import Schema
-from ..concepts.syntax import Primitive, Singleton
-from .constraints import (
-    AttributeConstraint,
-    Constraint,
-    MembershipConstraint,
-    Pair,
-)
+from ..concepts.syntax import Attribute, Primitive, Singleton
+from .constraints import Constraint, Pair, constraint_sort_key
 
 __all__ = ["Clash", "find_clashes", "has_clash"]
 
@@ -42,17 +37,31 @@ class Clash:
         return f"{self.kind}: {self.description}"
 
 
-def find_clashes(facts: Iterable[Constraint], schema: Schema) -> List[Clash]:
-    """All clashes contained in ``facts`` with respect to ``schema``."""
-    facts = list(facts)
+def find_clashes(
+    facts: Union[Pair, Iterable[Constraint]], schema: Schema
+) -> List[Clash]:
+    """All clashes contained in the facts with respect to ``schema``.
+
+    Accepts either a :class:`Pair` -- in which case the pair's constructor
+    and ``(subject, attribute)`` indexes are probed directly, so the cost is
+    proportional to the singleton/functional candidates rather than to the
+    whole system -- or a plain iterable of fact constraints, which is
+    indexed on the fly (the same O(n) the old list scans paid).
+    """
+    if not isinstance(facts, Pair):
+        # Raw constraint sets index just as cheaply as the old list scans did.
+        facts = Pair(facts=facts)
+    return _find_clashes_indexed(facts, schema)
+
+
+def _find_clashes_indexed(pair: Pair, schema: Schema) -> List[Clash]:
+    """Clash detection driven by the pair's indexes (same clashes, less scanning)."""
     clashes: List[Clash] = []
 
     # Clash kind 1: a constant asserted to be a different constant.
-    for constraint in facts:
-        if not isinstance(constraint, MembershipConstraint):
-            continue
-        if not isinstance(constraint.concept, Singleton):
-            continue
+    for constraint in sorted(
+        pair.fact_memberships_with_ctor(Singleton), key=constraint_sort_key
+    ):
         subject = constraint.subject
         if subject.is_variable:
             continue
@@ -69,35 +78,29 @@ def find_clashes(facts: Iterable[Constraint], schema: Schema) -> List[Clash]:
             )
 
     # Clash kind 2: two distinct constant fillers of a functional attribute.
-    memberships = [
-        constraint
-        for constraint in facts
-        if isinstance(constraint, MembershipConstraint)
-        and isinstance(constraint.concept, Primitive)
-    ]
-    attribute_facts = [
-        constraint
-        for constraint in facts
-        if isinstance(constraint, AttributeConstraint) and not constraint.attribute.inverted
-    ]
-    for membership in memberships:
+    for membership in sorted(
+        pair.fact_memberships_with_ctor(Primitive), key=constraint_sort_key
+    ):
         functional = schema.functional_attributes(membership.concept.name)
         if not functional:
             continue
         for attribute_name in sorted(functional):
             constant_fillers = [
                 constraint
-                for constraint in attribute_facts
-                if constraint.subject == membership.subject
-                and constraint.attribute.name == attribute_name
-                and not constraint.filler.is_variable
+                for constraint in pair.fact_edge_constraints(
+                    membership.subject, Attribute(attribute_name)
+                )
+                if not constraint.filler.is_variable
             ]
             names = {constraint.filler.name for constraint in constant_fillers}
             if len(names) >= 2:
                 clashes.append(
                     Clash(
                         kind="functional-clash",
-                        constraints=tuple(constant_fillers) + (membership,),
+                        constraints=tuple(
+                            sorted(constant_fillers, key=constraint_sort_key)
+                        )
+                        + (membership,),
                         description=(
                             f"{membership.subject} has distinct constant fillers "
                             f"{sorted(names)} for functional attribute {attribute_name}"
@@ -109,5 +112,4 @@ def find_clashes(facts: Iterable[Constraint], schema: Schema) -> List[Clash]:
 
 def has_clash(pair_or_facts, schema: Schema) -> bool:
     """``True`` iff the facts contain a clash with respect to ``schema``."""
-    facts = pair_or_facts.facts if isinstance(pair_or_facts, Pair) else pair_or_facts
-    return bool(find_clashes(facts, schema))
+    return bool(find_clashes(pair_or_facts, schema))

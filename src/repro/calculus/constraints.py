@@ -16,13 +16,42 @@ procedure: the subject of the original fact ``x : C`` and the subject ``o``
 of the original goal ``x : D`` (which may be renamed by the substitution
 rules D3 and S4).  Theorem 4.7 needs ``o`` for the final test
 ``o : D ∈ F_C``.
+
+The pair is an **indexed constraint store**: besides the plain fact/goal
+sets it maintains, incrementally on every mutation,
+
+* membership constraints indexed by subject and by the top-level concept
+  constructor (``And``, ``ExistsPath``, ...),
+* attribute constraints (edges) indexed by subject, by ``(subject,
+  attribute)`` and by filler,
+* path constraints indexed by subject,
+* a sorted view of facts and goals kept in insertion-sorted order with
+  cached sort keys (so determinism never requires re-sorting or
+  re-stringifying the whole system), and
+* the set of variable names in use (so fresh-variable generation is O(1)).
+
+The rule modules (:mod:`repro.calculus.rules`) and the agenda-driven
+completion engine (:mod:`repro.calculus.engine`) probe these indexes instead
+of scanning the whole system.
 """
 
 from __future__ import annotations
 
 import itertools
+from bisect import insort
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple, Union
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Type,
+)
 
 from ..concepts.syntax import Attribute, Concept, Path
 
@@ -36,6 +65,7 @@ __all__ = [
     "PathConstraint",
     "Substitution",
     "Pair",
+    "constraint_sort_key",
 ]
 
 
@@ -110,6 +140,17 @@ class Constraint:
         raise NotImplementedError
 
     def sort_key(self) -> Tuple:
+        """The deterministic ordering key, computed once per (immutable) instance."""
+        try:
+            return self._sort_key  # type: ignore[attr-defined]
+        except AttributeError:
+            key = self._compute_sort_key()
+            # Frozen dataclasses forbid normal attribute assignment; the
+            # memo slot is invisible to ==/hash, so this stays value-safe.
+            object.__setattr__(self, "_sort_key", key)
+            return key
+
+    def _compute_sort_key(self) -> Tuple:
         raise NotImplementedError
 
 
@@ -128,7 +169,7 @@ class MembershipConstraint(Constraint):
     def individuals(self) -> Tuple[Individual, ...]:
         return (self.subject,)
 
-    def sort_key(self) -> Tuple:
+    def _compute_sort_key(self) -> Tuple:
         return (0, self.subject.sort_key(), str(self.concept))
 
     def __str__(self) -> str:
@@ -153,7 +194,7 @@ class AttributeConstraint(Constraint):
     def individuals(self) -> Tuple[Individual, ...]:
         return (self.subject, self.filler)
 
-    def sort_key(self) -> Tuple:
+    def _compute_sort_key(self) -> Tuple:
         return (1, self.subject.sort_key(), str(self.attribute), self.filler.sort_key())
 
     def __str__(self) -> str:
@@ -178,14 +219,22 @@ class PathConstraint(Constraint):
     def individuals(self) -> Tuple[Individual, ...]:
         return (self.subject, self.filler)
 
-    def sort_key(self) -> Tuple:
+    def _compute_sort_key(self) -> Tuple:
         return (2, self.subject.sort_key(), str(self.path), self.filler.sort_key())
 
     def __str__(self) -> str:
         return f"{self.subject} {self.path} {self.filler}"
 
 
+def constraint_sort_key(constraint: Constraint) -> Tuple:
+    """The deterministic ordering key of a constraint (cached per instance)."""
+    return constraint.sort_key()
+
+
 Substitution = Tuple[Individual, Individual]
+
+#: Shared empty bucket returned by index accessors for absent keys.
+_EMPTY_BUCKET: FrozenSet = frozenset()
 
 
 # ---------------------------------------------------------------------------
@@ -193,12 +242,77 @@ Substitution = Tuple[Individual, Individual]
 # ---------------------------------------------------------------------------
 
 
+class _SystemIndex:
+    """The index structures of one constraint system (facts or goals).
+
+    Entries are only ever *added*; :meth:`Pair.apply_substitution` rebuilds
+    the affected systems wholesale (substitutions are rare -- one per
+    eliminated variable -- so the rebuild does not affect the asymptotics).
+    """
+
+    __slots__ = (
+        "constraints",
+        "order",
+        "sorted_entries",
+        "memberships_by_subject",
+        "memberships_by_ctor",
+        "edges_by_subject",
+        "edges_by_subject_attr",
+        "edges_by_filler",
+        "paths_by_subject",
+        "_counter",
+    )
+
+    def __init__(self) -> None:
+        self.constraints: Set[Constraint] = set()
+        self.order: Dict[Constraint, int] = {}
+        #: ``(sort_key, seq, constraint)`` triples in sorted order; the unique
+        #: seq breaks sort-key ties so constraints themselves never compare.
+        self.sorted_entries: List[Tuple[Tuple, int, Constraint]] = []
+        self.memberships_by_subject: Dict[Individual, Set[MembershipConstraint]] = {}
+        self.memberships_by_ctor: Dict[Type[Concept], Set[MembershipConstraint]] = {}
+        self.edges_by_subject: Dict[Individual, Set[AttributeConstraint]] = {}
+        self.edges_by_subject_attr: Dict[
+            Tuple[Individual, Attribute], Set[AttributeConstraint]
+        ] = {}
+        self.edges_by_filler: Dict[Individual, Set[AttributeConstraint]] = {}
+        self.paths_by_subject: Dict[Individual, Set[PathConstraint]] = {}
+        self._counter = itertools.count()
+
+    def add(self, constraint: Constraint) -> None:
+        self.constraints.add(constraint)
+        seq = next(self._counter)
+        self.order[constraint] = seq
+        insort(self.sorted_entries, (constraint.sort_key(), seq, constraint))
+        if isinstance(constraint, MembershipConstraint):
+            self.memberships_by_subject.setdefault(constraint.subject, set()).add(constraint)
+            self.memberships_by_ctor.setdefault(type(constraint.concept), set()).add(constraint)
+        elif isinstance(constraint, AttributeConstraint):
+            self.edges_by_subject.setdefault(constraint.subject, set()).add(constraint)
+            self.edges_by_subject_attr.setdefault(
+                (constraint.subject, constraint.attribute), set()
+            ).add(constraint)
+            self.edges_by_filler.setdefault(constraint.filler, set()).add(constraint)
+        elif isinstance(constraint, PathConstraint):
+            self.paths_by_subject.setdefault(constraint.subject, set()).add(constraint)
+
+    def rebuild(self, constraints: Iterable[Constraint]) -> None:
+        self.__init__()
+        for constraint in constraints:
+            self.add(constraint)
+
+    def sorted(self) -> List[Constraint]:
+        return [entry[2] for entry in self.sorted_entries]
+
+
 class Pair:
     """A pair ``F : G`` of constraint systems (facts and goals).
 
     The object is mutable: the rules of :mod:`repro.calculus.rules` add
     constraints or apply substitutions through the methods below, and the
-    engine (:mod:`repro.calculus.engine`) drives them to completion.
+    engine (:mod:`repro.calculus.engine`) drives them to completion.  All
+    secondary indexes (see the module docstring) are maintained incrementally
+    by :meth:`add_facts`, :meth:`add_goals` and :meth:`apply_substitution`.
     """
 
     def __init__(
@@ -208,11 +322,19 @@ class Pair:
         root_fact_subject: Optional[Individual] = None,
         root_goal_subject: Optional[Individual] = None,
     ) -> None:
-        self.facts: Set[Constraint] = set(facts)
-        self.goals: Set[Constraint] = set(goals)
+        self._fact_index = _SystemIndex()
+        self._goal_index = _SystemIndex()
         self.root_fact_subject = root_fact_subject
         self.root_goal_subject = root_goal_subject
         self._fresh_counter = itertools.count(1)
+        #: Variable names in use anywhere in the pair.  The set is only ever
+        #: grown (a stale name merely skips a candidate), which keeps
+        #: :meth:`fresh_variable` O(1) instead of a full rescan.
+        self._used_variable_names: Set[str] = set()
+        for constraint in facts:
+            self._add_fact(constraint)
+        for constraint in goals:
+            self._add_goal(constraint)
 
     # -- construction --------------------------------------------------------
 
@@ -228,27 +350,38 @@ class Pair:
         )
         return pair
 
+    # -- basic views ----------------------------------------------------------
+
+    @property
+    def facts(self) -> Set[Constraint]:
+        """The fact constraint system ``F`` (do not mutate directly)."""
+        return self._fact_index.constraints
+
+    @property
+    def goals(self) -> Set[Constraint]:
+        """The goal constraint system ``G`` (do not mutate directly)."""
+        return self._goal_index.constraints
+
     # -- fresh variables ------------------------------------------------------
 
     def fresh_variable(self) -> Variable:
-        """A variable not occurring anywhere in the pair."""
-        existing = {
-            individual.name
-            for constraint in self.constraints()
-            for individual in constraint.individuals()
-            if individual.is_variable
-        }
+        """A variable not occurring anywhere in the pair (O(1) amortized)."""
         while True:
             candidate = Variable(f"y{next(self._fresh_counter)}")
-            if candidate.name not in existing:
+            if candidate.name not in self._used_variable_names:
                 return candidate
+
+    def _note_individuals(self, constraint: Constraint) -> None:
+        for individual in constraint.individuals():
+            if individual.is_variable:
+                self._used_variable_names.add(individual.name)
 
     # -- queries ---------------------------------------------------------------
 
     def constraints(self) -> Iterator[Constraint]:
         """Iterate over facts then goals."""
-        yield from self.facts
-        yield from self.goals
+        yield from self._fact_index.constraints
+        yield from self._goal_index.constraints
 
     def individuals(self) -> FrozenSet[Individual]:
         """Every individual occurring in the pair."""
@@ -260,7 +393,7 @@ class Pair:
     def fact_individuals(self) -> FrozenSet[Individual]:
         """Every individual occurring in the facts (Proposition 4.8 counts these)."""
         found: Set[Individual] = set()
-        for constraint in self.facts:
+        for constraint in self._fact_index.constraints:
             found.update(constraint.individuals())
         return frozenset(found)
 
@@ -272,51 +405,137 @@ class Pair:
 
     def attribute_fillers(self, subject: Individual, attribute: Attribute) -> FrozenSet[Individual]:
         """The individuals ``t`` such that ``subject attribute t`` is a fact."""
-        return frozenset(
-            constraint.filler
-            for constraint in self.facts
-            if isinstance(constraint, AttributeConstraint)
-            and constraint.subject == subject
-            and constraint.attribute == attribute
-        )
+        bucket = self._fact_index.edges_by_subject_attr.get((subject, attribute))
+        if not bucket:
+            return frozenset()
+        return frozenset(constraint.filler for constraint in bucket)
 
     def has_fact(self, constraint: Constraint) -> bool:
-        return constraint in self.facts
+        return constraint in self._fact_index.constraints
 
     def has_goal(self, constraint: Constraint) -> bool:
-        return constraint in self.goals
+        return constraint in self._goal_index.constraints
 
     def sorted_facts(self) -> List[Constraint]:
         """The facts in a deterministic order (used by the rules for determinism)."""
-        return sorted(self.facts, key=lambda constraint: constraint.sort_key())
+        return self._fact_index.sorted()
 
     def sorted_goals(self) -> List[Constraint]:
         """The goals in a deterministic order."""
-        return sorted(self.goals, key=lambda constraint: constraint.sort_key())
+        return self._goal_index.sorted()
+
+    # -- index accessors (used by the incremental rules and clash detection) ---
+    #
+    # These return the live index buckets (empty frozenset when absent) to
+    # keep the agenda's delta routing allocation-free; callers must treat
+    # them as read-only and must not mutate the pair while iterating one.
+
+    def fact_memberships_at(self, subject: Individual) -> AbstractSet[MembershipConstraint]:
+        """The membership facts ``subject : C`` (read-only view)."""
+        return self._fact_index.memberships_by_subject.get(subject, _EMPTY_BUCKET)
+
+    def fact_memberships_with_ctor(
+        self, ctor: Type[Concept]
+    ) -> AbstractSet[MembershipConstraint]:
+        """The membership facts whose concept has the given top-level constructor."""
+        return self._fact_index.memberships_by_ctor.get(ctor, _EMPTY_BUCKET)
+
+    def fact_edges_at(self, subject: Individual) -> AbstractSet[AttributeConstraint]:
+        """The attribute facts ``subject R t`` (read-only view)."""
+        return self._fact_index.edges_by_subject.get(subject, _EMPTY_BUCKET)
+
+    def fact_edges_into(self, filler: Individual) -> AbstractSet[AttributeConstraint]:
+        """The attribute facts ``s R filler`` (reverse-edge lookup, read-only view)."""
+        return self._fact_index.edges_by_filler.get(filler, _EMPTY_BUCKET)
+
+    def fact_edge_constraints(
+        self, subject: Individual, attribute: Attribute
+    ) -> AbstractSet[AttributeConstraint]:
+        """The attribute facts ``subject attribute t`` as full constraints."""
+        return self._fact_index.edges_by_subject_attr.get((subject, attribute), _EMPTY_BUCKET)
+
+    def fact_paths_at(self, subject: Individual) -> AbstractSet[PathConstraint]:
+        """The path facts ``subject p t`` (read-only view)."""
+        return self._fact_index.paths_by_subject.get(subject, _EMPTY_BUCKET)
+
+    def has_path_fact(self, subject: Individual, path: Path) -> bool:
+        """``True`` iff some fact ``subject path t`` exists (D4/C3 witness test)."""
+        bucket = self._fact_index.paths_by_subject.get(subject)
+        if not bucket:
+            return False
+        return any(constraint.path == path for constraint in bucket)
+
+    def path_facts_with(self, subject: Individual, path: Path) -> List[PathConstraint]:
+        """The facts ``subject path t`` in deterministic order (C5 continuation)."""
+        bucket = self._fact_index.paths_by_subject.get(subject)
+        if not bucket:
+            return []
+        return sorted(
+            (constraint for constraint in bucket if constraint.path == path),
+            key=constraint_sort_key,
+        )
+
+    def goal_memberships_at(self, subject: Individual) -> AbstractSet[MembershipConstraint]:
+        """The membership goals ``subject : C`` (read-only view)."""
+        return self._goal_index.memberships_by_subject.get(subject, _EMPTY_BUCKET)
+
+    def goal_memberships_with_ctor(
+        self, ctor: Type[Concept]
+    ) -> AbstractSet[MembershipConstraint]:
+        """The membership goals whose concept has the given top-level constructor."""
+        return self._goal_index.memberships_by_ctor.get(ctor, _EMPTY_BUCKET)
 
     # -- mutation ----------------------------------------------------------------
 
+    def _add_fact(self, constraint: Constraint) -> None:
+        self._fact_index.add(constraint)
+        self._note_individuals(constraint)
+
+    def _add_goal(self, constraint: Constraint) -> None:
+        self._goal_index.add(constraint)
+        self._note_individuals(constraint)
+
     def add_facts(self, constraints: Iterable[Constraint]) -> Tuple[Constraint, ...]:
         """Add fact constraints; return the ones that were actually new."""
-        added = tuple(constraint for constraint in constraints if constraint not in self.facts)
-        self.facts.update(added)
-        return added
+        added: List[Constraint] = []
+        existing = self._fact_index.constraints
+        for constraint in constraints:
+            if constraint not in existing:
+                self._add_fact(constraint)
+                added.append(constraint)
+        return tuple(added)
 
     def add_goals(self, constraints: Iterable[Constraint]) -> Tuple[Constraint, ...]:
         """Add goal constraints; return the ones that were actually new."""
-        added = tuple(constraint for constraint in constraints if constraint not in self.goals)
-        self.goals.update(added)
-        return added
+        added: List[Constraint] = []
+        existing = self._goal_index.constraints
+        for constraint in constraints:
+            if constraint not in existing:
+                self._add_goal(constraint)
+                added.append(constraint)
+        return tuple(added)
 
     def apply_substitution(self, old: Individual, new: Individual) -> bool:
         """Replace ``old`` by ``new`` throughout the pair; return ``True`` if it changed."""
         if old == new:
             return False
-        new_facts = {constraint.substitute(old, new) for constraint in self.facts}
-        new_goals = {constraint.substitute(old, new) for constraint in self.goals}
-        changed = new_facts != self.facts or new_goals != self.goals
-        self.facts = new_facts
-        self.goals = new_goals
+        new_facts = {
+            constraint.substitute(old, new) for constraint in self._fact_index.constraints
+        }
+        new_goals = {
+            constraint.substitute(old, new) for constraint in self._goal_index.constraints
+        }
+        changed = (
+            new_facts != self._fact_index.constraints
+            or new_goals != self._goal_index.constraints
+        )
+        if changed:
+            self._fact_index.rebuild(new_facts)
+            self._goal_index.rebuild(new_goals)
+            for constraint in self.constraints():
+                self._note_individuals(constraint)
+            if new.is_variable:
+                self._used_variable_names.add(new.name)  # type: ignore[union-attr]
         if self.root_fact_subject == old:
             self.root_fact_subject = new
             changed = True

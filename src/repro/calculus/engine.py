@@ -17,17 +17,49 @@ paper's constraint and is deterministic (each rule scans constraints in a
 fixed order).  Because all rules either add constraints built from
 sub-expressions of ``C``, ``D`` and ``Σ`` or eliminate a variable, the loop
 terminates; a generous safety bound guards against implementation bugs.
+
+Two execution strategies implement that contract:
+
+``naive=True``
+    The seed implementation's restart-from-top fixpoint: after every firing,
+    every rule re-scans the whole pair in sorted order.  Kept as the
+    executable specification for cross-checking.
+
+``naive=False`` (default)
+    An **agenda-driven (semi-naive) fixpoint**.  The agenda holds, per rule,
+    the primary premises whose applicability may have changed; after each
+    firing only the delta (the newly added constraints, routed through the
+    rules' retrigger channels and the pair's indexes) is used to extend the
+    agenda, and premises examined without effect are dropped until a delta
+    can re-enable them.  Substitutions (rules D3/S4) rewrite the whole pair,
+    so they re-seed the agenda wholesale -- they happen at most once per
+    eliminated variable, preserving the polynomial bound.  The agenda is
+    *stratified* in the paper's priority order, and within a rule premises
+    are examined in the same deterministic sorted order as the naive scan.
+    Because the agenda always over-approximates the set of applicable
+    premises, both strategies fire the **identical sequence** of rule
+    applications (same traces, statistics and decisions); the property test
+    ``tests/calculus/test_engine_equivalence.py`` and the E8 benchmark check
+    exactly this.
 """
 
 from __future__ import annotations
 
+import itertools
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..concepts.schema import Schema
 from ..concepts.size import concept_size, schema_size
 from ..concepts.syntax import Concept
-from .constraints import Pair
+from .constraints import (
+    AttributeConstraint,
+    Constraint,
+    MembershipConstraint,
+    Pair,
+    PathConstraint,
+)
 from .rules import (
     COMPOSITION_RULES,
     DECOMPOSITION_RULES,
@@ -91,6 +123,155 @@ class CompletionResult:
         return self.pair.goals
 
 
+class _Agenda:
+    """Per-rule pending premises, stratified by the paper's rule priorities.
+
+    The invariant maintained through :meth:`notify_fact` / :meth:`notify_goal`
+    / :meth:`reseed` is that the pending set of a rule is a *superset* of the
+    primary premises on which the rule is currently applicable.  Selecting
+    the first applicable premise of the first rule (in group > rule >
+    sorted-premise order) therefore coincides with the naive engine's
+    full-scan choice.
+
+    Each rule's pending premises are kept in an insertion-sorted entry list
+    (``(sort_key, tie, constraint)``, mirroring the pair's own sorted index)
+    with a membership set for O(1) dedup/lazy deletion and a cursor marking
+    the examined prefix -- so draining a large pending set costs one probe
+    per premise instead of a re-sort per firing.
+    """
+
+    def __init__(self, rule_groups: Tuple[Sequence[Rule], ...]) -> None:
+        self._groups = rule_groups
+        rules = [rule for group in rule_groups for rule in group]
+        self._fact_rules = [rule for rule in rules if rule.source == "facts"]
+        self._goal_rules = [rule for rule in rules if rule.source == "goals"]
+        #: Authoritative pending membership per rule.
+        self._members: Dict[Rule, set] = {rule: set() for rule in rules}
+        #: Sorted ``(sort_key, tie, constraint)`` entries; may contain stale
+        #: entries for discarded premises (skipped via the membership set).
+        self._entries: Dict[Rule, List[Tuple[Tuple, int, Constraint]]] = {
+            rule: [] for rule in rules
+        }
+        #: Index of the first possibly-live entry per rule.
+        self._cursor: Dict[Rule, int] = {rule: 0 for rule in rules}
+        #: Tie-breaker for entries; sort keys embed full string forms, so two
+        #: distinct constraints never share one and the tie order is moot.
+        self._tick = itertools.count()
+        self._edge_retriggered = [rule for rule in rules if rule.retrigger_edge_at_subject]
+        self._membership_retriggered = [
+            rule for rule in rules if rule.retrigger_membership_at_subject
+        ]
+        self._path_retriggered = [rule for rule in rules if rule.retrigger_path_at_subject]
+        self._successor_membership = [
+            rule for rule in rules if rule.retrigger_membership_at_successor
+        ]
+        self._successor_path = [rule for rule in rules if rule.retrigger_path_at_successor]
+
+    # -- seeding and delta routing -------------------------------------------
+
+    def _add(self, rule: Rule, constraint: Constraint) -> None:
+        members = self._members[rule]
+        if constraint in members:
+            return
+        members.add(constraint)
+        entry = (constraint.sort_key(), next(self._tick), constraint)
+        entries = self._entries[rule]
+        position = bisect_left(entries, entry)
+        entries.insert(position, entry)
+        if position < self._cursor[rule]:
+            self._cursor[rule] = position
+
+    def reseed(self, pair: Pair) -> None:
+        """Re-enter every constraint (used at start and after substitutions)."""
+        for rules, pool in ((self._fact_rules, pair.facts), (self._goal_rules, pair.goals)):
+            for rule in rules:
+                matching = [c for c in pool if rule.matches(c)]
+                self._members[rule] = set(matching)
+                self._entries[rule] = sorted(
+                    (c.sort_key(), next(self._tick), c) for c in matching
+                )
+                self._cursor[rule] = 0
+
+    def _requeue_at(self, rule: Rule, pair: Pair, subject) -> None:
+        """Re-enter the membership premises of ``rule`` whose subject is ``subject``."""
+        bucket = (
+            pair.fact_memberships_at(subject)
+            if rule.source == "facts"
+            else pair.goal_memberships_at(subject)
+        )
+        for constraint in bucket:
+            if rule.matches(constraint):
+                self._add(rule, constraint)
+
+    def notify_fact(self, constraint: Constraint, pair: Pair) -> None:
+        """Route a newly added fact to every rule it may have enabled."""
+        for rule in self._fact_rules:
+            if rule.matches(constraint):
+                self._add(rule, constraint)
+        if isinstance(constraint, AttributeConstraint):
+            for rule in self._edge_retriggered:
+                self._requeue_at(rule, pair, constraint.subject)
+        elif isinstance(constraint, MembershipConstraint):
+            subject = constraint.subject
+            for rule in self._membership_retriggered:
+                self._requeue_at(rule, pair, subject)
+            if self._successor_membership:
+                for edge in pair.fact_edges_into(subject):
+                    for rule in self._successor_membership:
+                        self._requeue_at(rule, pair, edge.subject)
+        elif isinstance(constraint, PathConstraint):
+            subject = constraint.subject
+            for rule in self._path_retriggered:
+                self._requeue_at(rule, pair, subject)
+            if self._successor_path:
+                for edge in pair.fact_edges_into(subject):
+                    for rule in self._successor_path:
+                        self._requeue_at(rule, pair, edge.subject)
+
+    def notify_goal(self, constraint: Constraint, pair: Pair) -> None:
+        """Route a newly added goal (goals only ever enable goal-premise rules)."""
+        for rule in self._goal_rules:
+            if rule.matches(constraint):
+                self._add(rule, constraint)
+
+    # -- selection -------------------------------------------------------------
+
+    def next_application(self, pair: Pair, schema: Schema) -> Optional[RuleApplication]:
+        """Fire the highest-priority applicable rule, exactly as the naive scan would."""
+        for group in self._groups:
+            for rule in group:
+                members = self._members[rule]
+                if not members:
+                    continue
+                source_set = pair.facts if rule.source == "facts" else pair.goals
+                entries = self._entries[rule]
+                index = self._cursor[rule]
+                while index < len(entries):
+                    candidate = entries[index][2]
+                    if candidate not in members:
+                        index += 1
+                        continue
+                    if candidate not in source_set:
+                        members.discard(candidate)
+                        index += 1
+                        continue
+                    application = rule.apply_to(candidate, pair, schema)
+                    if application is not None:
+                        # The premise stays pending: several rules fire more
+                        # than once per premise (S1 per superclass, G2 per
+                        # filler, ...); it is dropped on its next idle probe.
+                        self._cursor[rule] = index
+                        return application
+                    members.discard(candidate)
+                    index += 1
+                if members:
+                    self._cursor[rule] = index
+                else:
+                    entries.clear()
+                    self._cursor[rule] = 0
+        return None
+
+
 class CompletionEngine:
     """Runs the rules of the calculus on a pair until no rule is applicable.
 
@@ -108,6 +289,11 @@ class CompletionEngine:
     max_steps:
         Optional hard upper bound on rule applications.  By default a
         generous polynomial bound derived from the input sizes is used.
+    naive:
+        When ``True``, use the restart-from-top full-scan fixpoint of the
+        seed implementation instead of the indexed agenda; both strategies
+        fire the identical sequence of rule applications (the naive path is
+        kept as the executable specification for cross-checking).
     """
 
     def __init__(
@@ -115,6 +301,7 @@ class CompletionEngine:
         use_repair_rule: bool = True,
         keep_trace: bool = True,
         max_steps: Optional[int] = None,
+        naive: bool = False,
     ) -> None:
         schema_rules = SCHEMA_RULES if use_repair_rule else PAPER_SCHEMA_RULES
         self._rule_groups: Tuple[Sequence[Rule], ...] = (
@@ -125,6 +312,7 @@ class CompletionEngine:
         )
         self.keep_trace = keep_trace
         self.max_steps = max_steps
+        self.naive = naive
 
     # -- public API -----------------------------------------------------------
 
@@ -134,14 +322,30 @@ class CompletionEngine:
         trace: List[RuleApplication] = []
         budget = self.max_steps or self._default_budget(pair, schema)
 
+        agenda: Optional[_Agenda] = None
+        if not self.naive:
+            agenda = _Agenda(self._rule_groups)
+            agenda.reseed(pair)
+
         steps = 0
         while True:
-            application = self._apply_one(pair, schema)
+            if agenda is None:
+                application = self._apply_one(pair, schema)
+            else:
+                application = agenda.next_application(pair, schema)
             if application is None:
                 break
             statistics.record(application)
             if self.keep_trace:
                 trace.append(application)
+            if agenda is not None:
+                if application.substitution is not None:
+                    agenda.reseed(pair)
+                else:
+                    for constraint in application.added_facts:
+                        agenda.notify_fact(constraint, pair)
+                    for constraint in application.added_goals:
+                        agenda.notify_goal(constraint, pair)
             steps += 1
             if steps > budget:
                 raise CompletionError(
@@ -166,7 +370,7 @@ class CompletionEngine:
     # -- internals --------------------------------------------------------------
 
     def _apply_one(self, pair: Pair, schema: Schema) -> Optional[RuleApplication]:
-        """Apply the highest-priority applicable rule, if any."""
+        """Apply the highest-priority applicable rule, if any (naive full scan)."""
         for group in self._rule_groups:
             for rule in group:
                 application = rule.apply(pair, schema)
@@ -181,12 +385,14 @@ class CompletionEngine:
         The completion adds constraints built from sub-expressions of the
         input over at most ``M·N + |constants|`` individuals
         (Proposition 4.8); the budget below over-approximates that count
-        comfortably without permitting runaway loops.
+        comfortably without permitting runaway loops.  It is computed once
+        per :meth:`complete` call, and the size measures it relies on are
+        memoized (:mod:`repro.concepts.size`).
         """
         concept_total = sum(
             concept_size(constraint.concept)
             for constraint in pair.constraints()
-            if hasattr(constraint, "concept")
+            if isinstance(constraint, MembershipConstraint)
         )
         base = (concept_total + schema_size(schema) + 10) ** 3
         return max(base, 10_000)

@@ -4,23 +4,22 @@ The composition rules compose complex facts from simpler ones, directed by
 the goals; this amounts to a bottom-up evaluation of the view concept ``D``
 over the facts ``F``.  The subsumption test of Theorem 4.7 succeeds exactly
 when this evaluation manages to compose the fact ``o : D``.
+
+The primary premise of each rule is the goal that directs the composition;
+the engine re-examines a goal when new facts arrive that could complete one
+of its instances (conjunct memberships for C1, path facts for C3/C4, edges
+and continuations for C5/C6).
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Tuple
+from typing import Optional
 
-from ...concepts.syntax import And, ExistsPath, Path, PathAgreement, Top
-from ..constraints import Individual, MembershipConstraint, Pair, PathConstraint
-from .base import Rule, RuleApplication
+from ...concepts.syntax import And, ExistsPath, PathAgreement, Top
+from ..constraints import Constraint, MembershipConstraint, Pair, PathConstraint
+from .base import Rule, RuleApplication, goal_path
 
 __all__ = ["RuleC1", "RuleC2", "RuleC3", "RuleC4", "RuleC5", "RuleC6", "COMPOSITION_RULES"]
-
-
-def _membership_goals(pair: Pair) -> Iterator[MembershipConstraint]:
-    for constraint in pair.sorted_goals():
-        if isinstance(constraint, MembershipConstraint):
-            yield constraint
 
 
 class RuleC1(Rule):
@@ -28,22 +27,26 @@ class RuleC1(Rule):
 
     name = "C1"
     category = "composition"
+    source = "goals"
+    retrigger_membership_at_subject = True
 
-    def apply(self, pair: Pair, schema) -> Optional[RuleApplication]:
-        for goal in _membership_goals(pair):
-            concept = goal.concept
-            if not isinstance(concept, And):
-                continue
-            if (
-                MembershipConstraint(goal.subject, concept.left) in pair.facts
-                and MembershipConstraint(goal.subject, concept.right) in pair.facts
-            ):
-                added = pair.add_facts([MembershipConstraint(goal.subject, concept)])
-                if added:
-                    return RuleApplication(
-                        self.name, self.category, added_facts=added,
-                        description=f"compose {goal}",
-                    )
+    def matches(self, constraint: Constraint) -> bool:
+        return isinstance(constraint, MembershipConstraint) and isinstance(
+            constraint.concept, And
+        )
+
+    def apply_to(self, candidate, pair: Pair, schema) -> Optional[RuleApplication]:
+        concept = candidate.concept
+        if (
+            MembershipConstraint(candidate.subject, concept.left) in pair.facts
+            and MembershipConstraint(candidate.subject, concept.right) in pair.facts
+        ):
+            added = pair.add_facts([MembershipConstraint(candidate.subject, concept)])
+            if added:
+                return RuleApplication(
+                    self.name, self.category, added_facts=added,
+                    description=f"compose {candidate}",
+                )
         return None
 
 
@@ -52,16 +55,19 @@ class RuleC2(Rule):
 
     name = "C2"
     category = "composition"
+    source = "goals"
 
-    def apply(self, pair: Pair, schema) -> Optional[RuleApplication]:
-        for goal in _membership_goals(pair):
-            if not isinstance(goal.concept, Top):
-                continue
-            added = pair.add_facts([MembershipConstraint(goal.subject, goal.concept)])
-            if added:
-                return RuleApplication(
-                    self.name, self.category, added_facts=added, description=str(goal)
-                )
+    def matches(self, constraint: Constraint) -> bool:
+        return isinstance(constraint, MembershipConstraint) and isinstance(
+            constraint.concept, Top
+        )
+
+    def apply_to(self, candidate, pair: Pair, schema) -> Optional[RuleApplication]:
+        added = pair.add_facts([MembershipConstraint(candidate.subject, candidate.concept)])
+        if added:
+            return RuleApplication(
+                self.name, self.category, added_facts=added, description=str(candidate)
+            )
         return None
 
 
@@ -70,25 +76,26 @@ class RuleC3(Rule):
 
     name = "C3"
     category = "composition"
+    source = "goals"
+    retrigger_path_at_subject = True
 
-    def apply(self, pair: Pair, schema) -> Optional[RuleApplication]:
-        for goal in _membership_goals(pair):
-            concept = goal.concept
-            if not isinstance(concept, ExistsPath):
-                continue
-            witnessed = concept.path.is_empty or any(
-                isinstance(fact, PathConstraint)
-                and fact.subject == goal.subject
-                and fact.path == concept.path
-                for fact in pair.facts
+    def matches(self, constraint: Constraint) -> bool:
+        return isinstance(constraint, MembershipConstraint) and isinstance(
+            constraint.concept, ExistsPath
+        )
+
+    def apply_to(self, candidate, pair: Pair, schema) -> Optional[RuleApplication]:
+        concept = candidate.concept
+        witnessed = concept.path.is_empty or pair.has_path_fact(
+            candidate.subject, concept.path
+        )
+        if not witnessed:
+            return None
+        added = pair.add_facts([MembershipConstraint(candidate.subject, concept)])
+        if added:
+            return RuleApplication(
+                self.name, self.category, added_facts=added, description=str(candidate)
             )
-            if not witnessed:
-                continue
-            added = pair.add_facts([MembershipConstraint(goal.subject, concept)])
-            if added:
-                return RuleApplication(
-                    self.name, self.category, added_facts=added, description=str(goal)
-                )
         return None
 
 
@@ -97,51 +104,29 @@ class RuleC4(Rule):
 
     name = "C4"
     category = "composition"
+    source = "goals"
+    retrigger_path_at_subject = True
 
-    def apply(self, pair: Pair, schema) -> Optional[RuleApplication]:
-        for goal in _membership_goals(pair):
-            concept = goal.concept
-            if not isinstance(concept, PathAgreement) or not concept.right.is_empty:
-                continue
-            witnessed = concept.left.is_empty or (
-                PathConstraint(goal.subject, concept.left, goal.subject) in pair.facts
+    def matches(self, constraint: Constraint) -> bool:
+        return (
+            isinstance(constraint, MembershipConstraint)
+            and isinstance(constraint.concept, PathAgreement)
+            and constraint.concept.right.is_empty
+        )
+
+    def apply_to(self, candidate, pair: Pair, schema) -> Optional[RuleApplication]:
+        concept = candidate.concept
+        witnessed = concept.left.is_empty or (
+            PathConstraint(candidate.subject, concept.left, candidate.subject) in pair.facts
+        )
+        if not witnessed:
+            return None
+        added = pair.add_facts([MembershipConstraint(candidate.subject, concept)])
+        if added:
+            return RuleApplication(
+                self.name, self.category, added_facts=added, description=str(candidate)
             )
-            if not witnessed:
-                continue
-            added = pair.add_facts([MembershipConstraint(goal.subject, concept)])
-            if added:
-                return RuleApplication(
-                    self.name, self.category, added_facts=added, description=str(goal)
-                )
         return None
-
-
-def _goal_paths_with_tail(pair: Pair) -> Iterator[Tuple[Individual, Path]]:
-    """Goals ``s : ∃(R:C)p`` or ``s : ∃(R:C)p ≐ ε`` whose path has length ≥ 2."""
-    for goal in _membership_goals(pair):
-        concept = goal.concept
-        if isinstance(concept, ExistsPath) and len(concept.path) >= 2:
-            yield goal.subject, concept.path
-        elif (
-            isinstance(concept, PathAgreement)
-            and concept.right.is_empty
-            and len(concept.left) >= 2
-        ):
-            yield goal.subject, concept.left
-
-
-def _goal_paths_single(pair: Pair) -> Iterator[Tuple[Individual, Path]]:
-    """Goals ``s : ∃(R:C)`` or ``s : ∃(R:C) ≐ ε`` whose path has length exactly 1."""
-    for goal in _membership_goals(pair):
-        concept = goal.concept
-        if isinstance(concept, ExistsPath) and len(concept.path) == 1:
-            yield goal.subject, concept.path
-        elif (
-            isinstance(concept, PathAgreement)
-            and concept.right.is_empty
-            and len(concept.left) == 1
-        ):
-            yield goal.subject, concept.left
 
 
 class RuleC5(Rule):
@@ -154,30 +139,36 @@ class RuleC5(Rule):
 
     name = "C5"
     category = "composition"
+    source = "goals"
+    retrigger_edge_at_subject = True
+    retrigger_membership_at_successor = True
+    retrigger_path_at_successor = True
 
-    def apply(self, pair: Pair, schema) -> Optional[RuleApplication]:
-        for subject, path in _goal_paths_with_tail(pair):
-            head, tail = path.head, path.tail
-            for intermediate in sorted(
-                pair.attribute_fillers(subject, head.attribute),
-                key=lambda individual: individual.sort_key(),
-            ):
-                if MembershipConstraint(intermediate, head.concept) not in pair.facts:
-                    continue
-                for fact in pair.sorted_facts():
-                    if (
-                        isinstance(fact, PathConstraint)
-                        and fact.subject == intermediate
-                        and fact.path == tail
-                    ):
-                        added = pair.add_facts([PathConstraint(subject, path, fact.filler)])
-                        if added:
-                            return RuleApplication(
-                                self.name,
-                                self.category,
-                                added_facts=added,
-                                description=f"compose path at {subject} via {intermediate}",
-                            )
+    def matches(self, constraint: Constraint) -> bool:
+        if not isinstance(constraint, MembershipConstraint):
+            return False
+        path = goal_path(constraint.concept)
+        return path is not None and len(path) >= 2
+
+    def apply_to(self, candidate, pair: Pair, schema) -> Optional[RuleApplication]:
+        subject = candidate.subject
+        path = goal_path(candidate.concept)
+        head, tail = path.head, path.tail
+        for intermediate in sorted(
+            pair.attribute_fillers(subject, head.attribute),
+            key=lambda individual: individual.sort_key(),
+        ):
+            if MembershipConstraint(intermediate, head.concept) not in pair.facts:
+                continue
+            for fact in pair.path_facts_with(intermediate, tail):
+                added = pair.add_facts([PathConstraint(subject, path, fact.filler)])
+                if added:
+                    return RuleApplication(
+                        self.name,
+                        self.category,
+                        added_facts=added,
+                        description=f"compose path at {subject} via {intermediate}",
+                    )
         return None
 
 
@@ -190,24 +181,34 @@ class RuleC6(Rule):
 
     name = "C6"
     category = "composition"
+    source = "goals"
+    retrigger_edge_at_subject = True
+    retrigger_membership_at_successor = True
 
-    def apply(self, pair: Pair, schema) -> Optional[RuleApplication]:
-        for subject, path in _goal_paths_single(pair):
-            step = path.head
-            for filler in sorted(
-                pair.attribute_fillers(subject, step.attribute),
-                key=lambda individual: individual.sort_key(),
-            ):
-                if MembershipConstraint(filler, step.concept) not in pair.facts:
-                    continue
-                added = pair.add_facts([PathConstraint(subject, path, filler)])
-                if added:
-                    return RuleApplication(
-                        self.name,
-                        self.category,
-                        added_facts=added,
-                        description=f"compose step at {subject} via {filler}",
-                    )
+    def matches(self, constraint: Constraint) -> bool:
+        if not isinstance(constraint, MembershipConstraint):
+            return False
+        path = goal_path(constraint.concept)
+        return path is not None and len(path) == 1
+
+    def apply_to(self, candidate, pair: Pair, schema) -> Optional[RuleApplication]:
+        subject = candidate.subject
+        path = goal_path(candidate.concept)
+        step = path.head
+        for filler in sorted(
+            pair.attribute_fillers(subject, step.attribute),
+            key=lambda individual: individual.sort_key(),
+        ):
+            if MembershipConstraint(filler, step.concept) not in pair.facts:
+                continue
+            added = pair.add_facts([PathConstraint(subject, path, filler)])
+            if added:
+                return RuleApplication(
+                    self.name,
+                    self.category,
+                    added_facts=added,
+                    description=f"compose step at {subject} via {filler}",
+                )
         return None
 
 

@@ -4,6 +4,10 @@ The decomposition rules work on the facts.  They break the initial fact
 ``x : C`` up into constraints involving only primitive concepts, primitive
 attributes and singletons; rules D4 and D6 introduce fresh variables to
 represent the objects along paths.
+
+Each rule's primary premise is the fact it decomposes, so the incremental
+engine re-examines a rule only when a new fact of the matching shape
+appears (or after a substitution rewrites the pair).
 """
 
 from __future__ import annotations
@@ -14,6 +18,7 @@ from ...concepts.syntax import And, ExistsPath, PathAgreement, Singleton
 from ..constraints import (
     AttributeConstraint,
     Constant,
+    Constraint,
     MembershipConstraint,
     Pair,
     PathConstraint,
@@ -37,26 +42,27 @@ class RuleD1(Rule):
 
     name = "D1"
     category = "decomposition"
+    source = "facts"
 
-    def apply(self, pair: Pair, schema) -> Optional[RuleApplication]:
-        for constraint in pair.sorted_facts():
-            if not isinstance(constraint, MembershipConstraint):
-                continue
-            concept = constraint.concept
-            if not isinstance(concept, And):
-                continue
-            additions = [
-                MembershipConstraint(constraint.subject, concept.left),
-                MembershipConstraint(constraint.subject, concept.right),
-            ]
-            added = pair.add_facts(additions)
-            if added:
-                return RuleApplication(
-                    self.name,
-                    self.category,
-                    added_facts=added,
-                    description=f"decompose {constraint}",
-                )
+    def matches(self, constraint: Constraint) -> bool:
+        return isinstance(constraint, MembershipConstraint) and isinstance(
+            constraint.concept, And
+        )
+
+    def apply_to(self, candidate, pair: Pair, schema) -> Optional[RuleApplication]:
+        concept = candidate.concept
+        additions = [
+            MembershipConstraint(candidate.subject, concept.left),
+            MembershipConstraint(candidate.subject, concept.right),
+        ]
+        added = pair.add_facts(additions)
+        if added:
+            return RuleApplication(
+                self.name,
+                self.category,
+                added_facts=added,
+                description=f"decompose {candidate}",
+            )
         return None
 
 
@@ -65,22 +71,23 @@ class RuleD2(Rule):
 
     name = "D2"
     category = "decomposition"
+    source = "facts"
 
-    def apply(self, pair: Pair, schema) -> Optional[RuleApplication]:
-        for constraint in pair.sorted_facts():
-            if not isinstance(constraint, AttributeConstraint):
-                continue
-            converse = AttributeConstraint(
-                constraint.filler, constraint.attribute.inverse(), constraint.subject
+    def matches(self, constraint: Constraint) -> bool:
+        return isinstance(constraint, AttributeConstraint)
+
+    def apply_to(self, candidate, pair: Pair, schema) -> Optional[RuleApplication]:
+        converse = AttributeConstraint(
+            candidate.filler, candidate.attribute.inverse(), candidate.subject
+        )
+        added = pair.add_facts([converse])
+        if added:
+            return RuleApplication(
+                self.name,
+                self.category,
+                added_facts=added,
+                description=f"invert {candidate}",
             )
-            added = pair.add_facts([converse])
-            if added:
-                return RuleApplication(
-                    self.name,
-                    self.category,
-                    added_facts=added,
-                    description=f"invert {constraint}",
-                )
         return None
 
 
@@ -89,24 +96,25 @@ class RuleD3(Rule):
 
     name = "D3"
     category = "decomposition"
+    source = "facts"
 
-    def apply(self, pair: Pair, schema) -> Optional[RuleApplication]:
-        for constraint in pair.sorted_facts():
-            if not isinstance(constraint, MembershipConstraint):
-                continue
-            if not isinstance(constraint.concept, Singleton):
-                continue
-            subject = constraint.subject
-            if not subject.is_variable:
-                continue
-            constant = Constant(constraint.concept.constant)
-            if pair.apply_substitution(subject, constant):
-                return RuleApplication(
-                    self.name,
-                    self.category,
-                    substitution=(subject, constant),
-                    description=f"identify {subject} with constant {constant}",
-                )
+    def matches(self, constraint: Constraint) -> bool:
+        return (
+            isinstance(constraint, MembershipConstraint)
+            and isinstance(constraint.concept, Singleton)
+            and constraint.subject.is_variable
+        )
+
+    def apply_to(self, candidate, pair: Pair, schema) -> Optional[RuleApplication]:
+        subject = candidate.subject
+        constant = Constant(candidate.concept.constant)
+        if pair.apply_substitution(subject, constant):
+            return RuleApplication(
+                self.name,
+                self.category,
+                substitution=(subject, constant),
+                description=f"identify {subject} with constant {constant}",
+            )
         return None
 
 
@@ -115,32 +123,28 @@ class RuleD4(Rule):
 
     name = "D4"
     category = "decomposition"
+    source = "facts"
 
-    def apply(self, pair: Pair, schema) -> Optional[RuleApplication]:
-        for constraint in pair.sorted_facts():
-            if not isinstance(constraint, MembershipConstraint):
-                continue
-            concept = constraint.concept
-            if not isinstance(concept, ExistsPath) or concept.path.is_empty:
-                continue
-            subject = constraint.subject
-            has_witness = any(
-                isinstance(fact, PathConstraint)
-                and fact.subject == subject
-                and fact.path == concept.path
-                for fact in pair.facts
+    def matches(self, constraint: Constraint) -> bool:
+        return (
+            isinstance(constraint, MembershipConstraint)
+            and isinstance(constraint.concept, ExistsPath)
+            and not constraint.concept.path.is_empty
+        )
+
+    def apply_to(self, candidate, pair: Pair, schema) -> Optional[RuleApplication]:
+        subject = candidate.subject
+        if pair.has_path_fact(subject, candidate.concept.path):
+            return None
+        fresh = pair.fresh_variable()
+        added = pair.add_facts([PathConstraint(subject, candidate.concept.path, fresh)])
+        if added:
+            return RuleApplication(
+                self.name,
+                self.category,
+                added_facts=added,
+                description=f"witness {candidate} with fresh {fresh}",
             )
-            if has_witness:
-                continue
-            fresh = pair.fresh_variable()
-            added = pair.add_facts([PathConstraint(subject, concept.path, fresh)])
-            if added:
-                return RuleApplication(
-                    self.name,
-                    self.category,
-                    added_facts=added,
-                    description=f"witness {constraint} with fresh {fresh}",
-                )
         return None
 
 
@@ -149,26 +153,27 @@ class RuleD5(Rule):
 
     name = "D5"
     category = "decomposition"
+    source = "facts"
 
-    def apply(self, pair: Pair, schema) -> Optional[RuleApplication]:
-        for constraint in pair.sorted_facts():
-            if not isinstance(constraint, MembershipConstraint):
-                continue
-            concept = constraint.concept
-            if not isinstance(concept, PathAgreement):
-                continue
-            if not concept.right.is_empty or concept.left.is_empty:
-                continue
-            added = pair.add_facts(
-                [PathConstraint(constraint.subject, concept.left, constraint.subject)]
+    def matches(self, constraint: Constraint) -> bool:
+        return (
+            isinstance(constraint, MembershipConstraint)
+            and isinstance(constraint.concept, PathAgreement)
+            and constraint.concept.right.is_empty
+            and not constraint.concept.left.is_empty
+        )
+
+    def apply_to(self, candidate, pair: Pair, schema) -> Optional[RuleApplication]:
+        added = pair.add_facts(
+            [PathConstraint(candidate.subject, candidate.concept.left, candidate.subject)]
+        )
+        if added:
+            return RuleApplication(
+                self.name,
+                self.category,
+                added_facts=added,
+                description=f"loop for {candidate}",
             )
-            if added:
-                return RuleApplication(
-                    self.name,
-                    self.category,
-                    added_facts=added,
-                    description=f"loop for {constraint}",
-                )
         return None
 
 
@@ -182,39 +187,38 @@ class RuleD6(Rule):
 
     name = "D6"
     category = "decomposition"
+    source = "facts"
 
-    def apply(self, pair: Pair, schema) -> Optional[RuleApplication]:
-        for constraint in pair.sorted_facts():
-            if not isinstance(constraint, PathConstraint):
-                continue
-            if len(constraint.path) < 2:
-                continue
-            head = constraint.path.head
-            tail = constraint.path.tail
-            subject, target = constraint.subject, constraint.filler
-            witnesses = pair.attribute_fillers(subject, head.attribute)
-            satisfied = any(
-                MembershipConstraint(candidate, head.concept) in pair.facts
-                and PathConstraint(candidate, tail, target) in pair.facts
-                for candidate in witnesses
+    def matches(self, constraint: Constraint) -> bool:
+        return isinstance(constraint, PathConstraint) and len(constraint.path) >= 2
+
+    def apply_to(self, candidate, pair: Pair, schema) -> Optional[RuleApplication]:
+        head = candidate.path.head
+        tail = candidate.path.tail
+        subject, target = candidate.subject, candidate.filler
+        witnesses = pair.attribute_fillers(subject, head.attribute)
+        satisfied = any(
+            MembershipConstraint(witness, head.concept) in pair.facts
+            and PathConstraint(witness, tail, target) in pair.facts
+            for witness in witnesses
+        )
+        if satisfied:
+            return None
+        fresh = pair.fresh_variable()
+        added = pair.add_facts(
+            [
+                AttributeConstraint(subject, head.attribute, fresh),
+                MembershipConstraint(fresh, head.concept),
+                PathConstraint(fresh, tail, target),
+            ]
+        )
+        if added:
+            return RuleApplication(
+                self.name,
+                self.category,
+                added_facts=added,
+                description=f"unfold {candidate} via fresh {fresh}",
             )
-            if satisfied:
-                continue
-            fresh = pair.fresh_variable()
-            added = pair.add_facts(
-                [
-                    AttributeConstraint(subject, head.attribute, fresh),
-                    MembershipConstraint(fresh, head.concept),
-                    PathConstraint(fresh, tail, target),
-                ]
-            )
-            if added:
-                return RuleApplication(
-                    self.name,
-                    self.category,
-                    added_facts=added,
-                    description=f"unfold {constraint} via fresh {fresh}",
-                )
         return None
 
 
@@ -223,26 +227,25 @@ class RuleD7(Rule):
 
     name = "D7"
     category = "decomposition"
+    source = "facts"
 
-    def apply(self, pair: Pair, schema) -> Optional[RuleApplication]:
-        for constraint in pair.sorted_facts():
-            if not isinstance(constraint, PathConstraint):
-                continue
-            if len(constraint.path) != 1:
-                continue
-            step = constraint.path.head
-            additions = [
-                AttributeConstraint(constraint.subject, step.attribute, constraint.filler),
-                MembershipConstraint(constraint.filler, step.concept),
-            ]
-            added = pair.add_facts(additions)
-            if added:
-                return RuleApplication(
-                    self.name,
-                    self.category,
-                    added_facts=added,
-                    description=f"flatten {constraint}",
-                )
+    def matches(self, constraint: Constraint) -> bool:
+        return isinstance(constraint, PathConstraint) and len(constraint.path) == 1
+
+    def apply_to(self, candidate, pair: Pair, schema) -> Optional[RuleApplication]:
+        step = candidate.path.head
+        additions = [
+            AttributeConstraint(candidate.subject, step.attribute, candidate.filler),
+            MembershipConstraint(candidate.filler, step.concept),
+        ]
+        added = pair.add_facts(additions)
+        if added:
+            return RuleApplication(
+                self.name,
+                self.category,
+                added_facts=added,
+                description=f"flatten {candidate}",
+            )
         return None
 
 

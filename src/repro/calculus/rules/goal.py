@@ -5,33 +5,21 @@ concept ``D`` by deriving subgoals from the original goal ``x : D``; rules
 G2 and G3 relate goals to facts: a path goal at ``s`` is only propagated to
 individuals ``t`` that are explicitly recorded as ``R``-fillers of ``s`` in
 the facts.
+
+The primary premise of each rule is the goal; G2 and G3 must additionally be
+re-examined when a new attribute fact arrives at the goal's subject, which
+the engine's trigger routing takes care of.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Tuple
+from typing import Optional
 
-from ...concepts.syntax import And, ExistsPath, Path, PathAgreement
-from ..constraints import AttributeConstraint, Individual, MembershipConstraint, Pair
-from .base import Rule, RuleApplication
+from ...concepts.syntax import And, ExistsPath
+from ..constraints import Constraint, MembershipConstraint, Pair
+from .base import Rule, RuleApplication, goal_path
 
 __all__ = ["RuleG1", "RuleG2", "RuleG3", "GOAL_RULES"]
-
-
-def _path_goals(pair: Pair) -> Iterator[Tuple[Individual, Path]]:
-    """Goals ``s : ∃p`` or ``s : ∃p ≐ ε`` with non-empty ``p``, in order."""
-    for constraint in pair.sorted_goals():
-        if not isinstance(constraint, MembershipConstraint):
-            continue
-        concept = constraint.concept
-        if isinstance(concept, ExistsPath) and not concept.path.is_empty:
-            yield constraint.subject, concept.path
-        elif (
-            isinstance(concept, PathAgreement)
-            and concept.right.is_empty
-            and not concept.left.is_empty
-        ):
-            yield constraint.subject, concept.left
 
 
 class RuleG1(Rule):
@@ -39,27 +27,28 @@ class RuleG1(Rule):
 
     name = "G1"
     category = "goal"
+    source = "goals"
 
-    def apply(self, pair: Pair, schema) -> Optional[RuleApplication]:
-        for constraint in pair.sorted_goals():
-            if not isinstance(constraint, MembershipConstraint):
-                continue
-            concept = constraint.concept
-            if not isinstance(concept, And):
-                continue
-            added = pair.add_goals(
-                [
-                    MembershipConstraint(constraint.subject, concept.left),
-                    MembershipConstraint(constraint.subject, concept.right),
-                ]
+    def matches(self, constraint: Constraint) -> bool:
+        return isinstance(constraint, MembershipConstraint) and isinstance(
+            constraint.concept, And
+        )
+
+    def apply_to(self, candidate, pair: Pair, schema) -> Optional[RuleApplication]:
+        concept = candidate.concept
+        added = pair.add_goals(
+            [
+                MembershipConstraint(candidate.subject, concept.left),
+                MembershipConstraint(candidate.subject, concept.right),
+            ]
+        )
+        if added:
+            return RuleApplication(
+                self.name,
+                self.category,
+                added_goals=added,
+                description=f"split goal {candidate}",
             )
-            if added:
-                return RuleApplication(
-                    self.name,
-                    self.category,
-                    added_goals=added,
-                    description=f"split goal {constraint}",
-                )
         return None
 
 
@@ -68,24 +57,29 @@ class RuleG2(Rule):
 
     name = "G2"
     category = "goal"
+    source = "goals"
+    retrigger_edge_at_subject = True
 
-    def apply(self, pair: Pair, schema) -> Optional[RuleApplication]:
-        for subject, path in _path_goals(pair):
-            if len(path) != 1:
-                continue
-            step = path.head
-            for filler in sorted(
-                pair.attribute_fillers(subject, step.attribute),
-                key=lambda individual: individual.sort_key(),
-            ):
-                added = pair.add_goals([MembershipConstraint(filler, step.concept)])
-                if added:
-                    return RuleApplication(
-                        self.name,
-                        self.category,
-                        added_goals=added,
-                        description=f"goal filler {filler} : {step.concept}",
-                    )
+    def matches(self, constraint: Constraint) -> bool:
+        if not isinstance(constraint, MembershipConstraint):
+            return False
+        path = goal_path(constraint.concept)
+        return path is not None and len(path) == 1
+
+    def apply_to(self, candidate, pair: Pair, schema) -> Optional[RuleApplication]:
+        step = goal_path(candidate.concept).head
+        for filler in sorted(
+            pair.attribute_fillers(candidate.subject, step.attribute),
+            key=lambda individual: individual.sort_key(),
+        ):
+            added = pair.add_goals([MembershipConstraint(filler, step.concept)])
+            if added:
+                return RuleApplication(
+                    self.name,
+                    self.category,
+                    added_goals=added,
+                    description=f"goal filler {filler} : {step.concept}",
+                )
         return None
 
 
@@ -94,30 +88,36 @@ class RuleG3(Rule):
 
     name = "G3"
     category = "goal"
+    source = "goals"
+    retrigger_edge_at_subject = True
 
-    def apply(self, pair: Pair, schema) -> Optional[RuleApplication]:
-        for subject, path in _path_goals(pair):
-            if len(path) < 2:
-                continue
-            step = path.head
-            tail = path.tail
-            for filler in sorted(
-                pair.attribute_fillers(subject, step.attribute),
-                key=lambda individual: individual.sort_key(),
-            ):
-                added = pair.add_goals(
-                    [
-                        MembershipConstraint(filler, step.concept),
-                        MembershipConstraint(filler, ExistsPath(tail)),
-                    ]
+    def matches(self, constraint: Constraint) -> bool:
+        if not isinstance(constraint, MembershipConstraint):
+            return False
+        path = goal_path(constraint.concept)
+        return path is not None and len(path) >= 2
+
+    def apply_to(self, candidate, pair: Pair, schema) -> Optional[RuleApplication]:
+        path = goal_path(candidate.concept)
+        step = path.head
+        tail = path.tail
+        for filler in sorted(
+            pair.attribute_fillers(candidate.subject, step.attribute),
+            key=lambda individual: individual.sort_key(),
+        ):
+            added = pair.add_goals(
+                [
+                    MembershipConstraint(filler, step.concept),
+                    MembershipConstraint(filler, ExistsPath(tail)),
+                ]
+            )
+            if added:
+                return RuleApplication(
+                    self.name,
+                    self.category,
+                    added_goals=added,
+                    description=f"goal continuation at {filler}",
                 )
-                if added:
-                    return RuleApplication(
-                        self.name,
-                        self.category,
-                        added_goals=added,
-                        description=f"goal continuation at {filler}",
-                    )
         return None
 
 

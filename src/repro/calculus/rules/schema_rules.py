@@ -22,6 +22,11 @@ Rule S6 adds exactly this propagation; it preserves soundness (the inference
 is semantically valid) and polynomiality (at most one new membership
 constraint per fact/axiom combination).  It can be disabled to study the
 paper's literal rule set (see :class:`repro.calculus.engine.CompletionEngine`).
+
+The primary premise of S1/S2/S4/S6 is a primitive membership fact, of S3 an
+attribute fact and of S5 a path goal; the engine additionally re-examines S2
+and S4 when a new edge arrives at the subject, and S5 when a new primitive
+membership arrives at the goal's subject.
 """
 
 from __future__ import annotations
@@ -29,13 +34,15 @@ from __future__ import annotations
 from typing import Optional
 
 from ...concepts.schema import Schema
-from ...concepts.syntax import ExistsPath, PathAgreement, Primitive
+from ...concepts.syntax import Attribute, Primitive
 from ..constraints import (
     AttributeConstraint,
+    Constraint,
     MembershipConstraint,
     Pair,
+    constraint_sort_key,
 )
-from .base import Rule, RuleApplication
+from .base import Rule, RuleApplication, goal_path
 
 __all__ = [
     "RuleS1",
@@ -49,29 +56,10 @@ __all__ = [
 ]
 
 
-def _membership_facts(pair: Pair):
-    """The membership facts ``s : A`` with a primitive concept, in order."""
-    for constraint in pair.sorted_facts():
-        if isinstance(constraint, MembershipConstraint) and isinstance(
-            constraint.concept, Primitive
-        ):
-            yield constraint
-
-
-def _goal_path_heads(pair: Pair):
-    """The goals of the form ``s : ∃(R:C)p`` or ``s : ∃(R:C)p ≐ ε`` with their head step."""
-    for constraint in pair.sorted_goals():
-        if not isinstance(constraint, MembershipConstraint):
-            continue
-        concept = constraint.concept
-        if isinstance(concept, ExistsPath) and not concept.path.is_empty:
-            yield constraint.subject, concept.path.head
-        elif (
-            isinstance(concept, PathAgreement)
-            and concept.right.is_empty
-            and not concept.left.is_empty
-        ):
-            yield constraint.subject, concept.left.head
+def _is_primitive_membership(constraint: Constraint) -> bool:
+    return isinstance(constraint, MembershipConstraint) and isinstance(
+        constraint.concept, Primitive
+    )
 
 
 class RuleS1(Rule):
@@ -79,20 +67,23 @@ class RuleS1(Rule):
 
     name = "S1"
     category = "schema"
+    source = "facts"
 
-    def apply(self, pair: Pair, schema: Schema) -> Optional[RuleApplication]:
-        for constraint in _membership_facts(pair):
-            for superclass in sorted(schema.primitive_superclasses(constraint.concept.name)):
-                added = pair.add_facts(
-                    [MembershipConstraint(constraint.subject, Primitive(superclass))]
+    def matches(self, constraint: Constraint) -> bool:
+        return _is_primitive_membership(constraint)
+
+    def apply_to(self, candidate, pair: Pair, schema: Schema) -> Optional[RuleApplication]:
+        for superclass in sorted(schema.primitive_superclasses(candidate.concept.name)):
+            added = pair.add_facts(
+                [MembershipConstraint(candidate.subject, Primitive(superclass))]
+            )
+            if added:
+                return RuleApplication(
+                    self.name,
+                    self.category,
+                    added_facts=added,
+                    description=f"{candidate.concept.name} ⊑ {superclass}",
                 )
-                if added:
-                    return RuleApplication(
-                        self.name,
-                        self.category,
-                        added_facts=added,
-                        description=f"{constraint.concept.name} ⊑ {superclass}",
-                    )
         return None
 
 
@@ -101,32 +92,34 @@ class RuleS2(Rule):
 
     name = "S2"
     category = "schema"
+    source = "facts"
+    retrigger_edge_at_subject = True
 
-    def apply(self, pair: Pair, schema: Schema) -> Optional[RuleApplication]:
-        for constraint in _membership_facts(pair):
-            restrictions = schema.value_restrictions(constraint.concept.name)
-            if not restrictions:
-                continue
-            for attribute, filler_class in sorted(restrictions):
-                for fact in pair.sorted_facts():
-                    if not isinstance(fact, AttributeConstraint):
-                        continue
-                    if fact.subject != constraint.subject:
-                        continue
-                    if fact.attribute.inverted or fact.attribute.name != attribute:
-                        continue
-                    added = pair.add_facts(
-                        [MembershipConstraint(fact.filler, Primitive(filler_class))]
+    def matches(self, constraint: Constraint) -> bool:
+        return _is_primitive_membership(constraint)
+
+    def apply_to(self, candidate, pair: Pair, schema: Schema) -> Optional[RuleApplication]:
+        restrictions = schema.value_restrictions(candidate.concept.name)
+        if not restrictions:
+            return None
+        for attribute, filler_class in sorted(restrictions):
+            edges = sorted(
+                pair.fact_edge_constraints(candidate.subject, Attribute(attribute)),
+                key=constraint_sort_key,
+            )
+            for fact in edges:
+                added = pair.add_facts(
+                    [MembershipConstraint(fact.filler, Primitive(filler_class))]
+                )
+                if added:
+                    return RuleApplication(
+                        self.name,
+                        self.category,
+                        added_facts=added,
+                        description=(
+                            f"{candidate.concept.name} ⊑ ∀{attribute}.{filler_class}"
+                        ),
                     )
-                    if added:
-                        return RuleApplication(
-                            self.name,
-                            self.category,
-                            added_facts=added,
-                            description=(
-                                f"{constraint.concept.name} ⊑ ∀{attribute}.{filler_class}"
-                            ),
-                        )
         return None
 
 
@@ -135,28 +128,29 @@ class RuleS3(Rule):
 
     name = "S3"
     category = "schema"
+    source = "facts"
 
-    def apply(self, pair: Pair, schema: Schema) -> Optional[RuleApplication]:
-        for fact in pair.sorted_facts():
-            if not isinstance(fact, AttributeConstraint) or fact.attribute.inverted:
-                continue
-            typing = schema.attribute_typing(fact.attribute.name)
-            if typing is None:
-                continue
-            domain, range_ = typing
-            added = pair.add_facts(
-                [
-                    MembershipConstraint(fact.subject, Primitive(domain)),
-                    MembershipConstraint(fact.filler, Primitive(range_)),
-                ]
+    def matches(self, constraint: Constraint) -> bool:
+        return isinstance(constraint, AttributeConstraint) and not constraint.attribute.inverted
+
+    def apply_to(self, candidate, pair: Pair, schema: Schema) -> Optional[RuleApplication]:
+        typing = schema.attribute_typing(candidate.attribute.name)
+        if typing is None:
+            return None
+        domain, range_ = typing
+        added = pair.add_facts(
+            [
+                MembershipConstraint(candidate.subject, Primitive(domain)),
+                MembershipConstraint(candidate.filler, Primitive(range_)),
+            ]
+        )
+        if added:
+            return RuleApplication(
+                self.name,
+                self.category,
+                added_facts=added,
+                description=f"{candidate.attribute.name} ⊑ {domain} × {range_}",
             )
-            if added:
-                return RuleApplication(
-                    self.name,
-                    self.category,
-                    added_facts=added,
-                    description=f"{fact.attribute.name} ⊑ {domain} × {range_}",
-                )
         return None
 
 
@@ -169,42 +163,39 @@ class RuleS4(Rule):
 
     name = "S4"
     category = "schema"
+    source = "facts"
+    retrigger_edge_at_subject = True
 
-    def apply(self, pair: Pair, schema: Schema) -> Optional[RuleApplication]:
-        for constraint in _membership_facts(pair):
-            functional = schema.functional_attributes(constraint.concept.name)
-            if not functional:
+    def matches(self, constraint: Constraint) -> bool:
+        return _is_primitive_membership(constraint)
+
+    def apply_to(self, candidate, pair: Pair, schema: Schema) -> Optional[RuleApplication]:
+        functional = schema.functional_attributes(candidate.concept.name)
+        if not functional:
+            return None
+        for attribute_name in sorted(functional):
+            fillers = sorted(
+                pair.attribute_fillers(candidate.subject, Attribute(attribute_name)),
+                key=lambda individual: individual.sort_key(),
+            )
+            if len(fillers) < 2:
                 continue
-            for attribute_name in sorted(functional):
-                fillers = sorted(
-                    (
-                        fact.filler
-                        for fact in pair.facts
-                        if isinstance(fact, AttributeConstraint)
-                        and fact.subject == constraint.subject
-                        and not fact.attribute.inverted
-                        and fact.attribute.name == attribute_name
+            # Prefer keeping a constant: merge the first variable into the
+            # first other filler (constants sort before variables).
+            variables = [filler for filler in fillers if filler.is_variable]
+            if not variables:
+                continue
+            keep_candidates = [f for f in fillers if f != variables[-1]]
+            old, new = variables[-1], keep_candidates[0]
+            if pair.apply_substitution(old, new):
+                return RuleApplication(
+                    self.name,
+                    self.category,
+                    substitution=(old, new),
+                    description=(
+                        f"{candidate.concept.name} ⊑ (≤1 {attribute_name}): {old} := {new}"
                     ),
-                    key=lambda individual: individual.sort_key(),
                 )
-                if len(fillers) < 2:
-                    continue
-                # Prefer keeping a constant: merge the first variable into the
-                # first other filler (constants sort before variables).
-                variables = [filler for filler in fillers if filler.is_variable]
-                if not variables:
-                    continue
-                keep_candidates = [f for f in fillers if f != variables[-1]]
-                old, new = variables[-1], keep_candidates[0]
-                if pair.apply_substitution(old, new):
-                    return RuleApplication(
-                        self.name,
-                        self.category,
-                        substitution=(old, new),
-                        description=(
-                            f"{constraint.concept.name} ⊑ (≤1 {attribute_name}): {old} := {new}"
-                        ),
-                    )
         return None
 
 
@@ -218,32 +209,39 @@ class RuleS5(Rule):
 
     name = "S5"
     category = "schema"
+    source = "goals"
+    retrigger_membership_at_subject = True
 
-    def apply(self, pair: Pair, schema: Schema) -> Optional[RuleApplication]:
-        for subject, head in _goal_path_heads(pair):
-            attribute = head.attribute
-            if attribute.inverted:
-                continue
-            if pair.attribute_fillers(subject, attribute):
-                continue
-            has_necessity = any(
-                isinstance(fact, MembershipConstraint)
-                and fact.subject == subject
-                and isinstance(fact.concept, Primitive)
-                and schema.is_necessary_for(fact.concept.name, attribute.name)
-                for fact in pair.facts
+    def matches(self, constraint: Constraint) -> bool:
+        return (
+            isinstance(constraint, MembershipConstraint)
+            and goal_path(constraint.concept) is not None
+        )
+
+    def apply_to(self, candidate, pair: Pair, schema: Schema) -> Optional[RuleApplication]:
+        subject = candidate.subject
+        head = goal_path(candidate.concept).head
+        attribute = head.attribute
+        if attribute.inverted:
+            return None
+        if pair.attribute_fillers(subject, attribute):
+            return None
+        has_necessity = any(
+            isinstance(fact.concept, Primitive)
+            and schema.is_necessary_for(fact.concept.name, attribute.name)
+            for fact in pair.fact_memberships_at(subject)
+        )
+        if not has_necessity:
+            return None
+        fresh = pair.fresh_variable()
+        added = pair.add_facts([AttributeConstraint(subject, attribute, fresh)])
+        if added:
+            return RuleApplication(
+                self.name,
+                self.category,
+                added_facts=added,
+                description=f"necessary {attribute.name} filler {fresh} for {subject}",
             )
-            if not has_necessity:
-                continue
-            fresh = pair.fresh_variable()
-            added = pair.add_facts([AttributeConstraint(subject, attribute, fresh)])
-            if added:
-                return RuleApplication(
-                    self.name,
-                    self.category,
-                    added_facts=added,
-                    description=f"necessary {attribute.name} filler {fresh} for {subject}",
-                )
         return None
 
 
@@ -257,27 +255,30 @@ class RuleS6(Rule):
 
     name = "S6"
     category = "schema"
+    source = "facts"
 
-    def apply(self, pair: Pair, schema: Schema) -> Optional[RuleApplication]:
-        for constraint in _membership_facts(pair):
-            for attribute in sorted(schema.necessary_attributes(constraint.concept.name)):
-                typing = schema.attribute_typing(attribute)
-                if typing is None:
-                    continue
-                domain, _range = typing
-                added = pair.add_facts(
-                    [MembershipConstraint(constraint.subject, Primitive(domain))]
+    def matches(self, constraint: Constraint) -> bool:
+        return _is_primitive_membership(constraint)
+
+    def apply_to(self, candidate, pair: Pair, schema: Schema) -> Optional[RuleApplication]:
+        for attribute in sorted(schema.necessary_attributes(candidate.concept.name)):
+            typing = schema.attribute_typing(attribute)
+            if typing is None:
+                continue
+            domain, _range = typing
+            added = pair.add_facts(
+                [MembershipConstraint(candidate.subject, Primitive(domain))]
+            )
+            if added:
+                return RuleApplication(
+                    self.name,
+                    self.category,
+                    added_facts=added,
+                    description=(
+                        f"{candidate.concept.name} ⊑ ∃{attribute}, "
+                        f"{attribute} ⊑ {domain} × {_range}"
+                    ),
                 )
-                if added:
-                    return RuleApplication(
-                        self.name,
-                        self.category,
-                        added_facts=added,
-                        description=(
-                            f"{constraint.concept.name} ⊑ ∃{attribute}, "
-                            f"{attribute} ⊑ {domain} × {_range}"
-                        ),
-                    )
         return None
 
 

@@ -106,20 +106,28 @@ def decide_subsumption(
     *,
     use_repair_rule: bool = True,
     keep_trace: bool = True,
+    naive: bool = False,
 ) -> SubsumptionResult:
-    """Decide ``query ⊑_Σ view`` and return the full :class:`SubsumptionResult`."""
+    """Decide ``query ⊑_Σ view`` and return the full :class:`SubsumptionResult`.
+
+    ``naive=True`` runs the completion with the full-scan engine of the seed
+    implementation instead of the indexed agenda; both produce the same
+    result (see :class:`repro.calculus.engine.CompletionEngine`).
+    """
     schema = schema if schema is not None else Schema.empty()
     normalized_query = normalize_concept(query)
     normalized_view = normalize_concept(view)
 
-    engine = CompletionEngine(use_repair_rule=use_repair_rule, keep_trace=keep_trace)
+    engine = CompletionEngine(
+        use_repair_rule=use_repair_rule, keep_trace=keep_trace, naive=naive
+    )
     pair = Pair.initial(normalized_query, normalized_view)
     completion = engine.complete(pair, schema)
 
     root = pair.root_goal_subject
     goal_constraint = MembershipConstraint(root, normalized_view)
     goal_established = goal_constraint in pair.facts
-    clashes = tuple(find_clashes(pair.facts, schema))
+    clashes = tuple(find_clashes(pair, schema))
 
     return SubsumptionResult(
         subsumed=goal_established or bool(clashes),
@@ -139,8 +147,9 @@ def subsumes(
     schema: Optional[Schema] = None,
     *,
     use_repair_rule: bool = True,
+    naive: bool = False,
 ) -> bool:
     """``True`` iff ``query ⊑_Σ view`` (every instance of the query is in the view)."""
     return decide_subsumption(
-        query, view, schema, use_repair_rule=use_repair_rule, keep_trace=False
+        query, view, schema, use_repair_rule=use_repair_rule, keep_trace=False, naive=naive
     ).subsumed

@@ -10,10 +10,20 @@ These measures are used by
 
 * the complexity-bound experiment E3 (the ``M·N`` bound on individuals),
 * the workload generators, which scale inputs by target size,
-* the benchmark reports, which tabulate runtime against size.
+* the benchmark reports, which tabulate runtime against size,
+* the completion engine's safety budget, which probes them on every
+  :meth:`~repro.calculus.engine.CompletionEngine.complete` call.
+
+Concepts, paths and schemas are immutable and hashable, so the measures are
+memoized (bounded LRU caches, so long-running services don't pin every
+concept ever measured): the engine and the benchmarks ask for the same sizes
+over and over, and the recursive recomputation used to show up in profiles
+of the completion hot path.
 """
 
 from __future__ import annotations
+
+from functools import lru_cache
 
 from .schema import AttributeTyping, InclusionAxiom, Schema
 from .syntax import (
@@ -40,8 +50,9 @@ def path_size(path: Path) -> int:
     return sum(1 + concept_size(step.concept) for step in path)
 
 
+@lru_cache(maxsize=65536)
 def concept_size(concept: Concept) -> int:
-    """Size of a ``QL`` concept (number of symbols)."""
+    """Size of a ``QL`` concept (number of symbols); memoized (bounded LRU)."""
     if isinstance(concept, (Primitive, Top, Singleton)):
         return 1
     if isinstance(concept, And):
@@ -64,8 +75,9 @@ def sl_concept_size(concept: SLConcept) -> int:
     raise TypeError(f"not an SL concept: {concept!r}")
 
 
+@lru_cache(maxsize=4096)
 def schema_size(schema: Schema) -> int:
-    """Size of a schema: the sum of the sizes of its axioms."""
+    """Size of a schema: the sum of the sizes of its axioms; memoized (bounded LRU)."""
     total = 0
     for axiom in schema.axioms():
         if isinstance(axiom, InclusionAxiom):

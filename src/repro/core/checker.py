@@ -13,21 +13,49 @@ offers the operations a query optimizer needs:
   their subsumption hierarchy (the "virtual class integration" of related
   OODB view mechanisms discussed in Section 5).
 
-A small memoization cache keyed by the concept pair avoids repeating work
-when the optimizer checks the same query against many views that share
-sub-expressions, or re-checks a query later.
+Three layers of memoization keep repeated checks cheap when the optimizer
+probes the same query against many views that share sub-expressions:
+
+* normalized concepts are cached per input concept,
+* decisions are cached per normalized ``(query, view)`` pair,
+* per-concept *signatures* (primitive concept / attribute / constant sets)
+  and Σ-satisfiability verdicts are cached per normalized concept.
+
+The signature supports a sound **necessary-condition filter**: in ``QL``
+every occurrence of a symbol is positive and required (there is no negation
+or value restriction in the query language), so whenever the view ``D``
+mentions a primitive concept or attribute that occurs neither in the query
+``C`` nor in the schema ``Σ`` -- or a constant that does not occur in ``C``
+(``SL`` schemas cannot mention constants) -- the canonical model of a
+satisfiable ``C`` interprets that symbol by the empty set (resp. a fresh
+isolated object), so ``C ⊑_Σ D`` can only hold if ``C`` is Σ-unsatisfiable.
+:meth:`subsumes` therefore answers such checks with one (memoized)
+satisfiability probe of ``C`` instead of a full completion per view.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 from ..calculus.subsume import SubsumptionResult, decide_subsumption
 from ..concepts.normalize import normalize_concept
 from ..concepts.schema import Schema
 from ..concepts.syntax import Concept
+from ..concepts.visitors import constants, primitive_attributes, primitive_concepts
 
-__all__ = ["SubsumptionChecker"]
+__all__ = ["SubsumptionChecker", "concept_signature"]
+
+#: (primitive concept names, primitive attribute names, constants) of a concept.
+Signature = Tuple[FrozenSet[str], FrozenSet[str], FrozenSet[str]]
+
+
+def concept_signature(concept: Concept) -> Signature:
+    """The symbol signature of a concept (used by the necessary-condition filter)."""
+    return (
+        primitive_concepts(concept),
+        primitive_attributes(concept),
+        constants(concept),
+    )
 
 
 class SubsumptionChecker:
@@ -39,26 +67,100 @@ class SubsumptionChecker:
         *,
         use_repair_rule: bool = True,
         cache: bool = True,
+        naive: bool = False,
     ) -> None:
         self.schema = schema if schema is not None else Schema.empty()
         self.use_repair_rule = use_repair_rule
+        self.naive = naive
         self._cache_enabled = cache
         self._cache: Dict[Tuple[Concept, Concept], bool] = {}
+        self._normalized: Dict[Concept, Concept] = {}
+        self._signatures: Dict[Concept, Signature] = {}
+        self._satisfiable: Dict[Concept, bool] = {}
+        self._schema_concepts = self.schema.concept_names()
+        self._schema_attributes = self.schema.attribute_names()
         self._checks = 0
         self._cache_hits = 0
+        self._signature_rejections = 0
+
+    # -- memoized building blocks ----------------------------------------------
+
+    def normalized(self, concept: Concept) -> Concept:
+        """The normalized form of a concept (memoized)."""
+        cached = self._normalized.get(concept)
+        if cached is None:
+            cached = normalize_concept(concept)
+            self._normalized[concept] = cached
+        return cached
+
+    def signature(self, concept: Concept) -> Signature:
+        """The signature of the normalized concept (memoized)."""
+        normalized = self.normalized(concept)
+        cached = self._signatures.get(normalized)
+        if cached is None:
+            cached = concept_signature(normalized)
+            self._signatures[normalized] = cached
+        return cached
+
+    def signature_excludes(self, query: Concept, view: Concept) -> bool:
+        """``True`` iff the signatures alone prove ``query ⊑_Σ view`` needs query unsat.
+
+        The necessary condition (see the module docstring): a subsumption
+        with a satisfiable query requires every primitive concept and
+        attribute of the view to occur in the query or the schema, and every
+        constant of the view to occur in the query.
+        """
+        query_concepts, query_attributes, query_constants = self.signature(query)
+        view_concepts, view_attributes, view_constants = self.signature(view)
+        return not (
+            view_concepts <= query_concepts | self._schema_concepts
+            and view_attributes <= query_attributes | self._schema_attributes
+            and view_constants <= query_constants
+        )
+
+    def quick_reject(self, query: Concept, view: Concept) -> bool:
+        """``True`` iff non-subsumption is provable without running a completion.
+
+        Callers (e.g. :class:`repro.optimizer.optimizer.SemanticQueryOptimizer`)
+        use this to skip whole subsumption calls; a satisfiable query whose
+        view fails the signature condition cannot be subsumed.  The
+        satisfiability probe itself is one completion, but it is memoized per
+        query, so scanning a catalog of ``n`` views costs at most one
+        completion instead of ``n``.
+        """
+        return self.signature_excludes(query, view) and self._query_satisfiable(query)
+
+    def _query_satisfiable(self, concept: Concept) -> bool:
+        normalized = self.normalized(concept)
+        cached = self._satisfiable.get(normalized)
+        if cached is None:
+            cached = self.is_satisfiable(normalized)
+            self._satisfiable[normalized] = cached
+        return cached
 
     # -- basic decisions -------------------------------------------------------
 
     def subsumes(self, query: Concept, view: Concept) -> bool:
         """``True`` iff every instance of ``query`` is an instance of ``view`` in every Σ-state."""
-        key = (normalize_concept(query), normalize_concept(view))
+        key = (self.normalized(query), self.normalized(view))
         self._checks += 1
         if self._cache_enabled and key in self._cache:
             self._cache_hits += 1
             return self._cache[key]
-        decision = decide_subsumption(
-            key[0], key[1], self.schema, use_repair_rule=self.use_repair_rule, keep_trace=False
-        ).subsumed
+        if self.signature_excludes(key[0], key[1]):
+            # Only an unsatisfiable query can be subsumed by a view whose
+            # signature exceeds query + schema; one memoized probe decides.
+            self._signature_rejections += 1
+            decision = not self._query_satisfiable(key[0])
+        else:
+            decision = decide_subsumption(
+                key[0],
+                key[1],
+                self.schema,
+                use_repair_rule=self.use_repair_rule,
+                keep_trace=False,
+                naive=self.naive,
+            ).subsumed
         if self._cache_enabled:
             self._cache[key] = decision
         return decision
@@ -66,7 +168,12 @@ class SubsumptionChecker:
     def explain(self, query: Concept, view: Concept) -> SubsumptionResult:
         """The full :class:`SubsumptionResult` (trace, statistics, countermodel)."""
         return decide_subsumption(
-            query, view, self.schema, use_repair_rule=self.use_repair_rule, keep_trace=True
+            query,
+            view,
+            self.schema,
+            use_repair_rule=self.use_repair_rule,
+            keep_trace=True,
+            naive=self.naive,
         )
 
     def is_satisfiable(self, concept: Concept) -> bool:
@@ -81,7 +188,12 @@ class SubsumptionChecker:
 
         probe = Primitive("__repro_unsatisfiability_probe__")
         result = decide_subsumption(
-            concept, probe, self.schema, use_repair_rule=self.use_repair_rule, keep_trace=False
+            concept,
+            probe,
+            self.schema,
+            use_repair_rule=self.use_repair_rule,
+            keep_trace=False,
+            naive=self.naive,
         )
         return not result.clashes
 
@@ -126,13 +238,19 @@ class SubsumptionChecker:
 
     @property
     def statistics(self) -> Dict[str, int]:
-        """Counters: how many checks were asked and how many hit the cache."""
+        """Counters: checks asked, cache hits, signature-filter short-circuits."""
         return {
             "checks": self._checks,
             "cache_hits": self._cache_hits,
             "cache_size": len(self._cache),
+            "signature_rejections": self._signature_rejections,
         }
 
     def clear_cache(self) -> None:
         """Drop all memoized decisions (e.g. after changing the schema)."""
         self._cache.clear()
+        self._normalized.clear()
+        self._signatures.clear()
+        self._satisfiable.clear()
+        self._schema_concepts = self.schema.concept_names()
+        self._schema_attributes = self.schema.attribute_names()

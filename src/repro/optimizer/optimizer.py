@@ -43,6 +43,9 @@ class OptimizerStatistics:
     view_hits: int = 0
     view_misses: int = 0
     subsumption_checks: int = 0
+    #: Views dismissed by the signature necessary-condition filter without
+    #: running (or even consulting the cache of) a full subsumption check.
+    signature_skips: int = 0
     candidates_with_view: int = 0
     candidates_without_view: int = 0
 
@@ -133,10 +136,19 @@ class SemanticQueryOptimizer:
         return normalize_concept(query_class_to_concept(query, self.dl_schema))
 
     def subsuming_views(self, query: QueryClassDecl) -> List[MaterializedView]:
-        """All registered views that subsume the query, smallest extent first."""
+        """All registered views that subsume the query, smallest extent first.
+
+        Views whose signature mentions symbols the (satisfiable) query cannot
+        derive are skipped outright -- the checker's necessary-condition
+        filter proves the full subsumption check would fail, which turns a
+        catalog scan into mostly cheap set-inclusion tests.
+        """
         concept = self.query_concept(query)
         matches: List[MaterializedView] = []
         for view in self.catalog:
+            if self.checker.quick_reject(concept, view.concept):
+                self.statistics.signature_skips += 1
+                continue
             self.statistics.subsumption_checks += 1
             if self.checker.subsumes(concept, view.concept):
                 matches.append(view)

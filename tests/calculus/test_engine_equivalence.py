@@ -1,0 +1,80 @@
+"""The indexed agenda engine is observationally identical to the naive engine.
+
+The agenda-driven (semi-naive) completion of
+:class:`repro.calculus.engine.CompletionEngine` maintains, per rule, an
+over-approximation of the applicable primary premises and picks the next
+firing in the same group > rule > sorted-premise order the naive full scan
+uses, so the two strategies must produce the **identical sequence** of rule
+applications -- not merely the same decision.  These properties pin that
+down on random ``QL`` pairs and ``SL`` schemas, including the substitution
+rules D3/S4 (which force a wholesale agenda re-seed) via singletons and
+functional attributes.
+
+A second property validates the checker's signature necessary-condition
+filter: :class:`repro.core.checker.SubsumptionChecker` (filter + memoization
+on) must agree with the raw calculus on every random instance.
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.calculus import decide_subsumption, subsumes
+from repro.core.checker import SubsumptionChecker
+
+from ..strategies import concepts, schemas
+
+RELAXED = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+def _statistics_tuple(result):
+    statistics = result.statistics
+    return (
+        statistics.rule_applications,
+        statistics.total_applications,
+        statistics.individuals,
+        statistics.fact_count,
+        statistics.goal_count,
+        statistics.fresh_variables,
+        statistics.substitutions,
+    )
+
+
+class TestEngineEquivalence:
+    @RELAXED
+    @given(concepts(max_depth=2), concepts(max_depth=2), schemas(max_axioms=4))
+    def test_identical_decisions_traces_and_statistics(self, query, view, schema):
+        naive = decide_subsumption(query, view, schema, naive=True)
+        indexed = decide_subsumption(query, view, schema, naive=False)
+        assert naive.subsumed == indexed.subsumed
+        assert len(naive.trace) == len(indexed.trace)
+        assert [str(step) for step in naive.trace] == [str(step) for step in indexed.trace]
+        assert _statistics_tuple(naive) == _statistics_tuple(indexed)
+        assert naive.goal_established == indexed.goal_established
+        assert len(naive.clashes) == len(indexed.clashes)
+
+    @RELAXED
+    @given(concepts(max_depth=2), concepts(max_depth=2), schemas(max_axioms=3))
+    def test_paper_rule_set_is_also_equivalent(self, query, view, schema):
+        naive = decide_subsumption(query, view, schema, naive=True, use_repair_rule=False)
+        indexed = decide_subsumption(query, view, schema, naive=False, use_repair_rule=False)
+        assert naive.subsumed == indexed.subsumed
+        assert [str(step) for step in naive.trace] == [str(step) for step in indexed.trace]
+        assert _statistics_tuple(naive) == _statistics_tuple(indexed)
+
+
+class TestCheckerSignatureFilter:
+    @RELAXED
+    @given(concepts(max_depth=2), concepts(max_depth=2), schemas(max_axioms=4))
+    def test_checker_with_filter_agrees_with_raw_calculus(self, query, view, schema):
+        checker = SubsumptionChecker(schema)
+        assert checker.subsumes(query, view) == subsumes(query, view, schema)
+
+    @RELAXED
+    @given(concepts(max_depth=2), concepts(max_depth=2))
+    def test_quick_reject_never_contradicts_a_positive_decision(self, query, view):
+        checker = SubsumptionChecker()
+        if checker.quick_reject(query, view):
+            assert not subsumes(query, view)
