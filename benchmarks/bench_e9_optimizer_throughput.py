@@ -1,0 +1,217 @@
+"""Experiment E9: view-matching throughput, flat catalog scan vs. classified lattice.
+
+``SemanticQueryOptimizer.subsuming_views`` used to run one subsumption check
+per catalog view, so planning cost grew linearly with the catalog.  The
+classified view lattice (``repro.database.lattice``) prunes every descendant
+of a non-subsuming view, so per-query checks follow the answer frontier
+instead.  This benchmark measures **queries per second** (and checks per
+query) for both strategies on catalogs of ``2^k`` views (k ≤ 8) drawn from
+the synthetic, university and trading workloads, and records the series in a
+``BENCH_e9.json`` trajectory file for cross-PR comparison
+(``benchmarks/check_regression.py`` guards it).
+
+Both paths are measured *cold*: the per-checker and process-wide decision
+caches are cleared before every repetition, so the numbers reflect the first
+arrival of each query, not cache replay.
+
+Usage::
+
+    python benchmarks/bench_e9_optimizer_throughput.py   # full series + JSON
+    pytest benchmarks/ --benchmark-only                   # CI timing points
+"""
+
+import time
+
+import pytest
+
+from repro.core.checker import clear_shared_decision_cache
+from repro.optimizer import SemanticQueryOptimizer
+from repro.workloads.synthetic import (
+    SchemaProfile,
+    generate_hierarchical_catalog,
+    generate_matching_queries,
+    random_schema,
+)
+from repro.workloads.trading import trading_concepts, trading_schema
+from repro.workloads.university import university_concepts, university_schema
+
+try:
+    from .helpers import print_table, write_trajectory
+except ImportError:  # executed as a script
+    from helpers import print_table, write_trajectory
+
+CATALOG_SIZES = [4, 8, 16, 32, 64, 128, 256]
+QUERIES_PER_SIZE = 12
+REPEATS = 3
+
+
+def _workloads():
+    """(name, schema, base concepts) for the three catalog sources."""
+    return [
+        ("synthetic", random_schema(SchemaProfile(), seed=9), ()),
+        ("university", university_schema(), tuple(university_concepts().values())),
+        ("trading", trading_schema(), tuple(trading_concepts().values())),
+    ]
+
+
+def build_setup(name, schema, bases, size, queries=QUERIES_PER_SIZE):
+    """A classified and a flat optimizer over the same catalog + query stream."""
+    catalog = generate_hierarchical_catalog(schema, size, seed=size * 31 + 7, base_concepts=bases)
+    stream = generate_matching_queries(schema, catalog, queries, seed=size * 17 + 3)
+    lattice = SemanticQueryOptimizer(schema, lattice=True)
+    flat = SemanticQueryOptimizer(schema, lattice=False)
+    for view_name, concept in catalog.items():
+        lattice.register_view_concept(view_name, concept)
+        flat.register_view_concept(view_name, concept)
+    return lattice, flat, stream
+
+
+def _time_stream(optimizer, stream, repeats=REPEATS):
+    """Median cold seconds to match the whole query stream."""
+    samples = []
+    for _ in range(repeats):
+        optimizer.checker.clear_cache()
+        clear_shared_decision_cache()
+        start = time.perf_counter()
+        for concept in stream:
+            optimizer.subsuming_views_for_concept(concept)
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def _checks_per_query(optimizer, stream):
+    """(full checks, signature skips, pruned views) per query, measured cold."""
+    optimizer.checker.clear_cache()
+    clear_shared_decision_cache()
+    before = (
+        optimizer.statistics.subsumption_checks,
+        optimizer.statistics.signature_skips,
+        optimizer.statistics.lattice_pruned,
+    )
+    for concept in stream:
+        optimizer.subsuming_views_for_concept(concept)
+    checks = optimizer.statistics.subsumption_checks - before[0]
+    skips = optimizer.statistics.signature_skips - before[1]
+    pruned = optimizer.statistics.lattice_pruned - before[2]
+    return checks / len(stream), skips / len(stream), pruned / len(stream)
+
+
+def _series_point(workload, schema, bases, size):
+    lattice, flat, stream = build_setup(workload, schema, bases, size)
+
+    # Cross-check: both strategies must agree on every query's subsumer set.
+    for concept in stream:
+        lattice_names = sorted(view.name for view in lattice.subsuming_views_for_concept(concept))
+        flat_names = sorted(view.name for view in flat.subsuming_views_for_concept(concept))
+        assert lattice_names == flat_names, (workload, size, lattice_names, flat_names)
+
+    flat_seconds = _time_stream(flat, stream)
+    lattice_seconds = _time_stream(lattice, stream)
+    lattice_checks, lattice_skips, lattice_pruned = _checks_per_query(lattice, stream)
+    flat_checks, flat_skips, _ = _checks_per_query(flat, stream)
+    return {
+        "workload": workload,
+        "catalog_size": size,
+        "queries": len(stream),
+        "lattice_nodes": lattice.catalog.lattice.node_count,
+        "lattice_roots": len(lattice.catalog.lattice.roots),
+        "flat_seconds": flat_seconds,
+        "lattice_seconds": lattice_seconds,
+        "flat_queries_per_second": len(stream) / flat_seconds if flat_seconds else None,
+        "lattice_queries_per_second": len(stream) / lattice_seconds if lattice_seconds else None,
+        "speedup": (flat_seconds / lattice_seconds) if lattice_seconds else None,
+        "flat_checks_per_query": flat_checks,
+        "flat_signature_skips_per_query": flat_skips,
+        "lattice_checks_per_query": lattice_checks,
+        "lattice_signature_skips_per_query": lattice_skips,
+        "lattice_pruned_views_per_query": lattice_pruned,
+    }
+
+
+# -- pytest-benchmark timing points ---------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def matching_setup():
+    schema = random_schema(SchemaProfile(), seed=9)
+    return build_setup("synthetic", schema, (), 64)
+
+
+@pytest.mark.parametrize("strategy", ["lattice", "flat"])
+def test_e9_matching_throughput(benchmark, matching_setup, strategy):
+    lattice, flat, stream = matching_setup
+    optimizer = lattice if strategy == "lattice" else flat
+
+    def run():
+        optimizer.checker.clear_cache()
+        clear_shared_decision_cache()
+        return [optimizer.subsuming_views_for_concept(concept) for concept in stream[:4]]
+
+    results = benchmark(run)
+    assert len(results) == 4
+
+
+# -- full experiment series ------------------------------------------------------
+
+
+def report() -> None:
+    points = []
+    for workload, schema, bases in _workloads():
+        for size in CATALOG_SIZES:
+            points.append(_series_point(workload, schema, bases, size))
+
+    print_table(
+        "E9: view matching, flat scan vs. classified lattice (cold caches)",
+        [
+            "workload",
+            "catalog",
+            "nodes",
+            "roots",
+            "flat q/s",
+            "lattice q/s",
+            "speedup",
+            "flat checks/q",
+            "lattice checks/q",
+            "pruned/q",
+        ],
+        [
+            (
+                point["workload"],
+                point["catalog_size"],
+                point["lattice_nodes"],
+                point["lattice_roots"],
+                f"{point['flat_queries_per_second']:.1f}",
+                f"{point['lattice_queries_per_second']:.1f}",
+                f"{point['speedup']:.1f}x",
+                f"{point['flat_checks_per_query']:.1f}",
+                f"{point['lattice_checks_per_query']:.1f}",
+                f"{point['lattice_pruned_views_per_query']:.1f}",
+            )
+            for point in points
+        ],
+    )
+
+    at_largest = [point for point in points if point["catalog_size"] == CATALOG_SIZES[-1]]
+    best = max(at_largest, key=lambda point: point["speedup"])
+    print(
+        f"\nlargest catalogs ({CATALOG_SIZES[-1]} views): best speedup "
+        f"{best['speedup']:.1f}x on {best['workload']} "
+        f"({best['flat_checks_per_query']:.1f} -> {best['lattice_checks_per_query']:.1f} "
+        f"checks/query)"
+    )
+
+    write_trajectory(
+        "e9",
+        {
+            "experiment": "e9-optimizer-throughput",
+            "catalog_sizes": CATALOG_SIZES,
+            "queries_per_size": QUERIES_PER_SIZE,
+            "series": points,
+            "largest_catalog_best_speedup": best["speedup"],
+        },
+    )
+
+
+if __name__ == "__main__":
+    report()

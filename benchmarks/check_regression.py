@@ -1,0 +1,136 @@
+"""Guard against throughput regressions of the lattice matching path.
+
+Compares a fresh (reduced) run of the E9 benchmark against the committed
+``BENCH_e9.json`` trajectory file and fails when the lattice path's
+queries-per-second drops by more than ``THRESHOLD`` (default 30%) on the
+median measured point.  The flat scan is *not* guarded -- it is the
+executable specification, not the hot path.
+
+Two entry points:
+
+* ``python benchmarks/check_regression.py [--threshold 0.3]`` -- CLI, exits
+  non-zero on regression;
+* ``pytest benchmarks/check_regression.py -m regression`` -- the opt-in
+  pytest job (the ``regression`` marker is declared in ``pytest.ini`` and
+  excluded from tier-1, which only collects ``tests/``).
+
+The comparison uses the *median relative slowdown* across the re-measured
+points rather than any single point, so one noisy configuration cannot fail
+the check on a loaded machine.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+import pytest
+
+try:
+    from .bench_e9_optimizer_throughput import _series_point, _workloads
+except ImportError:  # executed as a script
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from bench_e9_optimizer_throughput import _series_point, _workloads
+
+#: Allowed throughput loss before the check fails.
+THRESHOLD = 0.30
+
+#: The committed configurations re-measured by the check: big enough for the
+#: lattice to matter, small enough to finish in CI time, and three of them so
+#: the median survives one noisy point.
+CHECKED_SIZES = (16, 32, 64)
+CHECKED_WORKLOAD = "synthetic"
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TRAJECTORY_PATH = os.path.join(_ROOT, "BENCH_e9.json")
+
+
+def load_committed(path=TRAJECTORY_PATH):
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def committed_points(trajectory, workload=CHECKED_WORKLOAD, sizes=CHECKED_SIZES):
+    wanted = {
+        (point["workload"], point["catalog_size"]): point
+        for point in trajectory["series"]
+    }
+    return [
+        wanted[(workload, size)] for size in sizes if (workload, size) in wanted
+    ]
+
+
+def measure_fresh(points):
+    """Re-run exactly the committed configurations and pair old with new."""
+    by_workload = {name: (schema, bases) for name, schema, bases in _workloads()}
+    pairs = []
+    for committed in points:
+        schema, bases = by_workload[committed["workload"]]
+        fresh = _series_point(
+            committed["workload"], schema, bases, committed["catalog_size"]
+        )
+        pairs.append((committed, fresh))
+    return pairs
+
+
+def regression_ratio(pairs):
+    """Median of committed/fresh lattice throughput (1.0 = unchanged, >1 = slower)."""
+    ratios = sorted(
+        committed["lattice_queries_per_second"] / fresh["lattice_queries_per_second"]
+        for committed, fresh in pairs
+    )
+    return ratios[len(ratios) // 2]
+
+
+def run_check(threshold=THRESHOLD, verbose=True):
+    trajectory = load_committed()
+    points = committed_points(trajectory)
+    if not points:
+        raise AssertionError(
+            f"BENCH_e9.json has no ({CHECKED_WORKLOAD}, {CHECKED_SIZES}) points; "
+            "re-run python benchmarks/bench_e9_optimizer_throughput.py"
+        )
+    pairs = measure_fresh(points)
+    if verbose:
+        for committed, fresh in pairs:
+            print(
+                f"{committed['workload']}/{committed['catalog_size']}: "
+                f"committed {committed['lattice_queries_per_second']:.1f} q/s, "
+                f"fresh {fresh['lattice_queries_per_second']:.1f} q/s"
+            )
+    ratio = regression_ratio(pairs)
+    slowdown = ratio - 1.0
+    if verbose:
+        print(f"median lattice slowdown vs committed: {slowdown:+.1%} (threshold {threshold:.0%})")
+    assert slowdown <= threshold, (
+        f"lattice matching regressed {slowdown:.1%} (> {threshold:.0%}) vs BENCH_e9.json"
+    )
+    return slowdown
+
+
+@pytest.mark.regression
+def test_lattice_throughput_no_regression():
+    """Opt-in CI guard: fresh lattice throughput within 30% of the committed run."""
+    run_check()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=THRESHOLD,
+        help="allowed fractional throughput loss (default 0.3)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        run_check(threshold=args.threshold)
+    except AssertionError as error:
+        print(f"FAIL: {error}", file=sys.stderr)
+        return 1
+    print("OK: no lattice throughput regression")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

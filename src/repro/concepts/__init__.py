@@ -30,7 +30,20 @@ from .syntax import (
     TOP,
     ValueRestriction,
 )
-from .normalize import invert_path, normalize_agreement, normalize_concept
+from .intern import (
+    clear_intern_tables,
+    concept_id,
+    intern_concept,
+    intern_path,
+    is_interned,
+    path_id,
+)
+from .normalize import (
+    clear_normalize_memo,
+    invert_path,
+    normalize_agreement,
+    normalize_concept,
+)
 from .size import concept_size, path_size, schema_size, sl_concept_size
 from .visitors import (
     conjuncts,
@@ -66,7 +79,15 @@ __all__ = [
     "SchemaError",
     "InclusionAxiom",
     "AttributeTyping",
+    # intern
+    "intern_concept",
+    "intern_path",
+    "concept_id",
+    "path_id",
+    "is_interned",
+    "clear_intern_tables",
     # normalize
+    "clear_normalize_memo",
     "invert_path",
     "normalize_agreement",
     "normalize_concept",

@@ -22,8 +22,10 @@ normalizer reproduces the concepts shown in Figure 11 of the paper.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
+from . import intern
+from .intern import concept_id, intern_concept
 from .syntax import (
     And,
     AttributeRestriction,
@@ -37,7 +39,12 @@ from .syntax import (
 )
 from .visitors import conjuncts
 
-__all__ = ["invert_path", "normalize_agreement", "normalize_concept"]
+__all__ = [
+    "invert_path",
+    "normalize_agreement",
+    "normalize_concept",
+    "clear_normalize_memo",
+]
 
 
 def invert_path(path: Path, start_filler: Concept = TOP) -> Path:
@@ -119,6 +126,12 @@ def _normalize_path(path: Path) -> Path:
     )
 
 
+#: Cross-call memo: interned input id -> interned normalized concept.
+#: Normalization is pure, so one process-wide table serves every caller;
+#: keying on intern ids makes hits O(1) instead of a deep structural hash.
+_NORMALIZED: Dict[int, Concept] = {}
+
+
 def normalize_concept(concept: Concept) -> Concept:
     """Return an equivalent concept in the normal form expected by the calculus.
 
@@ -128,11 +141,34 @@ def normalize_concept(concept: Concept) -> Concept:
       right path,
     * no sub-concept is ``∃ε`` or ``∃ε ≐ ε`` (both are rewritten to ``⊤``),
     * conjunctions contain no ``⊤`` conjunct and no duplicated conjunct
-      (unless the whole concept is equivalent to ``⊤``).
+      (unless the whole concept is equivalent to ``⊤``),
+    * the result is the canonical interned instance of its structure
+      (:mod:`repro.concepts.intern`), and repeated calls are memoized
+      process-wide on the interned input.
 
     Normalization preserves the set semantics; this is checked by the
     property tests in ``tests/concepts/test_normalize.py``.
     """
+    concept = intern_concept(concept)
+    key = concept_id(concept)
+    cached = _NORMALIZED.get(key)
+    if cached is None:
+        cached = intern_concept(_normalize(concept))
+        _NORMALIZED[key] = cached
+    return cached
+
+
+def clear_normalize_memo() -> None:
+    """Drop the process-wide normalization memo (used by cache-reset hooks)."""
+    _NORMALIZED.clear()
+
+
+# clear_intern_tables() must also drop this memo, or its values would keep
+# the retired canonical instances alive.
+intern.register_dependent_cache(clear_normalize_memo)
+
+
+def _normalize(concept: Concept) -> Concept:
     if isinstance(concept, And):
         parts: List[Concept] = []
         seen = set()

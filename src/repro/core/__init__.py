@@ -1,10 +1,11 @@
 """Public facade of the reproduction: checker and errors."""
 
-from .checker import SubsumptionChecker
+from .checker import SubsumptionChecker, clear_shared_decision_cache
 from .errors import NonStructuralViewError, ReproError, UnsupportedQueryError
 
 __all__ = [
     "SubsumptionChecker",
+    "clear_shared_decision_cache",
     "ReproError",
     "UnsupportedQueryError",
     "NonStructuralViewError",

@@ -16,10 +16,17 @@ offers the operations a query optimizer needs:
 Three layers of memoization keep repeated checks cheap when the optimizer
 probes the same query against many views that share sub-expressions:
 
-* normalized concepts are cached per input concept,
-* decisions are cached per normalized ``(query, view)`` pair,
+* normalized concepts are interned and cached process-wide
+  (:mod:`repro.concepts.intern` / :func:`repro.concepts.normalize.normalize_concept`),
+* decisions are cached per normalized ``(query, view)`` pair -- both in a
+  per-checker table and in a process-wide cache shared by every checker over
+  a structurally equal schema (``shared_cache=False`` opts out),
 * per-concept *signatures* (primitive concept / attribute / constant sets)
   and Σ-satisfiability verdicts are cached per normalized concept.
+
+All of these tables are keyed on interned concept ids, so a cache hit costs
+an attribute read and a small-int hash rather than a structural traversal of
+the AST.
 
 The signature supports a sound **necessary-condition filter**: in ``QL``
 every occurrence of a symbol is positive and required (there is no negation
@@ -35,18 +42,51 @@ satisfiability probe of ``C`` instead of a full completion per view.
 
 from __future__ import annotations
 
+import itertools
+import weakref
 from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 from ..calculus.subsume import SubsumptionResult, decide_subsumption
+from ..concepts.intern import concept_id
 from ..concepts.normalize import normalize_concept
 from ..concepts.schema import Schema
 from ..concepts.syntax import Concept
 from ..concepts.visitors import constants, primitive_attributes, primitive_concepts
 
-__all__ = ["SubsumptionChecker", "concept_signature"]
+__all__ = ["SubsumptionChecker", "concept_signature", "clear_shared_decision_cache"]
 
 #: (primitive concept names, primitive attribute names, constants) of a concept.
 Signature = Tuple[FrozenSet[str], FrozenSet[str], FrozenSet[str]]
+
+#: Interned schema identities: structurally equal schemas share one token, so
+#: the shared decision cache below can key on a small int instead of hashing
+#: the axiom set on every lookup.  The mapping is weak -- a schema no checker
+#: holds anymore is released -- and tokens are drawn from a monotonic counter
+#: that is never reused, so cache entries keyed on a dead token can only
+#: become unreachable, never alias a new schema.
+_SCHEMA_TOKENS: "weakref.WeakKeyDictionary[Schema, int]" = weakref.WeakKeyDictionary()
+_schema_token_counter = itertools.count(1)
+
+#: Cross-checker decision cache keyed on
+#: ``(schema token, use_repair_rule, query id, view id)``.  Because interned
+#: concept ids are process-unique and never reused, entries stay valid for the
+#: lifetime of the process; every checker instance with ``shared_cache=True``
+#: both consults and feeds it, so e.g. a view lattice rebuilt by a second
+#: optimizer over the same schema re-derives no decision.
+_SHARED_DECISIONS: Dict[Tuple[int, bool, int, int], bool] = {}
+
+
+def _schema_token(schema: Schema) -> int:
+    token = _SCHEMA_TOKENS.get(schema)
+    if token is None:
+        token = next(_schema_token_counter)
+        _SCHEMA_TOKENS[schema] = token
+    return token
+
+
+def clear_shared_decision_cache() -> None:
+    """Drop the process-wide decision cache (benchmarks use this to measure cold runs)."""
+    _SHARED_DECISIONS.clear()
 
 
 def concept_signature(concept: Concept) -> Signature:
@@ -68,38 +108,41 @@ class SubsumptionChecker:
         use_repair_rule: bool = True,
         cache: bool = True,
         naive: bool = False,
+        shared_cache: bool = True,
     ) -> None:
         self.schema = schema if schema is not None else Schema.empty()
         self.use_repair_rule = use_repair_rule
         self.naive = naive
         self._cache_enabled = cache
-        self._cache: Dict[Tuple[Concept, Concept], bool] = {}
-        self._normalized: Dict[Concept, Concept] = {}
-        self._signatures: Dict[Concept, Signature] = {}
-        self._satisfiable: Dict[Concept, bool] = {}
+        self._shared_cache_enabled = shared_cache
+        self._schema_token = _schema_token(self.schema)
+        # All memo dictionaries are keyed on interned concept ids
+        # (:mod:`repro.concepts.intern`): one attribute read plus a small-int
+        # hash per lookup, instead of structurally hashing a deep AST.
+        self._cache: Dict[Tuple[int, int], bool] = {}
+        self._signatures: Dict[int, Signature] = {}
+        self._satisfiable: Dict[int, bool] = {}
         self._schema_concepts = self.schema.concept_names()
         self._schema_attributes = self.schema.attribute_names()
         self._checks = 0
         self._cache_hits = 0
+        self._shared_cache_hits = 0
         self._signature_rejections = 0
 
     # -- memoized building blocks ----------------------------------------------
 
     def normalized(self, concept: Concept) -> Concept:
-        """The normalized form of a concept (memoized)."""
-        cached = self._normalized.get(concept)
-        if cached is None:
-            cached = normalize_concept(concept)
-            self._normalized[concept] = cached
-        return cached
+        """The canonical normalized form of a concept (interned + memoized)."""
+        return normalize_concept(concept)
 
     def signature(self, concept: Concept) -> Signature:
         """The signature of the normalized concept (memoized)."""
-        normalized = self.normalized(concept)
-        cached = self._signatures.get(normalized)
+        normalized = normalize_concept(concept)
+        key = concept_id(normalized)
+        cached = self._signatures.get(key)
         if cached is None:
             cached = concept_signature(normalized)
-            self._signatures[normalized] = cached
+            self._signatures[key] = cached
         return cached
 
     def signature_excludes(self, query: Concept, view: Concept) -> bool:
@@ -131,31 +174,41 @@ class SubsumptionChecker:
         return self.signature_excludes(query, view) and self._query_satisfiable(query)
 
     def _query_satisfiable(self, concept: Concept) -> bool:
-        normalized = self.normalized(concept)
-        cached = self._satisfiable.get(normalized)
+        normalized = normalize_concept(concept)
+        key = concept_id(normalized)
+        cached = self._satisfiable.get(key)
         if cached is None:
             cached = self.is_satisfiable(normalized)
-            self._satisfiable[normalized] = cached
+            self._satisfiable[key] = cached
         return cached
 
     # -- basic decisions -------------------------------------------------------
 
     def subsumes(self, query: Concept, view: Concept) -> bool:
         """``True`` iff every instance of ``query`` is an instance of ``view`` in every Σ-state."""
-        key = (self.normalized(query), self.normalized(view))
+        normalized_query = normalize_concept(query)
+        normalized_view = normalize_concept(view)
+        key = (concept_id(normalized_query), concept_id(normalized_view))
         self._checks += 1
         if self._cache_enabled and key in self._cache:
             self._cache_hits += 1
             return self._cache[key]
-        if self.signature_excludes(key[0], key[1]):
+        shared_key = (self._schema_token, self.use_repair_rule) + key
+        if self._shared_cache_enabled and shared_key in _SHARED_DECISIONS:
+            self._shared_cache_hits += 1
+            decision = _SHARED_DECISIONS[shared_key]
+            if self._cache_enabled:
+                self._cache[key] = decision
+            return decision
+        if self.signature_excludes(normalized_query, normalized_view):
             # Only an unsatisfiable query can be subsumed by a view whose
             # signature exceeds query + schema; one memoized probe decides.
             self._signature_rejections += 1
-            decision = not self._query_satisfiable(key[0])
+            decision = not self._query_satisfiable(normalized_query)
         else:
             decision = decide_subsumption(
-                key[0],
-                key[1],
+                normalized_query,
+                normalized_view,
                 self.schema,
                 use_repair_rule=self.use_repair_rule,
                 keep_trace=False,
@@ -163,6 +216,8 @@ class SubsumptionChecker:
             ).subsumed
         if self._cache_enabled:
             self._cache[key] = decision
+        if self._shared_cache_enabled:
+            _SHARED_DECISIONS[shared_key] = decision
         return decision
 
     def explain(self, query: Concept, view: Concept) -> SubsumptionResult:
@@ -242,15 +297,21 @@ class SubsumptionChecker:
         return {
             "checks": self._checks,
             "cache_hits": self._cache_hits,
+            "shared_cache_hits": self._shared_cache_hits,
             "cache_size": len(self._cache),
             "signature_rejections": self._signature_rejections,
         }
 
     def clear_cache(self) -> None:
-        """Drop all memoized decisions (e.g. after changing the schema)."""
+        """Drop this checker's memoized decisions (e.g. after changing the schema).
+
+        The process-wide shared decision cache is left intact (its entries
+        are keyed on schema identity and stay valid); use
+        :func:`clear_shared_decision_cache` to drop that one too.
+        """
         self._cache.clear()
-        self._normalized.clear()
         self._signatures.clear()
         self._satisfiable.clear()
+        self._schema_token = _schema_token(self.schema)
         self._schema_concepts = self.schema.concept_names()
         self._schema_attributes = self.schema.attribute_names()

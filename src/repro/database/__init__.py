@@ -1,5 +1,6 @@
 """The OODB substrate: database states, query evaluation, materialized views."""
 
+from .lattice import LatticeMatchStats, LatticeNode, ViewLattice
 from .query_eval import EvaluationStatistics, QueryEvaluator
 from .store import DatabaseState, IntegrityViolation
 from .views import MaterializedView, ViewCatalog
@@ -11,4 +12,7 @@ __all__ = [
     "EvaluationStatistics",
     "MaterializedView",
     "ViewCatalog",
+    "ViewLattice",
+    "LatticeNode",
+    "LatticeMatchStats",
 ]

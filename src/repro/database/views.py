@@ -21,8 +21,9 @@ from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
 from ..concepts.normalize import normalize_concept
 from ..concepts.syntax import Concept
 from ..core.errors import NonStructuralViewError
-from ..dl.abstraction import query_class_to_concept
+from ..dl.abstraction import query_class_to_concept, schema_to_sl
 from ..dl.ast import DLSchema, QueryClassDecl
+from .lattice import LatticeMatchStats, ViewLattice
 from .query_eval import QueryEvaluator
 from .store import DatabaseState
 
@@ -95,14 +96,98 @@ class MaterializedView:
 
 
 class ViewCatalog:
-    """The registry of materialized views the optimizer consults."""
+    """The registry of materialized views the optimizer consults.
 
-    def __init__(self, dl_schema: Optional[DLSchema] = None) -> None:
+    Besides the name → view mapping the catalog maintains a **classified
+    view lattice** (:class:`~repro.database.lattice.ViewLattice`): the
+    transitive reduction of the Σ-subsumption order over the registered
+    views, kept incrementally up to date on every ``register``/``unregister``.
+    :meth:`lattice_subsumers` answers "which views subsume this query?" by a
+    top-down traversal that prunes every descendant of a non-subsuming view,
+    so matching cost follows the answer frontier instead of the catalog size.
+    ``lattice=False`` disables classification entirely; the optimizer then
+    falls back to the flat scan (the executable specification).
+
+    Iteration order is **registration order** (and therefore deterministic);
+    re-registering an existing name replaces the old view and moves the name
+    to the end of the order.
+    """
+
+    def __init__(
+        self,
+        dl_schema: Optional[DLSchema] = None,
+        *,
+        checker=None,
+        lattice: bool = True,
+    ) -> None:
         self.dl_schema = dl_schema
+        self.use_lattice = lattice
         self._views: Dict[str, MaterializedView] = {}
         self._evaluator = QueryEvaluator(dl_schema)
+        self._checker = checker
+        self._lattice = ViewLattice()
+
+    # -- the classifying checker -------------------------------------------------
+
+    @property
+    def checker(self):
+        """The subsumption checker that classifies this catalog's lattice.
+
+        Created lazily from the ``DL`` schema's ``SL`` abstraction (or the
+        empty schema) when none was supplied; the optimizer installs its own
+        checker via :meth:`adopt_checker` so catalog and query matching agree
+        on Σ and share memo tables.
+        """
+        if self._checker is None:
+            from ..core.checker import SubsumptionChecker
+
+            schema = schema_to_sl(self.dl_schema) if self.dl_schema is not None else None
+            self._checker = SubsumptionChecker(schema)
+        return self._checker
+
+    def adopt_checker(self, checker) -> None:
+        """Classify with ``checker`` from now on, reclassifying if needed.
+
+        A no-op (bar the swap) only when the new checker decides the *same
+        subsumption relation* -- same schema and same ``use_repair_rule``
+        (the naive/indexed engine choice provably decides identically) --
+        since only then are the existing lattice edges still correct.
+        """
+        if self._checker is checker:
+            return
+        same_relation = (
+            self._checker is not None
+            and self._checker.schema == checker.schema
+            and self._checker.use_repair_rule == checker.use_repair_rule
+        )
+        rebuild = self.use_lattice and bool(self._views) and not same_relation
+        self._checker = checker
+        if rebuild:
+            self._rebuild_lattice()
+
+    def _rebuild_lattice(self) -> None:
+        self._lattice = ViewLattice()
+        if self.use_lattice:
+            for view in self._views.values():
+                self._lattice.insert(view, self.checker)
+
+    def set_lattice_enabled(self, enabled: bool) -> None:
+        """Switch between classified and flat matching, (re)classifying as needed."""
+        if enabled == self.use_lattice:
+            return
+        self.use_lattice = enabled
+        self._rebuild_lattice()
 
     # -- registration -----------------------------------------------------------
+
+    def _admit(self, view: MaterializedView) -> MaterializedView:
+        """Insert a constructed view: dedupe its name, then classify it."""
+        if view.name in self._views:
+            self.unregister(view.name)
+        self._views[view.name] = view
+        if self.use_lattice:
+            self._lattice.insert(view, self.checker)
+        return view
 
     def register(
         self,
@@ -116,8 +201,7 @@ class ViewCatalog:
         query class has a constraint clause.
         """
         concept = query_class_to_concept(definition, self.dl_schema)
-        view = MaterializedView(name or definition.name, definition, concept)
-        self._views[view.name] = view
+        view = self._admit(MaterializedView(name or definition.name, definition, concept))
         if state is not None:
             view.refresh(state, self._evaluator)
         return view
@@ -135,29 +219,57 @@ class ViewCatalog:
         created when none is supplied.
         """
         definition = definition or QueryClassDecl(name=name)
-        view = MaterializedView(name, definition, concept)
-        self._views[name] = view
-        return view
+        return self._admit(MaterializedView(name, definition, concept))
 
     def unregister(self, name: str) -> None:
-        """Drop a view from the catalog."""
-        self._views.pop(name, None)
+        """Drop a view from the catalog, repairing the lattice around it."""
+        if self._views.pop(name, None) is not None:
+            self._lattice.remove(name)
+
+    # -- matching ---------------------------------------------------------------
+
+    def lattice_subsumers(
+        self, concept: Concept, statistics: Optional[LatticeMatchStats] = None
+    ) -> List[MaterializedView]:
+        """All views whose concept subsumes ``concept``, via the lattice.
+
+        Returns the same set as the flat scan (property-tested in
+        ``tests/optimizer/test_lattice_equivalence.py``) in unspecified
+        order; callers sort by their preference (the optimizer: extent size).
+        Raises :class:`RuntimeError` when the catalog was built with
+        ``lattice=False`` (the lattice is empty then, and silently answering
+        "no subsumers" would be wrong).
+        """
+        if not self.use_lattice:
+            raise RuntimeError(
+                "this catalog was built with lattice=False; use the flat scan "
+                "(SemanticQueryOptimizer.subsuming_views) or set_lattice_enabled(True)"
+            )
+        return self._lattice.subsumers(concept, self.checker, statistics)
+
+    @property
+    def lattice(self) -> ViewLattice:
+        """The underlying classified DAG (read access for tests/diagnostics)."""
+        return self._lattice
 
     # -- access ---------------------------------------------------------------------
 
     def __iter__(self) -> Iterator[MaterializedView]:
+        """Iterate in registration order (insertion-ordered, deterministic)."""
         return iter(self._views.values())
 
     def __len__(self) -> int:
         return len(self._views)
 
     def __contains__(self, name: str) -> bool:
+        """``True`` iff a view of that name is currently registered."""
         return name in self._views
 
     def get(self, name: str) -> Optional[MaterializedView]:
         return self._views.get(name)
 
     def names(self) -> Tuple[str, ...]:
+        """View names in registration order."""
         return tuple(self._views)
 
     # -- maintenance --------------------------------------------------------------------

@@ -25,6 +25,7 @@ from ..concepts.normalize import normalize_concept
 from ..concepts.schema import Schema
 from ..concepts.syntax import Concept
 from ..core.checker import SubsumptionChecker
+from ..database.lattice import LatticeMatchStats
 from ..database.query_eval import EvaluationStatistics, QueryEvaluator
 from ..database.store import DatabaseState
 from ..database.views import MaterializedView, ViewCatalog
@@ -46,6 +47,9 @@ class OptimizerStatistics:
     #: Views dismissed by the signature necessary-condition filter without
     #: running (or even consulting the cache of) a full subsumption check.
     signature_skips: int = 0
+    #: Views never examined at all because a lattice ancestor already failed
+    #: to subsume the query (the whole descendant subtree is pruned).
+    lattice_pruned: int = 0
     candidates_with_view: int = 0
     candidates_without_view: int = 0
 
@@ -95,6 +99,10 @@ class SemanticQueryOptimizer:
     catalog:
         The view catalog to consult; a fresh empty catalog is created when
         omitted.
+    lattice:
+        ``True``/``False`` forces classified-lattice resp. flat-scan view
+        matching (also on a supplied catalog); ``None`` (default) means
+        "lattice for a fresh catalog, keep a supplied catalog's mode".
     """
 
     def __init__(
@@ -103,6 +111,7 @@ class SemanticQueryOptimizer:
         catalog: Optional[ViewCatalog] = None,
         *,
         use_repair_rule: bool = True,
+        lattice: Optional[bool] = None,
     ) -> None:
         if isinstance(schema, DLSchema):
             self.dl_schema: Optional[DLSchema] = schema
@@ -113,9 +122,23 @@ class SemanticQueryOptimizer:
         else:
             raise TypeError(f"schema must be a Schema or DLSchema, got {type(schema)!r}")
         self.checker = SubsumptionChecker(self.sl_schema, use_repair_rule=use_repair_rule)
-        self.catalog = catalog if catalog is not None else ViewCatalog(self.dl_schema)
+        if catalog is None:
+            catalog = ViewCatalog(
+                self.dl_schema, checker=self.checker, lattice=lattice is not False
+            )
+        else:
+            # Classification and query matching must agree on Σ (and on the
+            # repair rule), so the catalog reclassifies with this optimizer's
+            # checker if needed; an explicit ``lattice=`` overrides the
+            # supplied catalog's matching mode.
+            catalog.adopt_checker(self.checker)
+            if lattice is not None:
+                catalog.set_lattice_enabled(lattice)
+        self.catalog = catalog
         self.evaluator = QueryEvaluator(self.dl_schema)
         self.statistics = OptimizerStatistics()
+        self._query_concepts: Dict[QueryClassDecl, Concept] = {}
+        self._anchor_classes: Dict[QueryClassDecl, Optional[str]] = {}
 
     # -- view management ----------------------------------------------------------
 
@@ -132,26 +155,52 @@ class SemanticQueryOptimizer:
     # -- planning --------------------------------------------------------------------
 
     def query_concept(self, query: QueryClassDecl) -> Concept:
-        """The structural ``QL`` abstraction of a query class."""
-        return normalize_concept(query_class_to_concept(query, self.dl_schema))
+        """The structural ``QL`` abstraction of a query class (memoized per declaration)."""
+        cached = self._query_concepts.get(query)
+        if cached is None:
+            cached = normalize_concept(query_class_to_concept(query, self.dl_schema))
+            self._query_concepts[query] = cached
+        return cached
 
     def subsuming_views(self, query: QueryClassDecl) -> List[MaterializedView]:
         """All registered views that subsume the query, smallest extent first.
 
-        Views whose signature mentions symbols the (satisfiable) query cannot
-        derive are skipped outright -- the checker's necessary-condition
-        filter proves the full subsumption check would fail, which turns a
-        catalog scan into mostly cheap set-inclusion tests.
+        With a classified catalog (the default) this is a top-down lattice
+        traversal: a non-subsuming view prunes its entire descendant subtree
+        (sound because ``Q ⊑ V'`` and ``V' ⊑ V`` would force ``Q ⊑ V``), so
+        the number of checks follows the answer frontier rather than the
+        catalog size (``statistics.lattice_pruned`` counts the never-examined
+        views).  With ``lattice=False`` the original flat scan runs instead;
+        both return identical view sets (property-tested).
+
+        Either way, views whose signature mentions symbols the (satisfiable)
+        query cannot derive are skipped without a full subsumption check
+        (``statistics.signature_skips``).
         """
-        concept = self.query_concept(query)
-        matches: List[MaterializedView] = []
-        for view in self.catalog:
-            if self.checker.quick_reject(concept, view.concept):
-                self.statistics.signature_skips += 1
-                continue
-            self.statistics.subsumption_checks += 1
-            if self.checker.subsumes(concept, view.concept):
-                matches.append(view)
+        return self.subsuming_views_for_concept(self.query_concept(query))
+
+    def subsuming_views_for_concept(self, concept: Concept) -> List[MaterializedView]:
+        """All registered views subsuming an already-abstracted ``QL`` concept.
+
+        The matching hot path behind :meth:`subsuming_views`; exposed
+        separately so benchmarks and concept-level callers can drive it
+        without a :class:`~repro.dl.ast.QueryClassDecl` shell.
+        """
+        if self.catalog.use_lattice:
+            lattice_stats = LatticeMatchStats()
+            matches = list(self.catalog.lattice_subsumers(concept, lattice_stats))
+            self.statistics.subsumption_checks += lattice_stats.checks
+            self.statistics.signature_skips += lattice_stats.signature_skips
+            self.statistics.lattice_pruned += lattice_stats.pruned_views
+        else:
+            matches = []
+            for view in self.catalog:
+                if self.checker.quick_reject(concept, view.concept):
+                    self.statistics.signature_skips += 1
+                    continue
+                self.statistics.subsumption_checks += 1
+                if self.checker.subsumes(concept, view.concept):
+                    matches.append(view)
         matches.sort(key=lambda view: (view.size, view.name))
         return matches
 
@@ -172,15 +221,24 @@ class SemanticQueryOptimizer:
         return FullScanPlan(query=query, anchor_class=anchor)
 
     def _anchor_class(self, query: QueryClassDecl) -> Optional[str]:
-        """The declared superclass a conventional compiler would scan."""
+        """The declared superclass a conventional compiler would scan (memoized)."""
+        if query in self._anchor_classes:
+            return self._anchor_classes[query]
+        anchor = self._compute_anchor_class(query)
+        self._anchor_classes[query] = anchor
+        return anchor
+
+    def _compute_anchor_class(self, query: QueryClassDecl) -> Optional[str]:
         if not query.superclasses:
             return None
         # Prefer the most specific superclass: one not above any other listed.
+        # Each candidate's superclass closure is computed once, not once per
+        # candidate pair.
         candidates = list(query.superclasses)
+        closures = {c: self.sl_schema.all_superclasses(c) for c in candidates}
         for candidate in candidates:
-            others = [c for c in candidates if c != candidate]
             if not any(
-                candidate in self.sl_schema.all_superclasses(other) for other in others
+                candidate in closures[other] for other in candidates if other != candidate
             ):
                 return candidate
         return candidates[0]

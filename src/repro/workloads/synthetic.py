@@ -51,6 +51,8 @@ __all__ = [
     "WorkloadConfig",
     "ViewWorkload",
     "generate_view_workload",
+    "generate_hierarchical_catalog",
+    "generate_matching_queries",
 ]
 
 
@@ -218,6 +220,65 @@ def random_state(
             for _ in range(rng.randint(0, attribute_fanout)):
                 state.set_attribute(object_id, attribute, rng.choice(object_ids))
     return state
+
+
+def generate_hierarchical_catalog(
+    schema: Schema,
+    size: int,
+    seed=0,
+    *,
+    base_concepts: Optional[Sequence[Concept]] = None,
+    root_probability: float = 0.12,
+) -> Dict[str, Concept]:
+    """A view catalog with a non-trivial subsumption hierarchy.
+
+    Real catalogs are built by specializing existing views (drill-down
+    queries, refined reports), which is what makes lattice classification
+    pay off: the generator starts from ``base_concepts`` (or fresh random
+    roots) and derives each further view by specializing a random earlier
+    one, with ``root_probability`` of opening a fresh unrelated root instead.
+    Returned in generation order as ``name -> concept``.
+    """
+    rng = _rng(seed)
+    pool: List[Concept] = []
+    catalog: Dict[str, Concept] = {}
+    bases = list(base_concepts or ())
+    for index in range(size):
+        if bases:
+            concept = bases.pop(0)
+        elif not pool or rng.random() < root_probability:
+            concept = random_concept(
+                schema, seed=rng.random(), conjunct_count=2, max_path_length=2
+            )
+        else:
+            concept = specialize_concept(
+                rng.choice(pool), schema, seed=rng.random(), extra_conjuncts=1
+            )
+        pool.append(concept)
+        catalog[f"view{index}"] = concept
+    return catalog
+
+
+def generate_matching_queries(
+    schema: Schema,
+    catalog: Dict[str, Concept],
+    count: int,
+    seed=0,
+    *,
+    hit_fraction: float = 0.5,
+) -> List[Concept]:
+    """A query stream against a catalog: specializations (hits) + random misses."""
+    rng = _rng(seed)
+    concepts = list(catalog.values())
+    queries: List[Concept] = []
+    for _ in range(count):
+        if concepts and rng.random() < hit_fraction:
+            queries.append(
+                specialize_concept(rng.choice(concepts), schema, seed=rng.random())
+            )
+        else:
+            queries.append(random_concept(schema, seed=rng.random(), conjunct_count=3))
+    return queries
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,104 @@
+"""Tests for the hash-consing layer (`repro.concepts.intern`)."""
+
+from hypothesis import given, settings
+
+from repro.concepts import builders as b
+from repro.concepts.intern import (
+    concept_id,
+    intern_concept,
+    intern_path,
+    is_interned,
+    path_id,
+)
+from repro.concepts.normalize import normalize_concept
+from repro.concepts.syntax import And, Path, Primitive, Top
+
+from ..strategies import concepts
+
+
+class TestInterning:
+    def test_structurally_equal_concepts_share_one_instance(self):
+        first = intern_concept(And(Primitive("A"), Primitive("B")))
+        second = intern_concept(And(Primitive("A"), Primitive("B")))
+        assert first is second
+
+    def test_interning_preserves_structure(self):
+        concept = b.conjoin(b.concept("A"), b.exists(("p", b.concept("B"))))
+        assert intern_concept(concept) == concept
+
+    def test_interning_is_idempotent(self):
+        concept = intern_concept(b.exists(("p", b.concept("A"))))
+        assert intern_concept(concept) is concept
+
+    def test_subterms_are_shared(self):
+        filler = b.conjoin(b.concept("A"), b.concept("B"))
+        left = intern_concept(b.exists(("p", filler)))
+        right = intern_concept(b.exists(("q", b.conjoin(b.concept("A"), b.concept("B")))))
+        assert left.path.head.concept is right.path.head.concept
+
+    def test_ids_are_stable_and_distinct(self):
+        a = intern_concept(Primitive("A"))
+        b_ = intern_concept(Primitive("B"))
+        assert concept_id(a) == concept_id(Primitive("A"))
+        assert concept_id(a) != concept_id(b_)
+
+    def test_non_canonical_copy_is_not_interned(self):
+        intern_concept(Primitive("A"))
+        assert not is_interned(Primitive("A"))
+        assert is_interned(intern_concept(Primitive("A")))
+
+    def test_paths_intern_too(self):
+        path = b.path(("p", b.concept("A")), ("q", b.top()))
+        canonical = intern_path(path)
+        assert canonical == path
+        assert intern_path(b.path(("p", b.concept("A")), ("q", b.top()))) is canonical
+        assert path_id(canonical) == path_id(path)
+
+    def test_top_and_empty_path_are_canonical(self):
+        assert intern_concept(Top()) is intern_concept(Top())
+        assert intern_path(Path(())) is intern_path(Path(()))
+
+    @settings(max_examples=80, deadline=None)
+    @given(concepts(max_depth=3))
+    def test_interning_roundtrip_property(self, concept):
+        canonical = intern_concept(concept)
+        assert canonical == concept
+        assert intern_concept(canonical) is canonical
+        # Equal ids iff structurally equal.
+        assert concept_id(concept) == concept_id(canonical)
+
+
+class TestNormalizeIntegration:
+    def test_normalize_returns_canonical_instances(self):
+        concept = b.conjoin(b.concept("B"), b.concept("A"), b.top())
+        assert is_interned(normalize_concept(concept))
+
+    def test_normalize_is_memoized_by_identity(self):
+        concept = b.conjoin(b.concept("A"), b.exists(("p", b.concept("B"))))
+        assert normalize_concept(concept) is normalize_concept(concept)
+
+    def test_structurally_equal_inputs_normalize_to_same_object(self):
+        first = normalize_concept(b.conjoin(b.concept("B"), b.concept("A")))
+        second = normalize_concept(b.conjoin(b.concept("A"), b.concept("B")))
+        assert first is second
+
+    @settings(max_examples=60, deadline=None)
+    @given(concepts(max_depth=2))
+    def test_normalization_unchanged_by_interning(self, concept):
+        # The memoized/interned normalizer must agree with normalizing a
+        # fresh structural copy (the memo can never change the result).
+        assert normalize_concept(concept) is normalize_concept(intern_concept(concept))
+
+    def test_clear_intern_tables_is_safe_and_drops_the_normalize_memo(self):
+        from repro.concepts.intern import clear_intern_tables
+        from repro.concepts.normalize import _NORMALIZED
+
+        concept = b.conjoin(b.concept("ClearMe"), b.concept("Too"))
+        before = normalize_concept(concept)
+        old_id = concept_id(before)
+        clear_intern_tables()
+        assert not _NORMALIZED  # dependent cache cleared alongside the tables
+        after = normalize_concept(b.conjoin(b.concept("ClearMe"), b.concept("Too")))
+        # Same structure, fresh canonical instance with a never-reused id.
+        assert after == before
+        assert concept_id(after) != old_id

@@ -1,0 +1,244 @@
+"""Tests for the classified view lattice (`repro.database.lattice`)."""
+
+import pytest
+
+from repro.concepts import builders as b
+from repro.core.checker import SubsumptionChecker
+from repro.database.lattice import LatticeMatchStats
+from repro.database.views import ViewCatalog
+
+
+def make_catalog(schema=None, **kwargs):
+    checker = SubsumptionChecker(schema)
+    return ViewCatalog(None, checker=checker, **kwargs), checker
+
+
+def chain_concepts():
+    """A ⊒ A⊓B ⊒ A⊓B⊓C: a three-deep subsumption chain."""
+    a = b.concept("A")
+    ab = b.conjoin(b.concept("A"), b.concept("B"))
+    abc = b.conjoin(b.concept("A"), b.concept("B"), b.concept("C"))
+    return a, ab, abc
+
+
+class TestInsertion:
+    def test_chain_forms_a_path(self):
+        catalog, checker = make_catalog()
+        a, ab, abc = chain_concepts()
+        catalog.register_concept("top_a", a)
+        catalog.register_concept("mid_ab", ab)
+        catalog.register_concept("leaf_abc", abc)
+        lattice = catalog.lattice
+        assert lattice.parents_of("mid_ab") == {"top_a"}
+        assert lattice.children_of("mid_ab") == {"leaf_abc"}
+        assert lattice.parents_of("top_a") == set()
+        assert [view.name for root in lattice.roots for view in root.views] == ["top_a"]
+        lattice.check_invariants(checker)
+
+    def test_insertion_order_does_not_matter(self):
+        a, ab, abc = chain_concepts()
+        for order in ([("x", abc), ("y", a), ("z", ab)], [("x", ab), ("y", abc), ("z", a)]):
+            catalog, checker = make_catalog()
+            for name, concept in order:
+                catalog.register_concept(name, concept)
+            by_concept = {
+                tuple(sorted(v.name for v in node.views)): node
+                for node in {catalog.lattice.node_of(n) for n in catalog.names()}
+            }
+            assert len(by_concept) == 3
+            catalog.lattice.check_invariants(checker)
+
+    def test_diamond_transitive_reduction(self):
+        # A and B above A⊓B; A⊓B⊓C below both through A⊓B only.
+        catalog, checker = make_catalog()
+        catalog.register_concept("va", b.concept("A"))
+        catalog.register_concept("vb", b.concept("B"))
+        catalog.register_concept("vab", b.conjoin(b.concept("A"), b.concept("B")))
+        catalog.register_concept(
+            "vabc", b.conjoin(b.concept("A"), b.concept("B"), b.concept("C"))
+        )
+        lattice = catalog.lattice
+        assert lattice.parents_of("vab") == {"va", "vb"}
+        assert lattice.parents_of("vabc") == {"vab"}
+        lattice.check_invariants(checker)
+
+    def test_equivalent_views_share_a_node(self):
+        # Under A ⊑ B, the concepts A and A⊓B are Σ-equivalent but not
+        # structurally equal.
+        schema = b.schema(b.isa("A", "B"))
+        catalog, checker = make_catalog(schema)
+        catalog.register_concept("plain", b.concept("A"))
+        catalog.register_concept("redundant", b.conjoin(b.concept("A"), b.concept("B")))
+        lattice = catalog.lattice
+        assert lattice.node_of("plain") is lattice.node_of("redundant")
+        assert lattice.node_count == 1
+        matches = catalog.lattice_subsumers(b.conjoin(b.concept("A"), b.concept("C")))
+        assert sorted(view.name for view in matches) == ["plain", "redundant"]
+        lattice.check_invariants(checker)
+
+    def test_duplicate_registration_replaces_and_reclassifies(self):
+        catalog, checker = make_catalog()
+        catalog.register_concept("v", b.concept("A"))
+        replacement = b.conjoin(b.concept("A"), b.concept("B"))
+        catalog.register_concept("v", replacement)
+        assert len(catalog) == 1
+        assert catalog.get("v").concept == b.conjoin(b.concept("A"), b.concept("B"))
+        assert catalog.lattice.node_of("v") is not None
+        assert catalog.lattice.node_count == 1
+        catalog.lattice.check_invariants(checker)
+
+    def test_top_like_view_subsumes_everything(self):
+        catalog, checker = make_catalog()
+        a, ab, abc = chain_concepts()
+        catalog.register_concept("mid_ab", ab)
+        catalog.register_concept("leaf_abc", abc)
+        catalog.register_concept("everything", b.top())
+        lattice = catalog.lattice
+        # TOP becomes the single root, above the previous roots.
+        assert [view.name for root in lattice.roots for view in root.views] == [
+            "everything"
+        ]
+        assert lattice.parents_of("mid_ab") == {"everything"}
+        # TOP subsumes every query, even one unrelated to the catalog.
+        matches = catalog.lattice_subsumers(b.concept("Z"))
+        assert [view.name for view in matches] == ["everything"]
+        lattice.check_invariants(checker)
+
+    def test_two_top_like_views_are_equivalent(self):
+        catalog, checker = make_catalog()
+        catalog.register_concept("all1", b.top())
+        catalog.register_concept("all2", b.exists())  # ∃ε normalizes to ⊤
+        assert catalog.lattice.node_of("all1") is catalog.lattice.node_of("all2")
+        catalog.lattice.check_invariants(checker)
+
+
+class TestRemoval:
+    def test_unregister_middle_of_chain_relinks(self):
+        catalog, checker = make_catalog()
+        a, ab, abc = chain_concepts()
+        catalog.register_concept("top_a", a)
+        catalog.register_concept("mid_ab", ab)
+        catalog.register_concept("leaf_abc", abc)
+        catalog.unregister("mid_ab")
+        assert "mid_ab" not in catalog
+        lattice = catalog.lattice
+        assert lattice.parents_of("leaf_abc") == {"top_a"}
+        assert lattice.children_of("top_a") == {"leaf_abc"}
+        lattice.check_invariants(checker)
+
+    def test_unregister_root_promotes_children(self):
+        catalog, checker = make_catalog()
+        a, ab, abc = chain_concepts()
+        catalog.register_concept("top_a", a)
+        catalog.register_concept("mid_ab", ab)
+        catalog.unregister("top_a")
+        lattice = catalog.lattice
+        assert [view.name for root in lattice.roots for view in root.views] == ["mid_ab"]
+        assert lattice.parents_of("mid_ab") == set()
+        lattice.check_invariants(checker)
+
+    def test_unregister_one_of_equivalent_pair_keeps_node(self):
+        schema = b.schema(b.isa("A", "B"))
+        catalog, checker = make_catalog(schema)
+        catalog.register_concept("plain", b.concept("A"))
+        catalog.register_concept("redundant", b.conjoin(b.concept("A"), b.concept("B")))
+        catalog.unregister("plain")
+        assert catalog.lattice.node_of("redundant") is not None
+        assert catalog.lattice.node_count == 1
+        matches = catalog.lattice_subsumers(b.concept("A"))
+        assert [view.name for view in matches] == ["redundant"]
+        catalog.lattice.check_invariants(checker)
+
+    def test_unregister_unknown_name_is_a_noop(self):
+        catalog, _ = make_catalog()
+        catalog.register_concept("v", b.concept("A"))
+        catalog.unregister("ghost")
+        assert len(catalog) == 1
+
+    def test_diamond_removal_does_not_create_transitive_edge(self):
+        catalog, checker = make_catalog()
+        catalog.register_concept("va", b.concept("A"))
+        catalog.register_concept("vab", b.conjoin(b.concept("A"), b.concept("B")))
+        catalog.register_concept(
+            "vabc", b.conjoin(b.concept("A"), b.concept("B"), b.concept("C"))
+        )
+        # Removing the top: A⊓B becomes a root, the chain below survives.
+        catalog.unregister("va")
+        lattice = catalog.lattice
+        assert lattice.parents_of("vabc") == {"vab"}
+        lattice.check_invariants(checker)
+
+
+class TestMatching:
+    def test_matching_prunes_failing_subtrees(self):
+        catalog, checker = make_catalog()
+        # Two unrelated families of specializations.
+        for index, family in enumerate(("A", "B")):
+            parts = []
+            for depth in range(4):
+                parts.append(b.concept(f"{family}{depth}"))
+                catalog.register_concept(f"{family}_{depth}", b.conjoin(list(parts)))
+        stats = LatticeMatchStats()
+        query = b.conjoin([b.concept("A0"), b.concept("A1"), b.concept("X")])
+        matches = catalog.lattice_subsumers(query, stats)
+        assert sorted(view.name for view in matches) == ["A_0", "A_1"]
+        # The B family is abandoned at its root: three of its views are
+        # never examined.
+        assert stats.pruned_views >= 3
+        assert stats.checks + stats.signature_skips < len(catalog)
+
+    def test_deterministic_iteration_is_registration_order(self):
+        catalog, _ = make_catalog()
+        names = ["c", "a", "b"]
+        for name in names:
+            catalog.register_concept(name, b.concept(name.upper()))
+        assert list(catalog.names()) == names
+        assert [view.name for view in catalog] == names
+        # Re-registration moves the name to the end of the order.
+        catalog.register_concept("a", b.concept("AA"))
+        assert list(catalog.names()) == ["c", "b", "a"]
+
+    def test_lattice_disabled_catalog_stays_flat(self):
+        catalog, _ = make_catalog(lattice=False)
+        catalog.register_concept("v", b.concept("A"))
+        assert catalog.use_lattice is False
+        assert catalog.lattice.node_count == 0
+        # Asking the empty lattice would silently answer "no subsumers".
+        with pytest.raises(RuntimeError):
+            catalog.lattice_subsumers(b.concept("A"))
+
+    def test_enabling_the_lattice_classifies_existing_views(self):
+        catalog, checker = make_catalog(lattice=False)
+        a, ab, abc = chain_concepts()
+        catalog.register_concept("top_a", a)
+        catalog.register_concept("mid_ab", ab)
+        catalog.set_lattice_enabled(True)
+        assert catalog.lattice.node_count == 2
+        matches = catalog.lattice_subsumers(abc)
+        assert sorted(view.name for view in matches) == ["mid_ab", "top_a"]
+        catalog.lattice.check_invariants(checker)
+
+
+class TestAdoptChecker:
+    def test_adopting_a_different_repair_rule_reclassifies(self):
+        # Under repair-rule differences the subsumption relation itself can
+        # change, so swapping in a use_repair_rule=False checker must rebuild
+        # the DAG rather than keep edges decided under the old relation.
+        schema = b.schema(b.isa("A", "B"))
+        catalog, checker = make_catalog(schema)
+        catalog.register_concept("plain", b.concept("A"))
+        catalog.register_concept("redundant", b.conjoin(b.concept("A"), b.concept("B")))
+        adopted = SubsumptionChecker(schema, use_repair_rule=False)
+        catalog.adopt_checker(adopted)
+        assert catalog.checker is adopted
+        catalog.lattice.check_invariants(adopted)
+
+    def test_adopting_same_relation_keeps_classification(self):
+        schema = b.schema(b.isa("A", "B"))
+        catalog, checker = make_catalog(schema)
+        catalog.register_concept("v", b.concept("A"))
+        node_before = catalog.lattice.node_of("v")
+        adopted = SubsumptionChecker(schema)
+        catalog.adopt_checker(adopted)
+        assert catalog.checker is adopted
+        assert catalog.lattice.node_of("v") is node_before

@@ -1,0 +1,123 @@
+"""Property test: lattice matching ≡ flat-scan matching (the spec).
+
+The flat catalog scan is the executable specification of
+``SemanticQueryOptimizer.subsuming_views``; the classified lattice is a pure
+optimization.  On randomized catalogs and query streams both must return the
+*identical* subsumer list (same views, same order, hence the same chosen
+plan and the same alternatives), including after views are unregistered.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.concepts import builders as b
+from repro.dl.ast import QueryClassDecl
+from repro.optimizer import SemanticQueryOptimizer, ViewFilterPlan
+from repro.workloads.synthetic import (
+    SchemaProfile,
+    generate_hierarchical_catalog,
+    generate_matching_queries,
+    random_schema,
+)
+from repro.workloads.university import generate_university_state, university_dl_schema
+
+from ..strategies import concepts, schemas
+
+
+def matched_names(optimizer, concept):
+    return [view.name for view in optimizer.subsuming_views_for_concept(concept)]
+
+
+class TestRandomizedEquivalence:
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        schemas(max_axioms=3),
+        st.lists(concepts(max_depth=2), min_size=1, max_size=6),
+        st.lists(concepts(max_depth=2), min_size=1, max_size=4),
+    )
+    def test_identical_subsumers_on_random_catalogs(self, schema, views, queries):
+        lattice = SemanticQueryOptimizer(schema, lattice=True)
+        flat = SemanticQueryOptimizer(schema, lattice=False)
+        for index, concept in enumerate(views):
+            lattice.register_view_concept(f"view{index}", concept)
+            flat.register_view_concept(f"view{index}", concept)
+        for concept in queries:
+            assert matched_names(lattice, concept) == matched_names(flat, concept)
+
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        st.integers(min_value=0, max_value=2**30),
+        st.data(),
+    )
+    def test_identical_subsumers_on_hierarchical_catalogs(self, seed, data):
+        schema = random_schema(SchemaProfile(classes=6, attributes=4), seed=seed)
+        catalog = generate_hierarchical_catalog(schema, 12, seed=seed + 1)
+        queries = generate_matching_queries(schema, catalog, 4, seed=seed + 2)
+        lattice = SemanticQueryOptimizer(schema, lattice=True)
+        flat = SemanticQueryOptimizer(schema, lattice=False)
+        for name, concept in catalog.items():
+            lattice.register_view_concept(name, concept)
+            flat.register_view_concept(name, concept)
+        for concept in queries:
+            assert matched_names(lattice, concept) == matched_names(flat, concept)
+        # Equivalence must survive lattice repair: drop a few views and re-ask.
+        victims = data.draw(
+            st.lists(st.sampled_from(sorted(catalog)), max_size=4, unique=True)
+        )
+        for name in victims:
+            lattice.catalog.unregister(name)
+            flat.catalog.unregister(name)
+        for concept in queries:
+            assert matched_names(lattice, concept) == matched_names(flat, concept)
+        lattice.catalog.lattice.check_invariants(lattice.checker)
+
+
+class TestPlanEquivalence:
+    def test_university_plans_identical_across_modes(self):
+        dl = university_dl_schema()
+        state = generate_university_state(students=30, professors=5, courses=8, seed=5)
+        plans = {}
+        for mode in (True, False):
+            optimizer = SemanticQueryOptimizer(dl, lattice=mode)
+            for view_name in ("StudentsOfTheirAdvisor", "NamedStudents"):
+                optimizer.register_view(dl.query_classes[view_name], state)
+            for query_name, query in dl.query_classes.items():
+                plan = optimizer.plan(query)
+                used = plan.view.name if isinstance(plan, ViewFilterPlan) else None
+                alternatives = (
+                    plan.alternatives if isinstance(plan, ViewFilterPlan) else ()
+                )
+                plans.setdefault(query_name, []).append(
+                    (type(plan).__name__, used, alternatives)
+                )
+        for query_name, versions in plans.items():
+            assert versions[0] == versions[1], query_name
+
+    def test_equivalent_views_both_reported_in_both_modes(self):
+        schema = b.schema(b.isa("A", "B"))
+        results = {}
+        for mode in (True, False):
+            optimizer = SemanticQueryOptimizer(schema, lattice=mode)
+            optimizer.register_view_concept("plain", b.concept("A"))
+            optimizer.register_view_concept(
+                "redundant", b.conjoin(b.concept("A"), b.concept("B"))
+            )
+            query = QueryClassDecl(name="q", superclasses=("A",))
+            results[mode] = [view.name for view in optimizer.subsuming_views(query)]
+        assert results[True] == results[False]
+        assert set(results[True]) == {"plain", "redundant"}
+
+    def test_explicit_lattice_flag_overrides_supplied_catalog(self):
+        from repro.database.views import ViewCatalog
+
+        schema = b.schema(b.isa("A", "B"))
+        catalog = ViewCatalog()
+        catalog.register_concept("v", b.concept("B"))
+        flat = SemanticQueryOptimizer(schema, catalog, lattice=False)
+        assert flat.catalog.use_lattice is False
+        query = QueryClassDecl(name="q", superclasses=("A",))
+        assert [view.name for view in flat.subsuming_views(query)] == ["v"]
+        # And back on: the catalog reclassifies and the lattice path answers.
+        latticed = SemanticQueryOptimizer(schema, catalog, lattice=True)
+        assert latticed.catalog.use_lattice is True
+        assert [view.name for view in latticed.subsuming_views(query)] == ["v"]

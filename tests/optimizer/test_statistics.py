@@ -1,0 +1,109 @@
+"""Tests for `OptimizerStatistics` and the matching counters of both scan modes."""
+
+from repro.concepts import builders as b
+from repro.concepts.syntax import Singleton
+from repro.dl.ast import QueryClassDecl
+from repro.optimizer import SemanticQueryOptimizer
+from repro.optimizer.optimizer import OptimizerStatistics
+
+
+class TestDerivedMetrics:
+    def test_hit_rate_zero_without_queries(self):
+        assert OptimizerStatistics().hit_rate == 0.0
+
+    def test_hit_rate(self):
+        stats = OptimizerStatistics(queries_optimized=4, view_hits=3)
+        assert stats.hit_rate == 0.75
+
+    def test_candidate_reduction_zero_without_baseline(self):
+        assert OptimizerStatistics().candidate_reduction == 0.0
+
+    def test_candidate_reduction(self):
+        stats = OptimizerStatistics(candidates_with_view=25, candidates_without_view=100)
+        assert stats.candidate_reduction == 0.75
+
+    def test_counters_start_at_zero(self):
+        stats = OptimizerStatistics()
+        assert stats.subsumption_checks == 0
+        assert stats.signature_skips == 0
+        assert stats.lattice_pruned == 0
+
+
+def _family_catalog(optimizer):
+    """Two unrelated specialization families, A_* and B_*."""
+    for family in ("A", "B"):
+        parts = []
+        for depth in range(4):
+            parts.append(b.concept(f"{family}{depth}"))
+            optimizer.register_view_concept(f"{family}_{depth}", b.conjoin(list(parts)))
+
+
+class TestMatchingCounters:
+    def test_flat_scan_checks_every_view(self):
+        schema = b.schema()
+        optimizer = SemanticQueryOptimizer(schema, lattice=False)
+        _family_catalog(optimizer)
+        optimizer.subsuming_views_for_concept(b.conjoin([b.concept("A0"), b.concept("A1")]))
+        # Every view is examined: either signature-skipped or fully checked.
+        stats = optimizer.statistics
+        assert stats.subsumption_checks + stats.signature_skips == 8
+        assert stats.lattice_pruned == 0
+
+    def test_lattice_prunes_and_counts(self):
+        schema = b.schema()
+        optimizer = SemanticQueryOptimizer(schema, lattice=True)
+        _family_catalog(optimizer)
+        matches = optimizer.subsuming_views_for_concept(
+            b.conjoin([b.concept("A0"), b.concept("A1")])
+        )
+        assert sorted(view.name for view in matches) == ["A_0", "A_1"]
+        stats = optimizer.statistics
+        # The B family dies at its root; at least B_1..B_3 are never examined.
+        assert stats.lattice_pruned >= 3
+        assert stats.subsumption_checks + stats.signature_skips + stats.lattice_pruned == 8
+
+    def test_signature_skips_counted_in_flat_mode(self):
+        # A view mentioning a constant the query does not mention is
+        # dismissed by the signature filter without a full check.
+        schema = b.schema()
+        optimizer = SemanticQueryOptimizer(schema, lattice=False)
+        optimizer.register_view_concept(
+            "constant_view", b.conjoin([b.concept("A"), Singleton("bob")])
+        )
+        optimizer.subsuming_views_for_concept(b.concept("A"))
+        assert optimizer.statistics.signature_skips == 1
+        assert optimizer.statistics.subsumption_checks == 0
+
+    def test_signature_skips_counted_in_lattice_mode(self):
+        schema = b.schema()
+        optimizer = SemanticQueryOptimizer(schema, lattice=True)
+        optimizer.register_view_concept(
+            "constant_view", b.conjoin([b.concept("A"), Singleton("bob")])
+        )
+        optimizer.subsuming_views_for_concept(b.concept("A"))
+        assert optimizer.statistics.signature_skips == 1
+        assert optimizer.statistics.subsumption_checks == 0
+
+    def test_plan_updates_hits_and_misses_in_lattice_mode(self):
+        schema = b.schema(b.isa("A", "B"))
+        optimizer = SemanticQueryOptimizer(schema, lattice=True)
+        optimizer.register_view_concept("all_b", b.concept("B"))
+        hit = QueryClassDecl(name="hit", superclasses=("A",))
+        miss = QueryClassDecl(name="miss", superclasses=("Z",))
+        optimizer.plan(hit)
+        optimizer.plan(miss)
+        stats = optimizer.statistics
+        assert stats.queries_optimized == 2
+        assert stats.view_hits == 1
+        assert stats.view_misses == 1
+        assert stats.hit_rate == 0.5
+
+    def test_query_concept_and_anchor_are_memoized(self):
+        schema = b.schema(b.isa("A", "B"))
+        optimizer = SemanticQueryOptimizer(schema)
+        query = QueryClassDecl(name="q", superclasses=("A", "B"))
+        assert optimizer.query_concept(query) is optimizer.query_concept(query)
+        # The most specific superclass wins, and the memo returns it stably.
+        assert optimizer._anchor_class(query) == "A"
+        assert optimizer._anchor_class(query) == "A"
+        assert query in optimizer._anchor_classes
