@@ -1,0 +1,359 @@
+"""Experiment E10: batched registration and sharded matching throughput.
+
+PR 3's concurrency layer claims two wins over the sequential spec paths:
+
+* ``ViewCatalog.register_batch`` classifies a batch of views against the
+  frozen lattice with pooled workers plus two sound decision shortcuts
+  (told-subsumption seeding, profile rejection filters), then replays the
+  sequential merge cache-hot;
+* the sharded matcher behind ``SemanticQueryOptimizer.plan_batch`` fans a
+  query batch across shards over the read-only lattice with per-worker
+  decision-cache views.
+
+This benchmark measures both against their sequential baselines on the
+synthetic, university and trading catalogs (the same generators and seeds
+as E9), cross-checking that batched results equal sequential ones on every
+configuration, and records the series in ``BENCH_e10.json``
+(``benchmarks/check_regression.py`` guards it).
+
+All numbers are *cold*: per-checker and process-wide decision caches are
+cleared before every timed run.  The worker pool cannot beat the GIL on a
+single-CPU container -- ``cpu_count`` is recorded in the trajectory file so
+multi-core runs can be told apart; the shortcut layer is what carries the
+single-core speedups.
+
+Usage::
+
+    python benchmarks/bench_e10_parallel_throughput.py   # full series + JSON
+    pytest benchmarks/ --benchmark-only                   # CI timing points
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core.checker import clear_shared_decision_cache
+from repro.optimizer import SemanticQueryOptimizer, ShardedMatcher
+from repro.workloads.synthetic import (
+    generate_hierarchical_catalog,
+    generate_matching_queries,
+)
+
+try:
+    from .bench_e9_optimizer_throughput import _workloads
+    from .helpers import print_table, write_trajectory
+except ImportError:  # executed as a script
+    from bench_e9_optimizer_throughput import _workloads
+    from helpers import print_table, write_trajectory
+
+REGISTRATION_SIZES = [64, 256]
+MATCHING_SIZES = [64, 256]
+MATCH_QUERIES = 32
+SHARD_COUNTS = [1, 2, 4, 8]
+BACKEND = "thread"
+MATCH_REPEATS = 3
+
+
+def _build_inputs(schema, bases, size, queries=MATCH_QUERIES):
+    """The same catalog/stream seeds as E9, with a longer query stream."""
+    catalog = generate_hierarchical_catalog(
+        schema, size, seed=size * 31 + 7, base_concepts=bases
+    )
+    stream = generate_matching_queries(schema, catalog, queries, seed=size * 17 + 3)
+    return list(catalog.items()), stream
+
+
+def _lattice_shape(optimizer):
+    lattice = optimizer.catalog.lattice
+    return {
+        name: (lattice.parents_of(name), lattice.children_of(name))
+        for name in optimizer.catalog.names()
+    }
+
+
+def registration_point(workload, schema, bases, size, shards=4, repeats=1):
+    """Sequential vs. batched registration of one catalog, measured cold.
+
+    ``repeats > 1`` (the regression guard) re-registers fresh optimizers
+    and takes the median of both sides, shrinking scheduler noise.
+    """
+    items, _ = _build_inputs(schema, bases, size)
+
+    sequential_samples = []
+    batch_samples = []
+    for _ in range(repeats):
+        clear_shared_decision_cache()
+        sequential = SemanticQueryOptimizer(schema, lattice=True)
+        start = time.perf_counter()
+        for name, concept in items:
+            sequential.register_view_concept(name, concept)
+        sequential_samples.append(time.perf_counter() - start)
+
+        clear_shared_decision_cache()
+        batched = SemanticQueryOptimizer(schema, lattice=True)
+        start = time.perf_counter()
+        batched.register_views_batch(items, backend=BACKEND, shards=shards)
+        batch_samples.append(time.perf_counter() - start)
+
+        assert _lattice_shape(batched) == _lattice_shape(sequential), (workload, size)
+    sequential_samples.sort()
+    batch_samples.sort()
+    sequential_seconds = sequential_samples[len(sequential_samples) // 2]
+    batch_seconds = batch_samples[len(batch_samples) // 2]
+
+    return {
+        "workload": workload,
+        "catalog_size": size,
+        "shards": shards,
+        "backend": BACKEND,
+        "sequential_seconds": sequential_seconds,
+        "batch_seconds": batch_seconds,
+        "sequential_views_per_second": size / sequential_seconds if sequential_seconds else None,
+        "batch_views_per_second": size / batch_seconds if batch_seconds else None,
+        "speedup": (sequential_seconds / batch_seconds) if batch_seconds else None,
+        "batch_told_seeded": batched.statistics.batch_told_seeded,
+        "batch_filter_rejections": batched.statistics.batch_filter_rejections,
+        "batch_profiles_computed": batched.statistics.batch_profiles_computed,
+    }
+
+
+def _time_sequential_match(optimizer, stream, repeats=MATCH_REPEATS):
+    samples = []
+    for _ in range(repeats):
+        optimizer.checker.clear_cache()
+        clear_shared_decision_cache()
+        start = time.perf_counter()
+        for concept in stream:
+            optimizer.subsuming_views_for_concept(concept)
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def _time_sharded_match(optimizer, stream, shards, repeats=MATCH_REPEATS):
+    samples = []
+    for _ in range(repeats):
+        optimizer.checker.clear_cache()
+        clear_shared_decision_cache()
+        matcher = ShardedMatcher(
+            optimizer.checker, optimizer.catalog, shards=shards, backend=BACKEND
+        )
+        start = time.perf_counter()
+        matcher.match_names(stream)
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def matching_point(workload, schema, bases, size, repeats=MATCH_REPEATS, timing=True):
+    """Sequential loop vs. 1/2/4/8-shard matching over one catalog, cold.
+
+    ``timing=False`` (the regression guard) skips the wall-clock sweeps and
+    reports only the deterministic mechanism counters plus the cross-check,
+    keeping the CI job fast.
+    """
+    items, stream = _build_inputs(schema, bases, size)
+    optimizer = SemanticQueryOptimizer(schema, lattice=True)
+    optimizer.register_views_batch(items, backend=BACKEND)
+
+    # Cross-check once: every shard count must reproduce the sequential sets
+    # (match_names returns traversal order; the sequential loop sorts by
+    # extent size, so compare order-insensitively).
+    sequential_names = [
+        sorted(view.name for view in optimizer.subsuming_views_for_concept(concept))
+        for concept in stream
+    ]
+    for shards in SHARD_COUNTS if timing else (2,):
+        matcher = ShardedMatcher(
+            optimizer.checker, optimizer.catalog, shards=shards, backend=BACKEND
+        )
+        sharded_names = [sorted(names) for names in matcher.match_names(stream)]
+        assert sharded_names == sequential_names, (workload, size, shards)
+
+    # Deterministic mechanism counters (serial backend, cold caches): how
+    # many decisions the batch layer answered without a completion.  The
+    # regression guard prefers this over wall-clock for the matching side
+    # -- it is exact, so any decay means the seeding/filtering actually
+    # broke, not that the machine was busy.
+    optimizer.checker.clear_cache()
+    clear_shared_decision_cache()
+    counter_matcher = ShardedMatcher(
+        optimizer.checker, optimizer.catalog, shards=2, backend="serial"
+    )
+    counter_matcher.match_names(stream)
+    counters = counter_matcher.statistics
+    avoided = counters.told_seeded + counters.filter_rejections
+    decided = avoided + counters.full_checks
+
+    point = {
+        "workload": workload,
+        "catalog_size": size,
+        "queries": len(stream),
+        "backend": BACKEND,
+        "told_seeded": counters.told_seeded,
+        "filter_rejections": counters.filter_rejections,
+        "full_checks": counters.full_checks,
+        "avoided_fraction": (avoided / decided) if decided else None,
+        "shards": {},
+    }
+    if not timing:
+        return point
+    sequential_seconds = _time_sequential_match(optimizer, stream, repeats=repeats)
+    point["sequential_seconds"] = sequential_seconds
+    point["sequential_queries_per_second"] = (
+        len(stream) / sequential_seconds if sequential_seconds else None
+    )
+    for shards in SHARD_COUNTS:
+        shard_seconds = _time_sharded_match(optimizer, stream, shards, repeats=repeats)
+        point["shards"][str(shards)] = {
+            "seconds": shard_seconds,
+            "queries_per_second": len(stream) / shard_seconds if shard_seconds else None,
+            "speedup": (sequential_seconds / shard_seconds) if shard_seconds else None,
+        }
+    return point
+
+
+# -- pytest-benchmark timing points ---------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def e10_setup():
+    name, schema, bases = _workloads()[0]
+    items, stream = _build_inputs(schema, bases, 32, queries=8)
+    optimizer = SemanticQueryOptimizer(schema, lattice=True)
+    optimizer.register_views_batch(items, backend=BACKEND)
+    return optimizer, stream
+
+
+@pytest.mark.parametrize("shards", [1, 2])
+def test_e10_sharded_matching_throughput(benchmark, e10_setup, shards):
+    optimizer, stream = e10_setup
+
+    def run():
+        optimizer.checker.clear_cache()
+        clear_shared_decision_cache()
+        matcher = ShardedMatcher(
+            optimizer.checker, optimizer.catalog, shards=shards, backend=BACKEND
+        )
+        return matcher.match_names(stream)
+
+    results = benchmark(run)
+    assert len(results) == len(stream)
+
+
+def test_e10_batch_registration_throughput(benchmark):
+    name, schema, bases = _workloads()[0]
+    items, _ = _build_inputs(schema, bases, 16)
+
+    def run():
+        clear_shared_decision_cache()
+        optimizer = SemanticQueryOptimizer(schema, lattice=True)
+        optimizer.register_views_batch(items, backend=BACKEND, shards=2)
+        return optimizer
+
+    optimizer = benchmark(run)
+    assert len(optimizer.catalog) == len(items)
+
+
+# -- full experiment series ------------------------------------------------------
+
+
+def report() -> None:
+    registration_series = []
+    matching_series = []
+    for workload, schema, bases in _workloads():
+        for size in REGISTRATION_SIZES:
+            registration_series.append(registration_point(workload, schema, bases, size))
+        for size in MATCHING_SIZES:
+            matching_series.append(matching_point(workload, schema, bases, size))
+
+    print_table(
+        "E10a: view registration, sequential vs. batched (cold caches)",
+        [
+            "workload",
+            "catalog",
+            "seq views/s",
+            "batch views/s",
+            "speedup",
+            "told seeds",
+            "filter rejects",
+        ],
+        [
+            (
+                point["workload"],
+                point["catalog_size"],
+                f"{point['sequential_views_per_second']:.1f}",
+                f"{point['batch_views_per_second']:.1f}",
+                f"{point['speedup']:.2f}x",
+                point["batch_told_seeded"],
+                point["batch_filter_rejections"],
+            )
+            for point in registration_series
+        ],
+    )
+
+    print_table(
+        "E10b: query matching, sequential loop vs. sharded matcher (cold caches)",
+        ["workload", "catalog", "seq q/s"]
+        + [f"{shards}-shard q/s" for shards in SHARD_COUNTS]
+        + [f"{shards}-shard speedup" for shards in SHARD_COUNTS],
+        [
+            (
+                point["workload"],
+                point["catalog_size"],
+                f"{point['sequential_queries_per_second']:.1f}",
+                *(
+                    f"{point['shards'][str(shards)]['queries_per_second']:.1f}"
+                    for shards in SHARD_COUNTS
+                ),
+                *(
+                    f"{point['shards'][str(shards)]['speedup']:.2f}x"
+                    for shards in SHARD_COUNTS
+                ),
+            )
+            for point in matching_series
+        ],
+    )
+
+    largest_registration = [
+        point
+        for point in registration_series
+        if point["catalog_size"] == REGISTRATION_SIZES[-1]
+    ]
+    best_registration = max(largest_registration, key=lambda point: point["speedup"])
+    largest_matching = [
+        point for point in matching_series if point["catalog_size"] == MATCHING_SIZES[-1]
+    ]
+    best_matching = max(
+        largest_matching, key=lambda point: point["shards"]["2"]["speedup"]
+    )
+    print(
+        f"\nlargest catalogs ({REGISTRATION_SIZES[-1]} views): best batched "
+        f"registration {best_registration['speedup']:.2f}x on "
+        f"{best_registration['workload']}; best 2-shard matching "
+        f"{best_matching['shards']['2']['speedup']:.2f}x on {best_matching['workload']}"
+    )
+
+    write_trajectory(
+        "e10",
+        {
+            "experiment": "e10-parallel-throughput",
+            "cpu_count": os.cpu_count(),
+            "backend": BACKEND,
+            "registration_sizes": REGISTRATION_SIZES,
+            "matching_sizes": MATCHING_SIZES,
+            "match_queries": MATCH_QUERIES,
+            "shard_counts": SHARD_COUNTS,
+            "registration_series": registration_series,
+            "matching_series": matching_series,
+            "largest_catalog_best_registration_speedup": best_registration["speedup"],
+            "largest_catalog_best_2shard_matching_speedup": best_matching["shards"]["2"][
+                "speedup"
+            ],
+        },
+    )
+
+
+if __name__ == "__main__":
+    report()

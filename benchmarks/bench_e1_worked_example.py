@@ -6,7 +6,6 @@ times one full subsumption check including normalization -- the unit of work
 the optimizer performs per (query, view) pair.
 """
 
-import pytest
 
 from repro.calculus import decide_subsumption, rule_histogram, subsumes
 from repro.dl import parse_schema, query_classes_to_concepts, schema_to_sl

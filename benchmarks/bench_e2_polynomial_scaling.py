@@ -11,7 +11,6 @@ import pytest
 
 from repro.calculus import decide_subsumption, subsumes
 from repro.concepts.size import concept_size, schema_size
-from repro.concepts.schema import Schema
 from repro.workloads.chains import (
     agreement_pair,
     chain_pair,

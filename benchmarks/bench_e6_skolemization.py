@@ -28,7 +28,9 @@ def coreference_query(branches: int):
     """``branches`` paths that must all end in the same object (one shared variable)."""
     parts = [b.concept("Root")]
     for index in range(branches):
-        parts.append(b.exists((f"r{index}", b.concept(f"A{index}")), ("meet", VariableSingleton("v"))))
+        parts.append(
+            b.exists((f"r{index}", b.concept(f"A{index}")), ("meet", VariableSingleton("v")))
+        )
     return b.conjoin(parts)
 
 

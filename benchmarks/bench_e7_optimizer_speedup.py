@@ -14,10 +14,8 @@ and reports hit rate, candidate reduction, answer-set equality with the
 unoptimized evaluation, and end-to-end evaluation time with/without views.
 """
 
-import pytest
 
 from repro.database.query_eval import QueryEvaluator
-from repro.dl.ast import QueryClassDecl
 from repro.optimizer import SemanticQueryOptimizer
 from repro.workloads.synthetic import WorkloadConfig, generate_view_workload
 from repro.workloads.university import generate_university_state, university_dl_schema
@@ -119,7 +117,11 @@ def report() -> None:
         without_view_candidates = 0
         for name, concept, _base in workload.queries:
             subsumers = sorted(
-                (view for view in optimizer.catalog if optimizer.checker.subsumes(concept, view.concept)),
+                (
+                    view
+                    for view in optimizer.catalog
+                    if optimizer.checker.subsumes(concept, view.concept)
+                ),
                 key=lambda view: view.size,
             )
             planned += 1

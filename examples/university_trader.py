@@ -14,7 +14,7 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.optimizer import SemanticQueryOptimizer, ViewFilterPlan
+from repro.optimizer import SemanticQueryOptimizer
 from repro.workloads.university import generate_university_state, university_dl_schema
 
 
@@ -45,7 +45,6 @@ def main() -> None:
         query = dl.query_classes[query_name]
         plan = optimizer.plan(query)
         outcome = optimizer.execute(plan, state)
-        reused = plan.view.name if isinstance(plan, ViewFilterPlan) else None
         print(f"[{tool}]  {query_name}:")
         print(f"    plan: {plan.description}")
         print(f"    candidates examined: {outcome.candidates_examined} "

@@ -20,7 +20,7 @@ both tiny (the hypothesis strategies in the test-suite do).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Tuple
+from typing import Optional, Tuple
 
 from ..concepts.schema import Schema
 from ..concepts.syntax import Concept

@@ -16,8 +16,8 @@ paper's structural subsumption algorithm (experiment E4).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, Set, Tuple, Union
 
 from ..concepts.normalize import normalize_concept
 from ..concepts.syntax import (

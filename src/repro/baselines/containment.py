@@ -18,11 +18,11 @@ they do -- see ``tests/baselines/test_containment.py``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
-from ..fol.syntax import Const, Var
-from .conjunctive import Atom, BinaryAtomCQ, ConjunctiveQuery, Term, UnaryAtomCQ
+from ..fol.syntax import Const
+from .conjunctive import Atom, ConjunctiveQuery, Term, UnaryAtomCQ
 
 __all__ = ["ContainmentStatistics", "find_containment_mapping", "cq_contained_in"]
 

@@ -9,7 +9,7 @@ example scripts and the E1 benchmark print.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence
 
 from .rules import RuleApplication
 from .subsume import SubsumptionResult

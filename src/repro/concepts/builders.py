@@ -160,7 +160,9 @@ def exists(*steps: PathStep) -> ExistsPath:
     return ExistsPath(path(*steps))
 
 
-def agreement(left: Union[Path, Sequence[PathStep]], right: Union[Path, Sequence[PathStep]] = EMPTY_PATH) -> PathAgreement:
+def agreement(
+    left: Union[Path, Sequence[PathStep]], right: Union[Path, Sequence[PathStep]] = EMPTY_PATH
+) -> PathAgreement:
     """The path agreement ``∃p ≐ q``; ``q`` defaults to the empty path."""
     if not isinstance(left, Path):
         left = path(*left)

@@ -25,16 +25,30 @@ Ids are drawn from a process-wide monotonic counter that is **never reset**
 be garbage collected) but keeps the counter, which guarantees that an id can
 never be reused for a different structure and therefore that stale id-keyed
 cache entries can only miss, never alias.
+
+Concurrency and serialization (the batch/parallel layer relies on both):
+
+* interning is **thread-safe**: table lookups and stamping happen under a
+  process-wide lock, so two threads interning the same new structure agree
+  on one canonical instance and one id (the already-canonical fast path
+  stays lock-free);
+* canonical instances **never leak their id through pickling or copying**:
+  the syntax nodes drop the stamp in ``__getstate__``, so an unpickled (or
+  deep-copied) concept is an ordinary non-canonical instance that re-interns
+  to whatever id its structure has in the *receiving* process.  Round-trips
+  within one process are therefore id-stable (``concept_id(loads(dumps(c)))
+  == concept_id(c)``), and shipping concepts to a worker process can never
+  alias a foreign id onto a different structure.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Optional, Tuple
+import threading
+from typing import Dict, Tuple
 
 from .syntax import (
     And,
-    Attribute,
     AttributeRestriction,
     Concept,
     ExistsPath,
@@ -65,6 +79,12 @@ _ids = itertools.count(1)
 _concepts: Dict[Tuple, Concept] = {}
 _paths: Dict[Tuple, Path] = {}
 
+#: Guards the lookup-then-stamp sections below.  Without it two threads
+#: interning the same new structure could both miss the table and stamp two
+#: "canonical" instances with distinct ids; ``RLock`` because composite
+#: nodes intern their children recursively.
+_INTERN_LOCK = threading.RLock()
+
 
 def _stamp(node, key: Tuple, table: Dict[Tuple, object]):
     """Register ``node`` as the canonical instance for ``key``."""
@@ -82,19 +102,20 @@ def intern_path(path: Path) -> Path:
         (step.attribute.name, step.attribute.inverted, getattr(filler, _ID_ATTR))
         for step, filler in zip(path.steps, fillers)
     )
-    canonical = _paths.get(key)
-    if canonical is not None:
-        return canonical
-    if all(filler is step.concept for step, filler in zip(path.steps, fillers)):
-        rebuilt = path
-    else:
-        rebuilt = Path(
-            tuple(
-                AttributeRestriction(step.attribute, filler)
-                for step, filler in zip(path.steps, fillers)
+    with _INTERN_LOCK:
+        canonical = _paths.get(key)
+        if canonical is not None:
+            return canonical
+        if all(filler is step.concept for step, filler in zip(path.steps, fillers)):
+            rebuilt = path
+        else:
+            rebuilt = Path(
+                tuple(
+                    AttributeRestriction(step.attribute, filler)
+                    for step, filler in zip(path.steps, fillers)
+                )
             )
-        )
-    return _stamp(rebuilt, key, _paths)
+        return _stamp(rebuilt, key, _paths)
 
 
 def intern_concept(concept: Concept) -> Concept:
@@ -136,10 +157,11 @@ def intern_concept(concept: Concept) -> Concept:
             rebuilt = PathAgreement(left_path, right_path)
     else:
         raise TypeError(f"cannot intern {concept!r}: not a QL concept")
-    canonical = _concepts.get(key)
-    if canonical is not None:
-        return canonical
-    return _stamp(rebuilt, key, _concepts)
+    with _INTERN_LOCK:
+        canonical = _concepts.get(key)
+        if canonical is not None:
+            return canonical
+        return _stamp(rebuilt, key, _concepts)
 
 
 def concept_id(concept: Concept) -> int:
@@ -192,7 +214,8 @@ def clear_intern_tables() -> None:
     clear keep their ids, and new structures get fresh ones, so id-keyed
     caches that survive the clear can only miss, never return a wrong entry.
     """
-    _concepts.clear()
-    _paths.clear()
-    for clear in _dependent_cache_clearers:
-        clear()
+    with _INTERN_LOCK:
+        _concepts.clear()
+        _paths.clear()
+        for clear in _dependent_cache_clearers:
+            clear()

@@ -13,7 +13,7 @@ for ``A``", which :class:`Schema` provides through precomputed indexes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
 from .syntax import (

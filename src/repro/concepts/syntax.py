@@ -28,7 +28,7 @@ subsumption calculus (:mod:`repro.calculus`) require.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Tuple, Union
 
 __all__ = [
@@ -96,8 +96,33 @@ class AttributeRestriction:
         return f"({self.attribute}: {self.concept})"
 
 
+#: Name of the canonical-instance stamp set by :mod:`repro.concepts.intern`
+#: (kept in sync by a test there).  Pickling and copying must not carry the
+#: stamp along: ids are process-local, so a deserialized instance claiming a
+#: foreign id could alias a *different* structure in the receiving process's
+#: id-keyed caches.  ``_StampFreeState`` therefore strips it, which makes
+#: concept/path round-trips id-stable: the copy re-interns to the canonical
+#: instance (and id) of its structure wherever it lands.
+_INTERN_STAMP = "_repro_intern_id"
+
+
+class _StampFreeState:
+    """Pickle/copy protocol mixin dropping the interning stamp (see above)."""
+
+    __slots__ = ()
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop(_INTERN_STAMP, None)
+        return state
+
+    def __setstate__(self, state):
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+
+
 @dataclass(frozen=True)
-class Path:
+class Path(_StampFreeState):
     """A path ``p = (R1:C1)(R2:C2)...(Rn:Cn)``; the empty path is ``epsilon``.
 
     A path denotes the composition of its restricted attributes; the empty
@@ -169,7 +194,7 @@ EMPTY_PATH = Path(())
 # ---------------------------------------------------------------------------
 
 
-class Concept:
+class Concept(_StampFreeState):
     """Base class of all ``QL`` concept expressions.
 
     Concepts denote sets of objects; see Table 1 of the paper for the set

@@ -12,7 +12,6 @@ from typing import Callable, FrozenSet, Iterator, Set, Tuple
 
 from .syntax import (
     And,
-    Attribute,
     AttributeRestriction,
     Concept,
     ExistsPath,
@@ -20,7 +19,6 @@ from .syntax import (
     PathAgreement,
     Primitive,
     Singleton,
-    Top,
 )
 
 __all__ = [

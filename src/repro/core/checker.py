@@ -182,6 +182,47 @@ class SubsumptionChecker:
             self._satisfiable[key] = cached
         return cached
 
+    # -- decision-cache plumbing (used by the batch/parallel layer) -------------
+
+    def cached_decision(self, query_id: int, view_id: int) -> Optional[bool]:
+        """The memoized decision for a pair of interned concept ids, if any.
+
+        Consults the per-checker table first, then the process-wide shared
+        cache; returns ``None`` when the pair has never been decided.  Purely
+        a read -- no completion is ever run.
+        """
+        if self._cache_enabled:
+            decision = self._cache.get((query_id, view_id))
+            if decision is not None:
+                return decision
+        if self._shared_cache_enabled:
+            return _SHARED_DECISIONS.get(
+                (self._schema_token, self.use_repair_rule, query_id, view_id)
+            )
+        return None
+
+    def record_decision(self, query_id: int, view_id: int, decision: bool) -> None:
+        """Record an externally derived decision for a pair of interned ids.
+
+        Callers (the batched classifier and the sharded matcher) must only
+        record decisions that this checker would itself return -- either
+        replayed worker results or decisions entailed by soundness arguments
+        (told subsumption, the batch rejection filters).  Entries feed both
+        the per-checker table and, when enabled, the shared process-wide
+        cache, exactly like a decision computed by :meth:`subsumes`.
+        """
+        if self._cache_enabled:
+            self._cache[(query_id, view_id)] = decision
+        if self._shared_cache_enabled:
+            _SHARED_DECISIONS[
+                (self._schema_token, self.use_repair_rule, query_id, view_id)
+            ] = decision
+
+    def absorb_decisions(self, decisions: Mapping[Tuple[int, int], bool]) -> None:
+        """Merge a worker's decision-cache delta (see :meth:`record_decision`)."""
+        for (query_id, view_id), decision in decisions.items():
+            self.record_decision(query_id, view_id, decision)
+
     # -- basic decisions -------------------------------------------------------
 
     def subsumes(self, query: Concept, view: Concept) -> bool:

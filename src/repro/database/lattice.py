@@ -34,7 +34,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..concepts.syntax import Concept
 
@@ -114,6 +114,16 @@ class ViewLattice:
         node = self._node_of[name]
         return {view.name for child in node.children for view in child.views}
 
+    def nodes(self) -> List[LatticeNode]:
+        """The unique nodes in deterministic (first-registration) order."""
+        seen: Set[int] = set()
+        ordered: List[LatticeNode] = []
+        for node in self._node_of.values():
+            if id(node) not in seen:
+                seen.add(id(node))
+                ordered.append(node)
+        return ordered
+
     def _nodes(self) -> Set[LatticeNode]:
         return set(self._node_of.values())
 
@@ -158,6 +168,25 @@ class ViewLattice:
         if not node.parents:
             self._roots.add(node)
         self._node_of[view.name] = node
+
+    def classification_probe(self, concept: Concept, checker) -> None:
+        """Run the two insertion traversals for ``concept`` without mutating.
+
+        Executes exactly the subsumption questions :meth:`insert` would ask
+        against the *current* (frozen) DAG -- the most-specific-subsumer
+        search, the equivalence probes and the most-general-subsumee search
+        -- but splices nothing in.  The point is cache warming: the batched
+        classifier fans these probes over a worker pool against a frozen
+        lattice, merges the workers' decision deltas, and then replays the
+        plain sequential insertions, which find every frozen-DAG decision
+        already answered.
+        """
+        subsumers = self._find_subsumers(concept, checker)
+        parents = self._most_specific(subsumers)
+        for parent in parents:
+            if checker.subsumes(parent.concept, concept):
+                return
+        self._find_subsumees(concept, checker, parents)
 
     def _find_subsumers(self, concept: Concept, checker) -> Set[LatticeNode]:
         """All nodes ``N`` with ``concept ⊑ N.concept`` (pruned top-down search).

@@ -19,8 +19,8 @@ materialized view.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Optional, Set
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional, Set
 
 from ..concepts.syntax import Concept
 from ..dl.abstraction import query_class_to_concept
@@ -39,10 +39,8 @@ from ..fol.syntax import (
     Not,
     OrF,
     UnaryAtom,
-    Var,
 )
 from ..semantics.evaluate import concept_extension
-from ..semantics.interpretation import Interpretation
 from .store import DatabaseState
 
 __all__ = ["EvaluationStatistics", "QueryEvaluator"]

@@ -15,7 +15,6 @@ with a non-structural part are rejected as views
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 from ..concepts.normalize import normalize_concept
@@ -225,6 +224,91 @@ class ViewCatalog:
         """Drop a view from the catalog, repairing the lattice around it."""
         if self._views.pop(name, None) is not None:
             self._lattice.remove(name)
+
+    # -- batched registration -----------------------------------------------
+
+    def register_batch(
+        self,
+        items,
+        state: Optional[DatabaseState] = None,
+        *,
+        backend: str = "thread",
+        shards: Optional[int] = None,
+        max_workers: Optional[int] = None,
+        statistics=None,
+    ) -> List[MaterializedView]:
+        """Register a batch of views, classifying them in parallel.
+
+        ``items`` may mix :class:`~repro.dl.ast.QueryClassDecl` definitions
+        and ``(name, concept)`` pairs.  The result is *identical* to calling
+        :meth:`register` once per item in order (property-tested): phase A
+        merely warms the decision caches by running every item's
+        classification probes concurrently against the frozen lattice
+        (:func:`repro.optimizer.parallel.classify_batch`), and the
+        sequential merge then replays the spec insertions in input order,
+        additionally exploiting the sound told-subsumption seeds and
+        profile rejection filters of the batch layer.  A name that appears
+        twice keeps only its last occurrence, exactly like sequential
+        re-registration; the returned list mirrors the surviving items in
+        input order.
+
+        ``backend`` is ``"thread"`` (default), ``"process"`` (fork
+        platforms) or ``"serial"``; ``shards``/``max_workers`` bound the
+        pool.  ``statistics`` may be a
+        :class:`~repro.optimizer.parallel.BatchStatistics` to accumulate
+        counters across calls.  The catalog must not be queried or mutated
+        concurrently with a running batch.
+        """
+        from ..optimizer.parallel import (
+            BatchCheckerView,
+            BatchStatistics,
+            classify_batch,
+            seed_against_lattice,
+        )
+
+        # Last occurrence of a duplicated name wins and takes that
+        # occurrence's position, exactly like sequential re-registration.
+        prepared: Dict[str, MaterializedView] = {}
+        for item in items:
+            if isinstance(item, QueryClassDecl):
+                concept = query_class_to_concept(item, self.dl_schema)
+                view = MaterializedView(item.name, item, concept)
+            else:
+                name, concept = item
+                view = MaterializedView(name, QueryClassDecl(name=name), concept)
+            prepared.pop(view.name, None)
+            prepared[view.name] = view
+        batch = list(prepared.values())
+
+        if statistics is None:
+            statistics = BatchStatistics()
+        if self.use_lattice and batch:
+            profiles: Dict[int, object] = {}
+            classify_batch(
+                self,
+                batch,
+                backend=backend,
+                shards=shards,
+                max_workers=max_workers,
+                statistics=statistics,
+                profiles=profiles,
+            )
+            merge_checker = BatchCheckerView(
+                self.checker, profiles, statistics=statistics, direct=True
+            )
+            for view in batch:
+                if view.name in self._views:
+                    self.unregister(view.name)
+                seed_against_lattice(merge_checker, self._lattice, view.concept)
+                self._views[view.name] = view
+                self._lattice.insert(view, merge_checker)
+        else:
+            for view in batch:
+                self._admit(view)
+        if state is not None:
+            for view in batch:
+                view.refresh(state, self._evaluator)
+        return batch
 
     # -- matching ---------------------------------------------------------------
 

@@ -16,7 +16,7 @@ does when building ``C_Q``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..concepts import builders as b
 from ..concepts.schema import Schema
@@ -28,7 +28,6 @@ from ..concepts.syntax import (
     PathAgreement,
     Primitive,
     Singleton,
-    Top,
     TOP,
     ExistsPath,
 )

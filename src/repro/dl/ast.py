@@ -18,7 +18,7 @@ semantics (Figures 2 and 4) in :mod:`repro.dl.fol_translation`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Optional, Tuple, Union
+from typing import Dict, FrozenSet, Optional, Tuple
 
 __all__ = [
     "AttributeFlag",

@@ -11,7 +11,7 @@ the line.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import List
 
 __all__ = ["Token", "LexerError", "tokenize", "KEYWORDS"]
 

@@ -30,7 +30,7 @@ model enumeration on small random instances in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from ..concepts import builders as b
 from ..concepts.syntax import Concept

@@ -18,7 +18,7 @@ exponential DNF size that matters.)
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, List, Tuple
+from typing import FrozenSet, Tuple
 
 __all__ = [
     "DConcept",
@@ -109,7 +109,7 @@ def disjunctive_normal_form(concept: DConcept) -> Tuple[FrozenSet[str], ...]:
     if isinstance(concept, DAnd):
         left = disjunctive_normal_form(concept.left)
         right = disjunctive_normal_form(concept.right)
-        return tuple(l | r for l in left for r in right)
+        return tuple(lhs | rhs for lhs in left for rhs in right)
     raise TypeError(f"not a D concept: {concept!r}")
 
 

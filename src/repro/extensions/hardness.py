@@ -24,7 +24,7 @@ Three families are provided:
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Tuple
 
 from ..concepts import builders as b
 from ..concepts.syntax import Concept

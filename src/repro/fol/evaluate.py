@@ -13,7 +13,7 @@ database states.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Mapping, Optional
 
 from ..semantics.interpretation import Interpretation
 from .syntax import (

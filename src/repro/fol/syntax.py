@@ -16,7 +16,7 @@ quantification.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterator, Optional, Set, Tuple, Union
+from typing import FrozenSet, Optional, Set
 
 __all__ = [
     "Term",

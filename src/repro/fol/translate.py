@@ -46,7 +46,6 @@ from .syntax import (
     TrueFormula,
     UnaryAtom,
     Var,
-    conjunction,
 )
 
 __all__ = [

@@ -1,6 +1,13 @@
 """The subsumption-based semantic query optimizer."""
 
 from .optimizer import OptimizationOutcome, OptimizerStatistics, SemanticQueryOptimizer
+from .parallel import (
+    BatchCheckerView,
+    BatchStatistics,
+    ConceptProfile,
+    ShardedMatcher,
+    available_backends,
+)
 from .plans import FullScanPlan, QueryPlan, ViewFilterPlan
 
 __all__ = [
@@ -10,4 +17,9 @@ __all__ = [
     "QueryPlan",
     "FullScanPlan",
     "ViewFilterPlan",
+    "BatchCheckerView",
+    "BatchStatistics",
+    "ConceptProfile",
+    "ShardedMatcher",
+    "available_backends",
 ]

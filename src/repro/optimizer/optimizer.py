@@ -18,7 +18,7 @@ paper's "hit rate" discussion asks about; the E7 benchmark reports them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..concepts.normalize import normalize_concept
@@ -52,6 +52,13 @@ class OptimizerStatistics:
     lattice_pruned: int = 0
     candidates_with_view: int = 0
     candidates_without_view: int = 0
+    #: Counters of the batch/parallel layer (``plan_batch`` / ``answer_batch``
+    #: and ``register_views_batch``): decisions seeded from told subsumption,
+    #: completions avoided by the profile rejection filters, and facts-only
+    #: profiling completions run.  The spec paths never touch these.
+    batch_told_seeded: int = 0
+    batch_filter_rejections: int = 0
+    batch_profiles_computed: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -152,6 +159,42 @@ class SemanticQueryOptimizer:
         """Register a view given directly as a ``QL`` concept."""
         return self.catalog.register_concept(name, concept)
 
+    def register_views_batch(
+        self,
+        items,
+        state: Optional[DatabaseState] = None,
+        *,
+        backend: str = "thread",
+        shards: Optional[int] = None,
+        max_workers: Optional[int] = None,
+    ) -> List[MaterializedView]:
+        """Register a batch of views via :meth:`ViewCatalog.register_batch`.
+
+        Accepts :class:`~repro.dl.ast.QueryClassDecl` definitions and
+        ``(name, concept)`` pairs; produces a catalog identical to
+        registering the items one at a time, while classifying them
+        concurrently against the frozen lattice.  Batch-layer counters land
+        in :attr:`statistics`.
+        """
+        from .parallel import BatchStatistics
+
+        batch_stats = BatchStatistics()
+        views = self.catalog.register_batch(
+            items,
+            state,
+            backend=backend,
+            shards=shards,
+            max_workers=max_workers,
+            statistics=batch_stats,
+        )
+        self._absorb_batch_statistics(batch_stats)
+        return views
+
+    def _absorb_batch_statistics(self, batch_stats) -> None:
+        self.statistics.batch_told_seeded += batch_stats.told_seeded
+        self.statistics.batch_filter_rejections += batch_stats.filter_rejections
+        self.statistics.batch_profiles_computed += batch_stats.profiles_computed
+
     # -- planning --------------------------------------------------------------------
 
     def query_concept(self, query: QueryClassDecl) -> Concept:
@@ -219,6 +262,78 @@ class SemanticQueryOptimizer:
         self.statistics.view_misses += 1
         anchor = self._anchor_class(query)
         return FullScanPlan(query=query, anchor_class=anchor)
+
+    def plan_batch(
+        self,
+        queries,
+        *,
+        shards: Optional[int] = None,
+        backend: str = "thread",
+        max_workers: Optional[int] = None,
+    ) -> List[QueryPlan]:
+        """Plan a batch of queries with the sharded matcher.
+
+        Matching fans out over ``shards`` workers against the read-only
+        catalog (:class:`~repro.optimizer.parallel.ShardedMatcher`); plans
+        are then assembled in input order and are **byte-identical** to
+        calling :meth:`plan` once per query (property-tested), because the
+        workers run the very same traversals over the very same decisions.
+        The traversal counters merged into :attr:`statistics` also match
+        the sequential loop; only the batch-layer counters
+        (``batch_told_seeded`` etc.) reveal that completions were saved.
+        """
+        from .parallel import ShardedMatcher
+
+        queries = list(queries)
+        matcher = ShardedMatcher(
+            self.checker,
+            self.catalog,
+            shards=shards,
+            backend=backend,
+            max_workers=max_workers,
+        )
+        matched = matcher.match_batch([self.query_concept(query) for query in queries])
+        self.statistics.subsumption_checks += matcher.match_statistics.checks
+        self.statistics.signature_skips += matcher.match_statistics.signature_skips
+        self.statistics.lattice_pruned += matcher.match_statistics.pruned_views
+        self._absorb_batch_statistics(matcher.statistics)
+        plans: List[QueryPlan] = []
+        for query, subsumers in zip(queries, matched):
+            self.statistics.queries_optimized += 1
+            if subsumers:
+                self.statistics.view_hits += 1
+                best = subsumers[0]
+                plans.append(
+                    ViewFilterPlan(
+                        query=query,
+                        view=best,
+                        alternatives=tuple(view.name for view in subsumers[1:]),
+                    )
+                )
+            else:
+                self.statistics.view_misses += 1
+                plans.append(FullScanPlan(query=query, anchor_class=self._anchor_class(query)))
+        return plans
+
+    def answer_batch(
+        self,
+        queries,
+        state: DatabaseState,
+        *,
+        shards: Optional[int] = None,
+        backend: str = "thread",
+        max_workers: Optional[int] = None,
+    ) -> List[OptimizationOutcome]:
+        """Plan a batch with :meth:`plan_batch` and execute every plan.
+
+        Execution stays sequential (it is set algebra over stored extents,
+        cheap next to matching) and returns outcomes in input order; the
+        answers equal the sequential loop's because the plans do.
+        """
+        plans = self.plan_batch(
+            queries, shards=shards, backend=backend, max_workers=max_workers
+        )
+        return [self.execute(plan, state) for plan in plans]
 
     def _anchor_class(self, query: QueryClassDecl) -> Optional[str]:
         """The declared superclass a conventional compiler would scan (memoized)."""

@@ -1,0 +1,683 @@
+"""Batched classification and sharded matching over the view lattice.
+
+PR 2 made view matching sublinear through the classified lattice; this
+module is the follow-through concurrency layer.  Both lattice insertion and
+lattice matching decompose into *independent, read-only* subsumption
+probes against a frozen DAG, so a batch of views (or queries) can fan out
+over a worker pool and merge deterministically:
+
+* :func:`classify_batch` powers ``ViewCatalog.register_batch``: phase A
+  runs every new view's most-specific-subsumer / most-general-subsumee
+  traversals concurrently against the frozen lattice
+  (:meth:`~repro.database.lattice.ViewLattice.classification_probe`), each
+  worker writing into a private decision-cache overlay; the overlays are
+  merged on join and phase B replays the plain *sequential* insertions in
+  input order, finding every frozen-DAG decision already answered.  The
+  result is therefore identical to one-at-a-time registration by
+  construction (property-tested in ``tests/optimizer``).
+* :class:`ShardedMatcher` powers ``SemanticQueryOptimizer.plan_batch`` /
+  ``answer_batch``: a batch of queries is split across shards, each worker
+  traversing the read-only lattice through its own
+  :class:`BatchCheckerView`; per-shard matches, statistics and cache deltas
+  are merged in input order, so plans are byte-identical to the sequential
+  loop.
+
+Besides the pool, the batch paths layer two *sound* decision shortcuts
+that the one-at-a-time spec paths do not use (decisions stay bitwise
+identical -- the shortcuts only replace completion runs by cheaper
+reasoning, they never change an answer):
+
+1. **Told-subsumption seeding.**  Normalized concepts are canonical sorted
+   conjunctions, so ``conjuncts(D) ⊆ conjuncts(C)`` (compared as interned
+   ids) proves ``C ⊑_Σ D`` outright: ``QL`` has no negation, hence
+   dropping conjuncts only generalizes.  Each worker seeds these told
+   positives -- and, through the lattice, their ancestor closure (``C ⊑ V``
+   and ``V ⊑ W`` give ``C ⊑ W``) -- into its overlay before traversing.
+2. **Root-membership rejection filters.**  One facts-only completion per
+   query concept (the :class:`ConceptProfile`) decides *all* primitive
+   subsumers at once: a goal ``x : A`` with primitive ``A`` triggers no
+   goal or schema rule, so ``C ⊑_Σ A`` holds iff ``A`` was established at
+   the (possibly renamed) root of ``C``'s completion -- and ``C ⊑ D``
+   requires it for every top-level primitive conjunct ``A`` of ``D``.
+   Likewise ``C ⊑ ∃(R:...)p`` (or an agreement headed by ``R``) requires
+   an ``R``-step at the root, which only an ``R``-edge already in the
+   completion or rule S5 (gated on a schema necessity axiom for ``R``) can
+   provide; views whose head attribute has neither are rejected without a
+   completion.  Both filters are validated against the spec checker by a
+   dedicated fuzz suite (``tests/optimizer/test_batch_filters.py``).
+
+Thread workers share the process-wide intern tables (interning is locked)
+and read the base checker's memo tables.  Decisions a worker derives land
+in its private overlay (merged deterministically on join); the only shared
+writes from worker threads happen *through the base checker itself* when a
+full check falls through to ``checker.subsumes`` / ``quick_reject``, whose
+memo updates are single CPython dict stores -- idempotent (decisions are
+deterministic) and GIL-atomic today, but a port to free-threaded Python
+would need a lock there.  Process workers (``backend="process"``, fork
+platforms only) inherit the frozen catalog and the pre-interned batch via
+copy-on-write; their overlay deltas are keyed by interned ids, which are
+fork-stable, so the parent can absorb them directly.  ``backend="serial"``
+runs the same code path in the calling thread (the control used by the
+equivalence tests).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..calculus.constraints import (
+    AttributeConstraint,
+    MembershipConstraint,
+    PathConstraint,
+)
+from ..calculus.subsume import decide_subsumption
+from ..concepts import intern
+from ..concepts.intern import concept_id
+from ..concepts.normalize import normalize_concept
+from ..concepts.syntax import Concept, ExistsPath, Path, PathAgreement, Primitive
+from ..concepts.visitors import conjuncts
+from ..database.lattice import LatticeMatchStats
+
+__all__ = [
+    "BatchStatistics",
+    "BatchCheckerView",
+    "ConceptProfile",
+    "ShardedMatcher",
+    "available_backends",
+    "classify_batch",
+    "conjunct_ids",
+    "profile_concept",
+    "resolve_shards",
+    "run_shards",
+]
+
+#: Fresh primitive used for the facts-only profiling completion.  A goal
+#: ``x : P`` with primitive ``P`` fires no goal or schema rule, so the
+#: completed facts equal the completion of the query alone.
+_PROBE = Primitive("__repro_batch_profile_probe__")
+
+
+#: Process-wide memo for :func:`conjunct_ids`, keyed by interned concept id
+#: (ids are never reused, so entries can never alias).  Cleared together
+#: with the intern tables, mirroring the normalize memo.
+_CONJUNCT_IDS: Dict[int, FrozenSet[int]] = {}
+
+
+def conjunct_ids(concept: Concept) -> FrozenSet[int]:
+    """The interned ids of the top-level conjuncts of the normalized concept.
+
+    ``conjunct_ids(D) <= conjunct_ids(C)`` is the *told subsumption* test:
+    it proves ``C ⊑_Σ D`` for every schema Σ (see the module docstring).
+    Memoized process-wide on the interned id, so repeated seeding passes
+    over the same catalog cost dictionary lookups, not AST walks.
+    """
+    normalized = normalize_concept(concept)
+    key = concept_id(normalized)
+    cached = _CONJUNCT_IDS.get(key)
+    if cached is None:
+        cached = frozenset(concept_id(part) for part in conjuncts(normalized))
+        _CONJUNCT_IDS[key] = cached
+    return cached
+
+
+intern.register_dependent_cache(_CONJUNCT_IDS.clear)
+
+
+# ---------------------------------------------------------------------------
+# Concept profiles: one facts-only completion, many free rejections
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConceptProfile:
+    """What one facts-only completion reveals about a query concept.
+
+    ``root_primitives`` are the primitive concepts established at the root
+    (equivalently: the set of *all* primitive subsumers of the concept);
+    ``root_heads`` are the ``(attribute name, inverted)`` heads of steps
+    available at the root -- outgoing edges, incoming edges (seen as
+    inverted heads) and heads of path memberships recorded at the root.
+    An unsatisfiable concept is subsumed by everything; its profile never
+    rejects.
+    """
+
+    satisfiable: bool
+    root_primitives: FrozenSet[str]
+    root_heads: FrozenSet[Tuple[str, bool]]
+
+
+def _membership_heads(concept: Concept) -> List[Tuple[str, bool]]:
+    heads: List[Tuple[str, bool]] = []
+    for part in conjuncts(concept):
+        path: Optional[Path] = None
+        if isinstance(part, ExistsPath):
+            path = part.path
+        elif isinstance(part, PathAgreement):
+            path = part.left
+        if path is not None and not path.is_empty:
+            attribute = path.steps[0].attribute
+            heads.append((attribute.name, attribute.inverted))
+    return heads
+
+
+def profile_concept(concept: Concept, checker) -> ConceptProfile:
+    """Profile ``concept`` with one completion under ``checker``'s regime."""
+    normalized = normalize_concept(concept)
+    result = decide_subsumption(
+        normalized,
+        _PROBE,
+        checker.schema,
+        use_repair_rule=checker.use_repair_rule,
+        keep_trace=False,
+        naive=checker.naive,
+    )
+    root = result.root_goal_subject
+    primitives = set()
+    heads = set()
+    for fact in result.completion.facts:
+        if isinstance(fact, MembershipConstraint):
+            if fact.subject == root:
+                if isinstance(fact.concept, Primitive):
+                    primitives.add(fact.concept.name)
+                else:
+                    heads.update(_membership_heads(fact.concept))
+        elif isinstance(fact, AttributeConstraint):
+            if fact.subject == root:
+                heads.add((fact.attribute.name, fact.attribute.inverted))
+            if fact.filler == root:
+                heads.add((fact.attribute.name, not fact.attribute.inverted))
+        elif isinstance(fact, PathConstraint):
+            if fact.subject == root and len(fact.path) >= 1:
+                attribute = fact.path[0].attribute
+                heads.add((attribute.name, attribute.inverted))
+    return ConceptProfile(
+        satisfiable=not result.clashes,
+        root_primitives=frozenset(primitives),
+        root_heads=frozenset(heads),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Statistics
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BatchStatistics:
+    """Counters of one batched registration or sharded matching run."""
+
+    backend: str = ""
+    shards: int = 0
+    #: Facts-only profiling completions actually run (one per distinct
+    #: query concept per worker).
+    profiles_computed: int = 0
+    #: Decisions seeded from told subsumption + lattice ancestor closure.
+    told_seeded: int = 0
+    #: Full checks avoided by the profile rejection filters.
+    filter_rejections: int = 0
+    #: Decisions that did run a completion (or hit the base checker's memo).
+    full_checks: int = 0
+    #: Overlay entries merged back into the base checker on join.
+    cache_delta_entries: int = 0
+
+    def merge(self, other: "BatchStatistics") -> None:
+        self.profiles_computed += other.profiles_computed
+        self.told_seeded += other.told_seeded
+        self.filter_rejections += other.filter_rejections
+        self.full_checks += other.full_checks
+        self.cache_delta_entries += other.cache_delta_entries
+
+
+# ---------------------------------------------------------------------------
+# The per-worker checker view
+# ---------------------------------------------------------------------------
+
+
+class BatchCheckerView:
+    """A decision-cache view over a shared :class:`SubsumptionChecker`.
+
+    Workers must not write shared memo tables concurrently, and process
+    workers cannot write them at all -- so every decision a worker derives
+    (seeded, filtered or fully checked) lands in a private ``delta`` dict
+    keyed by interned concept-id pairs.  Reads fall through to the base
+    checker's per-instance and shared caches, so a worker never re-derives
+    what the parent already knows.  On join the parent calls
+    ``checker.absorb_decisions(view.delta)``; because interned ids are
+    process-unique (and fork-stable), deltas merge without translation.
+
+    With ``direct=True`` (the sequential merge phase of ``register_batch``)
+    decisions are additionally recorded into the base checker immediately.
+    """
+
+    def __init__(
+        self,
+        checker,
+        profiles: Optional[Dict[int, ConceptProfile]] = None,
+        *,
+        statistics: Optional[BatchStatistics] = None,
+        direct: bool = False,
+    ) -> None:
+        self._checker = checker
+        self._profiles = profiles if profiles is not None else {}
+        self._direct = direct
+        self.statistics = statistics if statistics is not None else BatchStatistics()
+        self.delta: Dict[Tuple[int, int], bool] = {}
+        schema = checker.schema
+        self._necessary_names = frozenset(
+            attribute
+            for class_name in schema.concept_names()
+            for attribute in schema.necessary_attributes(class_name)
+        )
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def schema(self):
+        return self._checker.schema
+
+    @property
+    def use_repair_rule(self):
+        return self._checker.use_repair_rule
+
+    @property
+    def naive(self):
+        return self._checker.naive
+
+    def profile(self, concept: Concept) -> ConceptProfile:
+        key = concept_id(normalize_concept(concept))
+        cached = self._profiles.get(key)
+        if cached is None:
+            cached = profile_concept(concept, self._checker)
+            self._profiles[key] = cached
+            self.statistics.profiles_computed += 1
+        return cached
+
+    def seed(self, query_id: int, view_id: int, decision: bool) -> None:
+        """Record an entailed decision (told subsumption / transitivity)."""
+        key = (query_id, view_id)
+        if key in self.delta or self._checker.cached_decision(*key) is not None:
+            return
+        self.delta[key] = decision
+        self.statistics.told_seeded += 1
+        if self._direct:
+            self._checker.record_decision(query_id, view_id, decision)
+
+    # -- the decision interface the lattice and the flat scan consume ------
+
+    def quick_reject(self, query: Concept, view: Concept) -> bool:
+        return self._checker.quick_reject(query, view)
+
+    def subsumes(self, query: Concept, view: Concept) -> bool:
+        normalized_query = normalize_concept(query)
+        normalized_view = normalize_concept(view)
+        key = (concept_id(normalized_query), concept_id(normalized_view))
+        cached = self.delta.get(key)
+        if cached is not None:
+            return cached
+        cached = self._checker.cached_decision(*key)
+        if cached is not None:
+            return cached
+        if self._rejects(normalized_query, normalized_view):
+            self.statistics.filter_rejections += 1
+            decision = False
+            if self._direct:
+                self._checker.record_decision(key[0], key[1], decision)
+        else:
+            self.statistics.full_checks += 1
+            decision = self._checker.subsumes(normalized_query, normalized_view)
+        self.delta[key] = decision
+        return decision
+
+    # -- the rejection filters ---------------------------------------------
+
+    def _rejects(self, query: Concept, view: Concept) -> bool:
+        """``True`` only if the profile *proves* ``query ⋢ view`` (see module doc)."""
+        profile = self.profile(query)
+        if not profile.satisfiable:
+            return False
+        for part in conjuncts(view):
+            if isinstance(part, Primitive):
+                if part.name not in profile.root_primitives:
+                    return True
+            elif isinstance(part, ExistsPath):
+                if self._head_blocked(profile, part.path):
+                    return True
+            elif isinstance(part, PathAgreement):
+                if self._head_blocked(profile, part.left):
+                    return True
+        return False
+
+    def _head_blocked(self, profile: ConceptProfile, path: Path) -> bool:
+        if path.is_empty:
+            return False
+        attribute = path.steps[0].attribute
+        if (attribute.name, attribute.inverted) in profile.root_heads:
+            return False
+        # Rule S5 can still materialize a step for an attribute with a
+        # necessity axiom in Σ; stay conservative for those.
+        if attribute.name in self._necessary_names:
+            return False
+        return True
+
+
+# ---------------------------------------------------------------------------
+# Catalog snapshots and told-subsumption seeding
+# ---------------------------------------------------------------------------
+
+
+class _CatalogSnapshot:
+    """A read-only view of the catalog taken before a parallel phase.
+
+    Captures the unique lattice nodes (or, for ``lattice=False`` catalogs,
+    the flat view list) together with interned ids and conjunct-id sets, so
+    seeding costs integer-set operations only.  Workers share the snapshot;
+    nothing in it is mutated while a parallel phase runs.
+    """
+
+    def __init__(self, catalog) -> None:
+        self.use_lattice = catalog.use_lattice
+        self.lattice = catalog.lattice
+        self.views = list(catalog)
+        if self.use_lattice:
+            self.entries = [
+                (node, concept_id(node.concept), conjunct_ids(node.concept))
+                for node in self.lattice.nodes()
+            ]
+        else:
+            self.entries = [
+                (view, concept_id(view.concept), conjunct_ids(view.concept))
+                for view in self.views
+            ]
+
+    def seed_positives(self, view_checker: BatchCheckerView, concept: Concept) -> None:
+        """Seed every told subsumption between ``concept`` and the snapshot.
+
+        ``conjuncts(entry) ⊆ conjuncts(concept)`` proves the entry subsumes
+        the concept (and vice versa for the reverse inclusion -- the reverse
+        seeds answer the equivalence probes and the subsumee searches of
+        lattice insertion).  In lattice mode the positive set is closed
+        upwards through the DAG: ancestors of a told subsumer subsume too.
+        """
+        _seed_told_positives(view_checker, concept, self.entries, self.use_lattice)
+
+
+def _seed_told_positives(
+    view_checker: BatchCheckerView, concept: Concept, entries, lattice_mode: bool
+) -> None:
+    """Shared seeding core over ``(entry, interned id, conjunct ids)`` triples."""
+    query_id = concept_id(normalize_concept(concept))
+    query_conjuncts = conjunct_ids(concept)
+    told_nodes = []
+    for entry, entry_id, entry_conjuncts in entries:
+        if entry_conjuncts <= query_conjuncts:
+            view_checker.seed(query_id, entry_id, True)
+            if lattice_mode:
+                told_nodes.append(entry)
+        if query_conjuncts <= entry_conjuncts:
+            view_checker.seed(entry_id, query_id, True)
+    seen = set(id(node) for node in told_nodes)
+    frontier = told_nodes[:]
+    while frontier:
+        node = frontier.pop()
+        for parent in node.parents:
+            if id(parent) not in seen:
+                seen.add(id(parent))
+                view_checker.seed(query_id, concept_id(parent.concept), True)
+                frontier.append(parent)
+
+
+def seed_against_lattice(
+    view_checker: BatchCheckerView, lattice, concept: Concept
+) -> None:
+    """Told-subsumption seeding against the *live* lattice (merge phase).
+
+    Conjunct-id sets are memoized process-wide, so re-seeding per merge
+    insertion costs set operations over the current nodes, not AST walks.
+    """
+    entries = [
+        (node, concept_id(node.concept), conjunct_ids(node.concept))
+        for node in lattice.nodes()
+    ]
+    _seed_told_positives(view_checker, concept, entries, True)
+
+
+# ---------------------------------------------------------------------------
+# Worker pools
+# ---------------------------------------------------------------------------
+
+#: Fork-inherited slot for the process backend: the worker closure is
+#: installed here *before* the pool forks, so children reach it through
+#: copy-on-write memory instead of pickling (the closure captures the
+#: catalog, the lattice and the checker, none of which need to travel).
+#: ``_FORK_LOCK`` serializes process-backend runs -- without it two
+#: threads launching pools concurrently would overwrite each other's slot.
+_FORK_WORKER: Optional[Callable[[int], object]] = None
+_FORK_LOCK = threading.Lock()
+
+
+def _fork_call(index: int):
+    worker = _FORK_WORKER
+    assert worker is not None, "process worker invoked outside run_shards"
+    return worker(index)
+
+
+def available_backends() -> Tuple[str, ...]:
+    """The pool backends usable on this platform."""
+    backends = ["serial", "thread"]
+    if hasattr(os, "fork"):
+        backends.append("process")
+    return tuple(backends)
+
+
+def resolve_shards(requested: Optional[int], item_count: int) -> int:
+    """Clamp a shard request to ``[1, item_count]``; default to the CPU count."""
+    if item_count <= 0:
+        return 0
+    if requested is None:
+        requested = os.cpu_count() or 1
+    return max(1, min(int(requested), item_count))
+
+
+def run_shards(
+    worker: Callable[[int], object],
+    count: int,
+    backend: str = "thread",
+    max_workers: Optional[int] = None,
+) -> List[object]:
+    """Run ``worker(0..count-1)`` on the chosen backend, results in order.
+
+    ``worker`` results must be picklable for the process backend (the shard
+    protocols in this module return plain lists/dicts/dataclasses).  The
+    process backend requires ``os.fork`` (the worker is inherited, not
+    pickled) and falls back with an error elsewhere.
+    """
+    if backend not in available_backends() and backend != "process":
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {available_backends()}"
+        )
+    if backend == "process" and not hasattr(os, "fork"):
+        raise RuntimeError(
+            "backend='process' needs a fork platform; use 'thread' instead"
+        )
+    if count <= 0:
+        return []
+    if backend == "serial" or count == 1:
+        return [worker(index) for index in range(count)]
+    if backend == "thread":
+        with ThreadPoolExecutor(max_workers=max_workers or count) as pool:
+            return list(pool.map(worker, range(count)))
+    if backend == "process":
+        import multiprocessing
+
+        global _FORK_WORKER
+        # Serialize pool launches: the worker slot is module-global (it is
+        # how forked children find the closure), so concurrent launches
+        # would clobber each other's worker.
+        with _FORK_LOCK:
+            if _FORK_WORKER is not None:
+                raise RuntimeError("nested process-backend runs are not supported")
+            context = multiprocessing.get_context("fork")
+            _FORK_WORKER = worker
+            try:
+                with context.Pool(processes=max_workers or count) as pool:
+                    return pool.map(_fork_call, range(count))
+            finally:
+                _FORK_WORKER = None
+    raise AssertionError(f"unhandled backend {backend!r}")
+
+
+# ---------------------------------------------------------------------------
+# Batched classification (phase A of ViewCatalog.register_batch)
+# ---------------------------------------------------------------------------
+
+
+def classify_batch(
+    catalog,
+    views: Sequence,
+    *,
+    backend: str = "thread",
+    shards: Optional[int] = None,
+    max_workers: Optional[int] = None,
+    statistics: Optional[BatchStatistics] = None,
+    profiles: Optional[Dict[int, ConceptProfile]] = None,
+) -> BatchStatistics:
+    """Phase A: warm every frozen-DAG decision the batch insertions need.
+
+    Fans the batch's classification probes (subsumer search, equivalence
+    probes, subsumee search -- exactly what :meth:`ViewLattice.insert` will
+    ask) over the worker pool against the *frozen* lattice, then merges the
+    per-worker decision deltas into the catalog's checker in input order.
+    Mutates nothing but caches; the caller performs the sequential merge.
+    """
+    statistics = statistics if statistics is not None else BatchStatistics()
+    shard_count = resolve_shards(shards, len(views))
+    statistics.backend = backend
+    statistics.shards = shard_count
+    if shard_count == 0:
+        return statistics
+    checker = catalog.checker
+    lattice = catalog.lattice
+    snapshot = _CatalogSnapshot(catalog)
+    if profiles is None:
+        profiles = {}
+
+    def worker(shard: int):
+        worker_stats = BatchStatistics()
+        view_checker = BatchCheckerView(checker, profiles, statistics=worker_stats)
+        for index in range(shard, len(views), shard_count):
+            concept = views[index].concept
+            snapshot.seed_positives(view_checker, concept)
+            lattice.classification_probe(concept, view_checker)
+        worker_stats.cache_delta_entries = len(view_checker.delta)
+        return worker_stats, view_checker.delta
+
+    for worker_stats, delta in run_shards(worker, shard_count, backend, max_workers):
+        statistics.merge(worker_stats)
+        checker.absorb_decisions(delta)
+    return statistics
+
+
+# ---------------------------------------------------------------------------
+# Sharded matching
+# ---------------------------------------------------------------------------
+
+
+class ShardedMatcher:
+    """Fan a batch of queries across shards over the read-only catalog.
+
+    Each worker owns a :class:`BatchCheckerView`; traversals are identical
+    to the spec paths (the lattice's frontier traversal, or the flat scan
+    for ``lattice=False`` catalogs), so the merged per-query match lists --
+    and the merged :class:`LatticeMatchStats` -- equal the sequential
+    loop's.  After :meth:`match_batch` the run's counters are available as
+    ``statistics`` (batch layer) and ``match_statistics`` (traversal
+    layer).
+    """
+
+    def __init__(
+        self,
+        checker,
+        catalog,
+        *,
+        shards: Optional[int] = None,
+        backend: str = "thread",
+        max_workers: Optional[int] = None,
+    ) -> None:
+        self.checker = checker
+        self.catalog = catalog
+        self.shards = shards
+        self.backend = backend
+        self.max_workers = max_workers
+        self.statistics = BatchStatistics()
+        self.match_statistics = LatticeMatchStats()
+
+    def match_names(self, concepts: Sequence[Concept]) -> List[List[str]]:
+        """Per-query lists of subsuming view names (catalog order within shards)."""
+        normalized = [normalize_concept(concept) for concept in concepts]
+        shard_count = resolve_shards(self.shards, len(normalized))
+        self.statistics = BatchStatistics()
+        self.statistics.backend = self.backend
+        self.statistics.shards = shard_count
+        self.match_statistics = LatticeMatchStats()
+        if shard_count == 0:
+            return []
+        snapshot = _CatalogSnapshot(self.catalog)
+        checker = self.checker
+        profiles: Dict[int, ConceptProfile] = {}
+
+        def worker(shard: int):
+            worker_stats = BatchStatistics()
+            match_stats = LatticeMatchStats()
+            view_checker = BatchCheckerView(checker, profiles, statistics=worker_stats)
+            results: List[Tuple[int, List[str]]] = []
+            for index in range(shard, len(normalized), shard_count):
+                concept = normalized[index]
+                snapshot.seed_positives(view_checker, concept)
+                if snapshot.use_lattice:
+                    matches = snapshot.lattice.subsumers(concept, view_checker, match_stats)
+                else:
+                    matches = []
+                    for view, _, _ in snapshot.entries:
+                        if view_checker.quick_reject(concept, view.concept):
+                            match_stats.signature_skips += 1
+                            continue
+                        match_stats.checks += 1
+                        if view_checker.subsumes(concept, view.concept):
+                            matches.append(view)
+                results.append((index, [view.name for view in matches]))
+            worker_stats.cache_delta_entries = len(view_checker.delta)
+            return results, worker_stats, match_stats, view_checker.delta
+
+        merged: List[Optional[List[str]]] = [None] * len(normalized)
+        for results, worker_stats, match_stats, delta in run_shards(
+            worker, shard_count, self.backend, self.max_workers
+        ):
+            for index, names in results:
+                merged[index] = names
+            self.statistics.merge(worker_stats)
+            self.match_statistics.checks += match_stats.checks
+            self.match_statistics.signature_skips += match_stats.signature_skips
+            self.match_statistics.nodes_visited += match_stats.nodes_visited
+            self.match_statistics.pruned_views += match_stats.pruned_views
+            self.checker.absorb_decisions(delta)
+        return [names if names is not None else [] for names in merged]
+
+    def match_batch(self, concepts: Sequence[Concept]) -> List[List[object]]:
+        """Per-query lists of subsuming views, smallest extent first.
+
+        The per-query ordering matches
+        ``SemanticQueryOptimizer.subsuming_views`` exactly (sort by
+        ``(extent size, name)``), so plans built from these lists are
+        byte-identical to the sequential ones.
+        """
+        matched = self.match_names(concepts)
+        resolved: List[List[object]] = []
+        for names in matched:
+            views = [self.catalog.get(name) for name in names]
+            views.sort(key=lambda view: (view.size, view.name))
+            resolved.append(views)
+        return resolved

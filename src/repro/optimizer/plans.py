@@ -17,8 +17,8 @@ benchmark measures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import FrozenSet, Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from ..dl.ast import QueryClassDecl
 from ..database.views import MaterializedView
@@ -62,5 +62,9 @@ class ViewFilterPlan(QueryPlan):
 
     @property
     def description(self) -> str:
-        extra = f" (other subsuming views: {', '.join(self.alternatives)})" if self.alternatives else ""
+        extra = (
+            f" (other subsuming views: {', '.join(self.alternatives)})"
+            if self.alternatives
+            else ""
+        )
         return f"filter the materialized view {self.view.name!r}{extra}"

@@ -21,18 +21,11 @@ object is an instance of the query concept but not of the view concept.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set, Tuple
+from typing import Dict, Iterable, Set, Tuple
 
 from ..concepts.schema import Schema
 from ..concepts.syntax import Primitive
-from ..calculus.constraints import (
-    AttributeConstraint,
-    Constant,
-    Constraint,
-    Individual,
-    MembershipConstraint,
-    Variable,
-)
+from ..calculus.constraints import AttributeConstraint, Constraint, Individual, MembershipConstraint
 from .interpretation import Interpretation
 
 __all__ = ["UNIVERSAL_FILLER", "element_for", "canonical_interpretation"]

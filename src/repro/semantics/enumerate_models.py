@@ -17,7 +17,7 @@ one to three elements); callers cap the number of structures explicitly.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple
 
 from ..concepts.schema import Schema
 from .interpretation import Interpretation

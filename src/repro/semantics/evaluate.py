@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from typing import FrozenSet, Set, Tuple
 
-from ..concepts.schema import Schema
 from ..concepts.syntax import (
     And,
     AtMostOne,

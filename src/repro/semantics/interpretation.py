@@ -20,7 +20,7 @@ structure.  It is used by
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
 
 __all__ = ["Interpretation", "InterpretationError"]
 

@@ -15,7 +15,7 @@ small-model oracle.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+from typing import List, Tuple
 
 from ..concepts.schema import AttributeTyping, InclusionAxiom, Schema, SchemaAxiom
 from ..concepts.syntax import Concept

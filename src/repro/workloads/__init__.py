@@ -74,3 +74,10 @@ __all__ = [
     "ViewWorkload",
     "generate_view_workload",
 ]
+
+# The batch serving driver (``repro.workloads.driver``) is intentionally
+# *not* re-exported here: it imports the optimizer stack, and this package
+# stays a leaf layer (generators over concepts/store) for consumers that
+# only want workloads.  Import it explicitly:
+#
+#     from repro.workloads.driver import run_batch_workload

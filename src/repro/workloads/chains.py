@@ -80,7 +80,9 @@ def fan_pair(width: int, depth: int = 2) -> Tuple[Concept, Concept]:
             (f"r{branch}_{level}", b.conjoin(b.concept(f"A{branch}_{level}"), b.concept("Extra")))
             for level in range(depth)
         ]
-        view_steps = [(f"r{branch}_{level}", b.concept(f"A{branch}_{level}")) for level in range(depth)]
+        view_steps = [
+            (f"r{branch}_{level}", b.concept(f"A{branch}_{level}")) for level in range(depth)
+        ]
         query_parts.append(b.exists(*query_steps))
         view_parts.append(b.exists(*view_steps))
     return b.conjoin(query_parts), b.conjoin(view_parts)

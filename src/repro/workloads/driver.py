@@ -1,0 +1,254 @@
+"""Batch workload driver: exercise the parallel optimizer end to end.
+
+The first concurrency layer (``ViewCatalog.register_batch`` + the sharded
+matcher behind ``SemanticQueryOptimizer.plan_batch`` / ``answer_batch``) is
+property-tested against the sequential spec paths; this driver runs it at
+*workload* scale on the university and trading catalogs -- a realistic
+register-then-serve loop -- and cross-checks every result against the
+sequential loop as it goes:
+
+1. the generated view catalog is registered twice, one view at a time and
+   as one batch, and the two lattices are compared;
+2. the generated query stream is matched twice, by the sequential loop and
+   by the sharded matcher, and the per-query subsumer lists are compared;
+3. for the DL workloads the declared query classes are planned via
+   ``plan`` and ``plan_batch`` and executed over a generated database
+   state, comparing plans and checking answers against the unoptimized
+   evaluation.
+
+The E10 benchmark and ``tests/workloads/test_driver.py`` both go through
+:func:`run_batch_workload`; it can also be run directly::
+
+    python -m repro.workloads.driver --workload trading --views 64 --shards 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..core.checker import clear_shared_decision_cache
+from ..dl.abstraction import schema_to_sl
+from ..optimizer import SemanticQueryOptimizer, ShardedMatcher, ViewFilterPlan
+from .synthetic import (
+    SchemaProfile,
+    generate_hierarchical_catalog,
+    generate_matching_queries,
+    random_schema,
+    random_state,
+)
+from .trading import generate_trading_state, trading_concepts, trading_dl_schema
+from .university import (
+    generate_university_state,
+    university_concepts,
+    university_dl_schema,
+)
+
+__all__ = ["batch_workload_setup", "run_batch_workload", "main"]
+
+
+def batch_workload_setup(workload: str, views: int, queries: int, seed: int = 0):
+    """(optimizer schema, state, view catalog, query stream) for a workload.
+
+    ``university`` and ``trading`` grow their hand-written query-class
+    concepts into a ``views``-sized catalog by hierarchical specialization
+    (how real catalogs grow: drill-down variants of existing reports) and
+    return their parsed DL schema, so query classes can be planned too;
+    ``synthetic`` starts from random roots over a random ``SL`` schema.
+    The query stream mixes specializations of catalog views (hits) with
+    fresh concepts (misses).
+    """
+    if workload == "university":
+        optimizer_schema = university_dl_schema()
+        generator_schema = schema_to_sl(optimizer_schema)
+        bases = tuple(university_concepts().values())
+        state = generate_university_state(seed=seed + 7)
+    elif workload == "trading":
+        optimizer_schema = trading_dl_schema()
+        generator_schema = schema_to_sl(optimizer_schema)
+        bases = tuple(trading_concepts().values())
+        state = generate_trading_state(seed=seed + 13)
+    elif workload == "synthetic":
+        optimizer_schema = generator_schema = random_schema(SchemaProfile(), seed=seed + 9)
+        bases = ()
+        state = random_state(generator_schema, objects=300, seed=seed + 3)
+    else:
+        raise ValueError(f"unknown workload {workload!r}")
+    catalog = generate_hierarchical_catalog(
+        generator_schema, views, seed=seed + views * 31, base_concepts=bases
+    )
+    stream = generate_matching_queries(
+        generator_schema, catalog, queries, seed=seed + views * 17
+    )
+    return optimizer_schema, state, catalog, stream
+
+
+def _plan_fingerprint(plan) -> Tuple:
+    """A structural fingerprint of a plan (used for the equality verdicts)."""
+    if isinstance(plan, ViewFilterPlan):
+        return ("view", plan.query.name, plan.view.name, plan.alternatives)
+    return ("scan", plan.query.name, plan.anchor_class)
+
+
+def run_batch_workload(
+    workload: str = "university",
+    *,
+    views: int = 32,
+    queries: int = 16,
+    shards: Optional[int] = 2,
+    backend: str = "thread",
+    seed: int = 0,
+    cold: bool = True,
+) -> Dict[str, object]:
+    """Register a catalog batched vs. sequentially, then serve a query batch.
+
+    Runs both modes over identical inputs, cross-checks that the batched
+    catalog, the sharded subsumer lists and (for the DL workloads) the
+    batch plans equal the sequential ones, and returns timings plus the
+    batch-layer counters.  ``cold=True`` (default) clears the process-wide
+    decision caches between modes so neither inherits the other's work.
+    """
+    schema, state, catalog, stream = batch_workload_setup(workload, views, queries, seed)
+    items = list(catalog.items())
+
+    if cold:
+        clear_shared_decision_cache()
+    sequential = SemanticQueryOptimizer(schema, lattice=True)
+    start = time.perf_counter()
+    for name, concept in items:
+        sequential.register_view_concept(name, concept)
+    sequential_register_seconds = time.perf_counter() - start
+
+    if cold:
+        clear_shared_decision_cache()
+    batched = SemanticQueryOptimizer(schema, lattice=True)
+    start = time.perf_counter()
+    batched.register_views_batch(items, backend=backend, shards=shards)
+    batch_register_seconds = time.perf_counter() - start
+
+    catalog_equal = batched.catalog.names() == sequential.catalog.names() and all(
+        batched.catalog.lattice.parents_of(name)
+        == sequential.catalog.lattice.parents_of(name)
+        for name in batched.catalog.names()
+    )
+
+    # Serve the generated stream: sequential matching loop vs. the sharded
+    # matcher over the read-only lattice.
+    if cold:
+        sequential.checker.clear_cache()
+        clear_shared_decision_cache()
+    start = time.perf_counter()
+    sequential_matches = [
+        [view.name for view in sequential.subsuming_views_for_concept(concept)]
+        for concept in stream
+    ]
+    sequential_match_seconds = time.perf_counter() - start
+
+    if cold:
+        batched.checker.clear_cache()
+        clear_shared_decision_cache()
+    matcher = ShardedMatcher(
+        batched.checker, batched.catalog, shards=shards, backend=backend
+    )
+    start = time.perf_counter()
+    batch_matches = [
+        [view.name for view in views_] for views_ in matcher.match_batch(stream)
+    ]
+    batch_match_seconds = time.perf_counter() - start
+    matches_equal = batch_matches == sequential_matches
+
+    # Plan + execute the declared query classes (DL workloads only): the
+    # full answer_batch serving path, checked against plan() and against
+    # the unoptimized evaluation.
+    plans_equal = True
+    answers_sound = True
+    declared_queries: List = []
+    dl_schema = getattr(batched, "dl_schema", None)
+    if dl_schema is not None:
+        declared_queries = [
+            query for query in dl_schema.query_classes.values() if query.is_structural
+        ]
+    if declared_queries:
+        # Materialize both catalogs first: the planner prefers the smallest
+        # subsuming view, so plan equality needs equal extents too.
+        sequential.catalog.refresh_all(state)
+        batched.catalog.refresh_all(state)
+        sequential_plans = [sequential.plan(query) for query in declared_queries]
+        outcomes = batched.answer_batch(
+            declared_queries, state, shards=shards, backend=backend
+        )
+        plans_equal = all(
+            _plan_fingerprint(outcome.plan) == _plan_fingerprint(plan)
+            for outcome, plan in zip(outcomes, sequential_plans)
+        )
+        answers_sound = all(
+            outcome.answers == batched.evaluate_unoptimized(query, state)
+            for outcome, query in zip(outcomes, declared_queries)
+        )
+
+    return {
+        "workload": workload,
+        "views": len(items),
+        "queries": len(stream),
+        "declared_queries": len(declared_queries),
+        "shards": shards,
+        "backend": backend,
+        "sequential_register_seconds": sequential_register_seconds,
+        "batch_register_seconds": batch_register_seconds,
+        "register_speedup": (
+            sequential_register_seconds / batch_register_seconds
+            if batch_register_seconds
+            else None
+        ),
+        "sequential_match_seconds": sequential_match_seconds,
+        "batch_match_seconds": batch_match_seconds,
+        "match_speedup": (
+            sequential_match_seconds / batch_match_seconds
+            if batch_match_seconds
+            else None
+        ),
+        "catalog_equal": catalog_equal,
+        "matches_equal": matches_equal,
+        "plans_equal": plans_equal,
+        "answers_sound": answers_sound,
+        "batch_told_seeded": batched.statistics.batch_told_seeded,
+        "batch_filter_rejections": batched.statistics.batch_filter_rejections,
+        "batch_profiles_computed": batched.statistics.batch_profiles_computed,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workload",
+        default="university",
+        choices=("university", "trading", "synthetic"),
+    )
+    parser.add_argument("--views", type=int, default=32)
+    parser.add_argument("--queries", type=int, default=16)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--backend", default="thread")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    report = run_batch_workload(
+        args.workload,
+        views=args.views,
+        queries=args.queries,
+        shards=args.shards,
+        backend=args.backend,
+        seed=args.seed,
+    )
+    print(json.dumps(report, indent=2, sort_keys=True))
+    ok = (
+        report["catalog_equal"]
+        and report["matches_equal"]
+        and report["plans_equal"]
+        and report["answers_sound"]
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

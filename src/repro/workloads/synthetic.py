@@ -28,17 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..concepts import builders as b
 from ..concepts.normalize import normalize_concept
 from ..concepts.schema import Schema
-from ..concepts.syntax import (
-    And,
-    AttributeRestriction,
-    Concept,
-    ExistsPath,
-    Path,
-    PathAgreement,
-    Primitive,
-    Singleton,
-    Top,
-)
+from ..concepts.syntax import Concept, ExistsPath, Path, PathAgreement, Singleton
 from ..concepts.visitors import conjuncts
 from ..database.store import DatabaseState
 
@@ -158,7 +148,9 @@ def random_concept(
         roll = rng.random()
         length = rng.randint(1, max(max_path_length, 1))
         if roll < agreement_probability:
-            parts.append(PathAgreement(random_path(length), random_path(rng.randint(1, max_path_length))))
+            parts.append(
+                PathAgreement(random_path(length), random_path(rng.randint(1, max_path_length)))
+            )
         elif roll < 0.85:
             parts.append(ExistsPath(random_path(length)))
         else:

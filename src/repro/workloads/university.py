@@ -16,7 +16,7 @@ example and the E7 benchmark.
 from __future__ import annotations
 
 import random
-from typing import Dict, Tuple
+from typing import Dict
 
 from ..concepts.schema import Schema
 from ..concepts.syntax import Concept
@@ -220,7 +220,9 @@ def generate_university_state(
             # their courses (these populate the coreference queries).
             if rng.random() < 0.5 and enrolled:
                 course = rng.choice(enrolled)
-                teachers = [p for p in professor_ids if (p, course) in state.attribute_pairs("teaches")]
+                teachers = [
+                    p for p in professor_ids if (p, course) in state.attribute_pairs("teaches")
+                ]
                 advisor = teachers[0] if teachers else rng.choice(professor_ids)
             else:
                 advisor = rng.choice(professor_ids)

@@ -1,10 +1,9 @@
 """Tests for the conjunctive-query baseline and the brute-force oracle."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 
 from repro.baselines.bruteforce import brute_force_subsumes, find_counterexample
-from repro.baselines.conjunctive import BinaryAtomCQ, UnaryAtomCQ, concept_to_cq
+from repro.baselines.conjunctive import concept_to_cq
 from repro.baselines.containment import (
     ContainmentStatistics,
     cq_contained_in,
@@ -12,7 +11,7 @@ from repro.baselines.containment import (
 )
 from repro.calculus import subsumes
 from repro.concepts import builders as b
-from repro.fol.syntax import Const, Var
+from repro.fol.syntax import Const
 from repro.workloads.medical import query_patient_concept, view_patient_concept
 
 from ..strategies import concepts

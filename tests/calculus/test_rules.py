@@ -1,6 +1,5 @@
 """Unit tests for the individual rules of the calculus (Figures 7-10)."""
 
-import pytest
 
 from repro.calculus.constraints import (
     AttributeConstraint,
@@ -24,7 +23,7 @@ from repro.calculus.rules.goal import RuleG1, RuleG2, RuleG3
 from repro.calculus.rules.schema_rules import RuleS1, RuleS2, RuleS3, RuleS4, RuleS5, RuleS6
 from repro.concepts import builders as b
 from repro.concepts.schema import Schema
-from repro.concepts.syntax import ExistsPath, PathAgreement, Primitive
+from repro.concepts.syntax import ExistsPath, Primitive
 
 X = Variable("x")
 EMPTY = Schema.empty()
@@ -195,7 +194,8 @@ class TestGoalAndCompositionRules:
         )
         RuleG3().apply(pair, EMPTY)
         assert MembershipConstraint(Variable("y"), Primitive("A")) in pair.goals
-        assert MembershipConstraint(Variable("y"), ExistsPath(b.path(("q", b.concept("B"))))) in pair.goals
+        goal = MembershipConstraint(Variable("y"), ExistsPath(b.path(("q", b.concept("B")))))
+        assert goal in pair.goals
 
     def test_c1_composes_conjunction_only_when_goal_asks(self):
         conjunction = b.conjoin(b.concept("A"), b.concept("B"))

@@ -56,7 +56,10 @@ class TestSoundness:
 
 class TestCompletenessViaCountermodels:
     @RELAXED
-    @given(concepts(max_depth=2, allow_singletons=False), concepts(max_depth=2, allow_singletons=False))
+    @given(
+        concepts(max_depth=2, allow_singletons=False),
+        concepts(max_depth=2, allow_singletons=False),
+    )
     def test_denials_are_witnessed_by_the_canonical_countermodel(self, query, view):
         result = decide_subsumption(query, view, Schema.empty())
         if result.subsumed:

@@ -1,6 +1,5 @@
 """Behavioural tests of the subsumption decision procedure (Theorem 4.7)."""
 
-import pytest
 
 from repro.calculus import decide_subsumption, subsumes
 from repro.calculus.clash import find_clashes

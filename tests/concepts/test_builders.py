@@ -6,7 +6,6 @@ from repro.concepts import builders as b
 from repro.concepts.syntax import (
     And,
     Attribute,
-    AttributeRestriction,
     ExistsPath,
     PathAgreement,
     Primitive,

@@ -102,3 +102,78 @@ class TestNormalizeIntegration:
         # Same structure, fresh canonical instance with a never-reused id.
         assert after == before
         assert concept_id(after) != old_id
+
+
+class TestPickleAndConcurrency:
+    """The multi-process / multi-thread guarantees of the interning layer."""
+
+    def test_intern_stamp_attribute_name_in_sync_with_syntax(self):
+        # syntax._StampFreeState strips this attribute on pickling/copying;
+        # the two modules must agree on its name.
+        from repro.concepts import intern as intern_module
+        from repro.concepts import syntax as syntax_module
+
+        assert intern_module._ID_ATTR == syntax_module._INTERN_STAMP
+
+    @settings(max_examples=60, deadline=None)
+    @given(concepts(max_depth=2))
+    def test_pickle_roundtrip_is_id_stable(self, concept):
+        import pickle
+
+        canonical = intern_concept(concept)
+        clone = pickle.loads(pickle.dumps(canonical))
+        assert clone == canonical
+        # The clone must not claim to be canonical (its stamp is stripped)...
+        assert not is_interned(clone)
+        # ...and re-interning it finds the original instance and id.
+        assert intern_concept(clone) is canonical
+        assert concept_id(clone) == concept_id(canonical)
+
+    def test_pickle_does_not_leak_foreign_ids(self):
+        import pickle
+
+        canonical = intern_concept(b.conjoin(b.concept("PickleA"), b.concept("PickleB")))
+        payload = pickle.dumps(canonical)
+        from repro.concepts.syntax import _INTERN_STAMP
+
+        clone = pickle.loads(payload)
+        assert _INTERN_STAMP not in vars(clone)
+
+    def test_paths_pickle_without_stamp(self):
+        import pickle
+
+        path = intern_path(b.path(("p", b.concept("A")), ("q", b.concept("B"))))
+        clone = pickle.loads(pickle.dumps(path))
+        assert clone == path
+        assert not is_interned(clone)
+        assert intern_path(clone) is path
+
+    def test_deepcopy_drops_the_stamp(self):
+        import copy
+
+        canonical = intern_concept(b.exists(("p", b.concept("CopyMe"))))
+        clone = copy.deepcopy(canonical)
+        assert clone == canonical
+        assert not is_interned(clone)
+        assert intern_concept(clone) is canonical
+
+    def test_concurrent_interning_agrees_on_one_id(self):
+        """Racing threads interning equal fresh structures get one canonical id."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        def build(worker):
+            return [
+                concept_id(
+                    b.conjoin(
+                        b.concept(f"Race{index}"),
+                        b.exists(("p", b.concept(f"RaceFiller{index}"))),
+                    )
+                )
+                for index in range(50)
+            ]
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            results = list(pool.map(build, range(4)))
+        first = results[0]
+        for other in results[1:]:
+            assert other == first

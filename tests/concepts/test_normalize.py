@@ -4,14 +4,7 @@ from hypothesis import given, settings
 
 from repro.concepts import builders as b
 from repro.concepts.normalize import invert_path, normalize_agreement, normalize_concept
-from repro.concepts.syntax import (
-    And,
-    EMPTY_PATH,
-    ExistsPath,
-    PathAgreement,
-    Primitive,
-    Top,
-)
+from repro.concepts.syntax import EMPTY_PATH, ExistsPath, PathAgreement, Primitive, Top
 from repro.concepts.visitors import conjuncts, subconcepts
 from repro.semantics.evaluate import concept_extension
 from repro.workloads.medical import query_patient_concept, view_patient_concept

@@ -4,7 +4,6 @@ import pytest
 
 from repro.concepts import builders as b
 from repro.concepts.schema import AttributeTyping, InclusionAxiom, Schema, SchemaError
-from repro.concepts.syntax import SLPrimitive
 
 
 @pytest.fixture

@@ -9,7 +9,6 @@ from repro.concepts.syntax import (
     ExistsAttribute,
     Primitive,
     SLPrimitive,
-    Top,
     ValueRestriction,
 )
 from repro.concepts.visitors import (

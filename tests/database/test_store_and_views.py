@@ -6,8 +6,7 @@ from repro.concepts import builders as b
 from repro.core.errors import NonStructuralViewError
 from repro.database.query_eval import QueryEvaluator
 from repro.database.store import DatabaseState
-from repro.database.views import MaterializedView, ViewCatalog
-from repro.dl.abstraction import query_class_to_concept
+from repro.database.views import ViewCatalog
 from repro.dl.parser import parse_schema
 from repro.workloads.medical import MEDICAL_DL_SOURCE, medical_schema
 

@@ -2,20 +2,14 @@
 
 import pytest
 
-from repro.concepts.syntax import Attribute, PathAgreement, Primitive, Singleton, Top
+from repro.concepts.syntax import Attribute, Primitive, Singleton, Top
 from repro.core.errors import UnsupportedQueryError
-from repro.dl.abstraction import (
-    labeled_path_to_path,
-    path_step_to_restriction,
-    query_class_to_concept,
-    schema_to_sl,
-)
+from repro.dl.abstraction import path_step_to_restriction, query_class_to_concept, schema_to_sl
 from repro.dl.ast import LabeledPath, PathStep, QueryClassDecl, LabelEquality
 from repro.dl.fol_translation import THIS, constraint_to_fol, query_class_to_formula
 from repro.dl.parser import parse_query_class, parse_schema
 from repro.dl.validate import SchemaValidationError, validate_schema
 from repro.fol.evaluate import satisfying_assignments
-from repro.fol.syntax import Var
 from repro.semantics.evaluate import concept_extension
 from repro.workloads.medical import MEDICAL_DL_SOURCE
 from repro.workloads.university import UNIVERSITY_DL_SOURCE
@@ -78,7 +72,8 @@ class TestAbstraction:
         synonyms = {"specialist": "skilled_in"}
         assert path_step_to_restriction(PathStep("takes", "Drug"), {}).concept == Primitive("Drug")
         assert path_step_to_restriction(PathStep("takes"), {}).concept == Top()
-        assert path_step_to_restriction(PathStep("takes", None, "Aspirin"), {}).concept == Singleton("Aspirin")
+        step = path_step_to_restriction(PathStep("takes", None, "Aspirin"), {})
+        assert step.concept == Singleton("Aspirin")
         resolved = path_step_to_restriction(PathStep("specialist", "Doctor"), synonyms)
         assert resolved.attribute == Attribute("skilled_in", inverted=True)
 

@@ -4,7 +4,6 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.baselines.bruteforce import brute_force_subsumes
 from repro.calculus import subsumes
 from repro.concepts import builders as b
 from repro.core.errors import UnsupportedQueryError

@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings
 
 from repro.concepts import builders as b
-from repro.concepts.schema import Schema
 from repro.fol.evaluate import EvaluationError, evaluate, satisfying_assignments
 from repro.fol.syntax import (
     AndF,

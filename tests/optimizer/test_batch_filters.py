@@ -1,0 +1,81 @@
+"""Soundness fuzz for the batch layer's decision shortcuts.
+
+The batch paths replace completion runs by two kinds of reasoning, and both
+must *never* contradict the spec checker:
+
+* told subsumption: ``conjunct_ids(D) ⊆ conjunct_ids(C)`` must imply
+  ``C ⊑_Σ D`` for every schema;
+* profile rejection: whenever :class:`BatchCheckerView` rejects a pair via
+  the root-membership / head-attribute filters, the checker must agree the
+  subsumption fails.
+
+These properties are exactly what makes batched results bitwise equal to
+the sequential spec, so they get their own high-volume fuzz on the shared
+random vocabulary (which exercises necessity axioms, inverses, agreements
+and unsatisfiable singletons).
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.checker import SubsumptionChecker
+from repro.optimizer.parallel import (
+    BatchCheckerView,
+    conjunct_ids,
+    profile_concept,
+)
+
+from ..strategies import concepts, schemas
+
+
+class TestToldSubsumption:
+    @settings(max_examples=120, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(schemas(max_axioms=4), concepts(max_depth=2), concepts(max_depth=2))
+    def test_told_inclusion_implies_subsumption(self, schema, query, view):
+        if conjunct_ids(view) <= conjunct_ids(query):
+            checker = SubsumptionChecker(schema)
+            assert checker.subsumes(query, view)
+
+
+class TestProfileFilters:
+    @settings(max_examples=150, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(schemas(max_axioms=4), concepts(max_depth=2), concepts(max_depth=2))
+    def test_rejection_never_contradicts_checker(self, schema, query, view):
+        checker = SubsumptionChecker(schema)
+        view_checker = BatchCheckerView(checker)
+        from repro.concepts.normalize import normalize_concept
+
+        if view_checker._rejects(normalize_concept(query), normalize_concept(view)):
+            assert checker.subsumes(query, view) is False
+
+    @settings(max_examples=80, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(schemas(max_axioms=4), concepts(max_depth=2))
+    def test_profile_satisfiability_matches_checker(self, schema, concept):
+        checker = SubsumptionChecker(schema)
+        profile = profile_concept(concept, checker)
+        assert profile.satisfiable == checker.is_satisfiable(concept)
+
+    @settings(max_examples=80, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(schemas(max_axioms=4), concepts(max_depth=2), concepts(max_depth=2))
+    def test_view_decisions_equal_spec_decisions(self, schema, query, view):
+        """End to end: the worker view returns exactly the spec decision."""
+        spec = SubsumptionChecker(schema, shared_cache=False)
+        worker = BatchCheckerView(SubsumptionChecker(schema, shared_cache=False))
+        assert worker.subsumes(query, view) == spec.subsumes(query, view)
+
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(schemas(max_axioms=4), concepts(max_depth=2), concepts(max_depth=2))
+    def test_delta_records_spec_decisions(self, schema, query, view):
+        """Everything a worker writes into its overlay is a true decision."""
+        from repro.concepts.intern import concept_id
+        from repro.concepts.normalize import normalize_concept
+
+        worker = BatchCheckerView(SubsumptionChecker(schema, shared_cache=False))
+        worker.subsumes(query, view)
+        spec = SubsumptionChecker(schema, shared_cache=False)
+        by_id = {}
+        for concept in (query, view):
+            normalized = normalize_concept(concept)
+            by_id[concept_id(normalized)] = normalized
+        for (query_id, view_id), decision in worker.delta.items():
+            if query_id in by_id and view_id in by_id:
+                assert spec.subsumes(by_id[query_id], by_id[view_id]) == decision

@@ -1,0 +1,147 @@
+"""Property tests: ``register_batch`` ≡ sequential one-at-a-time registration.
+
+The sequential ``ViewCatalog.register`` loop is the executable spec; the
+batched path (parallel phase-A probes + told-subsumption seeds + profile
+filters + sequential merge) is a pure optimization.  For any batch -- any
+size, any shuffle, any backend, with or without a pre-existing frozen
+catalog -- the resulting catalog must be *isomorphic* to the sequential
+one: the same names, the same equivalence classes and the same covering
+edges in the lattice.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.checker import clear_shared_decision_cache
+from repro.optimizer import SemanticQueryOptimizer
+from repro.optimizer.parallel import available_backends
+from repro.workloads.synthetic import (
+    SchemaProfile,
+    generate_hierarchical_catalog,
+    random_schema,
+)
+
+from ..strategies import concepts, schemas
+
+
+def lattice_shape(optimizer):
+    """name -> (parents, children) plus the equivalence classmates, as sets."""
+    lattice = optimizer.catalog.lattice
+    shape = {}
+    for name in optimizer.catalog.names():
+        node = lattice.node_of(name)
+        shape[name] = (
+            frozenset(lattice.parents_of(name)),
+            frozenset(lattice.children_of(name)),
+            frozenset(view.name for view in node.views),
+        )
+    return shape
+
+
+def register_sequentially(schema, items):
+    optimizer = SemanticQueryOptimizer(schema, lattice=True)
+    for name, concept in items:
+        optimizer.register_view_concept(name, concept)
+    return optimizer
+
+
+def register_batched(schema, items, **kwargs):
+    optimizer = SemanticQueryOptimizer(schema, lattice=True)
+    optimizer.register_views_batch(items, **kwargs)
+    return optimizer
+
+
+class TestBatchEqualsSequential:
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        schemas(max_axioms=3),
+        st.lists(concepts(max_depth=2), min_size=1, max_size=7),
+        st.sampled_from(["serial", "thread"]),
+    )
+    def test_random_batches_isomorphic(self, schema, view_concepts, backend):
+        items = [(f"view{index}", concept) for index, concept in enumerate(view_concepts)]
+        clear_shared_decision_cache()
+        sequential = register_sequentially(schema, items)
+        clear_shared_decision_cache()
+        batched = register_batched(schema, items, backend=backend, shards=2)
+        assert batched.catalog.names() == sequential.catalog.names()
+        assert lattice_shape(batched) == lattice_shape(sequential)
+        batched.catalog.lattice.check_invariants(batched.checker)
+
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(min_value=0, max_value=2**30), st.integers(min_value=1, max_value=12))
+    def test_hierarchical_batches_any_split(self, seed, split):
+        """Pre-register a frozen prefix sequentially, batch the rest."""
+        schema = random_schema(SchemaProfile(classes=6, attributes=4), seed=seed)
+        catalog = generate_hierarchical_catalog(schema, 13, seed=seed + 1)
+        items = list(catalog.items())
+        split = min(split, len(items))
+        sequential = register_sequentially(schema, items)
+        batched = SemanticQueryOptimizer(schema, lattice=True)
+        for name, concept in items[:split]:
+            batched.register_view_concept(name, concept)
+        batched.register_views_batch(items[split:], backend="thread", shards=3)
+        assert batched.catalog.names() == sequential.catalog.names()
+        assert lattice_shape(batched) == lattice_shape(sequential)
+        batched.catalog.lattice.check_invariants(batched.checker)
+
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(min_value=0, max_value=2**30))
+    def test_shuffled_batch_isomorphic(self, seed):
+        """Registration order changes bookkeeping order, never the DAG."""
+        schema = random_schema(SchemaProfile(classes=5, attributes=3), seed=seed)
+        catalog = generate_hierarchical_catalog(schema, 10, seed=seed + 1)
+        items = list(catalog.items())
+        shuffled = items[:]
+        random.Random(seed).shuffle(shuffled)
+        sequential = register_sequentially(schema, items)
+        batched = register_batched(schema, shuffled, backend="serial")
+        assert set(batched.catalog.names()) == set(sequential.catalog.names())
+        assert lattice_shape(batched) == lattice_shape(sequential)
+
+    def test_duplicate_names_last_occurrence_wins(self):
+        schema = random_schema(SchemaProfile(classes=4, attributes=2), seed=5)
+        catalog = generate_hierarchical_catalog(schema, 6, seed=6)
+        items = list(catalog.items())
+        duplicated = items + [("view2", items[0][1]), ("view2", items[4][1])]
+        sequential = register_sequentially(schema, duplicated)
+        batched = register_batched(schema, duplicated, backend="serial")
+        assert batched.catalog.names() == sequential.catalog.names()
+        assert lattice_shape(batched) == lattice_shape(sequential)
+
+    def test_flat_catalog_batch_registration(self):
+        schema = random_schema(SchemaProfile(classes=4, attributes=2), seed=3)
+        catalog = generate_hierarchical_catalog(schema, 5, seed=4)
+        items = list(catalog.items())
+        flat = SemanticQueryOptimizer(schema, lattice=False)
+        flat.register_views_batch(items)
+        assert flat.catalog.names() == tuple(name for name, _ in items)
+        assert len(flat.catalog.lattice) == 0
+
+    @pytest.mark.skipif(
+        "process" not in available_backends(), reason="needs a fork platform"
+    )
+    def test_process_backend_isomorphic(self):
+        schema = random_schema(SchemaProfile(classes=6, attributes=4), seed=11)
+        catalog = generate_hierarchical_catalog(schema, 12, seed=12)
+        items = list(catalog.items())
+        clear_shared_decision_cache()
+        sequential = register_sequentially(schema, items)
+        clear_shared_decision_cache()
+        batched = register_batched(schema, items, backend="process", shards=2)
+        assert batched.catalog.names() == sequential.catalog.names()
+        assert lattice_shape(batched) == lattice_shape(sequential)
+
+    def test_batch_statistics_are_reported(self):
+        schema = random_schema(SchemaProfile(classes=6, attributes=4), seed=21)
+        catalog = generate_hierarchical_catalog(schema, 16, seed=22)
+        optimizer = register_batched(schema, list(catalog.items()), backend="thread")
+        statistics = optimizer.statistics
+        assert statistics.batch_profiles_computed > 0
+        # Hierarchical catalogs are specialization-derived, so told seeds
+        # and filter rejections must both fire.
+        assert statistics.batch_told_seeded > 0
+        assert statistics.batch_filter_rejections > 0

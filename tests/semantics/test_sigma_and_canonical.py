@@ -1,6 +1,5 @@
 """Tests for Σ-interpretations, model enumeration and canonical interpretations."""
 
-import pytest
 
 from repro.calculus.constraints import (
     AttributeConstraint,

@@ -15,7 +15,6 @@ from repro.concepts.schema import Schema
 from repro.concepts.syntax import (
     And,
     AttributeRestriction,
-    Concept,
     ExistsPath,
     Path,
     PathAgreement,

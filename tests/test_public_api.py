@@ -1,6 +1,5 @@
 """Tests for the top-level public API (repro / repro.core)."""
 
-import pytest
 
 import repro
 from repro import SubsumptionChecker, subsumes

@@ -1,0 +1,37 @@
+"""The batch workload driver must report all-green equivalence verdicts."""
+
+import pytest
+
+from repro.workloads.driver import batch_workload_setup, run_batch_workload
+
+
+def assert_green(report):
+    assert report["catalog_equal"]
+    assert report["matches_equal"]
+    assert report["plans_equal"]
+    assert report["answers_sound"]
+
+
+class TestBatchWorkloadDriver:
+    @pytest.mark.parametrize("workload", ["university", "trading"])
+    def test_dl_workloads_green(self, workload):
+        report = run_batch_workload(workload, views=10, queries=4, shards=2)
+        assert_green(report)
+        assert report["declared_queries"] > 0
+        assert report["batch_profiles_computed"] > 0
+
+    def test_synthetic_workload_green(self):
+        report = run_batch_workload("synthetic", views=8, queries=4, shards=2, seed=3)
+        assert_green(report)
+        # No DL schema, so no declared query classes to plan.
+        assert report["declared_queries"] == 0
+
+    def test_setup_shapes(self):
+        schema, state, catalog, stream = batch_workload_setup("trading", 6, 3, seed=1)
+        assert len(catalog) == 6
+        assert len(stream) == 3
+        assert state.objects
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            batch_workload_setup("nope", 4, 2)

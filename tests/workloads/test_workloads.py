@@ -127,7 +127,9 @@ class TestDomainScenarios:
     def test_university_subsumption_lattice(self):
         concepts = university_concepts()
         schema = university_schema()
-        assert subsumes(concepts["GradsTaughtByAdvisor"], concepts["StudentsOfTheirAdvisor"], schema)
+        assert subsumes(
+            concepts["GradsTaughtByAdvisor"], concepts["StudentsOfTheirAdvisor"], schema
+        )
         assert subsumes(concepts["GradsTaughtByAdvisor"], concepts["NamedStudents"], schema)
         assert subsumes(concepts["AdvisedGradStudents"], concepts["NamedStudents"], schema)
         assert not subsumes(concepts["NamedStudents"], concepts["AdvisedGradStudents"], schema)
@@ -144,10 +146,16 @@ class TestDomainScenarios:
     def test_trading_subsumption_lattice(self):
         concepts = trading_concepts()
         schema = trading_schema()
-        assert subsumes(concepts["PremiumLocalFragile"], concepts["LocallyHandledCustomers"], schema)
-        assert subsumes(concepts["LocallyHandledCustomers"], concepts["CustomersWithOrders"], schema)
+        assert subsumes(
+            concepts["PremiumLocalFragile"], concepts["LocallyHandledCustomers"], schema
+        )
+        assert subsumes(
+            concepts["LocallyHandledCustomers"], concepts["CustomersWithOrders"], schema
+        )
         assert subsumes(concepts["PremiumLocalFragile"], concepts["NamedCustomers"], schema)
-        assert not subsumes(concepts["CustomersWithOrders"], concepts["PremiumLocalFragile"], schema)
+        assert not subsumes(
+            concepts["CustomersWithOrders"], concepts["PremiumLocalFragile"], schema
+        )
 
     def test_trading_state_answers_are_nested_like_the_views(self):
         dl = trading_dl_schema()
