@@ -15,7 +15,11 @@ runners and developer laptops alike.
 * **e10** (``BENCH_e10.json``): batched vs. sequential registration
   speedup, plus the *deterministic* fraction of matching decisions the
   batch layer answers without a completion (told seeds + filter
-  rejections), on the synthetic 64-view catalog.
+  rejections), on the synthetic 64-view catalog;
+* **e11** (``BENCH_e11.json``): delta-engine vs. naive notify-all view
+  maintenance speedup on the 64-view update-heavy university and trading
+  workloads (each re-measured point also re-asserts the from-scratch
+  equivalence oracle).
 
 Every guard compares the *median relative decay* across its re-measured
 points rather than any single point, so one noisy configuration cannot fail
@@ -75,6 +79,12 @@ E8_POINTS = (("chain", 16), ("failing-chain", 16), ("agreement", 8))
 #: and the batch layer to matter, small enough to finish in CI time.
 E9_SIZES = (16, 32, 64)
 E10_SIZE = 64
+
+#: E11 catalog size and workloads re-measured by the guard (the committed
+#: trajectory also records 256-view points; 64 views keeps CI fast while
+#: still exercising relevance + pruning at scale).
+E11_SIZE = 64
+E11_WORKLOADS = ("university", "trading")
 
 
 def measure_e8():
@@ -203,11 +213,40 @@ def measure_e10_matching():
     return rows, fresh_points
 
 
+def measure_e11():
+    """Delta-engine vs. naive maintenance speedup (oracle re-asserted)."""
+    try:
+        from .bench_e11_maintenance_throughput import maintenance_point
+    except ImportError:
+        from bench_e11_maintenance_throughput import maintenance_point
+
+    committed = {
+        (point["workload"], point["catalog_size"]): point
+        for point in _load_committed("e11")["series"]
+    }
+    rows = []
+    fresh_points = []
+    for workload in E11_WORKLOADS:
+        if (workload, E11_SIZE) not in committed:
+            continue
+        fresh = maintenance_point(workload, E11_SIZE)
+        fresh_points.append(fresh)
+        rows.append(
+            (
+                f"e11 {workload}-{E11_SIZE} maintenance speedup",
+                committed[(workload, E11_SIZE)]["speedup"],
+                fresh["speedup"],
+            )
+        )
+    return rows, fresh_points
+
+
 GUARDS = {
     "e8": measure_e8,
     "e9": measure_e9,
     "e10-registration": measure_e10_registration,
     "e10-matching": measure_e10_matching,
+    "e11": measure_e11,
 }
 
 
@@ -326,6 +365,11 @@ def test_e10_batch_registration_no_regression():
 @pytest.mark.regression
 def test_e10_matching_mechanism_no_regression():
     run_check(guards=["e10-matching"], fresh_dir=_fresh_dir_from_env())
+
+
+@pytest.mark.regression
+def test_e11_maintenance_throughput_no_regression():
+    run_check(guards=["e11"], fresh_dir=_fresh_dir_from_env())
 
 
 def main(argv=None) -> int:

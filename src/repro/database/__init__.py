@@ -1,8 +1,19 @@
 """The OODB substrate: database states, query evaluation, materialized views."""
 
 from .lattice import LatticeMatchStats, LatticeNode, ViewLattice
+from .maintenance import MaintenanceQueue, MaintenanceStatistics, RelevanceIndex
 from .query_eval import EvaluationStatistics, QueryEvaluator
-from .store import DatabaseState, IntegrityViolation
+from .store import (
+    AttributeRemoved,
+    AttributeSet,
+    DatabaseState,
+    Delta,
+    IntegrityViolation,
+    MembershipAsserted,
+    MembershipRetracted,
+    ObjectAdded,
+    ObjectRemoved,
+)
 from .views import MaterializedView, ViewCatalog
 
 __all__ = [
@@ -15,4 +26,14 @@ __all__ = [
     "ViewLattice",
     "LatticeNode",
     "LatticeMatchStats",
+    "MaintenanceQueue",
+    "MaintenanceStatistics",
+    "RelevanceIndex",
+    "Delta",
+    "ObjectAdded",
+    "ObjectRemoved",
+    "MembershipAsserted",
+    "MembershipRetracted",
+    "AttributeSet",
+    "AttributeRemoved",
 ]

@@ -127,6 +127,24 @@ class ViewLattice:
     def _nodes(self) -> Set[LatticeNode]:
         return set(self._node_of.values())
 
+    def ancestor_closure(self, nodes) -> Dict[int, LatticeNode]:
+        """The given nodes plus all of their ancestors, keyed by ``id()``.
+
+        The maintenance engine flushes a delta batch by walking exactly this
+        sub-DAG in topological order: the closure is parent-closed by
+        construction, so every in-degree computed inside it is the node's
+        true in-degree and Kahn's algorithm needs no special cases.
+        """
+        closure: Dict[int, LatticeNode] = {}
+        frontier = [node for node in nodes if node is not None]
+        while frontier:
+            node = frontier.pop()
+            if id(node) in closure:
+                continue
+            closure[id(node)] = node
+            frontier.extend(node.parents)
+        return closure
+
     # -- insertion -----------------------------------------------------------
 
     def insert(self, view, checker) -> None:

@@ -19,10 +19,36 @@ query classes and constraint formulas can be evaluated over it.
 This module is the "simulated ConceptBase" substrate of the reproduction
 (see DESIGN.md): the paper's optimizer only needs a store that can
 materialize view extensions and evaluate queries, which this provides.
+
+Since PR 4 the store is **versioned and delta-logged**:
+
+* a monotonically increasing :attr:`DatabaseState.generation` counter bumps
+  on every *effective* mutation (idempotent re-assertions are no-ops);
+* every mutation emits typed deltas (:class:`ObjectAdded`,
+  :class:`ObjectRemoved`, :class:`MembershipAsserted`,
+  :class:`MembershipRetracted`, :class:`AttributeSet`,
+  :class:`AttributeRemoved`) to subscribed listeners -- the mutation log
+  that drives the incremental view-maintenance engine
+  (:mod:`repro.database.maintenance`);
+* reverse indexes (object -> classes, object -> attribute pairs,
+  ``(subject, attribute)`` -> values) make :meth:`remove_object` and
+  :meth:`attribute_values` proportional to the object's own data instead of
+  the whole store;
+* upward-closed extents are memoized per class with targeted,
+  generation-correct invalidation (a membership change invalidates exactly
+  the class and its superclasses), and :meth:`to_interpretation` is a
+  cached, incrementally patched export: unchanged per-class / per-attribute
+  frozensets are reused, and the :class:`Interpretation` is rebuilt through
+  the trusted fast path only when the generation moved.
+
+``with state.batch():`` opens a mutation epoch: deltas still reach the
+listeners immediately, but the commit notification (which the maintenance
+queue uses to flush) fires once, at the end of the outermost batch.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
@@ -30,7 +56,17 @@ from ..concepts.schema import Schema
 from ..semantics.interpretation import Interpretation
 from ..dl.ast import DLSchema
 
-__all__ = ["IntegrityViolation", "DatabaseState"]
+__all__ = [
+    "IntegrityViolation",
+    "DatabaseState",
+    "Delta",
+    "ObjectAdded",
+    "ObjectRemoved",
+    "MembershipAsserted",
+    "MembershipRetracted",
+    "AttributeSet",
+    "AttributeRemoved",
+]
 
 
 @dataclass(frozen=True)
@@ -45,6 +81,69 @@ class IntegrityViolation:
         return f"{self.kind} on {self.object_id}: {self.detail}"
 
 
+# ---------------------------------------------------------------------------
+# Typed deltas (the mutation log records)
+# ---------------------------------------------------------------------------
+
+
+#: Bound on cached constants-extended interpretation exports per generation
+#: (each retains an O(domain) constant map; see :meth:`to_interpretation`).
+_MAX_EXTENDED_EXPORTS = 64
+
+
+@dataclass(frozen=True)
+class Delta:
+    """Base class of the typed mutation-log records."""
+
+
+@dataclass(frozen=True)
+class ObjectAdded(Delta):
+    """A new object identifier entered the store."""
+
+    object_id: str
+
+
+@dataclass(frozen=True)
+class ObjectRemoved(Delta):
+    """An object left the store (its memberships/pairs are retracted first)."""
+
+    object_id: str
+
+
+@dataclass(frozen=True)
+class MembershipAsserted(Delta):
+    """An explicit class membership was asserted."""
+
+    object_id: str
+    class_name: str
+
+
+@dataclass(frozen=True)
+class MembershipRetracted(Delta):
+    """An explicit class membership was retracted."""
+
+    object_id: str
+    class_name: str
+
+
+@dataclass(frozen=True)
+class AttributeSet(Delta):
+    """An attribute value pair ``(subject attribute value)`` was asserted."""
+
+    subject: str
+    attribute: str
+    value: str
+
+
+@dataclass(frozen=True)
+class AttributeRemoved(Delta):
+    """An attribute value pair was retracted."""
+
+    subject: str
+    attribute: str
+    value: str
+
+
 class DatabaseState:
     """A mutable, in-memory object base.
 
@@ -57,55 +156,255 @@ class DatabaseState:
     """
 
     def __init__(self, schema: Optional[Schema] = None) -> None:
-        self.schema = schema if schema is not None else Schema.empty()
+        self._schema = schema if schema is not None else Schema.empty()
         self._objects: Set[str] = set()
         self._memberships: Dict[str, Set[str]] = {}
         self._attributes: Dict[str, Set[Tuple[str, str]]] = {}
+
+        # Reverse indexes: object -> explicit classes, object -> the
+        # (attribute, subject, value) triples it participates in (either
+        # end), and (subject, attribute) -> values.
+        self._classes_of: Dict[str, Set[str]] = {}
+        self._pairs_of: Dict[str, Set[Tuple[str, str, str]]] = {}
+        self._values_of: Dict[Tuple[str, str], Set[str]] = {}
+
+        # Versioning, mutation log and memo invalidation state.
+        self.generation = 0
+        self._listeners: List[object] = []
+        self._batch_depth = 0
+        self._commit_pending = False
+
+        # class -> membership classes contributing to its upward-closed
+        # extent (filled lazily as membership classes first appear).
+        self._contributors: Dict[str, Set[str]] = {}
+        self._schema_concepts: Optional[FrozenSet[str]] = None
+        self._schema_attributes: Optional[FrozenSet[str]] = None
+        self._supers_memo: Dict[str, FrozenSet[str]] = {}
+        self._extent_memo: Dict[str, FrozenSet[str]] = {}
+        self._frozen_attrs: Dict[str, FrozenSet[Tuple[str, str]]] = {}
+        self._frozen_objects: Optional[FrozenSet[str]] = None
+
+        # Cached interpretation export (generation-keyed).
+        self._interp_generation = -1
+        self._interp_base: Optional[Interpretation] = None
+        self._interp_concepts: Dict[str, FrozenSet[str]] = {}
+        self._interp_attributes: Dict[str, FrozenSet[Tuple[str, str]]] = {}
+        self._interp_extended: Dict[FrozenSet[str], Interpretation] = {}
+
+    # -- schema ----------------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        """The ``SL`` schema governing the state."""
+        return self._schema
+
+    @schema.setter
+    def schema(self, schema: Optional[Schema]) -> None:
+        with self.batch():
+            self._schema = schema if schema is not None else Schema.empty()
+            # A different hierarchy changes every upward closure: rebuild
+            # the contributor map and drop all schema-derived memos.
+            self._supers_memo.clear()
+            self._extent_memo.clear()
+            self._schema_concepts = None
+            self._schema_attributes = None
+            self._contributors = {}
+            for class_name in self._memberships:
+                for superclass in self._superclasses(class_name):
+                    self._contributors.setdefault(superclass, set()).add(class_name)
+            self._touch_generation()
+            # A schema swap changes extents without any object-level delta;
+            # listeners that memoize the hierarchy (the maintenance queue)
+            # must invalidate and re-materialize, so it commits like any
+            # other mutation after an explicit schema-change notification.
+            self._commit_pending = True
+            for listener in list(self._listeners):
+                hook = getattr(listener, "on_schema_changed", None)
+                if hook is not None:
+                    hook()
+
+    def _superclasses(self, class_name: str) -> FrozenSet[str]:
+        cached = self._supers_memo.get(class_name)
+        if cached is None:
+            cached = self._schema.all_superclasses(class_name)
+            self._supers_memo[class_name] = cached
+        return cached
+
+    # -- mutation log ----------------------------------------------------------
+
+    def subscribe(self, listener) -> None:
+        """Attach a mutation-log listener.
+
+        Listeners receive ``on_delta(delta)`` for every emitted
+        :class:`Delta` and ``on_commit()`` once per outermost mutation (or
+        once per :meth:`batch` epoch).
+        """
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def unsubscribe(self, listener) -> None:
+        """Detach a previously subscribed listener (no-op if absent)."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    @property
+    def in_batch(self) -> bool:
+        """``True`` while inside a ``with state.batch():`` epoch."""
+        return self._batch_depth > 0
+
+    @contextmanager
+    def batch(self):
+        """Open a mutation epoch: listeners see one commit at the end.
+
+        Batches nest; only the outermost exit fires the commit notification.
+        Every public mutator runs inside an implicit batch, so a lone
+        ``state.set_attribute(...)`` commits immediately while
+        ``with state.batch(): ...`` coalesces an arbitrary interleaving of
+        mutations into one maintenance flush.
+        """
+        self._batch_depth += 1
+        try:
+            yield self
+        finally:
+            self._batch_depth -= 1
+            if self._batch_depth == 0 and self._commit_pending:
+                self._commit_pending = False
+                for listener in list(self._listeners):
+                    on_commit = getattr(listener, "on_commit", None)
+                    if on_commit is not None:
+                        on_commit()
+
+    def _emit(self, delta: Delta) -> None:
+        self._commit_pending = True
+        for listener in list(self._listeners):
+            listener.on_delta(delta)
+
+    def _touch_generation(self) -> None:
+        self.generation += 1
 
     # -- population -----------------------------------------------------------
 
     def add_object(self, object_id: str, *classes: str) -> str:
         """Create an object (idempotent) and optionally assert memberships."""
-        self._objects.add(object_id)
-        for class_name in classes:
-            self.assert_membership(object_id, class_name)
+        with self.batch():
+            self._add_object(object_id)
+            for class_name in classes:
+                self.assert_membership(object_id, class_name)
         return object_id
+
+    def _add_object(self, object_id: str) -> None:
+        if object_id in self._objects:
+            return
+        self._objects.add(object_id)
+        self._frozen_objects = None
+        self._touch_generation()
+        self._emit(ObjectAdded(object_id))
 
     def assert_membership(self, object_id: str, class_name: str) -> None:
         """Assert that the object is an instance of the class."""
-        self._objects.add(object_id)
-        self._memberships.setdefault(class_name, set()).add(object_id)
+        with self.batch():
+            self._add_object(object_id)
+            members = self._memberships.get(class_name)
+            if members is None:
+                members = self._memberships[class_name] = set()
+                for superclass in self._superclasses(class_name):
+                    self._contributors.setdefault(superclass, set()).add(class_name)
+            if object_id in members:
+                return
+            members.add(object_id)
+            self._classes_of.setdefault(object_id, set()).add(class_name)
+            self._invalidate_extents(class_name)
+            self._touch_generation()
+            self._emit(MembershipAsserted(object_id, class_name))
 
     def retract_membership(self, object_id: str, class_name: str) -> None:
         """Remove an explicit membership assertion (no cascade)."""
-        self._memberships.get(class_name, set()).discard(object_id)
+        with self.batch():
+            members = self._memberships.get(class_name)
+            if members is None or object_id not in members:
+                return
+            members.discard(object_id)
+            self._classes_of.get(object_id, set()).discard(class_name)
+            self._invalidate_extents(class_name)
+            self._touch_generation()
+            self._emit(MembershipRetracted(object_id, class_name))
 
     def set_attribute(self, subject: str, attribute: str, value: str) -> None:
         """Assert an attribute value ``(subject attribute value)``."""
-        self._objects.add(subject)
-        self._objects.add(value)
-        self._attributes.setdefault(attribute, set()).add((subject, value))
+        with self.batch():
+            self._add_object(subject)
+            self._add_object(value)
+            pairs = self._attributes.setdefault(attribute, set())
+            if (subject, value) in pairs:
+                return
+            pairs.add((subject, value))
+            triple = (attribute, subject, value)
+            self._pairs_of.setdefault(subject, set()).add(triple)
+            self._pairs_of.setdefault(value, set()).add(triple)
+            self._values_of.setdefault((subject, attribute), set()).add(value)
+            self._frozen_attrs.pop(attribute, None)
+            self._touch_generation()
+            self._emit(AttributeSet(subject, attribute, value))
 
     def remove_attribute(self, subject: str, attribute: str, value: str) -> None:
         """Retract an attribute value assertion."""
-        self._attributes.get(attribute, set()).discard((subject, value))
+        with self.batch():
+            pairs = self._attributes.get(attribute)
+            if pairs is None or (subject, value) not in pairs:
+                return
+            pairs.discard((subject, value))
+            triple = (attribute, subject, value)
+            self._pairs_of.get(subject, set()).discard(triple)
+            self._pairs_of.get(value, set()).discard(triple)
+            values = self._values_of.get((subject, attribute))
+            if values is not None:
+                values.discard(value)
+                # Empty index entries must not outlive their data: a churn
+                # of create/link/delete cycles would otherwise grow the
+                # reverse indexes with one dead key per pair ever seen.
+                if not values:
+                    del self._values_of[(subject, attribute)]
+            self._frozen_attrs.pop(attribute, None)
+            self._touch_generation()
+            self._emit(AttributeRemoved(subject, attribute, value))
 
     def remove_object(self, object_id: str) -> None:
-        """Delete an object together with its memberships and attribute values."""
-        self._objects.discard(object_id)
-        for members in self._memberships.values():
-            members.discard(object_id)
-        for name, pairs in self._attributes.items():
-            self._attributes[name] = {
-                pair for pair in pairs if object_id not in pair
-            }
+        """Delete an object together with its memberships and attribute values.
+
+        Thanks to the reverse indexes the cost is proportional to the
+        object's own memberships and pairs, not to the total store size; the
+        constituent retractions are emitted individually (so maintenance can
+        recheck affected neighbours) before the final :class:`ObjectRemoved`.
+        """
+        with self.batch():
+            if object_id not in self._objects:
+                return
+            for class_name in sorted(self._classes_of.get(object_id, ())):
+                self.retract_membership(object_id, class_name)
+            for attribute, subject, value in sorted(self._pairs_of.get(object_id, ())):
+                self.remove_attribute(subject, attribute, value)
+            self._classes_of.pop(object_id, None)
+            self._pairs_of.pop(object_id, None)
+            self._objects.discard(object_id)
+            self._frozen_objects = None
+            self._touch_generation()
+            self._emit(ObjectRemoved(object_id))
+
+    # -- memo invalidation ------------------------------------------------------
+
+    def _invalidate_extents(self, class_name: str) -> None:
+        """Drop the memoized upward-closed extents a membership change touches."""
+        for superclass in self._superclasses(class_name):
+            self._extent_memo.pop(superclass, None)
 
     # -- inspection ------------------------------------------------------------
 
     @property
     def objects(self) -> FrozenSet[str]:
         """All object identifiers of the state."""
-        return frozenset(self._objects)
+        if self._frozen_objects is None:
+            self._frozen_objects = frozenset(self._objects)
+        return self._frozen_objects
 
     def __len__(self) -> int:
         return len(self._objects)
@@ -118,33 +417,56 @@ class DatabaseState:
         """The class extent closed upwards along ``isA``.
 
         An object explicitly asserted to belong to ``Patient`` is also a
-        member of every (transitive) superclass such as ``Person``.
+        member of every (transitive) superclass such as ``Person``.  Extents
+        are memoized; a membership change invalidates exactly the asserted
+        class and its superclasses.
         """
-        members: Set[str] = set(self._memberships.get(class_name, ()))
-        for other, extent in self._memberships.items():
-            if other == class_name:
-                continue
-            if class_name in self.schema.all_superclasses(other):
-                members.update(extent)
-        return frozenset(members)
+        cached = self._extent_memo.get(class_name)
+        if cached is None:
+            members: Set[str] = set(self._memberships.get(class_name, ()))
+            for contributor in self._contributors.get(class_name, ()):
+                if contributor != class_name:
+                    members.update(self._memberships.get(contributor, ()))
+            cached = frozenset(members)
+            self._extent_memo[class_name] = cached
+        return cached
 
     def attribute_pairs(self, attribute: str) -> FrozenSet[Tuple[str, str]]:
         """All value assignments of one attribute."""
-        return frozenset(self._attributes.get(attribute, ()))
+        cached = self._frozen_attrs.get(attribute)
+        if cached is None:
+            cached = frozenset(self._attributes.get(attribute, ()))
+            self._frozen_attrs[attribute] = cached
+        return cached
 
     def attribute_values(self, subject: str, attribute: str) -> FrozenSet[str]:
-        """The values of ``attribute`` for one object."""
-        return frozenset(
-            value for subj, value in self._attributes.get(attribute, ()) if subj == subject
-        )
+        """The values of ``attribute`` for one object (indexed, O(result))."""
+        return frozenset(self._values_of.get((subject, attribute), ()))
+
+    def object_classes(self, object_id: str) -> FrozenSet[str]:
+        """The classes explicitly asserted for one object."""
+        return frozenset(self._classes_of.get(object_id, ()))
+
+    def object_pairs(self, object_id: str) -> FrozenSet[Tuple[str, str, str]]:
+        """The ``(attribute, subject, value)`` triples touching one object.
+
+        Both the subject and the value position count as "touching"; the
+        maintenance engine walks these edges to find objects whose view
+        membership a delta may have changed.
+        """
+        return frozenset(self._pairs_of.get(object_id, ()))
 
     def classes(self) -> FrozenSet[str]:
         """Class names with at least one explicit member, plus schema classes."""
-        return frozenset(self._memberships) | self.schema.concept_names()
+        if self._schema_concepts is None:
+            self._schema_concepts = self._schema.concept_names()
+        return frozenset(self._memberships) | self._schema_concepts
 
     def attributes(self) -> FrozenSet[str]:
         """Attribute names with at least one assignment, plus schema attributes."""
-        return frozenset(self._attributes) | self.schema.attribute_names()
+        if self._schema_attributes is None:
+            self._schema_attributes = self._schema.attribute_names()
+        return frozenset(self._attributes) | self._schema_attributes
 
     # -- integrity --------------------------------------------------------------
 
@@ -160,9 +482,9 @@ class DatabaseState:
         violations: List[IntegrityViolation] = []
         extents = {name: self.extent(name) for name in self.classes()}
 
-        for axiom_class in self.schema.concept_names():
+        for axiom_class in self._schema.concept_names():
             members = extents.get(axiom_class, frozenset())
-            for attribute, range_class in self.schema.value_restrictions(axiom_class):
+            for attribute, range_class in self._schema.value_restrictions(axiom_class):
                 range_extent = extents.get(range_class, frozenset())
                 for subject in members:
                     for value in self.attribute_values(subject, attribute):
@@ -174,7 +496,7 @@ class DatabaseState:
                                     f"value {value!r} of {attribute!r} is not in {range_class!r}",
                                 )
                             )
-            for attribute in self.schema.necessary_attributes(axiom_class):
+            for attribute in self._schema.necessary_attributes(axiom_class):
                 for subject in members:
                     if not self.attribute_values(subject, attribute):
                         violations.append(
@@ -184,7 +506,7 @@ class DatabaseState:
                                 f"member of {axiom_class!r} has no value for {attribute!r}",
                             )
                         )
-            for attribute in self.schema.functional_attributes(axiom_class):
+            for attribute in self._schema.functional_attributes(axiom_class):
                 for subject in members:
                     values = self.attribute_values(subject, attribute)
                     if len(values) > 1:
@@ -197,7 +519,7 @@ class DatabaseState:
                             )
                         )
 
-        for typing in self.schema.attribute_typings:
+        for typing in self._schema.attribute_typings:
             domain_extent = extents.get(typing.domain, frozenset())
             range_extent = extents.get(typing.range, frozenset())
             for subject, value in self.attribute_pairs(typing.attribute):
@@ -232,17 +554,57 @@ class DatabaseState:
         singleton concepts ``{o}`` in queries refer to stored objects;
         ``constants`` may add further constant names that should denote
         themselves (they are added to the domain if missing).
+
+        The export is cached on :attr:`generation`: while the state does not
+        change, repeated calls return the *same* :class:`Interpretation`
+        object, and after a change only the per-class / per-attribute pieces
+        whose memos were invalidated are recomputed (the rest of the frozen
+        extensions are shared with the previous export).
         """
-        domain: Set[str] = set(self._objects)
-        constant_map: Dict[str, str] = {obj: obj for obj in self._objects}
-        for name in constants or ():
-            domain.add(name)
-            constant_map[name] = name
-        if not domain:
-            domain = {"__empty__"}
-        concepts = {name: self.extent(name) & frozenset(domain) for name in self.classes()}
-        attributes = {name: self.attribute_pairs(name) for name in self.attributes()}
-        return Interpretation(domain, concepts, attributes, constant_map)
+        if not self._objects:
+            # The tiny empty-state export keeps the original (validating)
+            # construction: a placeholder element when nothing denotes.
+            domain: Set[str] = set(constants or ())
+            constant_map = {name: name for name in domain}
+            if not domain:
+                domain = {"__empty__"}
+            return Interpretation(domain, {}, {}, constant_map)
+        extra = frozenset(constants or ()) - self.objects
+        base = self._export_base()
+        if not extra:
+            return base
+        cached = self._interp_extended.get(extra)
+        if cached is None:
+            domain = base.domain | extra
+            constant_map = {obj: obj for obj in domain}
+            cached = Interpretation.trusted(
+                frozenset(domain), self._interp_concepts, self._interp_attributes, constant_map
+            )
+            # Each entry retains an O(domain) constant map; a read-heavy
+            # phase with many distinct constraint-constant sets must not
+            # accumulate them without bound.
+            if len(self._interp_extended) >= _MAX_EXTENDED_EXPORTS:
+                self._interp_extended.clear()
+            self._interp_extended[extra] = cached
+        return cached
+
+    def _export_base(self) -> Interpretation:
+        if self._interp_base is not None and self._interp_generation == self.generation:
+            return self._interp_base
+        domain = self.objects
+        # Incremental patch: extent()/attribute_pairs() are memoized, so
+        # only the entries a mutation invalidated are recomputed; the dicts
+        # themselves are rebuilt (cheap -- one lookup per name) so
+        # previously exported interpretations stay frozen.
+        self._interp_concepts = {name: self.extent(name) for name in self.classes()}
+        self._interp_attributes = {name: self.attribute_pairs(name) for name in self.attributes()}
+        constant_map = {obj: obj for obj in domain}
+        self._interp_base = Interpretation.trusted(
+            domain, self._interp_concepts, self._interp_attributes, constant_map
+        )
+        self._interp_generation = self.generation
+        self._interp_extended.clear()
+        return self._interp_base
 
     # -- synonym handling ----------------------------------------------------------
 
@@ -252,15 +614,20 @@ class DatabaseState:
         For every attribute declaration with an ``inverse`` synonym, the
         synonym's pairs are kept in sync with the primitive attribute in both
         directions, so that query evaluation over the concrete state can use
-        either name.
+        either name.  The sync goes through :meth:`set_attribute`, so every
+        materialized pair lands in the mutation log and the maintenance
+        engine sees it.
         """
-        for decl in dl_schema.attributes.values():
-            if decl.inverse is None:
-                continue
-            primitive_pairs = set(self._attributes.get(decl.name, set()))
-            synonym_pairs = set(self._attributes.get(decl.inverse, set()))
-            primitive_pairs.update((second, first) for first, second in synonym_pairs)
-            self._attributes[decl.name] = primitive_pairs
-            self._attributes[decl.inverse] = {
-                (second, first) for first, second in primitive_pairs
-            }
+        with self.batch():
+            for decl in dl_schema.attributes.values():
+                if decl.inverse is None:
+                    continue
+                primitive_pairs = set(self._attributes.get(decl.name, ()))
+                synonym_pairs = set(self._attributes.get(decl.inverse, ()))
+                for first, second in synonym_pairs:
+                    if (second, first) not in primitive_pairs:
+                        self.set_attribute(second, decl.name, first)
+                        primitive_pairs.add((second, first))
+                for first, second in primitive_pairs:
+                    if (second, first) not in synonym_pairs:
+                        self.set_attribute(second, decl.inverse, first)

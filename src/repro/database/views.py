@@ -77,12 +77,38 @@ class MaterializedView:
         """Incremental maintenance: drop a deleted object from the extent."""
         self._extent = self._extent - {object_id}
 
+    def adopt_extent(self, extent: FrozenSet[str]) -> FrozenSet[str]:
+        """Install an externally computed extent (counts as a refresh).
+
+        The maintenance engine evaluates each lattice node's concept once
+        and hands the answer set to every view of the node; going through
+        this method keeps the refresh bookkeeping consistent with
+        :meth:`refresh`.
+        """
+        self._extent = frozenset(extent)
+        self.refresh_count += 1
+        return self._extent
+
+    def discard_objects(self, objects) -> None:
+        """Drop objects from the stored extent without re-evaluating.
+
+        Sound whenever the objects provably left the view: deleted objects,
+        or touched objects that no longer belong to a subsuming ancestor
+        (the lattice-pruned maintenance case).
+        """
+        self._extent = self._extent - frozenset(objects)
+
     # -- access ------------------------------------------------------------------
 
     @property
     def extent(self) -> FrozenSet[str]:
         """The stored answer set of the view (as of the last refresh)."""
         self.access_count += 1
+        return self._extent
+
+    @property
+    def stored_extent(self) -> FrozenSet[str]:
+        """The stored answer set without counting as an access (diagnostics)."""
         return self._extent
 
     @property
@@ -125,6 +151,31 @@ class ViewCatalog:
         self._evaluator = QueryEvaluator(dl_schema)
         self._checker = checker
         self._lattice = ViewLattice()
+        self._maintenance_listeners: List[object] = []
+
+    # -- maintenance listeners --------------------------------------------------
+
+    def add_maintenance_listener(self, listener) -> None:
+        """Attach a registration listener (``on_view_registered/_unregistered``).
+
+        The maintenance engine (:mod:`repro.database.maintenance`) uses this
+        to keep its relevance index aligned with the catalog.
+        """
+        if listener not in self._maintenance_listeners:
+            self._maintenance_listeners.append(listener)
+
+    def remove_maintenance_listener(self, listener) -> None:
+        """Detach a previously attached registration listener (no-op if absent)."""
+        if listener in self._maintenance_listeners:
+            self._maintenance_listeners.remove(listener)
+
+    def _view_admitted(self, view: MaterializedView) -> None:
+        for listener in list(self._maintenance_listeners):
+            listener.on_view_registered(view)
+
+    def _view_dropped(self, name: str) -> None:
+        for listener in list(self._maintenance_listeners):
+            listener.on_view_unregistered(name)
 
     # -- the classifying checker -------------------------------------------------
 
@@ -186,6 +237,7 @@ class ViewCatalog:
         self._views[view.name] = view
         if self.use_lattice:
             self._lattice.insert(view, self.checker)
+        self._view_admitted(view)
         return view
 
     def register(
@@ -224,6 +276,7 @@ class ViewCatalog:
         """Drop a view from the catalog, repairing the lattice around it."""
         if self._views.pop(name, None) is not None:
             self._lattice.remove(name)
+            self._view_dropped(name)
 
     # -- batched registration -----------------------------------------------
 
@@ -302,6 +355,7 @@ class ViewCatalog:
                 seed_against_lattice(merge_checker, self._lattice, view.concept)
                 self._views[view.name] = view
                 self._lattice.insert(view, merge_checker)
+                self._view_admitted(view)
         else:
             for view in batch:
                 self._admit(view)

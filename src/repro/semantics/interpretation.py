@@ -93,6 +93,31 @@ class Interpretation:
                 )
             seen[element] = constant
 
+    @classmethod
+    def trusted(
+        cls,
+        domain: FrozenSet,
+        concepts: Mapping[str, FrozenSet],
+        attributes: Mapping[str, FrozenSet[Tuple]],
+        constants: Mapping[str, object],
+    ) -> "Interpretation":
+        """Build an interpretation from pre-validated, already-frozen data.
+
+        The regular constructor re-freezes and cross-checks every extension
+        against the domain, which is O(total data) -- prohibitive for callers
+        that re-export a large structure after a small change.  This fast
+        path trusts the caller to pass frozensets that satisfy the
+        constructor's invariants (extensions within the domain, Unique Name
+        Assumption); :meth:`DatabaseState.to_interpretation` maintains them
+        by construction and is property-tested against the validating path.
+        """
+        self = cls.__new__(cls)
+        self._domain = domain
+        self._concepts = dict(concepts)
+        self._attributes = dict(attributes)
+        self._constants = dict(constants)
+        return self
+
     # -- accessors ----------------------------------------------------------
 
     @property

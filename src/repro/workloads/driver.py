@@ -26,11 +26,15 @@ from __future__ import annotations
 
 import argparse
 import json
+import random
 import time
 from typing import Dict, List, Optional, Tuple
 
 from ..core.checker import clear_shared_decision_cache
+from ..database.maintenance import MaintenanceQueue
+from ..database.store import DatabaseState
 from ..dl.abstraction import schema_to_sl
+from ..dl.ast import DLSchema
 from ..optimizer import SemanticQueryOptimizer, ShardedMatcher, ViewFilterPlan
 from .synthetic import (
     SchemaProfile,
@@ -46,7 +50,14 @@ from .university import (
     university_dl_schema,
 )
 
-__all__ = ["batch_workload_setup", "run_batch_workload", "main"]
+__all__ = [
+    "batch_workload_setup",
+    "run_batch_workload",
+    "generate_update_stream",
+    "apply_update",
+    "run_maintenance_workload",
+    "main",
+]
 
 
 def batch_workload_setup(workload: str, views: int, queries: int, seed: int = 0):
@@ -219,8 +230,257 @@ def run_batch_workload(
     }
 
 
+# ---------------------------------------------------------------------------
+# Update-heavy maintenance workload (serve while mutating)
+# ---------------------------------------------------------------------------
+
+
+def generate_update_stream(schema, state: DatabaseState, updates: int, seed: int = 0):
+    """A reproducible update-heavy mutation stream against one state.
+
+    Mixes object creation (with memberships), membership asserts/retracts,
+    attribute sets/removals and occasional object deletions over the
+    schema's vocabulary; the stream is generated statelessly (it tracks the
+    ids it created itself), so the same stream can be applied to two
+    identical copies of the state.
+    """
+    rng = random.Random(seed)
+    classes = sorted(schema.concept_names()) or ["K0"]
+    attributes = sorted(schema.attribute_names()) or ["p0"]
+    alive = sorted(state.objects) or ["seed_obj"]
+    pairs: List[Tuple[str, str, str]] = []
+    ops: List[Tuple] = []
+    counter = 0
+    for _ in range(updates):
+        roll = rng.random()
+        if roll < 0.18:
+            counter += 1
+            object_id = f"upd_{counter}"
+            sample = rng.sample(classes, k=min(len(classes), rng.randint(1, 2)))
+            ops.append(("add", object_id, tuple(sample)))
+            alive.append(object_id)
+        elif roll < 0.40:
+            ops.append(("assert", rng.choice(alive), rng.choice(classes)))
+        elif roll < 0.52:
+            ops.append(("retract", rng.choice(alive), rng.choice(classes)))
+        elif roll < 0.80 or (roll < 0.90 and not pairs):
+            subject, value = rng.choice(alive), rng.choice(alive)
+            attribute = rng.choice(attributes)
+            ops.append(("set", subject, attribute, value))
+            pairs.append((subject, attribute, value))
+        elif roll < 0.90:
+            subject, attribute, value = pairs.pop(rng.randrange(len(pairs)))
+            ops.append(("unset", subject, attribute, value))
+        elif len(alive) > 4:
+            victim = alive.pop(rng.randrange(len(alive)))
+            ops.append(("remove", victim))
+        else:
+            ops.append(("assert", rng.choice(alive), rng.choice(classes)))
+    return ops
+
+
+def apply_update(state: DatabaseState, op: Tuple) -> Tuple[str, List[str]]:
+    """Apply one stream op; returns ``(kind, directly touched object ids)``."""
+    kind = op[0]
+    if kind == "add":
+        _, object_id, classes = op
+        state.add_object(object_id, *classes)
+        return kind, [object_id]
+    if kind == "assert":
+        _, object_id, class_name = op
+        state.assert_membership(object_id, class_name)
+        return kind, [object_id]
+    if kind == "retract":
+        _, object_id, class_name = op
+        state.retract_membership(object_id, class_name)
+        return kind, [object_id]
+    if kind == "set":
+        _, subject, attribute, value = op
+        state.set_attribute(subject, attribute, value)
+        return kind, [subject, value]
+    if kind == "unset":
+        _, subject, attribute, value = op
+        state.remove_attribute(subject, attribute, value)
+        return kind, [subject, value]
+    if kind == "remove":
+        _, object_id = op
+        state.remove_object(object_id)
+        return kind, [object_id]
+    raise ValueError(f"unknown update op {op!r}")
+
+
+def _serve_round(optimizer, concept, state) -> bool:
+    """One live query against the (possibly mutating) catalog.
+
+    Matches the concept, then checks that filtering through the smallest
+    subsuming view's stored extent loses no answers -- exactly the soundness
+    the paper's optimizer relies on, which only holds while extents are
+    maintained correctly.
+    """
+    matches = optimizer.subsuming_views_for_concept(concept)
+    full = optimizer.evaluator.concept_answers(concept, state)
+    if not matches:
+        return True
+    best = matches[0]
+    filtered = optimizer.evaluator.concept_answers(
+        concept, state, candidates=best.stored_extent
+    )
+    return filtered == full
+
+
+def run_maintenance_workload(
+    workload: str = "university",
+    *,
+    views: int = 32,
+    updates: int = 48,
+    batch_size: int = 8,
+    queries: int = 8,
+    seed: int = 0,
+    shards: Optional[int] = None,
+    backend: str = "thread",
+    serve: bool = True,
+    batched_registration: bool = False,
+) -> Dict[str, object]:
+    """Apply an update-heavy stream under naive vs. delta-driven maintenance.
+
+    Two identical state/catalog pairs process the same mutation stream in
+    epochs of ``batch_size``:
+
+    * the **naive** side re-evaluates every registered view for every
+      directly touched object after every single mutation (the historic
+      ``notify_object_added`` loop -- the executable specification's cost
+      model);
+    * the **engine** side routes the epoch through ``with state.batch():``
+      and one :class:`~repro.database.maintenance.MaintenanceQueue` flush
+      (relevance-indexed, lattice-pruned, optionally sharded).
+
+    After every epoch both sides serve a query from the stream against the
+    live catalog (``serve=False`` skips it for pure-maintenance timing).
+    The verdicts cross-check the engine against re-materializing every view
+    from scratch (the oracle) and record whether view-filtered serving
+    stayed sound on each side; the naive side is *expected* to go stale on
+    streams whose membership changes affect objects only reachable through
+    attribute chains.
+    """
+    schema, naive_state, catalog_concepts, stream = batch_workload_setup(
+        workload, views, max(queries, 1), seed
+    )
+    _, engine_state, _, _ = batch_workload_setup(workload, views, max(queries, 1), seed)
+    items = list(catalog_concepts.items())
+    generator_schema = schema_to_sl(schema) if isinstance(schema, DLSchema) else schema
+    ops = generate_update_stream(
+        generator_schema, naive_state, updates, seed=seed + 101
+    )
+    epochs = [ops[i : i + batch_size] for i in range(0, len(ops), batch_size)]
+
+    # Registration is setup, not what this scenario measures: clear the
+    # process-wide caches once, then let the second catalog classify
+    # cache-hot (optionally through the PR 3 batch path for large catalogs).
+    clear_shared_decision_cache()
+
+    def build_side(side_state: DatabaseState) -> SemanticQueryOptimizer:
+        optimizer = SemanticQueryOptimizer(schema, lattice=True)
+        if batched_registration:
+            optimizer.register_views_batch(items, backend=backend)
+        else:
+            for name, concept in items:
+                optimizer.register_view_concept(name, concept)
+        optimizer.catalog.refresh_all(side_state)
+        return optimizer
+
+    naive = build_side(naive_state)
+    engine = build_side(engine_state)
+    queue = MaintenanceQueue(
+        engine_state, engine.catalog, shards=shards, backend=backend
+    )
+
+    naive_serving_sound = True
+    start = time.perf_counter()
+    for index, epoch in enumerate(epochs):
+        for op in epoch:
+            kind, touched = apply_update(naive_state, op)
+            if kind == "remove":
+                naive.catalog.notify_object_removed(touched[0])
+            else:
+                for object_id in touched:
+                    naive.catalog.notify_object_added(object_id, naive_state)
+        if serve and stream:
+            naive_serving_sound &= _serve_round(
+                naive, stream[index % len(stream)], naive_state
+            )
+    naive_seconds = time.perf_counter() - start
+
+    engine_serving_sound = True
+    start = time.perf_counter()
+    for index, epoch in enumerate(epochs):
+        with engine_state.batch():
+            for op in epoch:
+                apply_update(engine_state, op)
+        if serve and stream:
+            engine_serving_sound &= _serve_round(
+                engine, stream[index % len(stream)], engine_state
+            )
+    engine_seconds = time.perf_counter() - start
+
+    # Oracle: every engine-maintained extent must equal a from-scratch
+    # re-materialization over the final state.
+    oracle_equal = all(
+        view.stored_extent
+        == engine.evaluator.concept_answers(view.concept, engine_state)
+        for view in engine.catalog
+    )
+    naive_equal = all(
+        view.stored_extent
+        == naive.evaluator.concept_answers(view.concept, naive_state)
+        for view in naive.catalog
+    )
+    states_equal = (
+        naive_state.objects == engine_state.objects
+        and all(
+            naive_state.extent(name) == engine_state.extent(name)
+            for name in naive_state.classes()
+        )
+    )
+    stats = queue.statistics
+    return {
+        "workload": workload,
+        "views": len(items),
+        "updates": len(ops),
+        "batch_size": batch_size,
+        "epochs": len(epochs),
+        "shards": shards,
+        "backend": backend,
+        "naive_seconds": naive_seconds,
+        "engine_seconds": engine_seconds,
+        "speedup": (naive_seconds / engine_seconds) if engine_seconds else None,
+        "naive_updates_per_second": len(ops) / naive_seconds if naive_seconds else None,
+        "engine_updates_per_second": (
+            len(ops) / engine_seconds if engine_seconds else None
+        ),
+        "extents_equal": oracle_equal,
+        "naive_extents_equal": naive_equal,
+        "states_equal": states_equal,
+        "engine_serving_sound": engine_serving_sound,
+        "naive_serving_sound": naive_serving_sound,
+        "deltas_seen": stats.deltas_seen,
+        "deltas_coalesced": stats.deltas_coalesced,
+        "flushes": stats.flushes,
+        "objects_touched": stats.objects_touched,
+        "views_relevant": stats.views_relevant,
+        "views_evaluated": stats.views_evaluated,
+        "views_lattice_pruned": stats.views_lattice_pruned,
+        "views_skipped_irrelevant": stats.views_skipped_irrelevant,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scenario",
+        default="serve",
+        choices=("serve", "maintain"),
+        help="serve: batched register+match; maintain: update-heavy maintenance",
+    )
     parser.add_argument(
         "--workload",
         default="university",
@@ -228,10 +488,30 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--views", type=int, default=32)
     parser.add_argument("--queries", type=int, default=16)
+    parser.add_argument("--updates", type=int, default=48)
+    parser.add_argument("--batch-size", type=int, default=8)
     parser.add_argument("--shards", type=int, default=2)
     parser.add_argument("--backend", default="thread")
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
+    if args.scenario == "maintain":
+        report = run_maintenance_workload(
+            args.workload,
+            views=args.views,
+            updates=args.updates,
+            batch_size=args.batch_size,
+            queries=args.queries,
+            shards=args.shards if args.shards > 1 else None,
+            backend=args.backend,
+            seed=args.seed,
+        )
+        print(json.dumps(report, indent=2, sort_keys=True))
+        ok = (
+            report["extents_equal"]
+            and report["states_equal"]
+            and report["engine_serving_sound"]
+        )
+        return 0 if ok else 1
     report = run_batch_workload(
         args.workload,
         views=args.views,

@@ -79,3 +79,43 @@ class TestProfileFilters:
         for (query_id, view_id), decision in worker.delta.items():
             if query_id in by_id and view_id in by_id:
                 assert spec.subsumes(by_id[query_id], by_id[view_id]) == decision
+
+
+class TestSnapshotSeedingIndex:
+    """The conjunct-id inverted index must reproduce the linear seeding.
+
+    ``_CatalogSnapshot.seed_positives`` answers per-query told subsumption
+    through posting lists; the linear double loop over every entry
+    (``_seed_told_positives``) is its executable specification.
+    """
+
+    def _seed_deltas_match(self, lattice):
+        from repro.optimizer.parallel import _CatalogSnapshot, _seed_told_positives
+        from repro.database.views import ViewCatalog
+        from repro.workloads.synthetic import (
+            SchemaProfile,
+            generate_hierarchical_catalog,
+            generate_matching_queries,
+            random_schema,
+        )
+
+        schema = random_schema(SchemaProfile(classes=8, attributes=5), seed=11)
+        checker = SubsumptionChecker(schema, shared_cache=False)
+        catalog = ViewCatalog(None, checker=checker, lattice=lattice)
+        concepts = generate_hierarchical_catalog(schema, 24, seed=7)
+        for name, concept in concepts.items():
+            catalog.register_concept(name, concept)
+        snapshot = _CatalogSnapshot(catalog)
+        queries = generate_matching_queries(schema, concepts, 12, seed=13)
+        for query in queries:
+            indexed = BatchCheckerView(checker)
+            linear = BatchCheckerView(checker)
+            snapshot.seed_positives(indexed, query)
+            _seed_told_positives(linear, query, snapshot.entries, snapshot.use_lattice)
+            assert indexed.delta == linear.delta
+
+    def test_lattice_snapshot(self):
+        self._seed_deltas_match(lattice=True)
+
+    def test_flat_snapshot(self):
+        self._seed_deltas_match(lattice=False)

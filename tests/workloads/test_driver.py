@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.workloads.driver import batch_workload_setup, run_batch_workload
+from repro.workloads.driver import (
+    apply_update,
+    batch_workload_setup,
+    generate_update_stream,
+    run_batch_workload,
+    run_maintenance_workload,
+)
 
 
 def assert_green(report):
@@ -35,3 +41,39 @@ class TestBatchWorkloadDriver:
     def test_unknown_workload_rejected(self):
         with pytest.raises(ValueError):
             batch_workload_setup("nope", 4, 2)
+
+
+class TestMaintenanceWorkloadDriver:
+    @pytest.mark.parametrize("workload", ["university", "trading"])
+    def test_update_heavy_workloads_green(self, workload):
+        report = run_maintenance_workload(
+            workload, views=8, updates=24, batch_size=6, queries=3, seed=1
+        )
+        assert report["extents_equal"]
+        assert report["states_equal"]
+        assert report["engine_serving_sound"]
+        assert report["flushes"] == report["epochs"]
+        assert report["deltas_seen"] > 0
+
+    def test_synthetic_sharded_flush_green(self):
+        report = run_maintenance_workload(
+            "synthetic", views=6, updates=18, batch_size=6, seed=4, shards=2
+        )
+        assert report["extents_equal"]
+        assert report["states_equal"]
+
+    def test_update_stream_is_reproducible(self):
+        schema, state_a, _, _ = batch_workload_setup("trading", 4, 2, seed=2)
+        _, state_b, _, _ = batch_workload_setup("trading", 4, 2, seed=2)
+        from repro.dl.abstraction import schema_to_sl
+
+        generator_schema = schema_to_sl(schema)
+        ops_a = generate_update_stream(generator_schema, state_a, 20, seed=9)
+        ops_b = generate_update_stream(generator_schema, state_b, 20, seed=9)
+        assert ops_a == ops_b
+        for op in ops_a:
+            apply_update(state_a, op)
+            apply_update(state_b, op)
+        assert state_a.objects == state_b.objects
+        for name in state_a.classes():
+            assert state_a.extent(name) == state_b.extent(name)
