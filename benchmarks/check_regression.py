@@ -19,7 +19,11 @@ runners and developer laptops alike.
 * **e11** (``BENCH_e11.json``): delta-engine vs. naive notify-all view
   maintenance speedup on the 64-view update-heavy university and trading
   workloads (each re-measured point also re-asserts the from-scratch
-  equivalence oracle).
+  equivalence oracle);
+* **e12** (``BENCH_e12.json``): async-vs-sync p50 epoch-turnaround read
+  latency speedup on the 64-view update-heavy university and trading
+  workloads (each re-measured point re-asserts prefix consistency and the
+  drain-equals-synchronous-queue verdict).
 
 Every guard compares the *median relative decay* across its re-measured
 points rather than any single point, so one noisy configuration cannot fail
@@ -85,6 +89,11 @@ E10_SIZE = 64
 #: still exercising relevance + pruning at scale).
 E11_SIZE = 64
 E11_WORKLOADS = ("university", "trading")
+
+#: E12 catalog size and workloads re-measured by the guard (same reduced
+#: shape as E11: the committed trajectory also records 256-view points).
+E12_SIZE = 64
+E12_WORKLOADS = ("university", "trading")
 
 
 def measure_e8():
@@ -241,12 +250,41 @@ def measure_e11():
     return rows, fresh_points
 
 
+def measure_e12():
+    """Async-vs-sync serving latency speedup (consistency re-asserted)."""
+    try:
+        from .bench_e12_async_serving import async_serving_point
+    except ImportError:
+        from bench_e12_async_serving import async_serving_point
+
+    committed = {
+        (point["workload"], point["catalog_size"]): point
+        for point in _load_committed("e12")["series"]
+    }
+    rows = []
+    fresh_points = []
+    for workload in E12_WORKLOADS:
+        if (workload, E12_SIZE) not in committed:
+            continue
+        fresh = async_serving_point(workload, E12_SIZE, repeats=3)
+        fresh_points.append(fresh)
+        rows.append(
+            (
+                f"e12 {workload}-{E12_SIZE} async serving latency speedup",
+                committed[(workload, E12_SIZE)]["latency_speedup"],
+                fresh["latency_speedup"],
+            )
+        )
+    return rows, fresh_points
+
+
 GUARDS = {
     "e8": measure_e8,
     "e9": measure_e9,
     "e10-registration": measure_e10_registration,
     "e10-matching": measure_e10_matching,
     "e11": measure_e11,
+    "e12": measure_e12,
 }
 
 
@@ -370,6 +408,11 @@ def test_e10_matching_mechanism_no_regression():
 @pytest.mark.regression
 def test_e11_maintenance_throughput_no_regression():
     run_check(guards=["e11"], fresh_dir=_fresh_dir_from_env())
+
+
+@pytest.mark.regression
+def test_e12_async_serving_latency_no_regression():
+    run_check(guards=["e12"], fresh_dir=_fresh_dir_from_env())
 
 
 def main(argv=None) -> int:

@@ -1,9 +1,20 @@
 """Pytest bootstrap for running the suite from a source checkout.
 
-If the ``repro`` package has been installed (``pip install -e .``) this file
-is a no-op; otherwise it prepends ``src/`` to ``sys.path`` so that the tests,
-benchmarks and examples can be executed directly from the repository, even in
-fully offline environments where an editable install is not possible.
+If the ``repro`` package has been installed (``pip install -e .``) the
+``sys.path`` part is a no-op; otherwise ``src/`` is prepended so that the
+tests, benchmarks and examples can be executed directly from the
+repository, even in fully offline environments where an editable install
+is not possible.
+
+The file also registers the hypothesis settings profiles:
+
+* ``ci`` -- the higher example budget the CI matrix runs with
+  (``HYPOTHESIS_PROFILE=ci``); profile settings apply to every test that
+  does not pin its own ``max_examples``.
+* ``dev`` -- a fast local profile for tight edit-test loops
+  (``HYPOTHESIS_PROFILE=dev``).
+
+Without ``HYPOTHESIS_PROFILE`` the hypothesis defaults stay in force.
 """
 
 import os
@@ -12,3 +23,12 @@ import sys
 _SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+from hypothesis import settings  # noqa: E402  (sys.path bootstrap first)
+
+settings.register_profile("ci", max_examples=200, deadline=None, print_blob=True)
+settings.register_profile("dev", max_examples=20, deadline=None)
+
+_PROFILE = os.environ.get("HYPOTHESIS_PROFILE")
+if _PROFILE:
+    settings.load_profile(_PROFILE)

@@ -1,7 +1,13 @@
 """The OODB substrate: database states, query evaluation, materialized views."""
 
 from .lattice import LatticeMatchStats, LatticeNode, ViewLattice
-from .maintenance import MaintenanceQueue, MaintenanceStatistics, RelevanceIndex
+from .maintenance import (
+    AsyncMaintainer,
+    MaintenanceEpoch,
+    MaintenanceQueue,
+    MaintenanceStatistics,
+    RelevanceIndex,
+)
 from .query_eval import EvaluationStatistics, QueryEvaluator
 from .store import (
     AttributeRemoved,
@@ -13,11 +19,13 @@ from .store import (
     MembershipRetracted,
     ObjectAdded,
     ObjectRemoved,
+    StateSnapshot,
 )
 from .views import MaterializedView, ViewCatalog
 
 __all__ = [
     "DatabaseState",
+    "StateSnapshot",
     "IntegrityViolation",
     "QueryEvaluator",
     "EvaluationStatistics",
@@ -27,6 +35,8 @@ __all__ = [
     "LatticeNode",
     "LatticeMatchStats",
     "MaintenanceQueue",
+    "AsyncMaintainer",
+    "MaintenanceEpoch",
     "MaintenanceStatistics",
     "RelevanceIndex",
     "Delta",

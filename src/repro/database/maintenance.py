@@ -29,19 +29,40 @@ of Decker 1994, see PAPERS.md):
 * an optional **sharded flush** fans the surviving evaluations over
   :func:`repro.optimizer.parallel.run_shards` workers.
 
+Since PR 5 the module has **two tiers** over the same flush engine:
+
+* :class:`MaintenanceQueue` is the synchronous tier: one flush per commit,
+  on the committing thread (the PR 4 behavior, unchanged);
+* :class:`AsyncMaintainer` is the asynchronous tier: every commit enqueues
+  a :class:`MaintenanceEpoch` -- the epoch's typed deltas plus a
+  generation-pinned :class:`~repro.database.store.StateSnapshot` -- to a
+  background worker that coalesces up to ``window`` epochs per flush,
+  evaluates against the *pinned* snapshot (never the racing live state)
+  and publishes the resulting extents atomically, generation-stamped.
+  Readers therefore always observe the extents of the last fully-flushed
+  generation: a consistent prefix of the commit history, never a torn mix.
+  ``sync()``/``drain()`` are flush barriers, ``max_pending`` bounds the
+  epoch queue (commits block -- backpressure -- instead of growing it
+  without bound), and the unflushed epoch log is crash-safe: deltas are
+  idempotent to replay, so :meth:`AsyncMaintainer.replay` re-applies a
+  killed maintainer's log and converges to the synchronous tier's result.
+
 The flat per-view notification loop
 (:meth:`~repro.database.views.ViewCatalog.notify_object_added`) stays
 untouched as the executable specification, exactly like ``naive=True`` and
 ``lattice=False`` before it; the property tests in
-``tests/database/test_maintenance.py`` check that any interleaving of
-mutations flushed through this engine yields extents identical to
-re-materializing every view from scratch.
+``tests/database/test_maintenance.py`` and the concurrency oracle in
+``tests/database/test_async_maintenance.py`` check that any interleaving of
+mutations, windows, barriers and reads yields only extents identical to
+re-materializing from scratch at some prefix generation.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..concepts.intern import concept_id
 from ..concepts.syntax import Concept, Top
@@ -60,6 +81,7 @@ from .store import (
     MembershipRetracted,
     ObjectAdded,
     ObjectRemoved,
+    StateSnapshot,
 )
 from .views import MaterializedView, ViewCatalog
 
@@ -67,6 +89,8 @@ __all__ = [
     "MaintenanceStatistics",
     "RelevanceIndex",
     "MaintenanceQueue",
+    "MaintenanceEpoch",
+    "AsyncMaintainer",
     "relevance_keys",
 ]
 
@@ -81,7 +105,7 @@ def _empty_schema_checker():
     Decides containments that hold over *every* interpretation -- the only
     ones the maintenance walk may prune with, since live update streams
     pass through states that violate Σ (see
-    :meth:`MaintenanceQueue._edge_holds_everywhere`).
+    :meth:`_MaintenanceEngine._edge_holds_everywhere`).
     """
     global _EMPTY_CHECKER
     if _EMPTY_CHECKER is None:
@@ -118,7 +142,7 @@ def relevance_keys(concept: Concept) -> FrozenSet[Tuple[str, str]]:
 
 @dataclass
 class MaintenanceStatistics:
-    """Counters over the lifetime of one :class:`MaintenanceQueue`."""
+    """Counters over the lifetime of one maintenance engine."""
 
     #: Deltas received from the store's mutation log.
     deltas_seen: int = 0
@@ -139,6 +163,14 @@ class MaintenanceStatistics:
     views_skipped_irrelevant: int = 0
     #: Deleted objects dropped from stored extents by cheap set discards.
     objects_discarded: int = 0
+    #: Epochs enqueued to the async worker (async tier only).
+    epochs_enqueued: int = 0
+    #: Epochs merged into a later epoch's flush by the coalescing window.
+    epochs_coalesced: int = 0
+    #: Commits that blocked because the bounded epoch queue was full.
+    backpressure_waits: int = 0
+    #: Epochs re-applied by crash-recovery replay.
+    replayed_epochs: int = 0
 
 
 class RelevanceIndex:
@@ -197,29 +229,97 @@ class RelevanceIndex:
         return frozenset(self._attribute_counts)
 
 
-class MaintenanceQueue:
-    """Coalesces store deltas per epoch and flushes them through the catalog.
+class _PendingEpoch:
+    """The coalesced pending work of one (or several merged) epochs."""
 
-    Attaching the queue subscribes it to the state's mutation log and the
-    catalog's registration events; from then on every mutation epoch
-    (single mutations auto-commit, ``with state.batch():`` groups many)
-    triggers exactly one :meth:`flush`.  Detach with :meth:`close`.
+    __slots__ = ("touched", "keys", "removed", "full_refresh")
 
-    Parameters
-    ----------
-    state, catalog:
-        The store to watch and the views to maintain.  Views must be
-        materialized (refreshed) against the state at attach time -- the
-        engine keeps correct extents correct, it does not bootstrap them.
-    shards, backend, max_workers:
-        When ``shards`` is set, flushes evaluate the surviving views on a
-        :func:`repro.optimizer.parallel.run_shards` pool instead of the
-        lattice-pruned sequential walk (same resulting extents).
+    def __init__(self) -> None:
+        self.touched: Set[str] = set()
+        self.keys: Set[Tuple[str, str]] = set()
+        self.removed: Set[str] = set()
+        self.full_refresh = False
+
+    @property
+    def empty(self) -> bool:
+        return not (self.touched or self.keys or self.removed or self.full_refresh)
+
+    def size(self) -> Tuple[int, int, int]:
+        return (len(self.touched), len(self.keys), len(self.removed))
+
+
+class _DirectSink:
+    """Apply flush results to the views immediately (synchronous tier)."""
+
+    __slots__ = ("generation",)
+
+    def __init__(self, generation: Optional[int]) -> None:
+        self.generation = generation
+
+    def current(self, view: MaterializedView) -> FrozenSet[str]:
+        return view.stored_extent
+
+    def adopt(self, view: MaterializedView, extent: FrozenSet[str]) -> None:
+        view.adopt_extent(extent, self.generation)
+
+    def discard(self, view: MaterializedView, objects: FrozenSet[str]) -> None:
+        view.discard_objects(objects, self.generation)
+
+
+class _StagedSink:
+    """Stage flush results, installing them atomically afterwards.
+
+    The async worker computes every new extent against a pinned snapshot
+    while readers keep serving the previous generation; :meth:`install`
+    (called under the maintainer's publish lock) then swaps all staged
+    extents in with one assignment per view, so a reader never observes a
+    half-flushed generation.  ``refreshed`` tracks whether the staged value
+    came from a re-evaluation (bumps ``refresh_count`` on install, exactly
+    like the direct sink's ``adopt``) or from set algebra alone.
+    """
+
+    __slots__ = ("generation", "_staged")
+
+    def __init__(self, generation: int) -> None:
+        self.generation = generation
+        # Insertion-ordered: install() publishes in first-staged order.
+        self._staged: Dict[str, Tuple[MaterializedView, FrozenSet[str], bool]] = {}
+
+    def current(self, view: MaterializedView) -> FrozenSet[str]:
+        staged = self._staged.get(view.name)
+        return staged[1] if staged is not None else view.stored_extent
+
+    def adopt(self, view: MaterializedView, extent: FrozenSet[str]) -> None:
+        self._staged[view.name] = (view, frozenset(extent), True)
+
+    def discard(self, view: MaterializedView, objects: FrozenSet[str]) -> None:
+        staged = self._staged.get(view.name)
+        refreshed = staged[2] if staged is not None else False
+        self._staged[view.name] = (view, self.current(view) - frozenset(objects), refreshed)
+
+    def install(self) -> None:
+        for view, extent, refreshed in self._staged.values():
+            if refreshed:
+                view.adopt_extent(extent, self.generation)
+            else:
+                view.replace_extent(extent, self.generation)
+
+
+class _MaintenanceEngine:
+    """The shared flush machinery of the synchronous and async tiers.
+
+    Holds the relevance index, the evaluator, the pruning memos and the
+    flush walk; *how* pending epochs reach :meth:`_flush_pending` -- on the
+    committing thread (:class:`MaintenanceQueue`), on a background worker
+    (:class:`AsyncMaintainer`) or from a replayed log
+    (:meth:`AsyncMaintainer.replay`) -- is the subclasses' policy.  Every
+    flush method evaluates against an explicit ``source`` (the live state
+    or a pinned :class:`~repro.database.store.StateSnapshot`) and writes
+    through an explicit sink, so the same walk serves both tiers.
     """
 
     def __init__(
         self,
-        state: DatabaseState,
         catalog: ViewCatalog,
         *,
         shards: Optional[int] = None,
@@ -227,7 +327,6 @@ class MaintenanceQueue:
         max_workers: Optional[int] = None,
         statistics: Optional[MaintenanceStatistics] = None,
     ) -> None:
-        self.state = state
         self.catalog = catalog
         self.shards = shards
         self.backend = backend
@@ -237,79 +336,69 @@ class MaintenanceQueue:
         self._empty_checker = _empty_schema_checker()
         self._edge_memo: Dict[Tuple[int, int], bool] = {}
         self._class_key_memo: Dict[str, FrozenSet[Tuple[str, str]]] = {}
+        self._class_key_schema: Optional[object] = None
         self._index = RelevanceIndex()
         for view in catalog:
             self._index.add(view)
-        self._touched: Set[str] = set()
-        self._keys: Set[Tuple[str, str]] = set()
-        self._removed: Set[str] = set()
-        self._full_refresh = False
-        state.subscribe(self)
-        catalog.add_maintenance_listener(self)
 
-    def close(self) -> None:
-        """Detach from the store and the catalog (pending work is flushed)."""
-        self.flush()
-        self.state.unsubscribe(self)
-        self.catalog.remove_maintenance_listener(self)
+    # -- epoch absorption ------------------------------------------------------
 
-    # -- store listener -------------------------------------------------------
-
-    @property
-    def pending(self) -> bool:
-        """``True`` while deltas await the next flush."""
-        return bool(
-            self._touched or self._keys or self._removed or self._full_refresh
-        )
-
-    def on_schema_changed(self) -> None:
-        """The store swapped its schema: every extent may have moved.
-
-        The hierarchy memo is rebuilt and the next flush re-materializes
-        every view outright -- no object-level delta describes an ``isA``
-        change, so relevance cannot narrow it.
-        """
-        self._class_key_memo.clear()
-        self._full_refresh = True
-
-    def on_delta(self, delta: Delta) -> None:
-        """Absorb one mutation-log record into the pending epoch."""
+    def _absorb(self, pending: _PendingEpoch, delta: Delta, schema) -> None:
+        """Absorb one mutation-log record into a pending epoch."""
         stats = self.statistics
         stats.deltas_seen += 1
-        before = (len(self._touched), len(self._keys), len(self._removed))
+        before = pending.size()
         if isinstance(delta, ObjectAdded):
-            self._touched.add(delta.object_id)
-            self._keys.add(DOMAIN_KEY)
-            self._keys.add(("const", delta.object_id))
+            pending.touched.add(delta.object_id)
+            pending.keys.add(DOMAIN_KEY)
+            pending.keys.add(("const", delta.object_id))
         elif isinstance(delta, ObjectRemoved):
-            self._touched.add(delta.object_id)
-            self._removed.add(delta.object_id)
+            pending.touched.add(delta.object_id)
+            pending.removed.add(delta.object_id)
         elif isinstance(delta, (MembershipAsserted, MembershipRetracted)):
-            self._touched.add(delta.object_id)
-            self._keys.update(self._class_keys(delta.class_name))
+            pending.touched.add(delta.object_id)
+            pending.keys.update(self._class_keys(delta.class_name, schema))
         elif isinstance(delta, (AttributeSet, AttributeRemoved)):
-            self._touched.add(delta.subject)
-            self._touched.add(delta.value)
-            self._keys.add(("attr", delta.attribute))
+            pending.touched.add(delta.subject)
+            pending.touched.add(delta.value)
+            pending.keys.add(("attr", delta.attribute))
         else:  # pragma: no cover - future delta kinds must be handled
             raise TypeError(f"unknown delta {delta!r}")
-        if (len(self._touched), len(self._keys), len(self._removed)) == before:
+        if pending.size() == before:
             stats.deltas_coalesced += 1
 
-    def _class_keys(self, class_name: str) -> FrozenSet[Tuple[str, str]]:
+    def _class_keys(self, class_name: str, schema) -> FrozenSet[Tuple[str, str]]:
         """Relevance keys of a membership delta (memoized ``isA`` expansion)."""
+        if schema is not self._class_key_schema:
+            # A different hierarchy changes every upward closure.
+            self._class_key_memo.clear()
+            self._class_key_schema = schema
         cached = self._class_key_memo.get(class_name)
         if cached is None:
             cached = frozenset(
                 ("class", superclass)
-                for superclass in self.state.schema.all_superclasses(class_name)
+                for superclass in schema.all_superclasses(class_name)
             )
             self._class_key_memo[class_name] = cached
         return cached
 
-    def on_commit(self) -> None:
-        """End of a mutation epoch: flush once."""
-        self.flush()
+    def _coalesce_epochs(self, records: Sequence["MaintenanceEpoch"]) -> _PendingEpoch:
+        """Merge a window of epoch records into one pending flush.
+
+        Relevance keys expand against the *last* record's schema -- the one
+        the flush evaluates under; any schema change inside the window
+        forces a full refresh anyway.  Shared by the async worker and by
+        crash-recovery :meth:`AsyncMaintainer.replay`, whose convergence
+        guarantee depends on the two coalescing identically.
+        """
+        pending = _PendingEpoch()
+        schema = records[-1].snapshot.schema
+        for record in records:
+            if record.schema_changed:
+                pending.full_refresh = True
+            for delta in record.deltas:
+                self._absorb(pending, delta, schema)
+        return pending
 
     # -- catalog listener -----------------------------------------------------
 
@@ -321,55 +410,49 @@ class MaintenanceQueue:
 
     # -- flushing -------------------------------------------------------------
 
-    def flush(self) -> None:
-        """Propagate the pending epoch to every affected view extent."""
-        if not self.pending:
-            return
-        touched, keys, removed = self._touched, self._keys, self._removed
-        full_refresh = self._full_refresh
-        self._touched, self._keys, self._removed = set(), set(), set()
-        self._full_refresh = False
+    def _flush_pending(self, pending: _PendingEpoch, source, sink) -> None:
+        """Propagate one pending epoch through the catalog via ``sink``."""
         stats = self.statistics
         stats.flushes += 1
         catalog = self.catalog
         if len(catalog) == 0:
             return
-        if full_refresh:
+        if pending.full_refresh:
             names = set(catalog.names())
             stats.views_relevant += len(names)
             if self.shards is not None and self.shards > 1:
-                self._flush_sharded(names)
+                self._flush_sharded(names, source, sink)
             else:
-                self._flush_flat(names)
+                self._flush_flat(names, source, sink)
             return
 
         # Deleted objects leave every extent; a set discard per view is all
         # the spec's notify_object_removed ever did, and it needs no
         # evaluation, so it is not routed through relevance at all.
-        if removed:
-            dropped = frozenset(removed)
+        if pending.removed:
+            dropped = frozenset(pending.removed)
             for view in catalog:
-                view.discard_objects(dropped)
+                sink.discard(view, dropped)
             stats.objects_discarded += len(dropped)
 
-        relevant = self._index.views_for(keys)
+        relevant = self._index.views_for(pending.keys)
         stats.views_relevant += len(relevant)
         stats.views_skipped_irrelevant += len(catalog) - len(relevant)
         if not relevant:
             return
         if self.shards is not None and self.shards > 1:
-            self._flush_sharded(relevant)
+            self._flush_sharded(relevant, source, sink)
         elif catalog.use_lattice:
             # Only the pruning walk consumes the touched set; the other
             # flush modes refresh every relevant view outright, so they
             # skip the closure entirely.
-            closed = self._closure(touched)
+            closed = self._closure(pending.touched, source)
             stats.objects_touched += len(closed)
-            self._flush_lattice(relevant, closed)
+            self._flush_lattice(relevant, closed, source, sink)
         else:
-            self._flush_flat(relevant)
+            self._flush_flat(relevant, source, sink)
 
-    def _closure(self, seeds: Set[str]) -> FrozenSet[str]:
+    def _closure(self, seeds: Set[str], source) -> FrozenSet[str]:
         """Close the touched objects under view-mentioned attribute edges.
 
         A delta at object ``x`` can change the membership of exactly the
@@ -382,7 +465,7 @@ class MaintenanceQueue:
         frontier: List[str] = list(seeds)
         while frontier:
             obj = frontier.pop()
-            for attribute, subject, value in self.state.object_pairs(obj):
+            for attribute, subject, value in source.object_pairs(obj):
                 if attribute not in attributes:
                     continue
                 for other in (subject, value):
@@ -391,11 +474,13 @@ class MaintenanceQueue:
                         frontier.append(other)
         return frozenset(seen)
 
-    def _evaluate(self, concept: Concept, memo: Dict[int, FrozenSet[str]]) -> FrozenSet[str]:
+    def _evaluate(
+        self, concept: Concept, memo: Dict[int, FrozenSet[str]], source
+    ) -> FrozenSet[str]:
         key = concept_id(concept)
         extent = memo.get(key)
         if extent is None:
-            extent = self._evaluator.concept_answers(concept, self.state)
+            extent = self._evaluator.concept_answers(concept, source)
             memo[key] = extent
             self.statistics.views_evaluated += 1
         return extent
@@ -425,7 +510,9 @@ class MaintenanceQueue:
             self._edge_memo[key] = cached
         return cached
 
-    def _flush_lattice(self, relevant: Set[str], touched: FrozenSet[str]) -> None:
+    def _flush_lattice(
+        self, relevant: Set[str], touched: FrozenSet[str], source, sink
+    ) -> None:
         """Topological walk of the affected sub-DAG with subsumption pruning.
 
         A relevant view is *evaluated* only when no parent node rules it
@@ -449,7 +536,7 @@ class MaintenanceQueue:
         if unclassified:
             # Views registered but (transiently) missing from the DAG fall
             # back to the relevance-restricted flat refresh.
-            self._flush_flat(unclassified)
+            self._flush_flat(unclassified, source, sink)
         needed = lattice.ancestor_closure(relevant_nodes.values())
         indegree = {nid: len(node.parents) for nid, node in needed.items()}
         queue = [node for nid, node in needed.items() if not indegree[nid]]
@@ -473,11 +560,11 @@ class MaintenanceQueue:
                         for other in parent.views
                     )
                     if pruned:
-                        view.discard_objects(touched)
+                        sink.discard(view, touched)
                         stats.views_lattice_pruned += 1
                     else:
-                        view.adopt_extent(self._evaluate(view.concept, memo))
-            extents = [view.stored_extent for view in node.views]
+                        sink.adopt(view, self._evaluate(view.concept, memo, source))
+            extents = [sink.current(view) for view in node.views]
             effective[nid] = frozenset().union(*extents) if extents else frozenset()
             for child in node.children:
                 cid = id(child)
@@ -486,15 +573,15 @@ class MaintenanceQueue:
                     if not indegree[cid]:
                         queue.append(child)
 
-    def _flush_flat(self, relevant: Set[str]) -> None:
+    def _flush_flat(self, relevant: Set[str], source, sink) -> None:
         """Relevance-restricted flat refresh (``lattice=False`` catalogs)."""
         memo: Dict[int, FrozenSet[str]] = {}
         for name in sorted(relevant):
             view = self.catalog.get(name)
             if view is not None:
-                view.adopt_extent(self._evaluate(view.concept, memo))
+                sink.adopt(view, self._evaluate(view.concept, memo, source))
 
-    def _flush_sharded(self, relevant: Set[str]) -> None:
+    def _flush_sharded(self, relevant: Set[str], source, sink) -> None:
         """Evaluate the relevant views on a worker pool (same extents)."""
         from ..optimizer.parallel import resolve_shards, run_shards
 
@@ -514,13 +601,12 @@ class MaintenanceQueue:
             return
         # Warm the generation-cached interpretation before fanning out, so
         # workers share one export instead of racing to build it.
-        self.state.to_interpretation()
+        source.to_interpretation()
         evaluator = self._evaluator
-        state = self.state
 
         def worker(shard: int) -> List[Tuple[int, FrozenSet[str]]]:
             return [
-                (key, evaluator.concept_answers(concept, state))
+                (key, evaluator.concept_answers(concept, source))
                 for key, concept in unique[shard::shard_count]
             ]
 
@@ -531,4 +617,537 @@ class MaintenanceQueue:
         for name in names:
             view = self.catalog.get(name)
             if view is not None:
-                view.adopt_extent(extents[concept_id(view.concept)])
+                sink.adopt(view, extents[concept_id(view.concept)])
+
+
+class MaintenanceQueue(_MaintenanceEngine):
+    """Coalesces store deltas per epoch and flushes them through the catalog.
+
+    Attaching the queue subscribes it to the state's mutation log and the
+    catalog's registration events; from then on every mutation epoch
+    (single mutations auto-commit, ``with state.batch():`` groups many)
+    triggers exactly one :meth:`flush`, synchronously, on the committing
+    thread.  Detach with :meth:`close`.
+
+    Parameters
+    ----------
+    state, catalog:
+        The store to watch and the views to maintain.  Views must be
+        materialized (refreshed) against the state at attach time -- the
+        engine keeps correct extents correct, it does not bootstrap them.
+    shards, backend, max_workers:
+        When ``shards`` is set, flushes evaluate the surviving views on a
+        :func:`repro.optimizer.parallel.run_shards` pool instead of the
+        lattice-pruned sequential walk (same resulting extents).
+    """
+
+    def __init__(
+        self,
+        state: DatabaseState,
+        catalog: ViewCatalog,
+        *,
+        shards: Optional[int] = None,
+        backend: str = "thread",
+        max_workers: Optional[int] = None,
+        statistics: Optional[MaintenanceStatistics] = None,
+    ) -> None:
+        super().__init__(
+            catalog,
+            shards=shards,
+            backend=backend,
+            max_workers=max_workers,
+            statistics=statistics,
+        )
+        self.state = state
+        self._pending = _PendingEpoch()
+        state.subscribe(self)
+        catalog.add_maintenance_listener(self)
+
+    def close(self) -> None:
+        """Detach from the store and the catalog (pending work is flushed)."""
+        self.flush()
+        self.state.unsubscribe(self)
+        self.catalog.remove_maintenance_listener(self)
+
+    # -- store listener -------------------------------------------------------
+
+    @property
+    def pending(self) -> bool:
+        """``True`` while deltas await the next flush."""
+        return not self._pending.empty
+
+    def on_schema_changed(self) -> None:
+        """The store swapped its schema: every extent may have moved.
+
+        The next flush re-materializes every view outright -- no
+        object-level delta describes an ``isA`` change, so relevance cannot
+        narrow it (the hierarchy memo invalidates by schema identity).
+        """
+        self._pending.full_refresh = True
+
+    def on_delta(self, delta: Delta) -> None:
+        """Absorb one mutation-log record into the pending epoch."""
+        self._absorb(self._pending, delta, self.state.schema)
+
+    def on_commit(self) -> None:
+        """End of a mutation epoch: flush once."""
+        self.flush()
+
+    # -- flushing -------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Propagate the pending epoch to every affected view extent."""
+        if self._pending.empty:
+            return
+        pending, self._pending = self._pending, _PendingEpoch()
+        self._flush_pending(pending, self.state, _DirectSink(self.state.generation))
+
+
+@dataclass(frozen=True)
+class MaintenanceEpoch:
+    """One committed mutation epoch in the async maintainer's log.
+
+    Carries everything a flush -- or a post-crash replay -- needs: the
+    epoch's raw typed deltas (idempotent to replay), whether the schema was
+    swapped during the epoch, and the generation-pinned snapshot of the
+    state at commit, against which the worker evaluates.
+    """
+
+    sequence: int
+    generation: int
+    deltas: Tuple[Delta, ...]
+    schema_changed: bool
+    snapshot: StateSnapshot
+
+
+class AsyncMaintainer(_MaintenanceEngine):
+    """Asynchronous maintenance: commit fast, flush in the background.
+
+    Every committed epoch is recorded as a :class:`MaintenanceEpoch` and
+    handed to a worker thread; the committing thread returns immediately
+    (unless the bounded queue exerts backpressure).  The worker merges up
+    to ``window`` queued epochs per flush -- cross-epoch coalescing: deltas
+    that cancel or duplicate across epochs are paid for once -- evaluates
+    against the *last* merged epoch's pinned snapshot, and publishes all
+    resulting extents atomically under the publish lock, stamped with that
+    epoch's generation.
+
+    **Consistency model.**  Readers see *consistent-generation serving*:
+    at any instant, every stored extent equals the from-scratch refresh of
+    the last fully-flushed generation -- a prefix of the commit history.
+    Newer epochs are invisible until their flush publishes (bounded
+    staleness, never inconsistency).  :meth:`read_extents` returns a
+    cross-view consistent cut together with its generation;
+    :meth:`serving_state` exposes the pinned snapshot the cut answers for,
+    so queries can be evaluated *against the generation being served*.
+
+    **Barriers.**  :meth:`sync` blocks until everything committed before
+    the call is flushed; :meth:`drain` is ``sync`` returning the published
+    generation; :meth:`close` drains, stops the worker and detaches.
+
+    **Crash safety.**  The unflushed epoch log survives :meth:`kill` (a
+    simulated crash); :meth:`replay` re-applies it synchronously and
+    converges to exactly the synchronous tier's result, because deltas are
+    typed and idempotent to replay.
+
+    **Concurrency contract.**  State mutations may come from one mutator
+    thread and reads from any number of reader threads.  *Catalog*
+    registration is the exception: :class:`ViewCatalog` mutates its view
+    map and lattice before notifying listeners, so registering or
+    unregistering views must not race an active flush -- :meth:`sync` (or
+    :meth:`pause`) first, register, refresh the new view, then continue.
+    The ``_flush_lock`` held by the registration listeners only keeps the
+    relevance index consistent with in-flight flushes; it cannot retrofit
+    thread safety onto the catalog itself.
+    """
+
+    def __init__(
+        self,
+        state: DatabaseState,
+        catalog: ViewCatalog,
+        *,
+        window: int = 4,
+        max_pending: int = 256,
+        shards: Optional[int] = None,
+        backend: str = "thread",
+        max_workers: Optional[int] = None,
+        statistics: Optional[MaintenanceStatistics] = None,
+        bootstrap: bool = False,
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must be at least 1 epoch")
+        if max_pending < 1:
+            raise ValueError("max_pending must be at least 1 epoch")
+        super().__init__(
+            catalog,
+            shards=shards,
+            backend=backend,
+            max_workers=max_workers,
+            statistics=statistics,
+        )
+        self.state = state
+        self.window = window
+        self.max_pending = max_pending
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._done = threading.Condition(self._lock)
+        self._publish = threading.Lock()
+        self._flush_lock = threading.Lock()
+        self._log: List[MaintenanceEpoch] = []
+        self._epoch_deltas: List[Delta] = []
+        self._epoch_schema_changed = False
+        self._sequence = 0
+        self._flushed_sequence = 0
+        self._stopped = False
+        self._paused = False
+        self._failure: Optional[BaseException] = None
+        snapshot = state.snapshot()
+        if bootstrap:
+            memo: Dict[int, FrozenSet[str]] = {}
+            for view in catalog:
+                key = concept_id(view.concept)
+                if key not in memo:
+                    memo[key] = self._evaluator.concept_answers(view.concept, snapshot)
+                view.adopt_extent(memo[key], snapshot.generation)
+        self._serving = snapshot
+        state.subscribe(self)
+        catalog.add_maintenance_listener(self)
+        self._worker = threading.Thread(
+            target=self._run, name="repro-async-maintenance", daemon=True
+        )
+        self._worker.start()
+
+    # -- store listener (mutator thread) --------------------------------------
+
+    def on_delta(self, delta: Delta) -> None:
+        """Record one mutation-log record into the open epoch."""
+        self._epoch_deltas.append(delta)
+
+    def on_schema_changed(self) -> None:
+        """The store swapped its schema mid-epoch: flag a full refresh."""
+        self._epoch_schema_changed = True
+
+    def on_commit(self) -> None:
+        """End of a mutation epoch: enqueue it (blocking on backpressure).
+
+        Unlike :meth:`sync`, a full queue does **not** raise while paused:
+        the state mutation has already happened, so dropping the epoch
+        would desynchronize the catalog forever, and overrunning the bound
+        would defeat it.  The commit blocks -- backpressure by design --
+        until another thread calls :meth:`resume` (or :meth:`kill`, which
+        raises here and leaves the epoch to :meth:`replay`).
+        """
+        deltas = tuple(self._epoch_deltas)
+        schema_changed = self._epoch_schema_changed
+        self._epoch_deltas = []
+        self._epoch_schema_changed = False
+        if not deltas and not schema_changed:
+            return
+        snapshot = self.state.snapshot()
+        with self._lock:
+            if (
+                len(self._log) >= self.max_pending
+                and not self._stopped
+                and self._failure is None
+            ):
+                # Count blocked *commits*, not wakeups: one commit may spin
+                # through several notify/re-check rounds before space opens.
+                self.statistics.backpressure_waits += 1
+            while (
+                len(self._log) >= self.max_pending
+                and not self._stopped
+                and self._failure is None
+            ):
+                self._done.wait()
+            # Record the epoch *unconditionally*: the state mutation has
+            # already happened, so even when the worker is dead the log --
+            # the crash-safe record replay() recovers from -- must hold
+            # this epoch; the queue bound yields to durability once no
+            # worker can drain it.  The error (if any) surfaces after.
+            self._sequence += 1
+            self._log.append(
+                MaintenanceEpoch(
+                    self._sequence,
+                    snapshot.generation,
+                    deltas,
+                    schema_changed,
+                    snapshot,
+                )
+            )
+            self.statistics.epochs_enqueued += 1
+            self._wake.notify_all()
+            if self._failure is not None:
+                raise RuntimeError(
+                    "async maintenance worker crashed; epoch recorded for replay()"
+                ) from self._failure
+            if self._stopped:
+                raise RuntimeError(
+                    "AsyncMaintainer is stopped; epoch recorded for replay()"
+                )
+
+    # -- catalog listener ------------------------------------------------------
+
+    def on_view_registered(self, view: MaterializedView) -> None:
+        with self._flush_lock:
+            self._index.add(view)
+
+    def on_view_unregistered(self, name: str) -> None:
+        with self._flush_lock:
+            self._index.discard(name)
+
+    # -- the worker -------------------------------------------------------------
+
+    def _run(self) -> None:
+        try:
+            while True:
+                with self._lock:
+                    while not self._stopped and (self._paused or not self._log):
+                        self._wake.wait()
+                    if self._stopped:
+                        return
+                    batch = list(self._log[: self.window])
+                self._flush_batch(batch)
+                with self._lock:
+                    del self._log[: len(batch)]
+                    self._flushed_sequence = batch[-1].sequence
+                    self._done.notify_all()
+        except BaseException as error:  # pragma: no cover - surfaced to callers
+            with self._lock:
+                self._failure = error
+                self._done.notify_all()
+
+    def _flush_batch(self, batch: Sequence[MaintenanceEpoch]) -> None:
+        """Merge one window of epochs and flush against the last snapshot."""
+        target = batch[-1]
+        pending = self._coalesce_epochs(batch)
+        self.statistics.epochs_coalesced += len(batch) - 1
+        with self._flush_lock:
+            sink = _StagedSink(target.generation)
+            self._flush_pending(pending, target.snapshot, sink)
+            with self._publish:
+                sink.install()
+                self._serving = target.snapshot
+
+    # -- serving ----------------------------------------------------------------
+
+    @property
+    def published_generation(self) -> int:
+        """Generation of the last fully-flushed (served) epoch."""
+        with self._publish:
+            return self._serving.generation
+
+    def serving_state(self) -> StateSnapshot:
+        """The pinned snapshot whose generation the stored extents answer for."""
+        with self._publish:
+            return self._serving
+
+    def serving_cut(
+        self, names: Optional[Iterable[str]] = None
+    ) -> Tuple[StateSnapshot, Dict[str, FrozenSet[str]]]:
+        """The pinned snapshot *and* its extents under one lock acquisition.
+
+        ``serving_state()`` followed by ``read_extents()`` can straddle a
+        publish (the worker may install a newer generation between the two
+        calls); queries that evaluate against the served snapshot and
+        filter through the served extents need both from the same instant.
+        """
+        with self._publish:
+            snapshot = self._serving
+            if names is None:
+                extents = {view.name: view.stored_extent for view in self.catalog}
+            else:
+                extents = {}
+                for name in names:
+                    view = self.catalog.get(name)
+                    if view is not None:
+                        extents[name] = view.stored_extent
+        return snapshot, extents
+
+    def read_extents(
+        self, names: Optional[Iterable[str]] = None
+    ) -> Tuple[int, Dict[str, FrozenSet[str]]]:
+        """A cross-view consistent cut: ``(generation, name -> extent)``.
+
+        Taken under the publish lock, so the returned extents all answer
+        for the same fully-flushed generation even while the worker is
+        mid-publish.  Lock-free single-view reads (``view.stored_extent``)
+        remain prefix-consistent per view; this method additionally
+        guarantees consistency *across* views.
+        """
+        snapshot, extents = self.serving_cut(names)
+        return snapshot.generation, extents
+
+    # -- barriers & lifecycle ----------------------------------------------------
+
+    def _raise_if_failed(self) -> None:
+        if self._failure is not None:
+            raise RuntimeError("async maintenance worker crashed") from self._failure
+
+    @property
+    def pending_epochs(self) -> int:
+        """Number of committed epochs not yet flushed."""
+        with self._lock:
+            return len(self._log)
+
+    def unflushed_epochs(self) -> Tuple[MaintenanceEpoch, ...]:
+        """The crash-safe log: every committed, not-yet-published epoch."""
+        with self._lock:
+            return tuple(self._log)
+
+    def pause(self) -> None:
+        """Suspend flushing after the in-flight batch (windowing/tests)."""
+        with self._lock:
+            self._paused = True
+            # Wake sync() waiters so they observe the pause and raise
+            # instead of sleeping through a barrier that can never clear.
+            self._done.notify_all()
+
+    def resume(self) -> None:
+        """Resume flushing."""
+        with self._lock:
+            self._paused = False
+            self._wake.notify_all()
+
+    def sync(self, timeout: Optional[float] = None) -> bool:
+        """Block until every epoch committed before the call is flushed.
+
+        Returns ``True`` on success, ``False`` on timeout.  Raises
+        :class:`RuntimeError` when the barrier can never be reached: the
+        worker is paused, stopped, or crashed.
+        """
+        with self._lock:
+            self._raise_if_failed()
+            target = self._sequence
+            if self._flushed_sequence >= target:
+                return True
+            if self._paused:
+                raise RuntimeError("sync() cannot complete while paused; resume() first")
+            deadline = None if timeout is None else time.monotonic() + timeout
+            while self._flushed_sequence < target:
+                self._raise_if_failed()
+                if self._paused:
+                    # A pause() issued while we were already waiting: the
+                    # worker will never clear the barrier.
+                    raise RuntimeError(
+                        "sync() cannot complete while paused; resume() first"
+                    )
+                if self._stopped:
+                    raise RuntimeError(
+                        "worker stopped with unflushed epochs (recover via replay())"
+                    )
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._done.wait(remaining)
+        return True
+
+    def drain(self, timeout: Optional[float] = None) -> int:
+        """Barrier over everything committed so far; returns the served generation."""
+        if not self.sync(timeout):
+            raise TimeoutError("drain() timed out awaiting the maintenance worker")
+        return self.published_generation
+
+    def close(self) -> None:
+        """Drain pending epochs, stop the worker, detach (idempotent).
+
+        Detaching must happen even when the drain barrier fails (a worker
+        crash mid-close): a dead maintainer left subscribed would keep
+        absorbing -- and erroring on -- every later commit.
+        """
+        try:
+            if self._worker.is_alive() and self._failure is None:
+                self.resume()
+                with self._lock:
+                    stopped = self._stopped
+                if not stopped:
+                    self.sync()
+        finally:
+            self.kill()
+
+    def kill(self) -> None:
+        """Stop the worker *without* flushing (crash simulation) and detach.
+
+        Unflushed epochs stay in :meth:`unflushed_epochs` for
+        :meth:`replay`; the state and catalog are unsubscribed so the dead
+        maintainer no longer observes mutations.
+        """
+        with self._lock:
+            self._stopped = True
+            self._wake.notify_all()
+            self._done.notify_all()
+        if self._worker.is_alive() and threading.current_thread() is not self._worker:
+            self._worker.join()
+        self.state.unsubscribe(self)
+        self.catalog.remove_maintenance_listener(self)
+
+    # -- crash recovery -----------------------------------------------------------
+
+    def recover(self) -> Optional[int]:
+        """Replay this stopped maintainer's own unflushed log in place.
+
+        The instance-level recovery path: besides re-applying the log (see
+        :meth:`replay`), it advances the serving cut -- ``read_extents()``
+        / :meth:`serving_state` answer for the recovered generation
+        afterwards, keeping the consistent-cut contract intact through a
+        crash-and-recover cycle.  Requires a stopped worker (:meth:`kill`).
+        """
+        with self._lock:
+            if not self._stopped:
+                raise RuntimeError("recover() requires a stopped maintainer (kill() first)")
+            records = tuple(self._log)
+        generation = AsyncMaintainer.replay(
+            records,
+            self.catalog,
+            shards=self.shards,
+            backend=self.backend,
+            max_workers=self.max_workers,
+            statistics=self.statistics,
+        )
+        if records:
+            with self._publish:
+                self._serving = records[-1].snapshot
+            with self._lock:
+                self._flushed_sequence = records[-1].sequence
+                del self._log[: len(records)]
+        return generation
+
+    @classmethod
+    def replay(
+        cls,
+        epochs: Iterable[MaintenanceEpoch],
+        catalog: ViewCatalog,
+        *,
+        shards: Optional[int] = None,
+        backend: str = "thread",
+        max_workers: Optional[int] = None,
+        statistics: Optional[MaintenanceStatistics] = None,
+    ) -> Optional[int]:
+        """Re-apply a crashed maintainer's complete unflushed epoch log.
+
+        The records are coalesced like one window and flushed against the
+        *last* record's pinned snapshot -- exactly what the crashed worker
+        would eventually have published.  Deltas are idempotent to replay,
+        so replaying twice (or after a partial earlier flush) converges to
+        the same extents.  Returns the published generation, or ``None``
+        when the log is empty.
+
+        This classmethod targets the real crash scenario, where the dead
+        maintainer object is gone and only its persisted log remains; when
+        the instance is still at hand, prefer :meth:`recover`, which also
+        advances the instance's serving cut to the recovered generation.
+        """
+        records = sorted(epochs, key=lambda epoch: epoch.sequence)
+        if not records:
+            return None
+        engine = _MaintenanceEngine(
+            catalog,
+            shards=shards,
+            backend=backend,
+            max_workers=max_workers,
+            statistics=statistics,
+        )
+        target = records[-1]
+        pending = engine._coalesce_epochs(records)
+        engine.statistics.replayed_epochs += len(records)
+        engine._flush_pending(pending, target.snapshot, _DirectSink(target.generation))
+        return target.generation

@@ -59,6 +59,7 @@ from ..dl.ast import DLSchema
 __all__ = [
     "IntegrityViolation",
     "DatabaseState",
+    "StateSnapshot",
     "Delta",
     "ObjectAdded",
     "ObjectRemoved",
@@ -142,6 +143,103 @@ class AttributeRemoved(Delta):
     subject: str
     attribute: str
     value: str
+
+
+class StateSnapshot:
+    """An immutable, generation-pinned read view of a :class:`DatabaseState`.
+
+    Pins the state *as of one generation*: the object set, the ``SL``
+    schema, and the cached interpretation export, all of which are frozen
+    structures shared with the live state (taking a snapshot is O(classes +
+    attributes), not O(data)).  The snapshot exposes exactly the read
+    surface query evaluation and the maintenance flush walk consume
+    (:meth:`to_interpretation`, :attr:`objects`, :meth:`extent`,
+    :meth:`attribute_pairs`, :meth:`object_pairs`), so views can be
+    re-materialized against a *past* generation while the live state keeps
+    mutating -- the serve-from-generation substrate of the async
+    maintenance tier (:class:`repro.database.maintenance.AsyncMaintainer`).
+    """
+
+    __slots__ = (
+        "generation",
+        "schema",
+        "objects",
+        "_interpretation",
+        "_concepts",
+        "_attributes",
+        "_pairs_index",
+    )
+
+    def __init__(self, state: "DatabaseState") -> None:
+        self.generation = state.generation
+        self.schema = state.schema
+        self.objects = state.objects
+        self._interpretation = state.to_interpretation()
+        if state._objects:
+            # The per-name frozensets backing the export; _export_base
+            # builds fresh dicts per generation and never mutates old ones,
+            # so holding references pins them.  (to_interpretation() above
+            # refreshed them to this generation.)
+            self._concepts = dict(state._interp_concepts)
+            self._attributes = dict(state._interp_attributes)
+        else:
+            # The empty-state export bypasses _export_base, whose dicts may
+            # still describe the last non-empty generation.
+            self._concepts = {}
+            self._attributes = {}
+        self._pairs_index: Optional[Dict[str, Tuple[Tuple[str, str, str], ...]]] = None
+
+    def to_interpretation(self, constants: Optional[Iterable[str]] = None) -> Interpretation:
+        """The pinned state as a finite interpretation (see ``DatabaseState``)."""
+        extra = frozenset(constants or ()) - self.objects
+        if not extra:
+            return self._interpretation
+        if not self.objects:
+            constant_map = {name: name for name in extra}
+            return Interpretation(extra, {}, {}, constant_map)
+        domain = self._interpretation.domain | extra
+        constant_map = {obj: obj for obj in domain}
+        return Interpretation.trusted(
+            frozenset(domain), self._concepts, self._attributes, constant_map
+        )
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    def extent(self, class_name: str) -> FrozenSet[str]:
+        """The upward-closed class extent at the pinned generation."""
+        return self._concepts.get(class_name, frozenset())
+
+    def attribute_pairs(self, attribute: str) -> FrozenSet[Tuple[str, str]]:
+        """All value assignments of one attribute at the pinned generation."""
+        return self._attributes.get(attribute, frozenset())
+
+    def classes(self) -> FrozenSet[str]:
+        """Class names with a pinned extension (explicit members or schema)."""
+        return frozenset(self._concepts)
+
+    def attributes(self) -> FrozenSet[str]:
+        """Attribute names with a pinned extension."""
+        return frozenset(self._attributes)
+
+    def object_pairs(self, object_id: str) -> Tuple[Tuple[str, str, str], ...]:
+        """The ``(attribute, subject, value)`` triples touching one object.
+
+        Backed by an index built lazily from the pinned attribute
+        extensions (one O(total pairs) pass on first use, amortized over a
+        whole flush batch); the build runs on the maintenance worker
+        thread, never on the committing mutator.
+        """
+        if self._pairs_index is None:
+            index: Dict[str, List[Tuple[str, str, str]]] = {}
+            for attribute, pairs in self._attributes.items():
+                for subject, value in pairs:
+                    triple = (attribute, subject, value)
+                    index.setdefault(subject, []).append(triple)
+                    if value != subject:
+                        index.setdefault(value, []).append(triple)
+            self._pairs_index = {key: tuple(triples) for key, triples in index.items()}
+        return self._pairs_index.get(object_id, ())
 
 
 class DatabaseState:
@@ -546,6 +644,17 @@ class DatabaseState:
         return not self.integrity_violations()
 
     # -- export -----------------------------------------------------------------
+
+    def snapshot(self) -> StateSnapshot:
+        """Pin the current generation as an immutable :class:`StateSnapshot`.
+
+        The snapshot shares the frozen per-name extensions with the cached
+        interpretation export, so taking one costs a dict copy, not a data
+        copy.  Later mutations of this state never change a snapshot:
+        readers (and the async maintenance worker) evaluate against the
+        pinned generation while the live state moves on.
+        """
+        return StateSnapshot(self)
 
     def to_interpretation(self, constants: Optional[Iterable[str]] = None) -> Interpretation:
         """The state as a finite interpretation (classes upward-closed along ``isA``).

@@ -48,6 +48,11 @@ class MaterializedView:
         self.definition = definition
         self.concept = normalize_concept(concept)
         self._extent: FrozenSet[str] = frozenset()
+        #: Generation of the state the stored extent was computed against
+        #: (``None`` until first stamped).  The async maintenance tier
+        #: stamps every install, so readers can tell *which* consistent
+        #: database generation an extent answers for.
+        self.extent_generation: Optional[int] = None
         self.refresh_count = 0
         self.access_count = 0
 
@@ -60,6 +65,7 @@ class MaterializedView:
         their ``QL`` concept restricted to the stored objects.
         """
         self._extent = evaluator.concept_answers(self.concept, state)
+        self.extent_generation = getattr(state, "generation", None)
         self.refresh_count += 1
         return self._extent
 
@@ -77,19 +83,39 @@ class MaterializedView:
         """Incremental maintenance: drop a deleted object from the extent."""
         self._extent = self._extent - {object_id}
 
-    def adopt_extent(self, extent: FrozenSet[str]) -> FrozenSet[str]:
+    def adopt_extent(
+        self, extent: FrozenSet[str], generation: Optional[int] = None
+    ) -> FrozenSet[str]:
         """Install an externally computed extent (counts as a refresh).
 
         The maintenance engine evaluates each lattice node's concept once
         and hands the answer set to every view of the node; going through
         this method keeps the refresh bookkeeping consistent with
-        :meth:`refresh`.
+        :meth:`refresh`.  ``generation`` stamps the state generation the
+        extent was computed against.
         """
         self._extent = frozenset(extent)
+        if generation is not None:
+            self.extent_generation = generation
         self.refresh_count += 1
         return self._extent
 
-    def discard_objects(self, objects) -> None:
+    def replace_extent(
+        self, extent: FrozenSet[str], generation: Optional[int] = None
+    ) -> FrozenSet[str]:
+        """Install an extent *without* counting a refresh.
+
+        Used by the async tier to publish set-algebra results (discards
+        staged against a pinned snapshot) whose synchronous counterpart is
+        :meth:`discard_objects`, which does not bump ``refresh_count``
+        either -- keeping the two tiers' bookkeeping byte-identical.
+        """
+        self._extent = frozenset(extent)
+        if generation is not None:
+            self.extent_generation = generation
+        return self._extent
+
+    def discard_objects(self, objects, generation: Optional[int] = None) -> None:
         """Drop objects from the stored extent without re-evaluating.
 
         Sound whenever the objects provably left the view: deleted objects,
@@ -97,6 +123,8 @@ class MaterializedView:
         (the lattice-pruned maintenance case).
         """
         self._extent = self._extent - frozenset(objects)
+        if generation is not None:
+            self.extent_generation = generation
 
     # -- access ------------------------------------------------------------------
 
@@ -315,8 +343,8 @@ class ViewCatalog:
         from ..optimizer.parallel import (
             BatchCheckerView,
             BatchStatistics,
+            LatticeSeedIndex,
             classify_batch,
-            seed_against_lattice,
         )
 
         # Last occurrence of a duplicated name wins and takes that
@@ -349,12 +377,22 @@ class ViewCatalog:
             merge_checker = BatchCheckerView(
                 self.checker, profiles, statistics=statistics, direct=True
             )
+            # The merge phase seeds each insertion's told subsumptions from
+            # an *incrementally maintained* conjunct-id posting index over
+            # the live DAG: per-insertion cost follows the posting lists the
+            # concept hits, not the catalog size (seed_against_lattice, the
+            # linear pass, remains the executable spec).
+            seeder = LatticeSeedIndex(self._lattice)
             for view in batch:
                 if view.name in self._views:
+                    node_before = self._lattice.node_of(view.name)
                     self.unregister(view.name)
-                seed_against_lattice(merge_checker, self._lattice, view.concept)
+                    if node_before is not None and not node_before.views:
+                        seeder.discard_node(node_before)
+                seeder.seed_positives(merge_checker, view.concept)
                 self._views[view.name] = view
                 self._lattice.insert(view, merge_checker)
+                seeder.add_node(self._lattice.node_of(view.name))
                 self._view_admitted(view)
         else:
             for view in batch:

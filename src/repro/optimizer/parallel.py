@@ -86,6 +86,7 @@ __all__ = [
     "BatchStatistics",
     "BatchCheckerView",
     "ConceptProfile",
+    "LatticeSeedIndex",
     "ShardedMatcher",
     "available_backends",
     "classify_batch",
@@ -421,24 +422,49 @@ class _CatalogSnapshot:
         entries sharing no conjunct -- which can satisfy neither inclusion
         -- are never touched.
         """
-        query_id = concept_id(normalize_concept(concept))
-        query_conjuncts = conjunct_ids(concept)
-        shared: Dict[int, int] = {}
-        for conjunct in query_conjuncts:
-            for position in self._postings.get(conjunct, ()):
-                shared[position] = shared.get(position, 0) + 1
-        told_nodes = []
-        query_size = len(query_conjuncts)
-        for position, count in shared.items():
-            entry, entry_id, entry_conjuncts = self.entries[position]
-            if count == len(entry_conjuncts):
-                view_checker.seed(query_id, entry_id, True)
-                if self.use_lattice:
-                    told_nodes.append(entry)
-            if count == query_size:
-                view_checker.seed(entry_id, query_id, True)
-        if told_nodes:
-            _seed_ancestor_closure(view_checker, query_id, told_nodes)
+        _seed_from_postings(
+            view_checker,
+            concept,
+            self._postings,
+            self.entries.__getitem__,
+            self.use_lattice,
+        )
+
+
+def _seed_from_postings(
+    view_checker: BatchCheckerView,
+    concept: Concept,
+    postings,
+    entry_of,
+    lattice_mode: bool,
+) -> None:
+    """The posting-list counting core shared by both seeding indexes.
+
+    ``postings`` maps conjunct id to hashable entry keys; ``entry_of(key)``
+    resolves a key to its ``(entry, interned id, conjunct ids)`` triple.
+    One tally pass decides both told-inclusion directions per entry (see
+    :meth:`_CatalogSnapshot.seed_positives`); keeping the frozen-snapshot
+    and live-lattice indexes on one implementation is load-bearing, since
+    both are property-tested identical to :func:`_seed_told_positives`.
+    """
+    query_id = concept_id(normalize_concept(concept))
+    query_conjuncts = conjunct_ids(concept)
+    shared: Dict[object, int] = {}
+    for conjunct in query_conjuncts:
+        for key in postings.get(conjunct, ()):
+            shared[key] = shared.get(key, 0) + 1
+    told_nodes = []
+    query_size = len(query_conjuncts)
+    for key, count in shared.items():
+        entry, entry_id, entry_conjuncts = entry_of(key)
+        if count == len(entry_conjuncts):
+            view_checker.seed(query_id, entry_id, True)
+            if lattice_mode:
+                told_nodes.append(entry)
+        if count == query_size:
+            view_checker.seed(entry_id, query_id, True)
+    if told_nodes:
+        _seed_ancestor_closure(view_checker, query_id, told_nodes)
 
 
 def _seed_told_positives(
@@ -486,12 +512,82 @@ def seed_against_lattice(
 
     Conjunct-id sets are memoized process-wide, so re-seeding per merge
     insertion costs set operations over the current nodes, not AST walks.
+    This linear pass is the executable specification of
+    :class:`LatticeSeedIndex`, which the batched merge phase uses instead
+    (property-tested identical seed deltas).
     """
     entries = [
         (node, concept_id(node.concept), conjunct_ids(node.concept))
         for node in lattice.nodes()
     ]
     _seed_told_positives(view_checker, concept, entries, True)
+
+
+class LatticeSeedIndex:
+    """Incremental conjunct-id postings over a *live* lattice.
+
+    :func:`seed_against_lattice` rebuilds its entry list from every node on
+    every call, so the merge phase of ``ViewCatalog.register_batch`` seeded
+    linearly per insertion -- O(batch x catalog) set operations for a large
+    batch.  This index keeps the same conjunct-id posting lists the frozen
+    :class:`_CatalogSnapshot` uses, but *incrementally*: the merge loop
+    tells it which node an insertion added (:meth:`add_node`) and which
+    node an unregistration spliced out (:meth:`discard_node`), and each
+    :meth:`seed_positives` call then touches only the posting lists the
+    query's conjuncts hit.  Nodes whose membership merely changed (a view
+    joining an existing equivalence class) need no re-indexing: postings
+    key on the node's *concept*, which never changes.
+
+    Seeded decisions are property-tested identical to the linear pass in
+    ``tests/optimizer/test_batch_filters.py``.
+    """
+
+    def __init__(self, lattice) -> None:
+        self._entries: Dict[int, Tuple[object, int, FrozenSet[int]]] = {}
+        self._postings: Dict[int, Set[int]] = {}
+        for node in lattice.nodes():
+            self.add_node(node)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add_node(self, node) -> None:
+        """Index a node (no-op if already indexed)."""
+        key = id(node)
+        if key in self._entries or node is None:
+            return
+        entry = (node, concept_id(node.concept), conjunct_ids(node.concept))
+        self._entries[key] = entry
+        for conjunct in entry[2]:
+            self._postings.setdefault(conjunct, set()).add(key)
+
+    def discard_node(self, node) -> None:
+        """Drop a spliced-out node from the postings (no-op if absent).
+
+        The index holds a reference to every indexed node, so ``id()`` keys
+        cannot alias a collected object while the entry is live.
+        """
+        entry = self._entries.pop(id(node), None)
+        if entry is None:
+            return
+        for conjunct in entry[2]:
+            bucket = self._postings.get(conjunct)
+            if bucket is not None:
+                bucket.discard(id(node))
+                if not bucket:
+                    del self._postings[conjunct]
+
+    def seed_positives(self, view_checker: BatchCheckerView, concept: Concept) -> None:
+        """Seed every told subsumption between ``concept`` and the live DAG.
+
+        Same counting trick as :meth:`_CatalogSnapshot.seed_positives` --
+        both delegate to :func:`_seed_from_postings` -- so one pass over
+        the posting lists decides both inclusion directions, and nodes
+        sharing no conjunct with the query are never touched.
+        """
+        _seed_from_postings(
+            view_checker, concept, self._postings, self._entries.__getitem__, True
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -28,10 +28,11 @@ import argparse
 import json
 import random
 import time
+from statistics import median
 from typing import Dict, List, Optional, Tuple
 
 from ..core.checker import clear_shared_decision_cache
-from ..database.maintenance import MaintenanceQueue
+from ..database.maintenance import AsyncMaintainer, MaintenanceQueue
 from ..database.store import DatabaseState
 from ..dl.abstraction import schema_to_sl
 from ..dl.ast import DLSchema
@@ -56,6 +57,7 @@ __all__ = [
     "generate_update_stream",
     "apply_update",
     "run_maintenance_workload",
+    "run_async_maintenance_workload",
     "main",
 ]
 
@@ -309,22 +311,26 @@ def apply_update(state: DatabaseState, op: Tuple) -> Tuple[str, List[str]]:
     raise ValueError(f"unknown update op {op!r}")
 
 
-def _serve_round(optimizer, concept, state) -> bool:
+def _serve_round(optimizer, concept, source, extents=None) -> bool:
     """One live query against the (possibly mutating) catalog.
 
-    Matches the concept, then checks that filtering through the smallest
-    subsuming view's stored extent loses no answers -- exactly the soundness
-    the paper's optimizer relies on, which only holds while extents are
-    maintained correctly.
+    Matches the concept, then checks that filtering through the best
+    subsuming view's extent loses no answers over ``source`` -- exactly the
+    soundness the paper's optimizer relies on, which only holds while
+    extents are maintained correctly.  ``extents`` overrides where the
+    candidate set comes from: the async tier passes the published cut (and
+    the pinned snapshot it answers for as ``source``), so both tiers run
+    the *same* check against their respective serving model.
     """
     matches = optimizer.subsuming_views_for_concept(concept)
-    full = optimizer.evaluator.concept_answers(concept, state)
+    full = optimizer.evaluator.concept_answers(concept, source)
     if not matches:
         return True
     best = matches[0]
-    filtered = optimizer.evaluator.concept_answers(
-        concept, state, candidates=best.stored_extent
+    candidates = (
+        best.stored_extent if extents is None else extents.get(best.name, frozenset())
     )
+    filtered = optimizer.evaluator.concept_answers(concept, source, candidates=candidates)
     return filtered == full
 
 
@@ -473,13 +479,225 @@ def run_maintenance_workload(
     }
 
 
+# ---------------------------------------------------------------------------
+# Async maintenance workload (serve-from-generation while flushing behind)
+# ---------------------------------------------------------------------------
+
+
+def run_async_maintenance_workload(
+    workload: str = "university",
+    *,
+    views: int = 32,
+    updates: int = 48,
+    batch_size: int = 8,
+    window: int = 4,
+    queries: int = 8,
+    seed: int = 0,
+    shards: Optional[int] = None,
+    backend: str = "thread",
+    batched_registration: bool = False,
+) -> Dict[str, object]:
+    """Serve reads under a sustained update stream: sync vs. async flushing.
+
+    Two identical state/catalog pairs process the same mutation stream in
+    epochs of ``batch_size``; after every epoch each side answers one query
+    from the stream, and the *epoch turnaround* -- time from submitting the
+    epoch's mutations to the read being answered -- is sampled:
+
+    * the **sync** side attaches a :class:`MaintenanceQueue`, so the commit
+      itself pays the flush before the read can run (the PR 4 serving
+      model: always fresh, read waits for maintenance);
+    * the **async** side attaches an :class:`AsyncMaintainer` with a
+      ``window``-epoch coalescing window, so the commit merely enqueues and
+      the read is served immediately from the last *published* generation's
+      extents, evaluated against that generation's pinned snapshot (bounded
+      staleness, never inconsistency).
+
+    The verdicts make the trade executable:
+
+    * ``async_serving_sound`` / ``sync_serving_sound`` -- filtering a query
+      through the smallest subsuming view's served extent loses no answers
+      *with respect to the generation being served* (the paper's
+      view-filter soundness, restated per generation);
+    * ``prefix_consistent`` -- every cut :meth:`~AsyncMaintainer.read_extents`
+      returned during the run equals the from-scratch refresh of its
+      generation (checked post-hoc against per-epoch pinned snapshots);
+    * ``drained_equal_sync`` -- after the final ``drain()`` barrier the
+      async side's stored extents are byte-identical to the sync side's;
+    * ``extents_equal`` / ``states_equal`` -- both equal the from-scratch
+      oracle over the final state.
+    """
+    schema, sync_state, catalog_concepts, stream = batch_workload_setup(
+        workload, views, max(queries, 1), seed
+    )
+    _, async_state, _, _ = batch_workload_setup(workload, views, max(queries, 1), seed)
+    items = list(catalog_concepts.items())
+    generator_schema = schema_to_sl(schema) if isinstance(schema, DLSchema) else schema
+    ops = generate_update_stream(generator_schema, sync_state, updates, seed=seed + 101)
+    epochs = [ops[i : i + batch_size] for i in range(0, len(ops), batch_size)]
+
+    clear_shared_decision_cache()
+
+    def build_side(side_state: DatabaseState) -> SemanticQueryOptimizer:
+        optimizer = SemanticQueryOptimizer(schema, lattice=True)
+        if batched_registration:
+            optimizer.register_views_batch(items, backend=backend)
+        else:
+            for name, concept in items:
+                optimizer.register_view_concept(name, concept)
+        optimizer.catalog.refresh_all(side_state)
+        return optimizer
+
+    sync_side = build_side(sync_state)
+    async_side = build_side(async_state)
+    # Both tiers get the identical flush configuration (shards/backend), so
+    # the latency delta isolates async-vs-sync serving, not sharding.
+    sync_queue = MaintenanceQueue(
+        sync_state, sync_side.catalog, shards=shards, backend=backend
+    )
+    maintainer = AsyncMaintainer(
+        async_state,
+        async_side.catalog,
+        window=window,
+        shards=shards,
+        backend=backend,
+    )
+
+    # Pre-warm view matching for both sides before any timing: matching
+    # shares process-wide decision caches, so whichever timed loop ran
+    # first would otherwise pay the cold matches alone and bias the
+    # guarded latency ratio toward the side measured second.
+    for concept in stream:
+        sync_side.subsuming_views_for_concept(concept)
+        async_side.subsuming_views_for_concept(concept)
+
+    # -- sync side: the read pays the inline flush -------------------------
+    sync_latencies: List[float] = []
+    sync_serving_sound = True
+    start = time.perf_counter()
+    for index, epoch in enumerate(epochs):
+        t0 = time.perf_counter()
+        with sync_state.batch():
+            for op in epoch:
+                apply_update(sync_state, op)
+        if stream:
+            sync_serving_sound &= _serve_round(
+                sync_side, stream[index % len(stream)], sync_state
+            )
+        sync_latencies.append(time.perf_counter() - t0)
+    sync_seconds = time.perf_counter() - start
+
+    # -- async side: the read is served from the published generation ------
+    async_latencies: List[float] = []
+    async_serving_sound = True
+    observed_cuts: List[Tuple[int, Dict[str, frozenset]]] = []
+    snapshots = {async_state.generation: async_state.snapshot()}
+    start = time.perf_counter()
+    for index, epoch in enumerate(epochs):
+        t0 = time.perf_counter()
+        with async_state.batch():
+            for op in epoch:
+                apply_update(async_state, op)
+        if stream:
+            concept = stream[index % len(stream)]
+            # One lock acquisition: the snapshot and the extents must
+            # describe the same published generation or the soundness
+            # check below would compare across a racing publish.
+            serving, extents = maintainer.serving_cut()
+            observed_cuts.append((serving.generation, extents))
+            async_serving_sound &= _serve_round(
+                async_side, concept, serving, extents
+            )
+        async_latencies.append(time.perf_counter() - t0)
+        # setdefault would construct the snapshot eagerly even on a hit.
+        if async_state.generation not in snapshots:
+            snapshots[async_state.generation] = async_state.snapshot()
+    published_generation = maintainer.drain()
+    async_seconds = time.perf_counter() - start
+    stats = maintainer.statistics
+    maintainer.close()
+    sync_queue.close()
+
+    # -- verdicts ----------------------------------------------------------
+    def from_scratch(optimizer, source):
+        return {
+            view.name: optimizer.evaluator.concept_answers(view.concept, source)
+            for view in optimizer.catalog
+        }
+
+    oracle_cache: Dict[int, Dict[str, frozenset]] = {}
+    prefix_consistent = True
+    for generation, extents in observed_cuts:
+        if generation not in snapshots:
+            prefix_consistent = False
+            break
+        if generation not in oracle_cache:
+            oracle_cache[generation] = from_scratch(async_side, snapshots[generation])
+        prefix_consistent &= extents == oracle_cache[generation]
+
+    drained_equal_sync = all(
+        async_side.catalog.get(name).stored_extent
+        == sync_side.catalog.get(name).stored_extent
+        for name in sync_side.catalog.names()
+    )
+    extents_equal = (
+        from_scratch(async_side, async_state)
+        == {view.name: view.stored_extent for view in async_side.catalog}
+    )
+    states_equal = sync_state.objects == async_state.objects and all(
+        sync_state.extent(name) == async_state.extent(name)
+        for name in sync_state.classes()
+    )
+
+    return {
+        "workload": workload,
+        "views": len(items),
+        "updates": len(ops),
+        "batch_size": batch_size,
+        "window": window,
+        "epochs": len(epochs),
+        "shards": shards,
+        "backend": backend,
+        "sync_seconds": sync_seconds,
+        "async_seconds": async_seconds,
+        "sync_p50_latency_ms": 1e3 * median(sync_latencies) if sync_latencies else None,
+        "async_p50_latency_ms": (
+            1e3 * median(async_latencies) if async_latencies else None
+        ),
+        "latency_speedup": (
+            median(sync_latencies) / median(async_latencies)
+            if async_latencies and median(async_latencies)
+            else None
+        ),
+        "published_generation": published_generation,
+        "sync_serving_sound": sync_serving_sound,
+        "async_serving_sound": async_serving_sound,
+        "prefix_consistent": prefix_consistent,
+        "drained_equal_sync": drained_equal_sync,
+        "extents_equal": extents_equal,
+        "states_equal": states_equal,
+        "epochs_enqueued": stats.epochs_enqueued,
+        "epochs_coalesced": stats.epochs_coalesced,
+        "flushes": stats.flushes,
+        "backpressure_waits": stats.backpressure_waits,
+        "deltas_seen": stats.deltas_seen,
+        "deltas_coalesced": stats.deltas_coalesced,
+        "views_evaluated": stats.views_evaluated,
+        "views_lattice_pruned": stats.views_lattice_pruned,
+        "views_skipped_irrelevant": stats.views_skipped_irrelevant,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--scenario",
         default="serve",
-        choices=("serve", "maintain"),
-        help="serve: batched register+match; maintain: update-heavy maintenance",
+        choices=("serve", "maintain", "maintain-async"),
+        help=(
+            "serve: batched register+match; maintain: update-heavy "
+            "maintenance; maintain-async: serve-from-generation async flushes"
+        ),
     )
     parser.add_argument(
         "--workload",
@@ -490,10 +708,33 @@ def main(argv=None) -> int:
     parser.add_argument("--queries", type=int, default=16)
     parser.add_argument("--updates", type=int, default=48)
     parser.add_argument("--batch-size", type=int, default=8)
+    parser.add_argument("--window", type=int, default=4)
     parser.add_argument("--shards", type=int, default=2)
     parser.add_argument("--backend", default="thread")
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
+    if args.scenario == "maintain-async":
+        report = run_async_maintenance_workload(
+            args.workload,
+            views=args.views,
+            updates=args.updates,
+            batch_size=args.batch_size,
+            window=args.window,
+            queries=args.queries,
+            shards=args.shards if args.shards > 1 else None,
+            backend=args.backend,
+            seed=args.seed,
+        )
+        print(json.dumps(report, indent=2, sort_keys=True))
+        ok = (
+            report["prefix_consistent"]
+            and report["drained_equal_sync"]
+            and report["extents_equal"]
+            and report["states_equal"]
+            and report["async_serving_sound"]
+            and report["sync_serving_sound"]
+        )
+        return 0 if ok else 1
     if args.scenario == "maintain":
         report = run_maintenance_workload(
             args.workload,

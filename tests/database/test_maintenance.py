@@ -28,28 +28,26 @@ from repro.database.views import ViewCatalog
 from repro.dl.parser import parse_schema
 from repro.semantics.interpretation import Interpretation
 from repro.workloads.medical import MEDICAL_DL_SOURCE, medical_schema
-from repro.workloads.synthetic import (
-    SchemaProfile,
-    generate_hierarchical_catalog,
-    random_schema,
+from repro.workloads.synthetic import SchemaProfile, random_schema
+
+from ..strategies import (
+    apply_mutation as apply_op,
+    hierarchical_catalog,
+    mutation_vocabulary,
+    mutations,
+    simple_mutations,
 )
 
 SCHEMA = random_schema(
     SchemaProfile(classes=6, attributes=4, hierarchy_depth=2), seed=5
 )
-CLASSES = sorted(SCHEMA.concept_names())
-ATTRIBUTES = sorted(SCHEMA.attribute_names())
-OBJECT_IDS = [f"o{i}" for i in range(8)]
-CATALOG_CONCEPTS = generate_hierarchical_catalog(SCHEMA, 8, seed=3)
+OBJECT_IDS, CLASSES, ATTRIBUTES = mutation_vocabulary(SCHEMA, object_count=8)
 
 EVALUATOR = QueryEvaluator(None)
 
 
 def build_catalog(lattice: bool) -> ViewCatalog:
-    catalog = ViewCatalog(None, checker=SubsumptionChecker(SCHEMA), lattice=lattice)
-    for name, concept in CATALOG_CONCEPTS.items():
-        catalog.register_concept(name, concept)
-    return catalog
+    return hierarchical_catalog(SCHEMA, 8, lattice=lattice, seed=3)
 
 
 @pytest.fixture(scope="module")
@@ -62,46 +60,10 @@ def flat_catalog():
     return build_catalog(lattice=False)
 
 
-# -- op strategies -----------------------------------------------------------
+# -- op strategies (shared with the async oracle; see tests/strategies.py) ---
 
-objects_st = st.sampled_from(OBJECT_IDS)
-classes_st = st.sampled_from(CLASSES)
-attributes_st = st.sampled_from(ATTRIBUTES)
-
-simple_op = st.one_of(
-    st.tuples(st.just("add"), objects_st, st.lists(classes_st, max_size=2)),
-    st.tuples(st.just("assert"), objects_st, classes_st),
-    st.tuples(st.just("retract"), objects_st, classes_st),
-    st.tuples(st.just("set"), objects_st, attributes_st, objects_st),
-    st.tuples(st.just("unset"), objects_st, attributes_st, objects_st),
-    st.tuples(st.just("remove"), objects_st),
-)
-op = st.one_of(
-    simple_op,
-    st.tuples(st.just("batch"), st.lists(simple_op, min_size=1, max_size=6)),
-)
-
-
-def apply_op(state: DatabaseState, operation) -> None:
-    kind = operation[0]
-    if kind == "add":
-        state.add_object(operation[1], *operation[2])
-    elif kind == "assert":
-        state.assert_membership(operation[1], operation[2])
-    elif kind == "retract":
-        state.retract_membership(operation[1], operation[2])
-    elif kind == "set":
-        state.set_attribute(operation[1], operation[2], operation[3])
-    elif kind == "unset":
-        state.remove_attribute(operation[1], operation[2], operation[3])
-    elif kind == "remove":
-        state.remove_object(operation[1])
-    elif kind == "batch":
-        with state.batch():
-            for sub in operation[1]:
-                apply_op(state, sub)
-    else:  # pragma: no cover
-        raise AssertionError(kind)
+simple_op = simple_mutations(OBJECT_IDS, CLASSES, ATTRIBUTES)
+op = mutations(OBJECT_IDS, CLASSES, ATTRIBUTES)
 
 
 def seed_state() -> DatabaseState:

@@ -12,7 +12,15 @@ must *never* contradict the spec checker:
 These properties are exactly what makes batched results bitwise equal to
 the sequential spec, so they get their own high-volume fuzz on the shared
 random vocabulary (which exercises necessity axioms, inverses, agreements
-and unsatisfiable singletons).
+and unsatisfiable singletons).  ``TestAdversarialSchemas`` additionally
+drives both shortcuts over the adversarial corners ROADMAP requires before
+they may be promoted into the spec checker itself: the empty schema (no Σ
+reasoning to hide behind), deep ``isA`` chains (told closure meets long
+hierarchies) and necessity-gated vocabularies over inverted attribute uses
+(the inverse-synonym shape, which exercises the S5 gate of the head
+filter).  ``TestIncrementalSeedIndex`` pins the live-lattice posting index
+used by the batched registration merge phase to the linear
+``seed_against_lattice`` spec.
 """
 
 from hypothesis import HealthCheck, given, settings
@@ -24,7 +32,15 @@ from repro.optimizer.parallel import (
     profile_concept,
 )
 
-from ..strategies import concepts, schemas
+from ..strategies import (
+    CHAIN_NAMES,
+    adversarial_schemas,
+    concepts,
+    schemas,
+)
+
+#: Concepts over the deep-chain name pool, heavy on inverted attributes.
+chain_concepts = concepts(max_depth=2, names=CHAIN_NAMES)
 
 
 class TestToldSubsumption:
@@ -119,3 +135,159 @@ class TestSnapshotSeedingIndex:
 
     def test_flat_snapshot(self):
         self._seed_deltas_match(lattice=False)
+
+
+#: Concepts over the union vocabulary: the chain names meet the default
+#: names/attributes, so the same stream exercises deep hierarchies and the
+#: necessity-gated (S5) head filter branch.
+adversarial_concepts = concepts(max_depth=2, names=CHAIN_NAMES[:4] + ["A", "B"])
+
+
+class TestAdversarialSchemas:
+    """Promotion-precondition fuzz: the shortcuts on the adversarial corners.
+
+    ROADMAP gates promoting the told seeds and profile filters into the
+    spec checker on exactly this rigor: no schema (nothing for Σ reasoning
+    to hide behind), deep ``isA`` chains (told closure vs. long
+    hierarchies) and necessity axioms over attributes that concepts use
+    inverted (the inverse-synonym shape; necessity is what arms rule S5,
+    the only rule that can conjure a root attribute step the profile did
+    not see).  Example budgets are unpinned so ``HYPOTHESIS_PROFILE=ci``
+    scales them up.
+    """
+
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(adversarial_schemas(), adversarial_concepts, adversarial_concepts)
+    def test_told_inclusion_implies_subsumption(self, schema, query, view):
+        if conjunct_ids(view) <= conjunct_ids(query):
+            checker = SubsumptionChecker(schema, shared_cache=False)
+            assert checker.subsumes(query, view)
+
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(adversarial_schemas(), adversarial_concepts, adversarial_concepts)
+    def test_rejection_never_contradicts_checker(self, schema, query, view):
+        from repro.concepts.normalize import normalize_concept
+
+        checker = SubsumptionChecker(schema, shared_cache=False)
+        view_checker = BatchCheckerView(checker)
+        if view_checker._rejects(normalize_concept(query), normalize_concept(view)):
+            assert checker.subsumes(query, view) is False
+
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(adversarial_schemas(), adversarial_concepts)
+    def test_profile_satisfiability_matches_checker(self, schema, concept):
+        checker = SubsumptionChecker(schema, shared_cache=False)
+        profile = profile_concept(concept, checker)
+        assert profile.satisfiable == checker.is_satisfiable(concept)
+
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(adversarial_schemas(), adversarial_concepts, adversarial_concepts)
+    def test_view_decisions_equal_spec_decisions(self, schema, query, view):
+        """End to end: on every adversarial corner, shortcut == spec."""
+        spec = SubsumptionChecker(schema, shared_cache=False)
+        worker = BatchCheckerView(SubsumptionChecker(schema, shared_cache=False))
+        assert worker.subsumes(query, view) == spec.subsumes(query, view)
+
+    def test_deep_chain_subsumption_is_schema_derived_not_told(self):
+        """``L0 ⊑_Σ Lk`` holds via the chain only: told seeding must not
+        claim it for free, and the full decision must still find it."""
+        from repro.concepts import builders as b
+        from repro.concepts.schema import Schema
+
+        schema = Schema(
+            [b.isa(CHAIN_NAMES[i], CHAIN_NAMES[i + 1]) for i in range(5)]
+        )
+        checker = SubsumptionChecker(schema, shared_cache=False)
+        worker = BatchCheckerView(checker)
+        bottom, top = b.concept(CHAIN_NAMES[0]), b.concept(CHAIN_NAMES[2])
+        assert not (conjunct_ids(top) <= conjunct_ids(bottom))
+        assert worker.subsumes(bottom, top) is checker.subsumes(bottom, top) is True
+        # The reverse direction fails, and the profile filter may prove it.
+        assert worker.subsumes(top, bottom) is False
+
+
+class TestIncrementalSeedIndex:
+    """The live-lattice posting index vs. the linear merge-phase seeding.
+
+    ``seed_against_lattice`` (one pass over every node per insertion) is
+    the executable specification; :class:`LatticeSeedIndex` must produce
+    the *identical* seed deltas across a whole registration sequence,
+    including re-registrations that splice nodes out of the DAG.
+    """
+
+    def _trace(self, size: int) -> None:
+        from repro.database.views import ViewCatalog
+        from repro.optimizer.parallel import LatticeSeedIndex, seed_against_lattice
+        from repro.workloads.synthetic import (
+            SchemaProfile,
+            generate_hierarchical_catalog,
+            random_schema,
+        )
+
+        schema = random_schema(SchemaProfile(classes=8, attributes=5), seed=17)
+        checker = SubsumptionChecker(schema, shared_cache=False)
+        catalog = ViewCatalog(None, checker=checker, lattice=True)
+        concepts_by_name = generate_hierarchical_catalog(schema, size, seed=23)
+        items = list(concepts_by_name.items())
+        # Pre-register a prefix one at a time, then replay the whole list
+        # (so the suffix re-registers existing names, exercising the
+        # splice-out path) through the incremental index.
+        for name, concept in items[: size // 2]:
+            catalog.register_concept(name, concept)
+        seeder = LatticeSeedIndex(catalog.lattice)
+        for name, concept in items:
+            if catalog.get(name) is not None:
+                node_before = catalog.lattice.node_of(name)
+                catalog.unregister(name)
+                if node_before is not None and not node_before.views:
+                    seeder.discard_node(node_before)
+            indexed = BatchCheckerView(checker)
+            linear = BatchCheckerView(checker)
+            seeder.seed_positives(indexed, concept)
+            seed_against_lattice(linear, catalog.lattice, concept)
+            assert indexed.delta == linear.delta, name
+            catalog.register_concept(name, concept)
+            seeder.add_node(catalog.lattice.node_of(name))
+        # The incrementally maintained index ends up indexing exactly the
+        # nodes a fresh build over the final lattice would.
+        fresh = LatticeSeedIndex(catalog.lattice)
+        assert {id(node) for node, _, _ in seeder._entries.values()} == {
+            id(node) for node, _, _ in fresh._entries.values()
+        }
+
+    def test_incremental_seeding_matches_linear_spec(self):
+        self._trace(size=20)
+
+    def test_register_batch_reregistration_over_existing_catalog(self):
+        """The wired-in merge path: batched re-registration over a live
+        catalog equals sequential re-registration (names, edges, order)."""
+        from repro.database.views import ViewCatalog
+        from repro.workloads.synthetic import (
+            SchemaProfile,
+            generate_hierarchical_catalog,
+            random_schema,
+        )
+
+        schema = random_schema(SchemaProfile(classes=8, attributes=5), seed=29)
+        concepts_by_name = generate_hierarchical_catalog(schema, 16, seed=31)
+        items = list(concepts_by_name.items())
+
+        def preload() -> ViewCatalog:
+            catalog = ViewCatalog(
+                None, checker=SubsumptionChecker(schema, shared_cache=False), lattice=True
+            )
+            for name, concept in items:
+                catalog.register_concept(name, concept)
+            return catalog
+
+        overlap = items[4:12] + items[:4]  # re-register existing names, shuffled
+        sequential = preload()
+        for name, concept in overlap:
+            sequential.register_concept(name, concept)
+        batched = preload()
+        batched.register_batch([(name, concept) for name, concept in overlap])
+        assert batched.names() == sequential.names()
+        for name in batched.names():
+            assert batched.lattice.parents_of(name) == sequential.lattice.parents_of(
+                name
+            )

@@ -6,6 +6,7 @@ from repro.workloads.driver import (
     apply_update,
     batch_workload_setup,
     generate_update_stream,
+    run_async_maintenance_workload,
     run_batch_workload,
     run_maintenance_workload,
 )
@@ -61,6 +62,24 @@ class TestMaintenanceWorkloadDriver:
         )
         assert report["extents_equal"]
         assert report["states_equal"]
+
+    @pytest.mark.parametrize("workload", ["university", "synthetic"])
+    def test_async_serving_workload_green(self, workload):
+        report = run_async_maintenance_workload(
+            workload, views=8, updates=24, batch_size=6, window=2, queries=3, seed=1
+        )
+        assert report["prefix_consistent"]
+        assert report["drained_equal_sync"]
+        assert report["extents_equal"]
+        assert report["states_equal"]
+        assert report["async_serving_sound"]
+        assert report["epochs_enqueued"] > 0
+        # Every enqueued epoch was flushed by drain(); each flush batch of
+        # size k coalesces k-1 epochs, so the counters must reconcile.
+        assert (
+            report["epochs_coalesced"]
+            == report["epochs_enqueued"] - report["flushes"]
+        )
 
     def test_update_stream_is_reproducible(self):
         schema, state_a, _, _ = batch_workload_setup("trading", 4, 2, seed=2)
