@@ -23,7 +23,14 @@ runners and developer laptops alike.
 * **e12** (``BENCH_e12.json``): async-vs-sync p50 epoch-turnaround read
   latency speedup on the 64-view update-heavy university and trading
   workloads (each re-measured point re-asserts prefix consistency and the
-  drain-equals-synchronous-queue verdict).
+  drain-equals-synchronous-queue verdict);
+* **e13** (``BENCH_e13.json``): WAL durability ratios -- the
+  fsync-batching speedup (per-commit-fsync p50 epoch latency over
+  batched-fsync p50) and the checkpoint recovery speedup (from-genesis
+  replay recovery time over checkpoint-based recovery time) on the
+  update-heavy workloads (each re-measured point re-asserts the full
+  crash-recovery verdict set: durable == volatile, recovered == live,
+  recovery idempotent).
 
 Every guard compares the *median relative decay* across its re-measured
 points rather than any single point, so one noisy configuration cannot fail
@@ -94,6 +101,12 @@ E11_WORKLOADS = ("university", "trading")
 #: shape as E11: the committed trajectory also records 256-view points).
 E12_SIZE = 64
 E12_WORKLOADS = ("university", "trading")
+
+#: E13 catalog size and workloads re-measured by the guard (the committed
+#: trajectory also records a synthetic point; two workloads keep CI fast
+#: while still timing both fsync disciplines and both recovery paths).
+E13_SIZE = 32
+E13_WORKLOADS = ("university", "trading")
 
 
 def measure_e8():
@@ -278,6 +291,49 @@ def measure_e12():
     return rows, fresh_points
 
 
+def measure_e13():
+    """WAL fsync-batching + checkpoint recovery speedups (verdicts re-asserted).
+
+    Both guarded values are same-run ratios: ``fsync_batching_speedup``
+    divides the per-commit-fsync epoch latency by the batched-fsync one,
+    ``recovery_speedup`` divides the from-genesis replay recovery time by
+    the checkpoint-based one.  ``durability_point`` asserts every
+    crash-recovery verdict before returning, so a correctness break in the
+    durable tier fails this guard outright rather than showing up as noise.
+    """
+    try:
+        from .bench_e13_durability import durability_point
+    except ImportError:
+        from bench_e13_durability import durability_point
+
+    committed = {
+        (point["workload"], point["catalog_size"]): point
+        for point in _load_committed("e13")["series"]
+    }
+    rows = []
+    fresh_points = []
+    for workload in E13_WORKLOADS:
+        if (workload, E13_SIZE) not in committed:
+            continue
+        fresh = durability_point(workload, E13_SIZE, repeats=3)
+        fresh_points.append(fresh)
+        rows.append(
+            (
+                f"e13 {workload}-{E13_SIZE} fsync batching speedup",
+                committed[(workload, E13_SIZE)]["fsync_batching_speedup"],
+                fresh["fsync_batching_speedup"],
+            )
+        )
+        rows.append(
+            (
+                f"e13 {workload}-{E13_SIZE} checkpoint recovery speedup",
+                committed[(workload, E13_SIZE)]["recovery_speedup"],
+                fresh["recovery_speedup"],
+            )
+        )
+    return rows, fresh_points
+
+
 GUARDS = {
     "e8": measure_e8,
     "e9": measure_e9,
@@ -285,6 +341,7 @@ GUARDS = {
     "e10-matching": measure_e10_matching,
     "e11": measure_e11,
     "e12": measure_e12,
+    "e13": measure_e13,
 }
 
 
@@ -413,6 +470,11 @@ def test_e11_maintenance_throughput_no_regression():
 @pytest.mark.regression
 def test_e12_async_serving_latency_no_regression():
     run_check(guards=["e12"], fresh_dir=_fresh_dir_from_env())
+
+
+@pytest.mark.regression
+def test_e13_durability_no_regression():
+    run_check(guards=["e13"], fresh_dir=_fresh_dir_from_env())
 
 
 def main(argv=None) -> int:

@@ -38,6 +38,29 @@ satisfiable ``C`` interprets that symbol by the empty set (resp. a fresh
 isolated object), so ``C ⊑_Σ D`` can only hold if ``C`` is Σ-unsatisfiable.
 :meth:`subsumes` therefore answers such checks with one (memoized)
 satisfiability probe of ``C`` instead of a full completion per view.
+
+Two further **decision shortcuts**, born in the batch layer
+(:mod:`repro.optimizer.parallel`) and promoted here after the adversarial
+fuzz in ``tests/optimizer/test_batch_filters.py`` proved them sound on
+every corner (empty schema, deep ``isA`` chains, necessity-gated inverse
+vocabularies), now run inside :meth:`subsumes` itself:
+
+1. **Told subsumption.**  Normalized concepts are canonical sorted
+   conjunctions, so ``conjunct_ids(D) ⊆ conjunct_ids(C)`` (compared as
+   interned ids) proves ``C ⊑_Σ D`` for *every* schema: ``QL`` has no
+   negation, hence dropping conjuncts only generalizes.
+2. **Root-membership rejection.**  One facts-only completion per query
+   (the memoized :class:`ConceptProfile`) decides all primitive subsumers
+   at once: ``C ⊑_Σ A`` with primitive ``A`` holds iff ``A`` was
+   established at the root of ``C``'s completion, and ``C ⊑ ∃(R:...)p``
+   (or an agreement headed by ``R``) needs an ``R``-step at the root,
+   which only an existing edge or rule S5 (gated on a schema necessity
+   axiom for ``R``) can provide.  A satisfiable query failing either
+   necessary condition is rejected without a completion.
+
+Both shortcuts replace completion runs by cheaper reasoning without ever
+changing an answer; ``shortcuts=False`` opts out (the fuzz suite pins the
+two modes decision-equal).
 """
 
 from __future__ import annotations
@@ -46,14 +69,36 @@ import itertools
 import weakref
 from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
 
+from dataclasses import dataclass
+
+from ..calculus.constraints import (
+    AttributeConstraint,
+    MembershipConstraint,
+    PathConstraint,
+)
 from ..calculus.subsume import SubsumptionResult, decide_subsumption
+from ..concepts import intern
 from ..concepts.intern import concept_id
 from ..concepts.normalize import normalize_concept
 from ..concepts.schema import Schema
-from ..concepts.syntax import Concept
-from ..concepts.visitors import constants, primitive_attributes, primitive_concepts
+from ..concepts.syntax import Concept, ExistsPath, Path, PathAgreement, Primitive
+from ..concepts.visitors import (
+    conjuncts,
+    constants,
+    primitive_attributes,
+    primitive_concepts,
+)
 
-__all__ = ["SubsumptionChecker", "concept_signature", "clear_shared_decision_cache"]
+__all__ = [
+    "ConceptProfile",
+    "SubsumptionChecker",
+    "clear_shared_decision_cache",
+    "concept_signature",
+    "conjunct_ids",
+    "necessary_attribute_names",
+    "profile_concept",
+    "profile_rejects",
+]
 
 #: (primitive concept names, primitive attribute names, constants) of a concept.
 Signature = Tuple[FrozenSet[str], FrozenSet[str], FrozenSet[str]]
@@ -98,6 +143,166 @@ def concept_signature(concept: Concept) -> Signature:
     )
 
 
+# ---------------------------------------------------------------------------
+# Decision shortcuts (promoted from the batch layer, see the module docstring)
+# ---------------------------------------------------------------------------
+
+#: Fresh primitive used for the facts-only profiling completion.  A goal
+#: ``x : P`` with primitive ``P`` fires no goal or schema rule, so the
+#: completed facts equal the completion of the query alone.
+_PROBE = Primitive("__repro_batch_profile_probe__")
+
+
+#: Process-wide memo for :func:`conjunct_ids`, keyed by interned concept id
+#: (ids are never reused, so entries can never alias).  Cleared together
+#: with the intern tables, mirroring the normalize memo.
+_CONJUNCT_IDS: Dict[int, FrozenSet[int]] = {}
+
+
+def conjunct_ids(concept: Concept) -> FrozenSet[int]:
+    """The interned ids of the top-level conjuncts of the normalized concept.
+
+    ``conjunct_ids(D) <= conjunct_ids(C)`` is the *told subsumption* test:
+    it proves ``C ⊑_Σ D`` for every schema Σ (see the module docstring).
+    Memoized process-wide on the interned id, so repeated seeding passes
+    over the same catalog cost dictionary lookups, not AST walks.
+    """
+    normalized = normalize_concept(concept)
+    key = concept_id(normalized)
+    cached = _CONJUNCT_IDS.get(key)
+    if cached is None:
+        cached = frozenset(concept_id(part) for part in conjuncts(normalized))
+        _CONJUNCT_IDS[key] = cached
+    return cached
+
+
+intern.register_dependent_cache(_CONJUNCT_IDS.clear)
+
+
+@dataclass(frozen=True)
+class ConceptProfile:
+    """What one facts-only completion reveals about a query concept.
+
+    ``root_primitives`` are the primitive concepts established at the root
+    (equivalently: the set of *all* primitive subsumers of the concept);
+    ``root_heads`` are the ``(attribute name, inverted)`` heads of steps
+    available at the root -- outgoing edges, incoming edges (seen as
+    inverted heads) and heads of path memberships recorded at the root.
+    An unsatisfiable concept is subsumed by everything; its profile never
+    rejects.
+    """
+
+    satisfiable: bool
+    root_primitives: FrozenSet[str]
+    root_heads: FrozenSet[Tuple[str, bool]]
+
+
+def _membership_heads(concept: Concept) -> List[Tuple[str, bool]]:
+    heads: List[Tuple[str, bool]] = []
+    for part in conjuncts(concept):
+        path: Optional[Path] = None
+        if isinstance(part, ExistsPath):
+            path = part.path
+        elif isinstance(part, PathAgreement):
+            path = part.left
+        if path is not None and not path.is_empty:
+            attribute = path.steps[0].attribute
+            heads.append((attribute.name, attribute.inverted))
+    return heads
+
+
+def profile_concept(concept: Concept, checker) -> ConceptProfile:
+    """Profile ``concept`` with one completion under ``checker``'s regime.
+
+    ``checker`` only needs ``schema`` / ``use_repair_rule`` / ``naive``
+    attributes, so both :class:`SubsumptionChecker` and the batch layer's
+    ``BatchCheckerView`` qualify.
+    """
+    normalized = normalize_concept(concept)
+    result = decide_subsumption(
+        normalized,
+        _PROBE,
+        checker.schema,
+        use_repair_rule=checker.use_repair_rule,
+        keep_trace=False,
+        naive=checker.naive,
+    )
+    root = result.root_goal_subject
+    primitives = set()
+    heads = set()
+    for fact in result.completion.facts:
+        if isinstance(fact, MembershipConstraint):
+            if fact.subject == root:
+                if isinstance(fact.concept, Primitive):
+                    primitives.add(fact.concept.name)
+                else:
+                    heads.update(_membership_heads(fact.concept))
+        elif isinstance(fact, AttributeConstraint):
+            if fact.subject == root:
+                heads.add((fact.attribute.name, fact.attribute.inverted))
+            if fact.filler == root:
+                heads.add((fact.attribute.name, not fact.attribute.inverted))
+        elif isinstance(fact, PathConstraint):
+            if fact.subject == root and len(fact.path) >= 1:
+                attribute = fact.path[0].attribute
+                heads.add((attribute.name, attribute.inverted))
+    return ConceptProfile(
+        satisfiable=not result.clashes,
+        root_primitives=frozenset(primitives),
+        root_heads=frozenset(heads),
+    )
+
+
+def necessary_attribute_names(schema: Schema) -> FrozenSet[str]:
+    """Attributes armed by a necessity axiom somewhere in ``Σ`` (the S5 gate)."""
+    return frozenset(
+        attribute
+        for class_name in schema.concept_names()
+        for attribute in schema.necessary_attributes(class_name)
+    )
+
+
+def _head_blocked(
+    profile: ConceptProfile, path: Path, necessary_names: FrozenSet[str]
+) -> bool:
+    if path.is_empty:
+        return False
+    attribute = path.steps[0].attribute
+    if (attribute.name, attribute.inverted) in profile.root_heads:
+        return False
+    # Rule S5 can still materialize a step for an attribute with a
+    # necessity axiom in Σ; stay conservative for those.
+    if attribute.name in necessary_names:
+        return False
+    return True
+
+
+def profile_rejects(
+    profile: ConceptProfile, view: Concept, necessary_names: FrozenSet[str]
+) -> bool:
+    """``True`` only if ``profile`` *proves* the query is not subsumed by ``view``.
+
+    ``view`` must be normalized; ``necessary_names`` is
+    :func:`necessary_attribute_names` of the schema the profile was
+    computed under.  Sound by the necessary-condition argument in the
+    module docstring; never fires for unsatisfiable queries (subsumed by
+    everything).
+    """
+    if not profile.satisfiable:
+        return False
+    for part in conjuncts(view):
+        if isinstance(part, Primitive):
+            if part.name not in profile.root_primitives:
+                return True
+        elif isinstance(part, ExistsPath):
+            if _head_blocked(profile, part.path, necessary_names):
+                return True
+        elif isinstance(part, PathAgreement):
+            if _head_blocked(profile, part.left, necessary_names):
+                return True
+    return False
+
+
 class SubsumptionChecker:
     """Decides Σ-subsumption between ``QL`` concepts for a fixed schema ``Σ``."""
 
@@ -109,12 +314,14 @@ class SubsumptionChecker:
         cache: bool = True,
         naive: bool = False,
         shared_cache: bool = True,
+        shortcuts: bool = True,
     ) -> None:
         self.schema = schema if schema is not None else Schema.empty()
         self.use_repair_rule = use_repair_rule
         self.naive = naive
         self._cache_enabled = cache
         self._shared_cache_enabled = shared_cache
+        self._shortcuts_enabled = shortcuts
         self._schema_token = _schema_token(self.schema)
         # All memo dictionaries are keyed on interned concept ids
         # (:mod:`repro.concepts.intern`): one attribute read plus a small-int
@@ -122,12 +329,17 @@ class SubsumptionChecker:
         self._cache: Dict[Tuple[int, int], bool] = {}
         self._signatures: Dict[int, Signature] = {}
         self._satisfiable: Dict[int, bool] = {}
+        self._profiles: Dict[int, ConceptProfile] = {}
         self._schema_concepts = self.schema.concept_names()
         self._schema_attributes = self.schema.attribute_names()
+        self._necessary_names = necessary_attribute_names(self.schema)
         self._checks = 0
         self._cache_hits = 0
         self._shared_cache_hits = 0
         self._signature_rejections = 0
+        self._told_shortcuts = 0
+        self._profile_rejections = 0
+        self._profiles_computed = 0
 
     # -- memoized building blocks ----------------------------------------------
 
@@ -180,6 +392,21 @@ class SubsumptionChecker:
         if cached is None:
             cached = self.is_satisfiable(normalized)
             self._satisfiable[key] = cached
+        return cached
+
+    def profile(self, concept: Concept) -> ConceptProfile:
+        """The memoized :class:`ConceptProfile` of the normalized concept.
+
+        One facts-only completion per distinct query concept, amortized
+        over every view that query is checked against.
+        """
+        normalized = normalize_concept(concept)
+        key = concept_id(normalized)
+        cached = self._profiles.get(key)
+        if cached is None:
+            cached = profile_concept(normalized, self)
+            self._profiles[key] = cached
+            self._profiles_computed += 1
         return cached
 
     # -- decision-cache plumbing (used by the batch/parallel layer) -------------
@@ -241,11 +468,24 @@ class SubsumptionChecker:
             if self._cache_enabled:
                 self._cache[key] = decision
             return decision
-        if self.signature_excludes(normalized_query, normalized_view):
+        if self._shortcuts_enabled and conjunct_ids(normalized_view) <= conjunct_ids(
+            normalized_query
+        ):
+            # Told subsumption: dropping conjuncts only generalizes in QL.
+            self._told_shortcuts += 1
+            decision = True
+        elif self.signature_excludes(normalized_query, normalized_view):
             # Only an unsatisfiable query can be subsumed by a view whose
             # signature exceeds query + schema; one memoized probe decides.
             self._signature_rejections += 1
             decision = not self._query_satisfiable(normalized_query)
+        elif self._shortcuts_enabled and profile_rejects(
+            self.profile(normalized_query), normalized_view, self._necessary_names
+        ):
+            # A satisfiable query missing a root primitive / head the view
+            # requires cannot be subsumed by it (one memoized profile).
+            self._profile_rejections += 1
+            decision = False
         else:
             decision = decide_subsumption(
                 normalized_query,
@@ -280,8 +520,6 @@ class SubsumptionChecker:
         unsatisfiable exactly when it is subsumed by an arbitrary fresh
         primitive concept via a clash.
         """
-        from ..concepts.syntax import Primitive
-
         probe = Primitive("__repro_unsatisfiability_probe__")
         result = decide_subsumption(
             concept,
@@ -341,6 +579,9 @@ class SubsumptionChecker:
             "shared_cache_hits": self._shared_cache_hits,
             "cache_size": len(self._cache),
             "signature_rejections": self._signature_rejections,
+            "told_shortcuts": self._told_shortcuts,
+            "profile_rejections": self._profile_rejections,
+            "profiles_computed": self._profiles_computed,
         }
 
     def clear_cache(self) -> None:
@@ -353,6 +594,8 @@ class SubsumptionChecker:
         self._cache.clear()
         self._signatures.clear()
         self._satisfiable.clear()
+        self._profiles.clear()
         self._schema_token = _schema_token(self.schema)
         self._schema_concepts = self.schema.concept_names()
         self._schema_attributes = self.schema.attribute_names()
+        self._necessary_names = necessary_attribute_names(self.schema)

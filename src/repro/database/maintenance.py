@@ -29,12 +29,12 @@ of Decker 1994, see PAPERS.md):
 * an optional **sharded flush** fans the surviving evaluations over
   :func:`repro.optimizer.parallel.run_shards` workers.
 
-Since PR 5 the module has **two tiers** over the same flush engine:
+The module has **three tiers** over the same flush engine:
 
 * :class:`MaintenanceQueue` is the synchronous tier: one flush per commit,
   on the committing thread (the PR 4 behavior, unchanged);
-* :class:`AsyncMaintainer` is the asynchronous tier: every commit enqueues
-  a :class:`MaintenanceEpoch` -- the epoch's typed deltas plus a
+* :class:`AsyncMaintainer` (PR 5) is the asynchronous tier: every commit
+  enqueues a :class:`MaintenanceEpoch` -- the epoch's typed deltas plus a
   generation-pinned :class:`~repro.database.store.StateSnapshot` -- to a
   background worker that coalesces up to ``window`` epochs per flush,
   evaluates against the *pinned* snapshot (never the racing live state)
@@ -45,7 +45,19 @@ Since PR 5 the module has **two tiers** over the same flush engine:
   epoch queue (commits block -- backpressure -- instead of growing it
   without bound), and the unflushed epoch log is crash-safe: deltas are
   idempotent to replay, so :meth:`AsyncMaintainer.replay` re-applies a
-  killed maintainer's log and converges to the synchronous tier's result.
+  killed maintainer's log and converges to the synchronous tier's result;
+* :class:`DurableMaintainer` is the durable tier: the async tier plus a
+  write-ahead log (:mod:`repro.database.wal`).  Every committed epoch is
+  appended -- CRC-framed, fsync-batched per ``sync_every`` -- to the WAL
+  *before* it is enqueued for flushing, periodic checkpoints pickle the
+  state snapshot plus catalog identity, and
+  :meth:`DurableMaintainer.open` recovers across **process restarts**:
+  newest valid checkpoint, replay of the epoch tail (stopping at the
+  first torn frame, reporting what was dropped), full extent
+  regeneration.  Checkpoints also bound the in-memory epoch log:
+  :meth:`AsyncMaintainer.truncate_covered_epochs` drops epochs a durable
+  checkpoint subsumes, so a long-running server's log cannot grow without
+  bound even when the flush worker has died.
 
 The flat per-view notification loop
 (:meth:`~repro.database.views.ViewCatalog.notify_object_added`) stays
@@ -84,6 +96,13 @@ from .store import (
     StateSnapshot,
 )
 from .views import MaterializedView, ViewCatalog
+from .wal import (
+    CheckpointPayload,
+    EpochRecord,
+    WalError,
+    WriteAheadLog,
+    catalog_identity,
+)
 
 __all__ = [
     "MaintenanceStatistics",
@@ -91,6 +110,8 @@ __all__ = [
     "MaintenanceQueue",
     "MaintenanceEpoch",
     "AsyncMaintainer",
+    "DurableMaintainer",
+    "RecoveryReport",
     "relevance_keys",
 ]
 
@@ -994,6 +1015,36 @@ class AsyncMaintainer(_MaintenanceEngine):
         with self._lock:
             return tuple(self._log)
 
+    def truncate_covered_epochs(self, covered_sequence: int) -> int:
+        """Drop in-memory epochs that durable storage makes redundant.
+
+        ``covered_sequence`` is the highest epoch sequence some durable
+        artifact (a WAL checkpoint, an external snapshot) fully subsumes.
+        Only epochs the worker has already flushed -- or, when the worker
+        is stopped or crashed, epochs it can *never* flush -- are pruned;
+        a live worker's unflushed epochs are untouchable, because the
+        worker reads ``self._log[:window]`` and prunes by position, and
+        because :meth:`sync` waiters gauge progress by the retained log.
+        With a live worker the log therefore never holds flushed epochs
+        (the worker deletes them as it publishes) and this call is a
+        no-op; its purpose is the dead-worker regime, where
+        :meth:`on_commit` appends unconditionally and the log would
+        otherwise grow without bound for as long as the process lives.
+        Returns the number of epochs pruned.  :meth:`unflushed_epochs`
+        keeps its meaning: everything still awaiting an in-memory flush
+        survives pruning.
+        """
+        with self._lock:
+            limit = covered_sequence
+            if not self._stopped and self._failure is None:
+                limit = min(limit, self._flushed_sequence)
+            kept = [epoch for epoch in self._log if epoch.sequence > limit]
+            pruned = len(self._log) - len(kept)
+            if pruned:
+                self._log[:] = kept
+                self._done.notify_all()
+        return pruned
+
     def pause(self) -> None:
         """Suspend flushing after the in-flight batch (windowing/tests)."""
         with self._lock:
@@ -1151,3 +1202,315 @@ class AsyncMaintainer(_MaintenanceEngine):
         engine.statistics.replayed_epochs += len(records)
         engine._flush_pending(pending, target.snapshot, _DirectSink(target.generation))
         return target.generation
+
+
+# ---------------------------------------------------------------------------
+# The durable tier
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What :meth:`DurableMaintainer.open` rebuilt from disk.
+
+    ``checkpoint_sequence`` is the epoch the loaded checkpoint covered
+    (``0`` when recovery started from genesis), ``replayed_epochs`` how
+    many WAL tail records were re-applied past it, and
+    ``recovered_sequence`` the resulting epoch sequence -- the state
+    equals the from-scratch build of exactly that prefix of commits.
+    ``dropped_bytes`` / ``dropped_records`` / ``corrupt_checkpoints``
+    surface what torn tails and bad frames cost (recovery never crashes
+    on them; it stops at the first bad frame and reports).
+    ``generation`` is the recovered state's process-local generation.
+    """
+
+    checkpoint_sequence: int
+    replayed_epochs: int
+    recovered_sequence: int
+    dropped_bytes: int
+    dropped_records: int
+    corrupt_checkpoints: Tuple[str, ...]
+    generation: int
+
+
+def _require_catalog_identity(recorded, catalog: ViewCatalog) -> None:
+    """Raise :class:`WalError` unless the checkpoint's catalog matches.
+
+    Compared by structural equality of the normalized concepts, not by
+    intern id: the recorded side crossed a pickle boundary and equal ids
+    are only guaranteed for ids issued while the intern tables are live
+    (after ``clear_intern_tables`` an old canonical instance embedded in
+    one side can split otherwise-equal structures onto distinct ids).
+    """
+    from ..concepts.normalize import normalize_concept
+
+    current = {view.name: normalize_concept(view.concept) for view in catalog}
+    loaded = {name: normalize_concept(concept) for name, concept in recorded}
+    if current != loaded:
+        missing = sorted(set(loaded) - set(current))
+        added = sorted(set(current) - set(loaded))
+        changed = sorted(
+            name for name in set(current) & set(loaded) if current[name] != loaded[name]
+        )
+        raise WalError(
+            "checkpoint catalog identity does not match the supplied catalog "
+            f"(missing={missing}, added={added}, changed={changed}); recover "
+            "with the catalog the log was written under, or pass "
+            "strict_catalog=False to rebuild extents for the new catalog"
+        )
+
+
+class DurableMaintainer(AsyncMaintainer):
+    """The durable tier: :class:`AsyncMaintainer` over a write-ahead log.
+
+    **Commit path.**  Every committed epoch's typed deltas are appended to
+    the WAL -- CRC-framed, fsync-batched per ``sync_every`` -- *before*
+    the epoch is enqueued for asynchronous flushing: once
+    :attr:`WriteAheadLog.durable_sequence` covers a commit, no crash can
+    lose it.  Every ``checkpoint_every`` commits a checkpoint pickles the
+    full state snapshot plus the catalog identity, compacts the log
+    segments it subsumes and prunes the in-memory epoch log
+    (:meth:`AsyncMaintainer.truncate_covered_epochs`).
+
+    **Recovery.**  :meth:`open` rebuilds everything in a fresh process:
+    newest valid checkpoint, replay of the epoch tail through
+    :meth:`~repro.database.store.DatabaseState.apply_delta` (stopping at
+    the first torn frame -- see :meth:`WriteAheadLog.recover`), full
+    extent regeneration, and a :attr:`recovery_report` saying exactly
+    what was recovered and what was dropped.  Recovery is idempotent:
+    opening the same directory twice (without new commits) yields
+    identical states.
+
+    **Sequencing contract.**  Epoch sequences are assigned on the single
+    mutator thread (``on_commit``), so the WAL record written *before*
+    the enqueue can safely pre-compute ``_sequence + 1`` -- the base
+    class's increment lands on the same number.
+
+    **Failure semantics.**  A failed WAL append (``OSError`` from the
+    filesystem seam) still enqueues the epoch in memory -- the state
+    mutation has already happened, so dropping it would desynchronize the
+    catalog -- and then raises :class:`WalError`: the commit is applied
+    but NOT durable, and the caller decides whether to retry ``sync()``
+    or fail over.  A dead flush worker does not stop WAL appends or
+    checkpoints: durability outlives the serving tier.
+    """
+
+    def __init__(
+        self,
+        state: DatabaseState,
+        catalog: ViewCatalog,
+        *,
+        path: Optional[str] = None,
+        wal: Optional[WriteAheadLog] = None,
+        sync_every: Optional[int] = 1,
+        checkpoint_every: Optional[int] = 32,
+        segment_bytes: int = 1 << 20,
+        fs=None,
+        **async_kwargs,
+    ) -> None:
+        if wal is None:
+            if path is None:
+                raise ValueError(
+                    "DurableMaintainer needs a log directory path= or an "
+                    "already-open wal="
+                )
+            wal = WriteAheadLog(
+                path, sync_every=sync_every, segment_bytes=segment_bytes, fs=fs
+            )
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be at least 1 commit (or None)")
+        # Durable attributes must exist before super().__init__: it
+        # subscribes to the state and starts the worker, after which
+        # on_commit may run.
+        self.wal = wal
+        self.checkpoint_every = checkpoint_every
+        self.recovery_report: Optional[RecoveryReport] = None
+        self._commits_since_checkpoint = 0
+        super().__init__(state, catalog, **async_kwargs)
+
+    # -- commit path (mutator thread) ------------------------------------------
+
+    def on_commit(self) -> None:
+        """WAL-first commit: append the epoch frame, then enqueue it."""
+        if not self._epoch_deltas and not self._epoch_schema_changed:
+            super().on_commit()
+            return
+        record = EpochRecord(
+            sequence=self._sequence + 1,
+            generation=self.state.generation,
+            deltas=tuple(self._epoch_deltas),
+            schema_changed=self._epoch_schema_changed,
+        )
+        append_error: Optional[BaseException] = None
+        try:
+            self.wal.append(record)
+        except OSError as error:
+            # The epoch must still reach the in-memory log below (the
+            # state mutation already happened); surface the lost
+            # durability afterwards.  Simulated crashes from the fault
+            # harness are BaseException subclasses and propagate here.
+            append_error = error
+        enqueue_error: Optional[BaseException] = None
+        try:
+            super().on_commit()
+        except RuntimeError as error:
+            # A stopped/crashed worker: the epoch is recorded for replay
+            # and -- unlike the base tier -- already durable.  Checkpoint
+            # bookkeeping below must still run so the log stays bounded.
+            enqueue_error = error
+        self._commits_since_checkpoint += 1
+        if (
+            append_error is None
+            and self.checkpoint_every
+            and self._commits_since_checkpoint >= self.checkpoint_every
+        ):
+            self.checkpoint()
+        if append_error is not None:
+            raise WalError(
+                "WAL append failed; the commit is applied in memory but NOT "
+                "durable"
+            ) from append_error
+        if enqueue_error is not None:
+            raise enqueue_error
+
+    def checkpoint(self) -> CheckpointPayload:
+        """Durably checkpoint the current state; prune covered epochs.
+
+        Runs on the mutator thread (never mid-batch: commits fire after
+        the outermost batch exits), so the snapshot is a consistent cut
+        covering every epoch up to ``_sequence``.  The WAL is synced
+        first (see :meth:`WriteAheadLog.write_checkpoint`), so a
+        checkpoint never claims coverage beyond the durable log.
+        """
+        snapshot = self.state.snapshot()
+        with self._lock:
+            sequence = self._sequence
+        payload = CheckpointPayload(
+            sequence=sequence,
+            snapshot=snapshot,
+            catalog=catalog_identity(self.catalog),
+        )
+        self.wal.write_checkpoint(payload)
+        self._commits_since_checkpoint = 0
+        self.truncate_covered_epochs(sequence)
+        return payload
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def kill(self) -> None:
+        """Stop the worker and release WAL file handles (no implicit fsync)."""
+        super().kill()
+        try:
+            self.wal.close()
+        except OSError:  # pragma: no cover - handle-close race on fault fs
+            pass
+
+    # -- recovery ----------------------------------------------------------------
+
+    def recover(self) -> Optional[int]:
+        """In-place recovery for the durable tier: regenerate every extent.
+
+        Checkpoints prune the in-memory epoch log, so the base tier's
+        log-replay recovery no longer sees every unflushed delta here.
+        The live state, however, already reflects *all* committed epochs
+        -- so the durable tier recovers by re-deriving every extent from
+        the current snapshot and advancing the serving cut to it.
+        Requires a stopped worker (:meth:`kill`); for cross-process
+        recovery use :meth:`open`.
+        """
+        with self._lock:
+            if not self._stopped:
+                raise RuntimeError(
+                    "recover() requires a stopped maintainer (kill() first)"
+                )
+            records = len(self._log)
+            sequence = self._sequence
+        snapshot = self.state.snapshot()
+        self.catalog.regenerate_extents(snapshot)
+        with self._publish:
+            self._serving = snapshot
+        with self._lock:
+            self._flushed_sequence = sequence
+            del self._log[:]
+        self.statistics.replayed_epochs += records
+        return snapshot.generation
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        schema=None,
+        catalog: Optional[ViewCatalog] = None,
+        *,
+        sync_every: Optional[int] = 1,
+        checkpoint_every: Optional[int] = 32,
+        segment_bytes: int = 1 << 20,
+        fs=None,
+        strict_catalog: bool = True,
+        **async_kwargs,
+    ) -> "DurableMaintainer":
+        """Recover a maintainer (state + extents) from a log directory.
+
+        Loads the newest valid checkpoint (corrupt ones are skipped --
+        recovery degrades, never crashes), rebuilds the state via
+        :meth:`DatabaseState.from_snapshot`, replays the epoch tail
+        through :meth:`DatabaseState.apply_delta` -- one batch per epoch,
+        before any listener attaches -- regenerates every view extent
+        against the recovered snapshot, truncates the torn WAL tail and
+        returns a running maintainer whose sequence numbering continues
+        the recovered log.  ``schema`` overrides the checkpoint's pinned
+        schema (required when the tail contains ``schema_changed``
+        epochs, whose schema swap the delta log does not carry); when
+        ``None`` the checkpoint's schema (or the empty schema at genesis)
+        is used.  ``strict_catalog`` requires the supplied catalog's
+        identity (names + normalized concepts) to match the checkpoint's;
+        the :attr:`recovery_report` says exactly what was recovered.
+        """
+        if catalog is None:
+            raise ValueError("open() needs the ViewCatalog to regenerate extents")
+        wal = WriteAheadLog(
+            path, sync_every=sync_every, segment_bytes=segment_bytes, fs=fs
+        )
+        found = wal.recover()
+        if found.checkpoint is not None:
+            if strict_catalog:
+                _require_catalog_identity(found.checkpoint.catalog, catalog)
+            base = found.checkpoint.snapshot
+            state = DatabaseState.from_snapshot(
+                base, schema=schema if schema is not None else base.schema
+            )
+            checkpoint_sequence = found.checkpoint.sequence
+        else:
+            if schema is None:
+                from ..concepts.schema import Schema
+
+                schema = Schema.empty()
+            state = DatabaseState(schema)
+            checkpoint_sequence = 0
+        for record in found.epochs:
+            with state.batch():
+                for delta in record.deltas:
+                    state.apply_delta(delta)
+        snapshot = state.snapshot()
+        catalog.regenerate_extents(snapshot)
+        wal.reset_to(found)
+        maintainer = cls(
+            state,
+            catalog,
+            wal=wal,
+            checkpoint_every=checkpoint_every,
+            **async_kwargs,
+        )
+        with maintainer._lock:
+            maintainer._sequence = found.last_sequence
+            maintainer._flushed_sequence = found.last_sequence
+        maintainer.recovery_report = RecoveryReport(
+            checkpoint_sequence=checkpoint_sequence,
+            replayed_epochs=len(found.epochs),
+            recovered_sequence=found.last_sequence,
+            dropped_bytes=found.dropped_bytes,
+            dropped_records=found.dropped_records,
+            corrupt_checkpoints=found.corrupt_checkpoints,
+            generation=snapshot.generation,
+        )
+        return maintainer

@@ -158,12 +158,23 @@ class StateSnapshot:
     re-materialized against a *past* generation while the live state keeps
     mutating -- the serve-from-generation substrate of the async
     maintenance tier (:class:`repro.database.maintenance.AsyncMaintainer`).
+
+    Snapshots are **picklable** (custom ``__getstate__``/``__setstate__``
+    over the slots, dropping the lazily built pairs index): the durable
+    tier's checkpoint files (:mod:`repro.database.wal`) are pickled
+    snapshots.  To make a checkpoint lossless the snapshot also pins the
+    *explicit* membership assertions (:attr:`explicit`) -- the upward-closed
+    extents alone cannot reconstruct a live state, since retracting an
+    explicit membership later must not disturb closures contributed by
+    other explicit assertions.  :meth:`DatabaseState.from_snapshot` rebuilds
+    a live state from that explicit surface.
     """
 
     __slots__ = (
         "generation",
         "schema",
         "objects",
+        "explicit",
         "_interpretation",
         "_concepts",
         "_attributes",
@@ -174,6 +185,11 @@ class StateSnapshot:
         self.generation = state.generation
         self.schema = state.schema
         self.objects = state.objects
+        self.explicit = {
+            class_name: frozenset(members)
+            for class_name, members in state._memberships.items()
+            if members
+        }
         self._interpretation = state.to_interpretation()
         if state._objects:
             # The per-name frozensets backing the export; _export_base
@@ -188,6 +204,25 @@ class StateSnapshot:
             self._concepts = {}
             self._attributes = {}
         self._pairs_index: Optional[Dict[str, Tuple[Tuple[str, str, str], ...]]] = None
+
+    def __getstate__(self):
+        # Slots class: pickle every slot except the lazily built pairs
+        # index (cheap to rebuild, and keeping it out makes checkpoint
+        # payloads independent of whether a flush walked the snapshot).
+        return {
+            "generation": self.generation,
+            "schema": self.schema,
+            "objects": self.objects,
+            "explicit": self.explicit,
+            "_interpretation": self._interpretation,
+            "_concepts": self._concepts,
+            "_attributes": self._attributes,
+        }
+
+    def __setstate__(self, payload) -> None:
+        for slot, value in payload.items():
+            object.__setattr__(self, slot, value)
+        object.__setattr__(self, "_pairs_index", None)
 
     def to_interpretation(self, constants: Optional[Iterable[str]] = None) -> Interpretation:
         """The pinned state as a finite interpretation (see ``DatabaseState``)."""
@@ -655,6 +690,62 @@ class DatabaseState:
         pinned generation while the live state moves on.
         """
         return StateSnapshot(self)
+
+    @classmethod
+    def from_snapshot(
+        cls, snapshot: StateSnapshot, schema: Optional[Schema] = None
+    ) -> "DatabaseState":
+        """Rebuild a live state from a snapshot's explicit surface.
+
+        Replays the pinned objects, *explicit* membership assertions and
+        attribute pairs into a fresh state (one batch, no listeners yet --
+        recovery attaches maintainers afterwards).  The rebuilt state is
+        extensionally identical to the snapshotted one: every extent and
+        attribute extension matches, and future retractions behave as they
+        would have on the original (which closed extents alone could not
+        guarantee).  The :attr:`generation` counter restarts from the
+        replay -- generations are process-local serving coordinates, not
+        durable identities -- and ``schema`` (default: the snapshot's)
+        lets recovery rebuild under a schema that evolved past the
+        checkpoint.
+        """
+        state = cls(schema if schema is not None else snapshot.schema)
+        with state.batch():
+            for object_id in sorted(snapshot.objects):
+                state._add_object(object_id)
+            for class_name in sorted(snapshot.explicit):
+                for object_id in sorted(snapshot.explicit[class_name]):
+                    state.assert_membership(object_id, class_name)
+            for attribute in sorted(snapshot.attributes()):
+                for subject, value in sorted(snapshot.attribute_pairs(attribute)):
+                    state.set_attribute(subject, attribute, value)
+        return state
+
+    def apply_delta(self, delta: Delta) -> None:
+        """Apply one logged :class:`Delta` to this state (replay-idempotent).
+
+        The WAL recovery path (:mod:`repro.database.wal`) replays epoch
+        tails through this: deltas are records of *effective* mutations, so
+        replaying them through the public mutators reproduces the explicit
+        data exactly, and re-applying an already-present delta is a no-op
+        (every mutator is idempotent).
+        """
+        if isinstance(delta, ObjectAdded):
+            self.add_object(delta.object_id)
+        elif isinstance(delta, MembershipAsserted):
+            self.assert_membership(delta.object_id, delta.class_name)
+        elif isinstance(delta, MembershipRetracted):
+            self.retract_membership(delta.object_id, delta.class_name)
+        elif isinstance(delta, AttributeSet):
+            self.set_attribute(delta.subject, delta.attribute, delta.value)
+        elif isinstance(delta, AttributeRemoved):
+            self.remove_attribute(delta.subject, delta.attribute, delta.value)
+        elif isinstance(delta, ObjectRemoved):
+            # The constituent retractions were logged (and replayed) before
+            # this record; removing the bare object is what remains.
+            self.remove_object(delta.object_id)
+        else:  # pragma: no cover - future delta kinds must opt in explicitly
+            raise TypeError(f"unknown delta type: {type(delta).__name__}")
 
     def to_interpretation(self, constants: Optional[Iterable[str]] = None) -> Interpretation:
         """The state as a finite interpretation (classes upward-closed along ``isA``).

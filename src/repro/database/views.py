@@ -455,6 +455,27 @@ class ViewCatalog:
         for view in self._views.values():
             view.refresh(state, self._evaluator)
 
+    def regenerate_extents(self, source) -> None:
+        """Re-derive every extent from ``source`` (a state or snapshot).
+
+        The crash-recovery path: each *distinct* concept is evaluated once
+        (views sharing a concept share the answer set) and every view
+        adopts the result stamped with the source's generation, so a
+        recovered catalog serves a single consistent cut.  Unlike
+        :meth:`refresh_all`, this accepts a pinned
+        :class:`~repro.database.store.StateSnapshot` as well as a live
+        state.
+        """
+        from ..concepts.intern import concept_id
+
+        generation = getattr(source, "generation", None)
+        memo: Dict[int, FrozenSet[str]] = {}
+        for view in self._views.values():
+            key = concept_id(view.concept)
+            if key not in memo:
+                memo[key] = self._evaluator.concept_answers(view.concept, source)
+            view.adopt_extent(memo[key], generation)
+
     def notify_object_added(self, object_id: str, state: DatabaseState) -> None:
         """Propagate an insertion to every view (incremental maintenance)."""
         for view in self._views.values():

@@ -1,0 +1,544 @@
+"""A durable, append-only, segmented write-ahead log for maintenance epochs.
+
+PR 5's :class:`~repro.database.maintenance.AsyncMaintainer` made view
+maintenance crash-safe *in memory*: typed-delta epochs survive a worker
+``kill()`` and replay converges to the sync tier -- but everything dies with
+the process.  This module is the storage engine underneath the durable tier
+(:class:`~repro.database.maintenance.DurableMaintainer`): every committed
+epoch is appended to an on-disk log *before* it is enqueued for flushing,
+so a fresh process can rebuild the state and every view extent from disk.
+
+File format
+-----------
+
+A log is a directory:
+
+* ``epochs-<8 digits>.seg`` -- segment files holding a sequence of
+  **frames**.  A frame is ``<u32 length><u32 crc32(payload)><payload>``
+  (little-endian header), where the payload is a pickled
+  :class:`EpochRecord`.  Segments roll over at :attr:`segment_bytes`;
+  record sequences increase strictly across the whole directory.
+* ``checkpoint-<12 digits>.ckpt`` -- one frame whose payload is a pickled
+  :class:`CheckpointPayload`: the epoch sequence it covers, a full
+  :class:`~repro.database.store.StateSnapshot` (which pins the explicit
+  membership surface, see ``store.py``) and the catalog identity (view
+  names + normalized concepts) the snapshot was serving.  Checkpoints are
+  written via temp file + ``fsync`` + atomic rename + directory ``fsync``,
+  so a visible checkpoint is always complete; the digits are the covered
+  sequence, so the newest checkpoint sorts last.
+
+Durability discipline
+---------------------
+
+``sync_every=N`` batches ``fsync`` over N appended epochs (``1`` =
+fsync-per-commit); :meth:`WriteAheadLog.sync` forces one.  Acknowledged
+fsyncs are the durability boundary: :attr:`durable_sequence` is the last
+epoch guaranteed to survive a crash, anything after it may be torn.
+Checkpoint writes first sync the log, and compaction only deletes segments
+whose every record is covered by the just-made-durable checkpoint -- so no
+crash ordering can lose an acknowledged epoch.
+
+Recovery (:meth:`WriteAheadLog.recover`) loads the newest checkpoint whose
+frame validates (corrupt ones are reported and skipped), then replays
+segment frames in order, **stopping at the first bad frame** -- short
+header, short payload, CRC mismatch, unpicklable payload or a sequence
+regression -- and reports exactly what was dropped (bytes, parseable
+records, corrupt checkpoints).  Recovery never raises on torn input; a
+writer re-opening the directory truncates the torn tail
+(:meth:`WriteAheadLog.reset_to`) before appending again.
+
+All OS access goes through a tiny filesystem seam (:class:`OsFileSystem`),
+so the fault-injection harness (``tests/database/fault_fs.py``) can tear
+writes mid-frame, fail ``fsync`` and kill the writer at arbitrary byte
+boundaries while the crash-recovery oracle checks every recovered state
+against the from-scratch refresh of a durable prefix of commits.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import re
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .store import Delta, StateSnapshot
+
+__all__ = [
+    "CheckpointPayload",
+    "EpochRecord",
+    "OsFileSystem",
+    "WalError",
+    "WalRecovery",
+    "WriteAheadLog",
+    "catalog_identity",
+]
+
+_HEADER = struct.Struct("<II")
+#: Sanity bound on a frame's payload length: a corrupted header must not
+#: make the reader allocate gigabytes before the CRC can reject it.
+_MAX_FRAME_BYTES = 1 << 30
+
+_SEGMENT_RE = re.compile(r"^epochs-(\d{8})\.seg$")
+_CHECKPOINT_RE = re.compile(r"^checkpoint-(\d{12})\.ckpt$")
+
+
+class WalError(RuntimeError):
+    """A write-ahead-log invariant violation (e.g. catalog identity mismatch)."""
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """One committed epoch as persisted in the log.
+
+    ``deltas`` are the typed :class:`~repro.database.store.Delta` records of
+    the epoch in emission order; ``generation`` is the committing state's
+    generation after the epoch (diagnostic only -- generations are
+    process-local); ``schema_changed`` mirrors the in-memory
+    ``MaintenanceEpoch`` flag.
+    """
+
+    sequence: int
+    generation: int
+    deltas: Tuple[Delta, ...]
+    schema_changed: bool = False
+
+
+@dataclass(frozen=True)
+class CheckpointPayload:
+    """A durable cut: everything up to ``sequence`` baked into one snapshot."""
+
+    sequence: int
+    snapshot: StateSnapshot
+    #: ``(view name, normalized concept)`` pairs -- the catalog identity the
+    #: snapshot was serving.  Concepts pickle stamp-free (see
+    #: ``concepts/intern.py``) and re-intern structurally in a fresh
+    #: process, so identity is compared via re-interned ids on recovery.
+    catalog: Tuple[Tuple[str, object], ...] = ()
+
+
+def catalog_identity(catalog) -> Tuple[Tuple[str, object], ...]:
+    """The ``(name, normalized concept)`` identity pairs of a view catalog."""
+    from ..concepts.normalize import normalize_concept
+
+    return tuple(
+        (view.name, normalize_concept(view.concept)) for view in catalog
+    )
+
+
+@dataclass
+class WalRecovery:
+    """What :meth:`WriteAheadLog.recover` found on disk.
+
+    ``epochs`` is the replay tail (records past the checkpoint, in
+    sequence order); the ``dropped_*`` fields and ``corrupt_checkpoints``
+    report everything recovery had to discard -- recovery never raises on
+    torn input, it reports.
+    """
+
+    checkpoint: Optional[CheckpointPayload] = None
+    epochs: Tuple[EpochRecord, ...] = ()
+    dropped_bytes: int = 0
+    dropped_records: int = 0
+    corrupt_checkpoints: Tuple[str, ...] = ()
+    segments_scanned: int = 0
+    #: Per-segment valid-prefix byte lengths (consumed by ``reset_to``).
+    good_lengths: Dict[str, int] = field(default_factory=dict)
+    #: Segments wholly past the first bad frame (dropped, removed on reset).
+    abandoned_segments: Tuple[str, ...] = ()
+
+    @property
+    def last_sequence(self) -> int:
+        """The newest epoch sequence the recovered image reflects (0 = empty)."""
+        if self.epochs:
+            return self.epochs[-1].sequence
+        if self.checkpoint is not None:
+            return self.checkpoint.sequence
+        return 0
+
+
+class OsFileSystem:
+    """The real-OS implementation of the WAL's filesystem seam.
+
+    Append handles are cached per path (one ``open`` per segment lifetime,
+    not per record); ``read`` flushes a cached handle first so in-process
+    readers observe buffered frames.  The fault-injection harness
+    implements the same surface over in-memory durable/volatile buffers.
+    """
+
+    def __init__(self) -> None:
+        self._handles: Dict[str, object] = {}
+
+    def makedirs(self, path: str) -> None:
+        os.makedirs(path, exist_ok=True)
+
+    def listdir(self, path: str) -> List[str]:
+        return os.listdir(path)
+
+    def exists(self, path: str) -> bool:
+        return os.path.exists(path)
+
+    def append(self, path: str, data: bytes) -> None:
+        handle = self._handles.get(path)
+        if handle is None:
+            handle = open(path, "ab")
+            self._handles[path] = handle
+        handle.write(data)
+
+    def write(self, path: str, data: bytes) -> None:
+        self._drop_handle(path)
+        with open(path, "wb") as handle:
+            handle.write(data)
+
+    def read(self, path: str) -> bytes:
+        handle = self._handles.get(path)
+        if handle is not None:
+            handle.flush()
+        with open(path, "rb") as reader:
+            return reader.read()
+
+    def fsync(self, path: str) -> None:
+        handle = self._handles.get(path)
+        if handle is not None:
+            handle.flush()
+            os.fsync(handle.fileno())
+            return
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def fsync_dir(self, path: str) -> None:
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def replace(self, source: str, target: str) -> None:
+        self._drop_handle(source)
+        self._drop_handle(target)
+        os.replace(source, target)
+
+    def remove(self, path: str) -> None:
+        self._drop_handle(path)
+        os.remove(path)
+
+    def close(self) -> None:
+        for handle in self._handles.values():
+            handle.close()
+        self._handles.clear()
+
+    def _drop_handle(self, path: str) -> None:
+        handle = self._handles.pop(path, None)
+        if handle is not None:
+            handle.close()
+
+
+def _encode_frame(payload: bytes) -> bytes:
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _parse_frames(data: bytes, min_sequence: int):
+    """``(records, good_length)``: the valid frame prefix of one segment.
+
+    Stops at the first bad frame: truncated header/payload, CRC mismatch,
+    unpicklable payload, a non-:class:`EpochRecord` payload, or a sequence
+    that fails to increase past ``min_sequence`` (corruption that still
+    CRCs is astronomically unlikely, but a misdirected or re-ordered frame
+    would surface exactly as a sequence regression).
+    """
+    records: List[EpochRecord] = []
+    offset = 0
+    previous = min_sequence
+    total = len(data)
+    while offset + _HEADER.size <= total:
+        length, crc = _HEADER.unpack_from(data, offset)
+        if length > _MAX_FRAME_BYTES or offset + _HEADER.size + length > total:
+            break
+        payload = data[offset + _HEADER.size : offset + _HEADER.size + length]
+        if zlib.crc32(payload) != crc:
+            break
+        try:
+            record = pickle.loads(payload)
+        except Exception:
+            break
+        if not isinstance(record, EpochRecord) or record.sequence <= previous:
+            break
+        records.append(record)
+        previous = record.sequence
+        offset += _HEADER.size + length
+    return records, offset
+
+
+class WriteAheadLog:
+    """The append/checkpoint/compact/recover surface over one log directory.
+
+    Parameters
+    ----------
+    path:
+        The log directory (created if missing).
+    sync_every:
+        ``fsync`` the active segment after every N appended epochs
+        (``1`` = per-commit durability; ``0``/``None`` = only on explicit
+        :meth:`sync`, e.g. before a checkpoint).
+    segment_bytes:
+        Roll to a fresh segment once the active one reaches this size.
+    fs:
+        The filesystem seam (default: the real OS).  The fault-injection
+        harness passes its in-memory implementation here.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        sync_every: Optional[int] = 1,
+        segment_bytes: int = 1 << 20,
+        fs=None,
+    ) -> None:
+        self.path = path
+        self.sync_every = sync_every or 0
+        self.segment_bytes = segment_bytes
+        self.fs = fs if fs is not None else OsFileSystem()
+        self.fs.makedirs(path)
+        self._active: Optional[str] = None
+        self._active_size = 0
+        self._segment_index = 1 + max(
+            (int(match.group(1)) for match in map(_SEGMENT_RE.match, self.fs.listdir(path)) if match),
+            default=0,
+        )
+        #: Last record sequence per retained segment (drives compaction).
+        self._segment_last: Dict[str, int] = {}
+        self._since_sync = 0
+        self._appended_sequence = 0
+        self._durable_sequence = 0
+        # A freshly created segment's *directory entry* is volatile until
+        # the directory itself is fsynced; sync() pays that once per roll.
+        self._dir_sync_needed = False
+
+    # -- write path --------------------------------------------------------
+
+    @property
+    def durable_sequence(self) -> int:
+        """The newest sequence covered by an acknowledged ``fsync``."""
+        return self._durable_sequence
+
+    @property
+    def appended_sequence(self) -> int:
+        """The newest sequence handed to the filesystem (maybe still volatile)."""
+        return self._appended_sequence
+
+    def append(self, record: EpochRecord) -> None:
+        """Append one epoch frame; fsyncs per the ``sync_every`` batching."""
+        frame = _encode_frame(pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL))
+        if self._active is None or self._active_size >= self.segment_bytes:
+            self._roll_segment()
+        target = os.path.join(self.path, self._active)
+        self.fs.append(target, frame)
+        self._active_size += len(frame)
+        self._segment_last[self._active] = record.sequence
+        self._appended_sequence = record.sequence
+        self._since_sync += 1
+        if self.sync_every and self._since_sync >= self.sync_every:
+            self.sync()
+
+    def _roll_segment(self) -> None:
+        # Make the outgoing segment durable before frames land in the next
+        # one: recovery stops at the first bad frame, so a volatile tail in
+        # an *earlier* segment would silently shadow later durable frames.
+        if self._active is not None and self._since_sync:
+            self.sync()
+        self._active = f"epochs-{self._segment_index:08d}.seg"
+        self._segment_index += 1
+        self._active_size = 0
+        self._dir_sync_needed = True
+
+    def sync(self) -> None:
+        """Force an ``fsync`` of the active segment (advances durability).
+
+        After a segment roll the new file's directory entry is itself
+        volatile: fsyncing the file contents alone would not keep a crash
+        from unlinking the whole segment.  The first sync of a fresh
+        segment therefore also fsyncs the log directory.
+        """
+        if self._active is not None:
+            self.fs.fsync(os.path.join(self.path, self._active))
+            if self._dir_sync_needed:
+                self.fs.fsync_dir(self.path)
+                self._dir_sync_needed = False
+        self._since_sync = 0
+        self._durable_sequence = self._appended_sequence
+
+    def write_checkpoint(self, payload: CheckpointPayload) -> str:
+        """Durably publish a checkpoint, then compact what it subsumes.
+
+        The log is synced first (the checkpoint must never claim coverage
+        beyond the durable log); the checkpoint file is written to a temp
+        name, fsynced, atomically renamed and the directory fsynced -- a
+        visible checkpoint is therefore always complete.  Superseded
+        checkpoints and fully covered segments are deleted last, so every
+        crash ordering leaves either the old or the new recovery basis
+        intact.
+        """
+        self.sync()
+        name = f"checkpoint-{payload.sequence:012d}.ckpt"
+        final = os.path.join(self.path, name)
+        temp = final + ".tmp"
+        frame = _encode_frame(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+        try:
+            self.fs.write(temp, frame)
+            self.fs.fsync(temp)
+        except Exception:
+            if self.fs.exists(temp):
+                try:
+                    self.fs.remove(temp)
+                except OSError:
+                    pass
+            raise
+        self.fs.replace(temp, final)
+        self.fs.fsync_dir(self.path)
+        for other in self.fs.listdir(self.path):
+            match = _CHECKPOINT_RE.match(other)
+            if match and int(match.group(1)) < payload.sequence:
+                self.fs.remove(os.path.join(self.path, other))
+        self.compact(payload.sequence)
+        return name
+
+    def compact(self, covered_sequence: int) -> List[str]:
+        """Delete non-active segments whose every record is checkpoint-covered."""
+        removed = []
+        for name, last in sorted(self._segment_last.items()):
+            if name != self._active and last <= covered_sequence:
+                self.fs.remove(os.path.join(self.path, name))
+                del self._segment_last[name]
+                removed.append(name)
+        return removed
+
+    def close(self) -> None:
+        """Flush and release file handles (no implicit fsync)."""
+        self.fs.close()
+
+    # -- recovery ----------------------------------------------------------
+
+    def recover(self) -> WalRecovery:
+        """Read the newest valid checkpoint plus the replayable epoch tail.
+
+        Never raises on torn/truncated/garbage input: scanning stops at the
+        first bad frame and the report says what was dropped.  Checkpoint
+        files that fail validation are skipped (the next-newest is tried),
+        so a torn checkpoint write degrades to the previous recovery basis
+        instead of losing the log.
+        """
+        names = self.fs.listdir(self.path)
+        recovery = WalRecovery()
+        corrupt: List[str] = []
+        checkpoints = sorted(
+            (name for name in names if _CHECKPOINT_RE.match(name)), reverse=True
+        )
+        for name in checkpoints:
+            payload = self._load_checkpoint(os.path.join(self.path, name))
+            if payload is not None:
+                recovery.checkpoint = payload
+                break
+            corrupt.append(name)
+        recovery.corrupt_checkpoints = tuple(corrupt)
+        base = recovery.checkpoint.sequence if recovery.checkpoint else 0
+
+        segments = sorted(name for name in names if _SEGMENT_RE.match(name))
+        recovery.segments_scanned = len(segments)
+        epochs: List[EpochRecord] = []
+        abandoned: List[str] = []
+        previous = 0
+        broken = False
+        for name in segments:
+            data = self.fs.read(os.path.join(self.path, name))
+            if broken:
+                # Past the first bad frame nothing is trustworthy; count
+                # this segment's parseable prefix so the report is honest.
+                records, good = _parse_frames(data, previous)
+                recovery.dropped_records += len(records)
+                recovery.dropped_bytes += len(data)
+                abandoned.append(name)
+                continue
+            records, good = _parse_frames(data, previous)
+            epochs.extend(records)
+            if records:
+                previous = records[-1].sequence
+            recovery.good_lengths[name] = good
+            if good < len(data):
+                recovery.dropped_bytes += len(data) - good
+                broken = True
+        recovery.abandoned_segments = tuple(abandoned)
+        recovery.epochs = tuple(
+            record for record in epochs if record.sequence > base
+        )
+        return recovery
+
+    def _load_checkpoint(self, path: str) -> Optional[CheckpointPayload]:
+        try:
+            data = self.fs.read(path)
+        except OSError:
+            return None
+        if len(data) < _HEADER.size:
+            return None
+        length, crc = _HEADER.unpack_from(data, 0)
+        payload = data[_HEADER.size : _HEADER.size + length]
+        if length > _MAX_FRAME_BYTES or len(payload) < length or zlib.crc32(payload) != crc:
+            return None
+        try:
+            checkpoint = pickle.loads(payload)
+        except Exception:
+            return None
+        if not isinstance(checkpoint, CheckpointPayload):
+            return None
+        return checkpoint
+
+    def reset_to(self, recovery: WalRecovery) -> None:
+        """Prepare the directory for appending after ``recovery``.
+
+        Truncates the torn tail (rewriting the broken segment's valid
+        prefix through the atomic temp+rename discipline), removes
+        abandoned segments, and re-adopts the surviving tail segment as
+        the active one so new frames continue the recovered sequence.
+        Recovery itself never mutates the directory -- only a writer that
+        intends to append pays this.
+        """
+        for name in recovery.abandoned_segments:
+            self.fs.remove(os.path.join(self.path, name))
+        self._segment_last = {}
+        previous = 0
+        for name in sorted(recovery.good_lengths):
+            target = os.path.join(self.path, name)
+            data = self.fs.read(target)
+            good = recovery.good_lengths[name]
+            if good == 0:
+                self.fs.remove(target)
+                continue
+            if good < len(data):
+                temp = target + ".tmp"
+                self.fs.write(temp, data[:good])
+                self.fs.fsync(temp)
+                self.fs.replace(temp, target)
+                self.fs.fsync_dir(self.path)
+            records, _ = _parse_frames(data[:good], previous)
+            if records:
+                self._segment_last[name] = records[-1].sequence
+                previous = records[-1].sequence
+        retained = sorted(self._segment_last)
+        if retained:
+            self._active = retained[-1]
+            self._active_size = recovery.good_lengths[self._active]
+        else:
+            self._active = None
+            self._active_size = 0
+        self._segment_index = 1 + max(
+            (int(_SEGMENT_RE.match(name).group(1)) for name in retained),
+            default=self._segment_index - 1,
+        )
+        self._since_sync = 0
+        self._appended_sequence = recovery.last_sequence
+        self._durable_sequence = recovery.last_sequence

@@ -23,28 +23,26 @@ over a worker pool and merge deterministically:
   loop.
 
 Besides the pool, the batch paths layer two *sound* decision shortcuts
-that the one-at-a-time spec paths do not use (decisions stay bitwise
-identical -- the shortcuts only replace completion runs by cheaper
-reasoning, they never change an answer):
+(decisions stay bitwise identical -- the shortcuts only replace completion
+runs by cheaper reasoning, they never change an answer):
 
-1. **Told-subsumption seeding.**  Normalized concepts are canonical sorted
-   conjunctions, so ``conjuncts(D) ⊆ conjuncts(C)`` (compared as interned
-   ids) proves ``C ⊑_Σ D`` outright: ``QL`` has no negation, hence
-   dropping conjuncts only generalizes.  Each worker seeds these told
-   positives -- and, through the lattice, their ancestor closure (``C ⊑ V``
-   and ``V ⊑ W`` give ``C ⊑ W``) -- into its overlay before traversing.
+1. **Told-subsumption seeding.**  ``conjunct_ids(D) ⊆ conjunct_ids(C)``
+   proves ``C ⊑_Σ D`` outright; each worker seeds these told positives --
+   and, through the lattice, their ancestor closure (``C ⊑ V`` and
+   ``V ⊑ W`` give ``C ⊑ W``) -- into its overlay before traversing.
 2. **Root-membership rejection filters.**  One facts-only completion per
-   query concept (the :class:`ConceptProfile`) decides *all* primitive
-   subsumers at once: a goal ``x : A`` with primitive ``A`` triggers no
-   goal or schema rule, so ``C ⊑_Σ A`` holds iff ``A`` was established at
-   the (possibly renamed) root of ``C``'s completion -- and ``C ⊑ D``
-   requires it for every top-level primitive conjunct ``A`` of ``D``.
-   Likewise ``C ⊑ ∃(R:...)p`` (or an agreement headed by ``R``) requires
-   an ``R``-step at the root, which only an ``R``-edge already in the
-   completion or rule S5 (gated on a schema necessity axiom for ``R``) can
-   provide; views whose head attribute has neither are rejected without a
-   completion.  Both filters are validated against the spec checker by a
-   dedicated fuzz suite (``tests/optimizer/test_batch_filters.py``).
+   query concept (the :class:`ConceptProfile`) rejects views requiring a
+   root primitive or head attribute step the query cannot have.
+
+The shortcut machinery itself (``conjunct_ids``, :class:`ConceptProfile`,
+:func:`profile_concept`, the rejection predicate) was **promoted into the
+spec checker** (:mod:`repro.core.checker`) once the adversarial fuzz in
+``tests/optimizer/test_batch_filters.py`` landed -- the ROADMAP carried
+item -- so :meth:`SubsumptionChecker.subsumes` now applies both shortcuts
+on every call and this module re-exports them for its seeding indexes and
+worker overlays.  What remains batch-specific here is the *seeding*
+(overlay deltas, lattice ancestor closure, the conjunct-id posting
+indexes) and the per-worker profile sharing.
 
 Thread workers share the process-wide intern tables (interning is locked)
 and read the base checker's memo tables.  Decisions a worker derives land
@@ -69,17 +67,16 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from ..calculus.constraints import (
-    AttributeConstraint,
-    MembershipConstraint,
-    PathConstraint,
-)
-from ..calculus.subsume import decide_subsumption
-from ..concepts import intern
 from ..concepts.intern import concept_id
 from ..concepts.normalize import normalize_concept
-from ..concepts.syntax import Concept, ExistsPath, Path, PathAgreement, Primitive
-from ..concepts.visitors import conjuncts
+from ..concepts.syntax import Concept
+from ..core.checker import (
+    ConceptProfile,
+    conjunct_ids,
+    necessary_attribute_names,
+    profile_concept,
+    profile_rejects,
+)
 from ..database.lattice import LatticeMatchStats
 
 __all__ = [
@@ -95,112 +92,6 @@ __all__ = [
     "resolve_shards",
     "run_shards",
 ]
-
-#: Fresh primitive used for the facts-only profiling completion.  A goal
-#: ``x : P`` with primitive ``P`` fires no goal or schema rule, so the
-#: completed facts equal the completion of the query alone.
-_PROBE = Primitive("__repro_batch_profile_probe__")
-
-
-#: Process-wide memo for :func:`conjunct_ids`, keyed by interned concept id
-#: (ids are never reused, so entries can never alias).  Cleared together
-#: with the intern tables, mirroring the normalize memo.
-_CONJUNCT_IDS: Dict[int, FrozenSet[int]] = {}
-
-
-def conjunct_ids(concept: Concept) -> FrozenSet[int]:
-    """The interned ids of the top-level conjuncts of the normalized concept.
-
-    ``conjunct_ids(D) <= conjunct_ids(C)`` is the *told subsumption* test:
-    it proves ``C ⊑_Σ D`` for every schema Σ (see the module docstring).
-    Memoized process-wide on the interned id, so repeated seeding passes
-    over the same catalog cost dictionary lookups, not AST walks.
-    """
-    normalized = normalize_concept(concept)
-    key = concept_id(normalized)
-    cached = _CONJUNCT_IDS.get(key)
-    if cached is None:
-        cached = frozenset(concept_id(part) for part in conjuncts(normalized))
-        _CONJUNCT_IDS[key] = cached
-    return cached
-
-
-intern.register_dependent_cache(_CONJUNCT_IDS.clear)
-
-
-# ---------------------------------------------------------------------------
-# Concept profiles: one facts-only completion, many free rejections
-# ---------------------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class ConceptProfile:
-    """What one facts-only completion reveals about a query concept.
-
-    ``root_primitives`` are the primitive concepts established at the root
-    (equivalently: the set of *all* primitive subsumers of the concept);
-    ``root_heads`` are the ``(attribute name, inverted)`` heads of steps
-    available at the root -- outgoing edges, incoming edges (seen as
-    inverted heads) and heads of path memberships recorded at the root.
-    An unsatisfiable concept is subsumed by everything; its profile never
-    rejects.
-    """
-
-    satisfiable: bool
-    root_primitives: FrozenSet[str]
-    root_heads: FrozenSet[Tuple[str, bool]]
-
-
-def _membership_heads(concept: Concept) -> List[Tuple[str, bool]]:
-    heads: List[Tuple[str, bool]] = []
-    for part in conjuncts(concept):
-        path: Optional[Path] = None
-        if isinstance(part, ExistsPath):
-            path = part.path
-        elif isinstance(part, PathAgreement):
-            path = part.left
-        if path is not None and not path.is_empty:
-            attribute = path.steps[0].attribute
-            heads.append((attribute.name, attribute.inverted))
-    return heads
-
-
-def profile_concept(concept: Concept, checker) -> ConceptProfile:
-    """Profile ``concept`` with one completion under ``checker``'s regime."""
-    normalized = normalize_concept(concept)
-    result = decide_subsumption(
-        normalized,
-        _PROBE,
-        checker.schema,
-        use_repair_rule=checker.use_repair_rule,
-        keep_trace=False,
-        naive=checker.naive,
-    )
-    root = result.root_goal_subject
-    primitives = set()
-    heads = set()
-    for fact in result.completion.facts:
-        if isinstance(fact, MembershipConstraint):
-            if fact.subject == root:
-                if isinstance(fact.concept, Primitive):
-                    primitives.add(fact.concept.name)
-                else:
-                    heads.update(_membership_heads(fact.concept))
-        elif isinstance(fact, AttributeConstraint):
-            if fact.subject == root:
-                heads.add((fact.attribute.name, fact.attribute.inverted))
-            if fact.filler == root:
-                heads.add((fact.attribute.name, not fact.attribute.inverted))
-        elif isinstance(fact, PathConstraint):
-            if fact.subject == root and len(fact.path) >= 1:
-                attribute = fact.path[0].attribute
-                heads.add((attribute.name, attribute.inverted))
-    return ConceptProfile(
-        satisfiable=not result.clashes,
-        root_primitives=frozenset(primitives),
-        root_heads=frozenset(heads),
-    )
-
 
 # ---------------------------------------------------------------------------
 # Statistics
@@ -267,12 +158,7 @@ class BatchCheckerView:
         self._direct = direct
         self.statistics = statistics if statistics is not None else BatchStatistics()
         self.delta: Dict[Tuple[int, int], bool] = {}
-        schema = checker.schema
-        self._necessary_names = frozenset(
-            attribute
-            for class_name in schema.concept_names()
-            for attribute in schema.necessary_attributes(class_name)
-        )
+        self._necessary_names = necessary_attribute_names(checker.schema)
 
     # -- plumbing ----------------------------------------------------------
 
@@ -336,33 +222,13 @@ class BatchCheckerView:
     # -- the rejection filters ---------------------------------------------
 
     def _rejects(self, query: Concept, view: Concept) -> bool:
-        """``True`` only if the profile *proves* ``query ⋢ view`` (see module doc)."""
-        profile = self.profile(query)
-        if not profile.satisfiable:
-            return False
-        for part in conjuncts(view):
-            if isinstance(part, Primitive):
-                if part.name not in profile.root_primitives:
-                    return True
-            elif isinstance(part, ExistsPath):
-                if self._head_blocked(profile, part.path):
-                    return True
-            elif isinstance(part, PathAgreement):
-                if self._head_blocked(profile, part.left):
-                    return True
-        return False
+        """``True`` only if the profile *proves* ``query ⋢ view``.
 
-    def _head_blocked(self, profile: ConceptProfile, path: Path) -> bool:
-        if path.is_empty:
-            return False
-        attribute = path.steps[0].attribute
-        if (attribute.name, attribute.inverted) in profile.root_heads:
-            return False
-        # Rule S5 can still materialize a step for an attribute with a
-        # necessity axiom in Σ; stay conservative for those.
-        if attribute.name in self._necessary_names:
-            return False
-        return True
+        Delegates to the promoted :func:`repro.core.checker.profile_rejects`
+        predicate over this worker's (shared) profile memo, so the view and
+        the spec checker reject through one implementation.
+        """
+        return profile_rejects(self.profile(query), view, self._necessary_names)
 
 
 # ---------------------------------------------------------------------------

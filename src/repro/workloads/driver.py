@@ -26,13 +26,16 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import random
+import shutil
+import tempfile
 import time
 from statistics import median
 from typing import Dict, List, Optional, Tuple
 
 from ..core.checker import clear_shared_decision_cache
-from ..database.maintenance import AsyncMaintainer, MaintenanceQueue
+from ..database.maintenance import AsyncMaintainer, DurableMaintainer, MaintenanceQueue
 from ..database.store import DatabaseState
 from ..dl.abstraction import schema_to_sl
 from ..dl.ast import DLSchema
@@ -58,6 +61,7 @@ __all__ = [
     "apply_update",
     "run_maintenance_workload",
     "run_async_maintenance_workload",
+    "run_durable_maintenance_workload",
     "main",
 ]
 
@@ -688,15 +692,253 @@ def run_async_maintenance_workload(
     }
 
 
+def run_durable_maintenance_workload(
+    workload: str = "university",
+    *,
+    views: int = 32,
+    updates: int = 48,
+    batch_size: int = 8,
+    window: int = 4,
+    seed: int = 0,
+    shards: Optional[int] = None,
+    backend: str = "thread",
+    sync_every: int = 1,
+    checkpoint_every: int = 8,
+    log_dir: Optional[str] = None,
+) -> Dict[str, object]:
+    """Durability end to end: fsync cost on commit, recovery cost on restart.
+
+    Three identical state/catalog sides process the same epoch stream:
+
+    * **volatile** -- a plain :class:`AsyncMaintainer` (the PR 5 tier), the
+      baseline commit cost;
+    * **durable** -- a :class:`DurableMaintainer` appending every epoch to
+      a write-ahead log (fsync-batched per ``sync_every``) and
+      checkpointing every ``checkpoint_every`` commits;
+    * **replay-only** -- a second durable side that never checkpoints, so
+      its recovery must replay the whole log from genesis.
+
+    After the stream, both WAL directories are recovered into fresh
+    catalogs via :meth:`DurableMaintainer.open`, timing each.  The
+    verdicts make the robustness claims executable:
+
+    * ``durable_equal_volatile`` -- the WAL never changes what is served:
+      after the final drain the durable side's extents are byte-identical
+      to the volatile side's;
+    * ``recovered_equal_live`` / ``replay_recovered_equal_live`` -- each
+      recovered state+extents equal the live side they were logged from
+      (cross-process recovery loses nothing that was acknowledged);
+    * ``recovery_idempotent`` -- opening the same directory twice lands on
+      identical extents;
+    * ``durable_sequence_complete`` -- every committed epoch was
+      acknowledged durable by the time the stream drained.
+
+    The two headline metrics: ``commit_overhead`` (durable p50 epoch
+    latency / volatile p50 -- what fsync-per-``sync_every`` costs) and
+    ``recovery_speedup`` (from-genesis replay seconds / checkpoint-based
+    seconds -- what checkpoints buy at restart).
+    """
+    schema, volatile_state, catalog_concepts, _ = batch_workload_setup(
+        workload, views, 1, seed
+    )
+    _, durable_state, _, _ = batch_workload_setup(workload, views, 1, seed)
+    _, replay_state, _, _ = batch_workload_setup(workload, views, 1, seed)
+    items = list(catalog_concepts.items())
+    generator_schema = schema_to_sl(schema) if isinstance(schema, DLSchema) else schema
+    ops = generate_update_stream(
+        generator_schema, volatile_state, updates, seed=seed + 211
+    )
+    epochs = [ops[i : i + batch_size] for i in range(0, len(ops), batch_size)]
+
+    clear_shared_decision_cache()
+
+    def build_side(side_state: Optional[DatabaseState]) -> SemanticQueryOptimizer:
+        optimizer = SemanticQueryOptimizer(schema, lattice=True)
+        for name, concept in items:
+            optimizer.register_view_concept(name, concept)
+        if side_state is not None:
+            optimizer.catalog.refresh_all(side_state)
+        return optimizer
+
+    volatile_side = build_side(volatile_state)
+    durable_side = build_side(durable_state)
+    replay_side = build_side(replay_state)
+
+    root = log_dir or tempfile.mkdtemp(prefix="repro-wal-")
+    cleanup = log_dir is None
+    checkpoint_dir = os.path.join(root, "checkpointed")
+    replay_dir = os.path.join(root, "replay-only")
+    volatile = AsyncMaintainer(
+        volatile_state, volatile_side.catalog, window=window, shards=shards, backend=backend
+    )
+    durable = DurableMaintainer(
+        durable_state,
+        durable_side.catalog,
+        path=checkpoint_dir,
+        sync_every=sync_every,
+        checkpoint_every=checkpoint_every,
+        window=window,
+        shards=shards,
+        backend=backend,
+    )
+    replay_writer = DurableMaintainer(
+        replay_state,
+        replay_side.catalog,
+        path=replay_dir,
+        sync_every=sync_every,
+        checkpoint_every=None,
+        window=window,
+        shards=shards,
+        backend=backend,
+    )
+    # The workload's seeded objects predate the log: a genesis checkpoint
+    # makes them recoverable.  The replay-only side keeps exactly this one
+    # checkpoint, so its recovery still replays every epoch of the stream.
+    durable.checkpoint()
+    replay_writer.checkpoint()
+
+    def run_epochs(side_state: DatabaseState) -> List[float]:
+        latencies: List[float] = []
+        for epoch in epochs:
+            t0 = time.perf_counter()
+            with side_state.batch():
+                for op in epoch:
+                    apply_update(side_state, op)
+            latencies.append(time.perf_counter() - t0)
+        return latencies
+
+    try:
+        volatile_latencies = run_epochs(volatile_state)
+        durable_latencies = run_epochs(durable_state)
+        replay_latencies = run_epochs(replay_state)
+        volatile.drain()
+        durable.drain()
+        replay_writer.drain()
+
+        committed = durable.wal.appended_sequence
+        durable.wal.sync()  # flush the last sync_every-batched tail
+        durable_sequence_complete = durable.wal.durable_sequence == committed
+        durable_equal_volatile = all(
+            durable_side.catalog.get(name).stored_extent
+            == volatile_side.catalog.get(name).stored_extent
+            for name in volatile_side.catalog.names()
+        )
+        checkpoints_written = committed // checkpoint_every if checkpoint_every else 0
+    finally:
+        volatile.close()
+        durable.close()
+        replay_writer.close()
+
+    def states_match(recovered_state: DatabaseState, live: DatabaseState) -> bool:
+        return recovered_state.objects == live.objects and all(
+            recovered_state.extent(name) == live.extent(name)
+            for name in live.classes()
+        )
+
+    def timed_recovery(path: str):
+        optimizer = build_side(None)
+        t0 = time.perf_counter()
+        recovered = DurableMaintainer.open(
+            path,
+            generator_schema,
+            optimizer.catalog,
+            window=window,
+            shards=shards,
+            backend=backend,
+        )
+        seconds = time.perf_counter() - t0
+        return recovered, optimizer, seconds
+
+    try:
+        recovered, recovered_opt, checkpoint_recovery_seconds = timed_recovery(
+            checkpoint_dir
+        )
+        recovered_report = recovered.recovery_report
+        recovered_equal_live = states_match(recovered.state, durable_state) and all(
+            recovered_opt.catalog.get(name).stored_extent
+            == durable_side.catalog.get(name).stored_extent
+            for name in durable_side.catalog.names()
+        )
+        recovered.kill()
+
+        again, again_opt, _ = timed_recovery(checkpoint_dir)
+        recovery_idempotent = all(
+            again_opt.catalog.get(name).stored_extent
+            == recovered_opt.catalog.get(name).stored_extent
+            for name in recovered_opt.catalog.names()
+        )
+        again.kill()
+
+        replayed, replayed_opt, replay_recovery_seconds = timed_recovery(replay_dir)
+        replay_report = replayed.recovery_report
+        replay_recovered_equal_live = states_match(
+            replayed.state, replay_state
+        ) and all(
+            replayed_opt.catalog.get(name).stored_extent
+            == replay_side.catalog.get(name).stored_extent
+            for name in replay_side.catalog.names()
+        )
+        replayed.kill()
+    finally:
+        if cleanup:
+            shutil.rmtree(root, ignore_errors=True)
+
+    return {
+        "workload": workload,
+        "views": len(items),
+        "updates": len(ops),
+        "batch_size": batch_size,
+        "epochs": len(epochs),
+        "window": window,
+        "shards": shards,
+        "backend": backend,
+        "sync_every": sync_every,
+        "checkpoint_every": checkpoint_every,
+        "volatile_p50_latency_ms": (
+            1e3 * median(volatile_latencies) if volatile_latencies else None
+        ),
+        "durable_p50_latency_ms": (
+            1e3 * median(durable_latencies) if durable_latencies else None
+        ),
+        "replay_p50_latency_ms": (
+            1e3 * median(replay_latencies) if replay_latencies else None
+        ),
+        "commit_overhead": (
+            median(durable_latencies) / median(volatile_latencies)
+            if volatile_latencies and median(volatile_latencies)
+            else None
+        ),
+        "checkpoint_recovery_seconds": checkpoint_recovery_seconds,
+        "replay_recovery_seconds": replay_recovery_seconds,
+        "recovery_speedup": (
+            replay_recovery_seconds / checkpoint_recovery_seconds
+            if checkpoint_recovery_seconds
+            else None
+        ),
+        "checkpoints_written": checkpoints_written,
+        "recovered_sequence": recovered_report.recovered_sequence,
+        "recovered_checkpoint_sequence": recovered_report.checkpoint_sequence,
+        "recovered_replayed_epochs": recovered_report.replayed_epochs,
+        "replay_replayed_epochs": replay_report.replayed_epochs,
+        "durable_sequence_complete": durable_sequence_complete,
+        "durable_equal_volatile": durable_equal_volatile,
+        "recovered_equal_live": recovered_equal_live,
+        "replay_recovered_equal_live": replay_recovered_equal_live,
+        "recovery_idempotent": recovery_idempotent,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--scenario",
         default="serve",
-        choices=("serve", "maintain", "maintain-async"),
+        choices=("serve", "maintain", "maintain-async", "maintain-durable"),
         help=(
             "serve: batched register+match; maintain: update-heavy "
-            "maintenance; maintain-async: serve-from-generation async flushes"
+            "maintenance; maintain-async: serve-from-generation async "
+            "flushes; maintain-durable: write-ahead-logged commits with "
+            "crash recovery"
         ),
     )
     parser.add_argument(
@@ -712,7 +954,31 @@ def main(argv=None) -> int:
     parser.add_argument("--shards", type=int, default=2)
     parser.add_argument("--backend", default="thread")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--sync-every", type=int, default=1)
+    parser.add_argument("--checkpoint-every", type=int, default=8)
     args = parser.parse_args(argv)
+    if args.scenario == "maintain-durable":
+        report = run_durable_maintenance_workload(
+            args.workload,
+            views=args.views,
+            updates=args.updates,
+            batch_size=args.batch_size,
+            window=args.window,
+            shards=args.shards if args.shards > 1 else None,
+            backend=args.backend,
+            seed=args.seed,
+            sync_every=args.sync_every,
+            checkpoint_every=args.checkpoint_every,
+        )
+        print(json.dumps(report, indent=2, sort_keys=True))
+        ok = (
+            report["durable_sequence_complete"]
+            and report["durable_equal_volatile"]
+            and report["recovered_equal_live"]
+            and report["replay_recovered_equal_live"]
+            and report["recovery_idempotent"]
+        )
+        return 0 if ok else 1
     if args.scenario == "maintain-async":
         report = run_async_maintenance_workload(
             args.workload,

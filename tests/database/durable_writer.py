@@ -1,0 +1,71 @@
+"""Subprocess writer for the SIGKILL crash-recovery test.
+
+Runs a :class:`~repro.database.maintenance.DurableMaintainer` over a real
+log directory and prints ``ACK <durable sequence>`` after every commit,
+so the parent test knows exactly which prefix was fsync-acknowledged
+before it delivers ``kill -9``.  The schema, catalog and per-epoch
+mutations are deterministic functions shared with the parent (it imports
+this module), so the parent can rebuild the from-scratch oracle for any
+recovered prefix.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.concepts import builders as b
+from repro.core.checker import SubsumptionChecker
+from repro.database.maintenance import DurableMaintainer
+from repro.database.store import DatabaseState
+from repro.database.views import ViewCatalog
+
+CLASSES = ["C0", "C1", "C2"]
+ATTRIBUTE = "p"
+
+
+def build_schema():
+    return b.schema(
+        b.isa("C0", "C1"),
+        b.typed("C1", ATTRIBUTE, "C2"),
+    )
+
+
+def build_catalog():
+    catalog = ViewCatalog(None, checker=SubsumptionChecker(build_schema()))
+    for name in CLASSES:
+        catalog.register_concept(f"all_{name}", b.concept(name))
+    catalog.register_concept("has_p", b.conjoin(b.concept("C1"), b.exists(ATTRIBUTE)))
+    return catalog
+
+
+def apply_epoch(state: DatabaseState, index: int) -> None:
+    """The deterministic mutation epoch number ``index`` (0-based)."""
+    with state.batch():
+        state.add_object(f"o{index}")
+        state.assert_membership(f"o{index}", CLASSES[index % len(CLASSES)])
+        if index:
+            state.set_attribute(f"o{index - 1}", ATTRIBUTE, f"o{index}")
+        if index % 7 == 3:
+            state.retract_membership(f"o{index - 1}", CLASSES[(index - 1) % len(CLASSES)])
+
+
+def main() -> None:
+    logdir, total, checkpoint_every = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+    state = DatabaseState(build_schema())
+    catalog = build_catalog()
+    maintainer = DurableMaintainer(
+        state,
+        catalog,
+        path=logdir,
+        sync_every=1,
+        checkpoint_every=checkpoint_every,
+    )
+    for index in range(total):
+        apply_epoch(state, index)
+        print(f"ACK {maintainer.wal.durable_sequence}", flush=True)
+    maintainer.close()
+    print("DONE", flush=True)
+
+
+if __name__ == "__main__":
+    main()

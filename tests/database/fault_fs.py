@@ -1,0 +1,242 @@
+"""An in-memory, fault-injecting filesystem for the WAL crash oracle.
+
+Implements the same seam as :class:`repro.database.wal.OsFileSystem`
+(``makedirs``/``listdir``/``exists``/``append``/``write``/``read``/
+``fsync``/``fsync_dir``/``replace``/``remove``/``close``) over in-memory
+buffers that distinguish **durable** from **volatile** bytes, so a test
+can crash the "process" at any point and collapse the disk to one of the
+images a real power failure could leave behind.
+
+Fault model
+-----------
+
+* **Content durability.**  Each file tracks a durable prefix length;
+  ``fsync`` extends it to the full content.  On :meth:`crash`, every file
+  independently keeps its durable bytes plus an *arbitrary prefix* of
+  the unsynced suffix (chosen by the test, e.g. via hypothesis) -- this
+  models torn writes, partial page flushes, and cross-file write
+  reordering (one file's volatile tail may survive while another,
+  written later, loses its own).
+* **Namespace durability.**  Creating, renaming or removing a file is a
+  *pending* directory operation until ``fsync_dir``; on :meth:`crash` an
+  arbitrary **prefix** of each directory's pending operations survives
+  (metadata journaling is ordered) and the rest are undone in reverse.
+  A created-but-never-dir-synced file can therefore vanish wholesale,
+  an atomic replace can roll back to the old content, and a removed
+  file can resurface.
+* **fsync failure.**  :meth:`fail_fsyncs` arms the next N ``fsync`` /
+  ``fsync_dir`` calls to raise :class:`OSError` -- the writer observes
+  the failure and the durable prefix does **not** advance.
+* **Kill at a byte boundary.**  :meth:`crash_after` arms a byte budget;
+  the write that exhausts it lands only the budgeted prefix and raises
+  :class:`SimulatedCrash` (a :class:`BaseException`, so production
+  ``except OSError``/``except Exception`` recovery paths cannot swallow
+  it -- exactly like a real ``kill -9``).
+
+After :meth:`crash` the instance *is* the post-reboot disk: everything
+that survived is durable, all injection state is cleared, and a fresh
+:class:`~repro.database.wal.WriteAheadLog` over the same instance sees
+what a restarted process would.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+__all__ = ["FaultyFileSystem", "SimulatedCrash"]
+
+
+class SimulatedCrash(BaseException):
+    """The simulated process died mid-write (raised by the byte-budget kill)."""
+
+
+class _File:
+    __slots__ = ("data", "durable")
+
+    def __init__(self, data: bytes = b"", durable: int = 0) -> None:
+        self.data = bytearray(data)
+        self.durable = durable
+
+    def clone(self) -> "_File":
+        return _File(bytes(self.data), self.durable)
+
+
+#: A pending namespace operation: ``(kind, path, undo-payload)``.
+_Op = Tuple[str, str, object]
+
+
+class FaultyFileSystem:
+    """The fault-injecting implementation of the WAL filesystem seam."""
+
+    def __init__(self) -> None:
+        self.files: Dict[str, _File] = {}
+        self.dirs: Set[str] = set()
+        #: Per-directory namespace ops since that directory's last fsync_dir.
+        self._pending: Dict[str, List[_Op]] = {}
+        self._fail_fsyncs = 0
+        self._write_budget: Optional[int] = None
+        # Observability for cost/behavior assertions.
+        self.fsync_calls = 0
+        self.dir_fsync_calls = 0
+        self.bytes_written = 0
+
+    # -- fault injection ---------------------------------------------------
+
+    def fail_fsyncs(self, count: int) -> None:
+        """Make the next ``count`` fsync/fsync_dir calls raise OSError."""
+        self._fail_fsyncs = count
+
+    def crash_after(self, budget: int) -> None:
+        """Raise :class:`SimulatedCrash` once ``budget`` more bytes land."""
+        self._write_budget = budget
+
+    def disarm(self) -> None:
+        """Clear all armed faults (the process survived after all)."""
+        self._fail_fsyncs = 0
+        self._write_budget = None
+
+    def crash(
+        self,
+        keep_ops: Optional[Callable[[str, int], int]] = None,
+        keep_bytes: Optional[Callable[[str, int], int]] = None,
+    ) -> None:
+        """Collapse to a possible post-crash disk image (then "reboot").
+
+        ``keep_ops(directory, pending) -> surviving prefix length`` picks
+        how many of a directory's pending namespace operations persisted
+        (default: none); ``keep_bytes(path, volatile) -> kept`` picks how
+        much of a file's unsynced suffix persisted (default: none).  Both
+        callbacks may be driven by hypothesis to explore every image.
+        """
+        for directory in sorted(self._pending):
+            ops = self._pending[directory]
+            survive = 0 if keep_ops is None else keep_ops(directory, len(ops))
+            survive = max(0, min(len(ops), survive))
+            for kind, path, undo in reversed(ops[survive:]):
+                self._undo(kind, path, undo)
+        self._pending = {}
+        for path in sorted(self.files):
+            file = self.files[path]
+            volatile = len(file.data) - file.durable
+            kept = 0 if keep_bytes is None else keep_bytes(path, volatile)
+            kept = max(0, min(volatile, kept))
+            file.data = bytearray(file.data[: file.durable + kept])
+            file.durable = len(file.data)
+        self.disarm()
+
+    def _undo(self, kind: str, path: str, undo: object) -> None:
+        if kind == "create":
+            self.files.pop(path, None)
+        elif kind == "remove":
+            self.files[path] = undo  # type: ignore[assignment]
+        elif kind == "rewrite":
+            if undo is None:
+                self.files.pop(path, None)
+            else:
+                self.files[path] = undo  # type: ignore[assignment]
+        elif kind == "replace":
+            prior_target, source, source_file = undo  # type: ignore[misc]
+            self.files[source] = source_file
+            if prior_target is None:
+                self.files.pop(path, None)
+            else:
+                self.files[path] = prior_target
+        else:  # pragma: no cover - exhaustive over recorded kinds
+            raise AssertionError(f"unknown pending op kind: {kind}")
+
+    # -- write accounting --------------------------------------------------
+
+    def _record(self, path: str, kind: str, undo: object) -> None:
+        self._pending.setdefault(os.path.dirname(path), []).append(
+            (kind, path, undo)
+        )
+
+    def _charge(self, file: _File, data: bytes) -> None:
+        """Land ``data`` into ``file``, honoring the kill budget."""
+        if self._write_budget is None:
+            file.data.extend(data)
+            self.bytes_written += len(data)
+            return
+        allowed = min(len(data), self._write_budget)
+        file.data.extend(data[:allowed])
+        self.bytes_written += allowed
+        self._write_budget -= allowed
+        if allowed < len(data):
+            self._write_budget = None
+            raise SimulatedCrash(
+                f"killed after {allowed} of {len(data)} bytes into {file!r}"
+            )
+
+    # -- the filesystem seam ----------------------------------------------
+
+    def makedirs(self, path: str) -> None:
+        self.dirs.add(path)
+
+    def listdir(self, path: str) -> List[str]:
+        if path not in self.dirs:
+            raise FileNotFoundError(path)
+        return [
+            os.path.basename(name)
+            for name in self.files
+            if os.path.dirname(name) == path
+        ]
+
+    def exists(self, path: str) -> bool:
+        return path in self.files or path in self.dirs
+
+    def append(self, path: str, data: bytes) -> None:
+        file = self.files.get(path)
+        if file is None:
+            file = _File()
+            self.files[path] = file
+            self._record(path, "create", None)
+        self._charge(file, data)
+
+    def write(self, path: str, data: bytes) -> None:
+        prior = self.files.get(path)
+        self._record(path, "rewrite", prior.clone() if prior is not None else None)
+        file = _File()
+        self.files[path] = file
+        self._charge(file, data)
+
+    def read(self, path: str) -> bytes:
+        file = self.files.get(path)
+        if file is None:
+            raise FileNotFoundError(path)
+        return bytes(file.data)
+
+    def _maybe_fail_fsync(self, path: str) -> None:
+        if self._fail_fsyncs > 0:
+            self._fail_fsyncs -= 1
+            raise OSError(f"injected fsync failure: {path}")
+
+    def fsync(self, path: str) -> None:
+        self.fsync_calls += 1
+        self._maybe_fail_fsync(path)
+        file = self.files.get(path)
+        if file is None:
+            raise FileNotFoundError(path)
+        file.durable = len(file.data)
+
+    def fsync_dir(self, path: str) -> None:
+        self.dir_fsync_calls += 1
+        self._maybe_fail_fsync(path)
+        self._pending.pop(path, None)
+
+    def replace(self, source: str, target: str) -> None:
+        file = self.files.pop(source, None)
+        if file is None:
+            raise FileNotFoundError(source)
+        prior = self.files.get(target)
+        self.files[target] = file
+        self._record(target, "replace", (prior, source, file))
+
+    def remove(self, path: str) -> None:
+        file = self.files.pop(path, None)
+        if file is None:
+            raise FileNotFoundError(path)
+        self._record(path, "remove", file)
+
+    def close(self) -> None:
+        """No cached handles to release (buffers live on the instance)."""

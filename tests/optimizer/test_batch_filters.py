@@ -1,26 +1,31 @@
-"""Soundness fuzz for the batch layer's decision shortcuts.
+"""Soundness fuzz for the decision shortcuts (now promoted into the checker).
 
-The batch paths replace completion runs by two kinds of reasoning, and both
-must *never* contradict the spec checker:
+The shortcuts replace completion runs by two kinds of reasoning, and both
+must *never* contradict the spec decision (``shortcuts=False``, i.e. the
+signature filter plus a full completion):
 
 * told subsumption: ``conjunct_ids(D) ⊆ conjunct_ids(C)`` must imply
   ``C ⊑_Σ D`` for every schema;
-* profile rejection: whenever :class:`BatchCheckerView` rejects a pair via
-  the root-membership / head-attribute filters, the checker must agree the
+* profile rejection: whenever :class:`BatchCheckerView` (or the promoted
+  predicate inside :meth:`SubsumptionChecker.subsumes`) rejects a pair via
+  the root-membership / head-attribute filters, the spec must agree the
   subsumption fails.
 
 These properties are exactly what makes batched results bitwise equal to
 the sequential spec, so they get their own high-volume fuzz on the shared
 random vocabulary (which exercises necessity axioms, inverses, agreements
 and unsatisfiable singletons).  ``TestAdversarialSchemas`` additionally
-drives both shortcuts over the adversarial corners ROADMAP requires before
-they may be promoted into the spec checker itself: the empty schema (no Σ
-reasoning to hide behind), deep ``isA`` chains (told closure meets long
-hierarchies) and necessity-gated vocabularies over inverted attribute uses
-(the inverse-synonym shape, which exercises the S5 gate of the head
-filter).  ``TestIncrementalSeedIndex`` pins the live-lattice posting index
-used by the batched registration merge phase to the linear
-``seed_against_lattice`` spec.
+drives both shortcuts over the adversarial corners ROADMAP gated the
+promotion on: the empty schema (no Σ reasoning to hide behind), deep
+``isA`` chains (told closure meets long hierarchies) and necessity-gated
+vocabularies over inverted attribute uses (the inverse-synonym shape,
+which exercises the S5 gate of the head filter).  With the promotion
+landed, ``TestPromotedShortcuts`` pins the two checker modes decision-
+equal end to end; every *spec* checker below opts out via
+``shortcuts=False`` so the fuzz stays non-circular.
+``TestIncrementalSeedIndex`` pins the live-lattice posting index used by
+the batched registration merge phase to the linear ``seed_against_lattice``
+spec.
 """
 
 from hypothesis import HealthCheck, given, settings
@@ -48,7 +53,7 @@ class TestToldSubsumption:
     @given(schemas(max_axioms=4), concepts(max_depth=2), concepts(max_depth=2))
     def test_told_inclusion_implies_subsumption(self, schema, query, view):
         if conjunct_ids(view) <= conjunct_ids(query):
-            checker = SubsumptionChecker(schema)
+            checker = SubsumptionChecker(schema, shared_cache=False, shortcuts=False)
             assert checker.subsumes(query, view)
 
 
@@ -56,7 +61,7 @@ class TestProfileFilters:
     @settings(max_examples=150, deadline=None, suppress_health_check=[HealthCheck.too_slow])
     @given(schemas(max_axioms=4), concepts(max_depth=2), concepts(max_depth=2))
     def test_rejection_never_contradicts_checker(self, schema, query, view):
-        checker = SubsumptionChecker(schema)
+        checker = SubsumptionChecker(schema, shared_cache=False, shortcuts=False)
         view_checker = BatchCheckerView(checker)
         from repro.concepts.normalize import normalize_concept
 
@@ -74,7 +79,7 @@ class TestProfileFilters:
     @given(schemas(max_axioms=4), concepts(max_depth=2), concepts(max_depth=2))
     def test_view_decisions_equal_spec_decisions(self, schema, query, view):
         """End to end: the worker view returns exactly the spec decision."""
-        spec = SubsumptionChecker(schema, shared_cache=False)
+        spec = SubsumptionChecker(schema, shared_cache=False, shortcuts=False)
         worker = BatchCheckerView(SubsumptionChecker(schema, shared_cache=False))
         assert worker.subsumes(query, view) == spec.subsumes(query, view)
 
@@ -87,7 +92,7 @@ class TestProfileFilters:
 
         worker = BatchCheckerView(SubsumptionChecker(schema, shared_cache=False))
         worker.subsumes(query, view)
-        spec = SubsumptionChecker(schema, shared_cache=False)
+        spec = SubsumptionChecker(schema, shared_cache=False, shortcuts=False)
         by_id = {}
         for concept in (query, view):
             normalized = normalize_concept(concept)
@@ -160,7 +165,7 @@ class TestAdversarialSchemas:
     @given(adversarial_schemas(), adversarial_concepts, adversarial_concepts)
     def test_told_inclusion_implies_subsumption(self, schema, query, view):
         if conjunct_ids(view) <= conjunct_ids(query):
-            checker = SubsumptionChecker(schema, shared_cache=False)
+            checker = SubsumptionChecker(schema, shared_cache=False, shortcuts=False)
             assert checker.subsumes(query, view)
 
     @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
@@ -168,7 +173,7 @@ class TestAdversarialSchemas:
     def test_rejection_never_contradicts_checker(self, schema, query, view):
         from repro.concepts.normalize import normalize_concept
 
-        checker = SubsumptionChecker(schema, shared_cache=False)
+        checker = SubsumptionChecker(schema, shared_cache=False, shortcuts=False)
         view_checker = BatchCheckerView(checker)
         if view_checker._rejects(normalize_concept(query), normalize_concept(view)):
             assert checker.subsumes(query, view) is False
@@ -184,7 +189,7 @@ class TestAdversarialSchemas:
     @given(adversarial_schemas(), adversarial_concepts, adversarial_concepts)
     def test_view_decisions_equal_spec_decisions(self, schema, query, view):
         """End to end: on every adversarial corner, shortcut == spec."""
-        spec = SubsumptionChecker(schema, shared_cache=False)
+        spec = SubsumptionChecker(schema, shared_cache=False, shortcuts=False)
         worker = BatchCheckerView(SubsumptionChecker(schema, shared_cache=False))
         assert worker.subsumes(query, view) == spec.subsumes(query, view)
 
@@ -204,6 +209,53 @@ class TestAdversarialSchemas:
         assert worker.subsumes(bottom, top) is checker.subsumes(bottom, top) is True
         # The reverse direction fails, and the profile filter may prove it.
         assert worker.subsumes(top, bottom) is False
+
+
+class TestPromotedShortcuts:
+    """The promoted checker shortcuts never change a decision.
+
+    ``SubsumptionChecker`` now applies told subsumption and the profile
+    rejection inside :meth:`subsumes`; these properties pin the shortcut
+    mode decision-equal to the ``shortcuts=False`` spec mode on both the
+    regular and the adversarial vocabularies, and check the statistics
+    counters actually attribute the short-circuits.
+    """
+
+    @settings(max_examples=120, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(schemas(max_axioms=4), concepts(max_depth=2), concepts(max_depth=2))
+    def test_shortcut_mode_equals_spec_mode(self, schema, query, view):
+        fast = SubsumptionChecker(schema, shared_cache=False)
+        spec = SubsumptionChecker(schema, shared_cache=False, shortcuts=False)
+        assert fast.subsumes(query, view) == spec.subsumes(query, view)
+        assert fast.subsumes(view, query) == spec.subsumes(view, query)
+
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(adversarial_schemas(), adversarial_concepts, adversarial_concepts)
+    def test_shortcut_mode_equals_spec_mode_adversarial(self, schema, query, view):
+        fast = SubsumptionChecker(schema, shared_cache=False)
+        spec = SubsumptionChecker(schema, shared_cache=False, shortcuts=False)
+        assert fast.subsumes(query, view) == spec.subsumes(query, view)
+
+    def test_shortcut_counters_attribute_the_short_circuits(self):
+        from repro.concepts import builders as b
+
+        # q is schema-known (so the signature filter stays out of the way)
+        # but carries no necessity axiom (so S5 cannot arm it).
+        schema = b.schema(b.isa("A", "B"), b.typed("B", "q", "B"))
+        checker = SubsumptionChecker(schema, shared_cache=False, cache=False)
+        conj = b.conjoin(b.concept("A"), b.exists("p"))
+        # Told: dropping a conjunct generalizes -- no completion needed.
+        assert checker.subsumes(conj, b.concept("A"))
+        assert checker.statistics["told_shortcuts"] == 1
+        # Profile: A has no root q-step and q carries no necessity axiom.
+        assert not checker.subsumes(b.concept("A"), b.exists("q"))
+        assert checker.statistics["profile_rejections"] == 1
+        assert checker.statistics["profiles_computed"] == 1
+        # The spec mode decides identically without ever profiling.
+        spec = SubsumptionChecker(schema, shared_cache=False, shortcuts=False)
+        assert spec.subsumes(conj, b.concept("A"))
+        assert not spec.subsumes(b.concept("A"), b.exists("q"))
+        assert spec.statistics["profiles_computed"] == 0
 
 
 class TestIncrementalSeedIndex:
