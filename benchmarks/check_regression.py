@@ -30,7 +30,12 @@ runners and developer laptops alike.
   replay recovery time over checkpoint-based recovery time) on the
   update-heavy workloads (each re-measured point re-asserts the full
   crash-recovery verdict set: durable == volatile, recovered == live,
-  recovery idempotent).
+  recovery idempotent);
+* **e14** (``BENCH_e14.json``): group-commit speedup -- concurrent-writer
+  commits/sec with fsync-ACK tickets riding the batched sync, over the
+  fsync-per-commit discipline, both under the same modeled-disk fsync
+  latency (each re-measured point re-asserts the fleet loss contract:
+  every commit ACKed, no ACKed commit lost across a kill+recovery).
 
 Every guard compares the *median relative decay* across its re-measured
 points rather than any single point, so one noisy configuration cannot fail
@@ -107,6 +112,11 @@ E12_WORKLOADS = ("university", "trading")
 #: while still timing both fsync disciplines and both recovery paths).
 E13_SIZE = 32
 E13_WORKLOADS = ("university", "trading")
+
+#: E14 workloads re-measured by the guard (writer count, commit volume and
+#: the fsync disk model come from the bench module, so the guard re-runs
+#: exactly the committed configuration).
+E14_WORKLOADS = ("university", "trading")
 
 
 def measure_e8():
@@ -334,6 +344,43 @@ def measure_e13():
     return rows, fresh_points
 
 
+def measure_e14():
+    """Concurrent-writer group-commit speedup (fleet loss contract re-asserted).
+
+    The guarded value is a same-run ratio: group-commit commits/sec over
+    fsync-per-commit commits/sec, both fleets identical in writer count,
+    commit stream and the modeled-disk fsync latency.
+    ``group_commit_point`` asserts the full loss contract (every commit
+    fsync-ACKed, no ACKed commit missing after kill+recovery, recovered
+    state equal to live) before returning, so a correctness break in the
+    commit pipeline fails this guard outright rather than showing up as
+    noise.
+    """
+    try:
+        from .bench_e14_group_commit import group_commit_point
+    except ImportError:
+        from bench_e14_group_commit import group_commit_point
+
+    committed = {
+        point["workload"]: point for point in _load_committed("e14")["series"]
+    }
+    rows = []
+    fresh_points = []
+    for workload in E14_WORKLOADS:
+        if workload not in committed:
+            continue
+        fresh = group_commit_point(workload, repeats=3)
+        fresh_points.append(fresh)
+        rows.append(
+            (
+                f"e14 {workload} group-commit speedup",
+                committed[workload]["group_commit_speedup"],
+                fresh["group_commit_speedup"],
+            )
+        )
+    return rows, fresh_points
+
+
 GUARDS = {
     "e8": measure_e8,
     "e9": measure_e9,
@@ -342,6 +389,7 @@ GUARDS = {
     "e11": measure_e11,
     "e12": measure_e12,
     "e13": measure_e13,
+    "e14": measure_e14,
 }
 
 
@@ -475,6 +523,11 @@ def test_e12_async_serving_latency_no_regression():
 @pytest.mark.regression
 def test_e13_durability_no_regression():
     run_check(guards=["e13"], fresh_dir=_fresh_dir_from_env())
+
+
+@pytest.mark.regression
+def test_e14_group_commit_no_regression():
+    run_check(guards=["e14"], fresh_dir=_fresh_dir_from_env())
 
 
 def main(argv=None) -> int:

@@ -1,11 +1,14 @@
 """The OODB substrate: database states, query evaluation, materialized views."""
 
+from .commit import CommitScheduler, CommitTicket, DurabilityError, FaultPolicy
 from .lattice import LatticeMatchStats, LatticeNode, ViewLattice
 from .maintenance import (
     AsyncMaintainer,
+    DurableMaintainer,
     MaintenanceEpoch,
     MaintenanceQueue,
     MaintenanceStatistics,
+    RecoveryReport,
     RelevanceIndex,
 )
 from .query_eval import EvaluationStatistics, QueryEvaluator
@@ -22,6 +25,7 @@ from .store import (
     StateSnapshot,
 )
 from .views import MaterializedView, ViewCatalog
+from .wal import EpochRecord, WalError, WriteAheadLog
 
 __all__ = [
     "DatabaseState",
@@ -36,9 +40,18 @@ __all__ = [
     "LatticeMatchStats",
     "MaintenanceQueue",
     "AsyncMaintainer",
+    "DurableMaintainer",
     "MaintenanceEpoch",
     "MaintenanceStatistics",
+    "RecoveryReport",
     "RelevanceIndex",
+    "CommitScheduler",
+    "CommitTicket",
+    "DurabilityError",
+    "FaultPolicy",
+    "WriteAheadLog",
+    "WalError",
+    "EpochRecord",
     "Delta",
     "ObjectAdded",
     "ObjectRemoved",

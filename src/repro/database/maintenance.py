@@ -96,6 +96,7 @@ from .store import (
     StateSnapshot,
 )
 from .views import MaterializedView, ViewCatalog
+from .commit import CommitScheduler, FaultPolicy
 from .wal import (
     CheckpointPayload,
     EpochRecord,
@@ -885,7 +886,11 @@ class AsyncMaintainer(_MaintenanceEngine):
             # the crash-safe record replay() recovers from -- must hold
             # this epoch; the queue bound yields to durability once no
             # worker can drain it.  The error (if any) surfaces after.
-            self._sequence += 1
+            # The sequence is store-assigned (bumped before listeners run,
+            # under the store's write lock), so concurrent writers cannot
+            # race the numbering and the durable tier persists the same
+            # number it enqueues.
+            self._sequence = self.state.commit_sequence
             self._log.append(
                 MaintenanceEpoch(
                     self._sequence,
@@ -1281,18 +1286,31 @@ class DurableMaintainer(AsyncMaintainer):
     opening the same directory twice (without new commits) yields
     identical states.
 
-    **Sequencing contract.**  Epoch sequences are assigned on the single
-    mutator thread (``on_commit``), so the WAL record written *before*
-    the enqueue can safely pre-compute ``_sequence + 1`` -- the base
-    class's increment lands on the same number.
+    **Sequencing contract.**  Epoch sequences are **store-assigned**:
+    ``DatabaseState.batch()`` serializes writer threads on the store's
+    write lock and bumps :attr:`~repro.database.store.DatabaseState.commit_sequence`
+    once per effective commit, before listeners run.  The WAL record
+    written here and the in-memory epoch the base class enqueues both
+    carry that number, so concurrent writers can never race the
+    numbering.
 
-    **Failure semantics.**  A failed WAL append (``OSError`` from the
-    filesystem seam) still enqueues the epoch in memory -- the state
-    mutation has already happened, so dropping it would desynchronize the
-    catalog -- and then raises :class:`WalError`: the commit is applied
-    but NOT durable, and the caller decides whether to retry ``sync()``
-    or fail over.  A dead flush worker does not stop WAL appends or
-    checkpoints: durability outlives the serving tier.
+    **Failure semantics.**  WAL I/O runs through a
+    :class:`~repro.database.commit.CommitScheduler` under a bounded-retry
+    :class:`~repro.database.commit.FaultPolicy`: transient ``OSError``\\ s
+    are retried with backoff (torn frames are truncated before the
+    re-append), and a persistent fault flips the store to **read-only
+    degraded mode** -- the failed commit still enqueues in memory (the
+    state mutation already happened, dropping it would desynchronize the
+    catalog) and then raises a typed
+    :class:`~repro.database.commit.DurabilityError` carrying the last
+    ACKed sequence; later write batches are rejected at the store
+    boundary while readers keep serving the last published generation,
+    and :meth:`heal` re-probes the log and resumes.  Each commit's
+    fsync-ACK handle is its :class:`~repro.database.commit.CommitTicket`
+    (``state.last_commit_ticket``); with ``sync_every > 1`` tickets
+    resolve by group commit -- N writers share one fsync.  A dead flush
+    worker does not stop WAL appends or checkpoints: durability outlives
+    the serving tier.
     """
 
     def __init__(
@@ -1306,6 +1324,7 @@ class DurableMaintainer(AsyncMaintainer):
         checkpoint_every: Optional[int] = 32,
         segment_bytes: int = 1 << 20,
         fs=None,
+        fault_policy: Optional[FaultPolicy] = None,
         **async_kwargs,
     ) -> None:
         if wal is None:
@@ -1323,33 +1342,32 @@ class DurableMaintainer(AsyncMaintainer):
         # subscribes to the state and starts the worker, after which
         # on_commit may run.
         self.wal = wal
+        self.scheduler = CommitScheduler(wal, policy=fault_policy)
         self.checkpoint_every = checkpoint_every
         self.recovery_report: Optional[RecoveryReport] = None
         self._commits_since_checkpoint = 0
         super().__init__(state, catalog, **async_kwargs)
+        state.attach_commit_scheduler(self.scheduler)
 
-    # -- commit path (mutator thread) ------------------------------------------
+    # -- commit path (writer threads, serialized by the store) -----------------
 
     def on_commit(self) -> None:
-        """WAL-first commit: append the epoch frame, then enqueue it."""
+        """WAL-first commit: schedule the epoch frame, then enqueue it."""
         if not self._epoch_deltas and not self._epoch_schema_changed:
             super().on_commit()
             return
         record = EpochRecord(
-            sequence=self._sequence + 1,
+            sequence=self.state.commit_sequence,
             generation=self.state.generation,
             deltas=tuple(self._epoch_deltas),
             schema_changed=self._epoch_schema_changed,
         )
-        append_error: Optional[BaseException] = None
-        try:
-            self.wal.append(record)
-        except OSError as error:
-            # The epoch must still reach the in-memory log below (the
-            # state mutation already happened); surface the lost
-            # durability afterwards.  Simulated crashes from the fault
-            # harness are BaseException subclasses and propagate here.
-            append_error = error
+        # The scheduler retries transient faults, degrades on persistent
+        # ones and never raises OSError itself; a failed commit surfaces
+        # through the ticket after the bookkeeping below.  Simulated
+        # crashes from the fault harness are BaseException subclasses and
+        # propagate immediately.
+        ticket = self.scheduler.append(record)
         enqueue_error: Optional[BaseException] = None
         try:
             super().on_commit()
@@ -1360,27 +1378,34 @@ class DurableMaintainer(AsyncMaintainer):
             enqueue_error = error
         self._commits_since_checkpoint += 1
         if (
-            append_error is None
+            ticket.error is None
             and self.checkpoint_every
             and self._commits_since_checkpoint >= self.checkpoint_every
         ):
             self.checkpoint()
-        if append_error is not None:
-            raise WalError(
-                "WAL append failed; the commit is applied in memory but NOT "
-                "durable"
-            ) from append_error
+        if ticket.error is not None:
+            raise ticket.error
         if enqueue_error is not None:
             raise enqueue_error
+
+    def heal(self) -> bool:
+        """Probe the log and leave read-only degraded mode on success."""
+        return self.scheduler.heal()
 
     def checkpoint(self) -> CheckpointPayload:
         """Durably checkpoint the current state; prune covered epochs.
 
-        Runs on the mutator thread (never mid-batch: commits fire after
-        the outermost batch exits), so the snapshot is a consistent cut
-        covering every epoch up to ``_sequence``.  The WAL is synced
-        first (see :meth:`WriteAheadLog.write_checkpoint`), so a
-        checkpoint never claims coverage beyond the durable log.
+        Runs on a writer thread (never mid-batch: commits fire after the
+        outermost batch exits), so the snapshot is a consistent cut
+        covering every epoch up to ``_sequence``.  The WAL is flushed
+        first through the scheduler's retry policy (a checkpoint never
+        claims coverage beyond the durable log) and the whole write runs
+        under the scheduler's WAL fence, so concurrent group-commit
+        flushes cannot interleave.  A failed checkpoint *write* raises
+        :class:`WalError` but does not degrade the store: the commits it
+        covered stay durable in the log, and the previous checkpoint (the
+        atomic-rename discipline never replaces it with a torn one)
+        remains the recovery basis.
         """
         snapshot = self.state.snapshot()
         with self._lock:
@@ -1390,7 +1415,15 @@ class DurableMaintainer(AsyncMaintainer):
             snapshot=snapshot,
             catalog=catalog_identity(self.catalog),
         )
-        self.wal.write_checkpoint(payload)
+        self.scheduler.flush()
+        try:
+            with self.scheduler.exclusive():
+                self.wal.write_checkpoint(payload)
+        except OSError as error:
+            raise WalError(
+                "checkpoint write failed; the previous checkpoint (if any) "
+                "remains the recovery basis and the log itself is intact"
+            ) from error
         self._commits_since_checkpoint = 0
         self.truncate_covered_epochs(sequence)
         return payload
@@ -1400,8 +1433,10 @@ class DurableMaintainer(AsyncMaintainer):
     def kill(self) -> None:
         """Stop the worker and release WAL file handles (no implicit fsync)."""
         super().kill()
+        self.state.detach_commit_scheduler(self.scheduler)
         try:
-            self.wal.close()
+            with self.scheduler.exclusive():
+                self.wal.close()
         except OSError:  # pragma: no cover - handle-close race on fault fs
             pass
 
@@ -1447,6 +1482,7 @@ class DurableMaintainer(AsyncMaintainer):
         segment_bytes: int = 1 << 20,
         fs=None,
         strict_catalog: bool = True,
+        fault_policy: Optional[FaultPolicy] = None,
         **async_kwargs,
     ) -> "DurableMaintainer":
         """Recover a maintainer (state + extents) from a log directory.
@@ -1494,11 +1530,15 @@ class DurableMaintainer(AsyncMaintainer):
         snapshot = state.snapshot()
         catalog.regenerate_extents(snapshot)
         wal.reset_to(found)
+        # The from_snapshot + replay path bumped commit_sequence arbitrarily;
+        # re-anchor it so new commits continue the recovered log's numbering.
+        state.reset_commit_sequence(found.last_sequence)
         maintainer = cls(
             state,
             catalog,
             wal=wal,
             checkpoint_every=checkpoint_every,
+            fault_policy=fault_policy,
             **async_kwargs,
         )
         with maintainer._lock:

@@ -44,10 +44,22 @@ Since PR 4 the store is **versioned and delta-logged**:
 ``with state.batch():`` opens a mutation epoch: deltas still reach the
 listeners immediately, but the commit notification (which the maintenance
 queue uses to flush) fires once, at the end of the outermost batch.
+
+Since PR 7 the store is also the **commit scheduler's serialization
+point**: a reentrant write lock serializes concurrent writer threads for
+the whole batch (mutations + commit notifications, so WAL appends are
+naturally ordered), the epoch sequence is assigned *here*
+(:attr:`DatabaseState.commit_sequence` bumps once per effective commit,
+before listeners run) rather than in the maintainer, and an attached
+:class:`~repro.database.commit.CommitScheduler` gates new write batches --
+in read-only degraded mode writers get a typed
+:class:`~repro.database.commit.DurabilityError` *before* mutating anything
+while readers keep serving.  Reads never take the write lock.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
@@ -307,6 +319,13 @@ class DatabaseState:
         self._batch_depth = 0
         self._commit_pending = False
 
+        # Commit scheduling: writer threads serialize on the write lock
+        # for the whole batch; the store assigns the epoch sequence at
+        # commit; an attached CommitScheduler gates writes while degraded.
+        self._write_lock = threading.RLock()
+        self._commit_sequence = 0
+        self._commit_gate = None
+
         # class -> membership classes contributing to its upward-closed
         # extent (filled lazily as membership classes first appear).
         self._contributors: Dict[str, Set[str]] = {}
@@ -385,6 +404,54 @@ class DatabaseState:
         """``True`` while inside a ``with state.batch():`` epoch."""
         return self._batch_depth > 0
 
+    @property
+    def commit_sequence(self) -> int:
+        """The store-assigned epoch sequence of the last effective commit.
+
+        Bumps exactly once per committed epoch that emitted at least one
+        delta (or swapped the schema), *before* the ``on_commit``
+        listeners run -- so a durable maintainer reads the number of the
+        epoch it is persisting, and concurrent writers (serialized by the
+        write lock) can never race it.
+        """
+        return self._commit_sequence
+
+    def reset_commit_sequence(self, sequence: int) -> None:
+        """Re-anchor the epoch numbering (crash recovery continues a log)."""
+        self._commit_sequence = sequence
+
+    def attach_commit_scheduler(self, scheduler) -> None:
+        """Gate write batches through a :class:`~repro.database.commit.CommitScheduler`.
+
+        While the scheduler is degraded, entering a new outermost batch
+        raises its typed ``DurabilityError`` before any mutation happens.
+        One gate at a time: attaching a different scheduler replaces the
+        previous one.
+        """
+        self._commit_gate = scheduler
+
+    def detach_commit_scheduler(self, scheduler=None) -> None:
+        """Remove the commit gate (no-op when ``scheduler`` is not attached)."""
+        if scheduler is None or self._commit_gate is scheduler:
+            self._commit_gate = None
+
+    @property
+    def commit_scheduler(self):
+        """The attached commit scheduler, if any."""
+        return self._commit_gate
+
+    @property
+    def read_only(self) -> bool:
+        """``True`` while the attached scheduler is in degraded mode."""
+        gate = self._commit_gate
+        return bool(gate is not None and gate.read_only)
+
+    @property
+    def last_commit_ticket(self):
+        """The calling thread's most recent commit ticket (if durable-tiered)."""
+        gate = self._commit_gate
+        return None if gate is None else gate.last_ticket
+
     @contextmanager
     def batch(self):
         """Open a mutation epoch: listeners see one commit at the end.
@@ -394,18 +461,37 @@ class DatabaseState:
         ``state.set_attribute(...)`` commits immediately while
         ``with state.batch(): ...`` coalesces an arbitrary interleaving of
         mutations into one maintenance flush.
+
+        Concurrent writer threads serialize here: the (reentrant) write
+        lock is held for the whole batch, including the commit
+        notifications, so epochs -- and the WAL appends the durable tier
+        issues from ``on_commit`` -- are totally ordered.  When a commit
+        scheduler is attached and degraded, the outermost entry raises its
+        ``DurabilityError`` before any mutation happens (read-only mode);
+        readers never touch this lock.
         """
+        self._write_lock.acquire()
+        try:
+            if self._batch_depth == 0 and self._commit_gate is not None:
+                self._commit_gate.check_writable()
+        except BaseException:
+            self._write_lock.release()
+            raise
         self._batch_depth += 1
         try:
             yield self
         finally:
             self._batch_depth -= 1
-            if self._batch_depth == 0 and self._commit_pending:
-                self._commit_pending = False
-                for listener in list(self._listeners):
-                    on_commit = getattr(listener, "on_commit", None)
-                    if on_commit is not None:
-                        on_commit()
+            try:
+                if self._batch_depth == 0 and self._commit_pending:
+                    self._commit_pending = False
+                    self._commit_sequence += 1
+                    for listener in list(self._listeners):
+                        on_commit = getattr(listener, "on_commit", None)
+                        if on_commit is not None:
+                            on_commit()
+            finally:
+                self._write_lock.release()
 
     def _emit(self, delta: Delta) -> None:
         self._commit_pending = True

@@ -31,12 +31,24 @@ Durability discipline
 ---------------------
 
 ``sync_every=N`` batches ``fsync`` over N appended epochs (``1`` =
-fsync-per-commit); :meth:`WriteAheadLog.sync` forces one.  Acknowledged
-fsyncs are the durability boundary: :attr:`durable_sequence` is the last
-epoch guaranteed to survive a crash, anything after it may be torn.
-Checkpoint writes first sync the log, and compaction only deletes segments
-whose every record is covered by the just-made-durable checkpoint -- so no
-crash ordering can lose an acknowledged epoch.
+fsync-per-commit; ``0``/``None`` disables the automatic batching entirely
+-- the log then fsyncs **only** on an explicit :meth:`WriteAheadLog.sync`,
+e.g. from a checkpoint or from the commit scheduler's group-commit flush).
+Acknowledged fsyncs are the durability boundary: :attr:`durable_sequence`
+is the last epoch guaranteed to survive a crash, anything after it may be
+torn.  Parties that need to react to the watermark (the group-commit
+ticket machinery in :mod:`repro.database.commit`) register a callback via
+:meth:`WriteAheadLog.add_sync_listener`; every successful ``sync`` invokes
+the listeners with the new watermark.  Checkpoint writes first sync the
+log, and compaction only deletes segments whose every record is covered by
+the just-made-durable checkpoint -- so no crash ordering can lose an
+acknowledged epoch.
+
+The unsynced-batch counter is conservative by construction: an append is
+counted *before* its bytes reach the filesystem and the counter resets
+only after a **fully successful** ``sync`` -- so neither a torn append nor
+a failed fsync can under-count the batch a retry must cover (at worst the
+counter over-counts and an extra fsync is paid, which is always safe).
 
 Recovery (:meth:`WriteAheadLog.recover`) loads the newest checkpoint whose
 frame validates (corrupt ones are reported and skipped), then replays
@@ -56,13 +68,14 @@ against the from-scratch refresh of a durable prefix of commits.
 
 from __future__ import annotations
 
+import errno
 import os
 import pickle
 import re
 import struct
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .store import Delta, StateSnapshot
 
@@ -70,10 +83,12 @@ __all__ = [
     "CheckpointPayload",
     "EpochRecord",
     "OsFileSystem",
+    "RETRYABLE_ERRNOS",
     "WalError",
     "WalRecovery",
     "WriteAheadLog",
     "catalog_identity",
+    "is_retryable_io_error",
 ]
 
 _HEADER = struct.Struct("<II")
@@ -86,7 +101,44 @@ _CHECKPOINT_RE = re.compile(r"^checkpoint-(\d{12})\.ckpt$")
 
 
 class WalError(RuntimeError):
-    """A write-ahead-log invariant violation (e.g. catalog identity mismatch)."""
+    """A write-ahead-log invariant violation (e.g. catalog identity mismatch).
+
+    The root of the durability error taxonomy: recoverable I/O trouble on
+    the commit path surfaces as the :class:`repro.database.commit.DurabilityError`
+    subclass (typed, carrying the last acknowledged sequence), while
+    structural violations -- catalog identity mismatches, failed checkpoint
+    writes -- raise this base class directly.
+    """
+
+
+#: ``errno`` values worth retrying with backoff before declaring an I/O
+#: fault persistent: media hiccups (``EIO``), space pressure that a
+#: concurrent compaction may relieve (``ENOSPC``/``EDQUOT``), interrupted
+#: or temporarily unserviceable calls (``EINTR``/``EAGAIN``/``EBUSY``).
+RETRYABLE_ERRNOS = frozenset(
+    {
+        errno.EIO,
+        errno.ENOSPC,
+        errno.EDQUOT,
+        errno.EINTR,
+        errno.EAGAIN,
+        errno.EBUSY,
+        errno.ETIMEDOUT,
+    }
+)
+
+
+def is_retryable_io_error(error: BaseException) -> bool:
+    """``True`` iff ``error`` is an :class:`OSError` worth retrying.
+
+    An ``OSError`` without an ``errno`` (injected faults, exotic wrappers)
+    counts as retryable: the bounded retry policy turns a persistent fault
+    into degradation anyway, so the unknown case errs towards one more
+    probe rather than an immediate outage.
+    """
+    if not isinstance(error, OSError):
+        return False
+    return error.errno is None or error.errno in RETRYABLE_ERRNOS
 
 
 @dataclass(frozen=True)
@@ -218,6 +270,15 @@ class OsFileSystem:
         finally:
             os.close(fd)
 
+    def truncate(self, path: str, length: int) -> None:
+        handle = self._handles.get(path)
+        if handle is not None:
+            handle.flush()
+            handle.truncate(length)
+            return
+        with open(path, "rb+") as writer:
+            writer.truncate(length)
+
     def replace(self, source: str, target: str) -> None:
         self._drop_handle(source)
         self._drop_handle(target)
@@ -282,9 +343,13 @@ class WriteAheadLog:
     path:
         The log directory (created if missing).
     sync_every:
-        ``fsync`` the active segment after every N appended epochs
-        (``1`` = per-commit durability; ``0``/``None`` = only on explicit
-        :meth:`sync`, e.g. before a checkpoint).
+        ``fsync`` the active segment after every N appended epochs.
+        ``1`` = per-commit durability; ``N > 1`` = group-commit batching
+        (N appends share one fsync); ``0``/``None`` = **no automatic
+        fsync at all** -- durability then advances only on an explicit
+        :meth:`sync` (issued by a checkpoint, a group-commit flush, or
+        the caller).  ``0`` and ``None`` are equivalent and normalize to
+        ``0``.
     segment_bytes:
         Roll to a fresh segment once the active one reaches this size.
     fs:
@@ -319,6 +384,8 @@ class WriteAheadLog:
         # A freshly created segment's *directory entry* is volatile until
         # the directory itself is fsynced; sync() pays that once per roll.
         self._dir_sync_needed = False
+        self._sync_listeners: List[Callable[[int], None]] = []
+        self.sync_count = 0
 
     # -- write path --------------------------------------------------------
 
@@ -332,19 +399,65 @@ class WriteAheadLog:
         """The newest sequence handed to the filesystem (maybe still volatile)."""
         return self._appended_sequence
 
+    @property
+    def pending_sync(self) -> int:
+        """Appends (including torn attempts) not yet covered by a successful sync."""
+        return self._since_sync
+
+    def add_sync_listener(self, callback: Callable[[int], None]) -> None:
+        """Register ``callback(durable_sequence)`` for every successful sync.
+
+        The durable-watermark notification channel: the commit scheduler
+        resolves fsync-ACK tickets from here, so batched ``sync_every``
+        fsyncs triggered inside :meth:`append` acknowledge every covered
+        commit without a second bookkeeping path.
+        """
+        self._sync_listeners.append(callback)
+
     def append(self, record: EpochRecord) -> None:
-        """Append one epoch frame; fsyncs per the ``sync_every`` batching."""
+        """Append one epoch frame; fsyncs per the ``sync_every`` batching.
+
+        The unsynced counter is bumped *before* the bytes are handed to the
+        filesystem: a torn append (an ``OSError`` after a partial write)
+        must still count towards the batch the next sync covers, otherwise
+        a retry after a failed fsync would under-count what is volatile.
+        The bookkeeping that names the record (sizes, sequences) only
+        advances once the filesystem accepted the whole frame, so a caller
+        can distinguish "frame landed, sync pending" (``appended_sequence``
+        reached the record) from "frame torn" (it did not, and
+        :meth:`discard_torn_tail` repairs the file before a re-append).
+        """
         frame = _encode_frame(pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL))
         if self._active is None or self._active_size >= self.segment_bytes:
             self._roll_segment()
         target = os.path.join(self.path, self._active)
+        self._since_sync += 1
         self.fs.append(target, frame)
         self._active_size += len(frame)
         self._segment_last[self._active] = record.sequence
         self._appended_sequence = record.sequence
-        self._since_sync += 1
         if self.sync_every and self._since_sync >= self.sync_every:
             self.sync()
+
+    def discard_torn_tail(self) -> int:
+        """Truncate unaccounted bytes a failed append left on the active segment.
+
+        After ``fs.append`` raises mid-frame the file may hold a torn
+        suffix the log's own size accounting never adopted; appending the
+        retry after it would bury valid frames behind garbage (recovery
+        stops at the first bad frame).  Returns the number of bytes
+        discarded (0 when the tail was clean).
+        """
+        if self._active is None:
+            return 0
+        target = os.path.join(self.path, self._active)
+        if not self.fs.exists(target):
+            return 0
+        excess = len(self.fs.read(target)) - self._active_size
+        if excess > 0:
+            self.fs.truncate(target, self._active_size)
+            return excess
+        return 0
 
     def _roll_segment(self) -> None:
         # Make the outgoing segment durable before frames land in the next
@@ -364,6 +477,12 @@ class WriteAheadLog:
         volatile: fsyncing the file contents alone would not keep a crash
         from unlinking the whole segment.  The first sync of a fresh
         segment therefore also fsyncs the log directory.
+
+        The unsynced counter and the durable watermark move only when
+        every constituent fsync succeeded: a failure part-way (file synced
+        but directory entry still volatile) leaves the batch counted as
+        unsynced, so the retry re-covers all of it.  Successful syncs
+        notify the registered watermark listeners.
         """
         if self._active is not None:
             self.fs.fsync(os.path.join(self.path, self._active))
@@ -372,6 +491,50 @@ class WriteAheadLog:
                 self._dir_sync_needed = False
         self._since_sync = 0
         self._durable_sequence = self._appended_sequence
+        self.sync_count += 1
+        for callback in self._sync_listeners:
+            callback(self._durable_sequence)
+
+    def sync_window(self) -> Optional[Dict[str, object]]:
+        """Capture the target of an out-of-lock group fsync (or ``None``).
+
+        The group-commit leader calls this *under* the scheduler's append
+        fence, then performs the actual ``fs.fsync`` with the fence
+        released -- so writer threads keep appending (and accumulating
+        behind the in-flight fsync, which is the entire point of group
+        commit) while the disk works.  The window pins everything the
+        fsync may claim: the active segment path, the appended watermark
+        at capture time and the unsynced batch it covers.  Bytes appended
+        *after* capture are not claimed -- :meth:`complete_sync` adopts
+        exactly the captured watermark, so the durability boundary stays
+        conservative no matter how the fsync races later appends.
+        """
+        if self._active is None:
+            return None
+        return {
+            "segment": self._active,
+            "path": os.path.join(self.path, self._active),
+            "target": self._appended_sequence,
+            "batch": self._since_sync,
+            "dir_sync": self._dir_sync_needed,
+        }
+
+    def complete_sync(self, window: Dict[str, object]) -> None:
+        """Adopt a finished out-of-lock fsync (called back under the fence).
+
+        Advances the durable watermark to the *captured* target (never
+        past it), discounts exactly the captured batch from the unsynced
+        counter (appends that landed during the fsync stay counted), and
+        notifies the watermark listeners -- resolving every ticket the
+        window covers.
+        """
+        self._since_sync = max(0, self._since_sync - int(window["batch"]))
+        if window["dir_sync"] and self._active == window["segment"]:
+            self._dir_sync_needed = False
+        self._durable_sequence = max(self._durable_sequence, int(window["target"]))
+        self.sync_count += 1
+        for callback in self._sync_listeners:
+            callback(self._durable_sequence)
 
     def write_checkpoint(self, payload: CheckpointPayload) -> str:
         """Durably publish a checkpoint, then compact what it subsumes.

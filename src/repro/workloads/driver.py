@@ -30,6 +30,7 @@ import os
 import random
 import shutil
 import tempfile
+import threading
 import time
 from statistics import median
 from typing import Dict, List, Optional, Tuple
@@ -62,6 +63,7 @@ __all__ = [
     "run_maintenance_workload",
     "run_async_maintenance_workload",
     "run_durable_maintenance_workload",
+    "run_commit_fleet_workload",
     "main",
 ]
 
@@ -928,17 +930,301 @@ def run_durable_maintenance_workload(
     }
 
 
+def run_commit_fleet_workload(
+    workload: str = "university",
+    *,
+    views: int = 16,
+    queries: int = 8,
+    writers: int = 4,
+    readers: int = 2,
+    commits: int = 24,
+    sync_every: int = 8,
+    checkpoint_every: Optional[int] = None,
+    window: int = 4,
+    seed: int = 0,
+    shards: Optional[int] = None,
+    backend: str = "thread",
+    durable: bool = True,
+    log_dir: Optional[str] = None,
+    fs=None,
+) -> Dict[str, object]:
+    """K concurrent writers x M concurrent readers over one durable store.
+
+    Every writer thread runs ``commits`` iterations of: open a
+    ``state.batch()``, add one thread-unique object, then block on the
+    commit's :class:`~repro.database.commit.CommitTicket` until the
+    covering fsync acknowledges it durable (group commit: with
+    ``sync_every`` > 1 one fsync typically acknowledges a batch of
+    commits from several writers at once).  Reader threads concurrently
+    take :meth:`~repro.database.maintenance.AsyncMaintainer.serving_cut`
+    snapshots, re-checking view-filter soundness against the pinned
+    generation and recording the generation sequence they observed.
+
+    ``durable=False`` runs the same fleet over a plain
+    :class:`~repro.database.maintenance.AsyncMaintainer` (no WAL, no
+    ACKs) -- the volatile commit-throughput ceiling the durable modes are
+    compared against in E14.  ``fs`` overrides the WAL filesystem seam
+    (E14 passes a wrapper that models a commodity-disk fsync latency,
+    which is exactly the regime group commit exists for).
+
+    Verdicts (the loss/latency contract of the commit pipeline):
+
+    * ``acks_complete`` -- every commit the fleet made was fsync-ACKed by
+      the time the writers drained (no ticket stranded);
+    * ``no_acked_lost`` -- after killing the maintainer and recovering
+      the log directory into a fresh catalog, every ACKed object is
+      present and the recovered sequence covers every ACKed ticket;
+    * ``recovered_equal_live`` -- the recovered state and extents are
+      byte-identical to the live side (everything was ACKed, so nothing
+      may be missing);
+    * ``reader_generations_monotonic`` -- no reader ever observed the
+      serving generation move backwards;
+    * ``readers_serving_sound`` -- every reader's view-filtered answers
+      equaled the full evaluation over its pinned generation;
+    * ``extents_equal`` -- after the final drain the live extents equal
+      the from-scratch oracle over the final state.
+
+    Metrics: ``commits_per_second`` (total fleet throughput),
+    ``ack_p50_ms``/``ack_p99_ms`` (commit-to-durable-ACK latency),
+    ``wal_syncs`` and ``group_acks`` (how much batching one fsync bought).
+    """
+    schema, state, catalog_concepts, stream = batch_workload_setup(
+        workload, views, max(queries, 1), seed
+    )
+    items = list(catalog_concepts.items())
+    generator_schema = schema_to_sl(schema) if isinstance(schema, DLSchema) else schema
+    classes = sorted(generator_schema.concept_names()) or ["K0"]
+
+    clear_shared_decision_cache()
+
+    def build_side(side_state: Optional[DatabaseState]) -> SemanticQueryOptimizer:
+        optimizer = SemanticQueryOptimizer(schema, lattice=True)
+        for name, concept in items:
+            optimizer.register_view_concept(name, concept)
+        if side_state is not None:
+            optimizer.catalog.refresh_all(side_state)
+        return optimizer
+
+    side = build_side(state)
+    root = log_dir or (tempfile.mkdtemp(prefix="repro-fleet-") if durable else None)
+    cleanup = durable and log_dir is None
+    if durable:
+        maintainer = DurableMaintainer(
+            state,
+            side.catalog,
+            path=root,
+            sync_every=sync_every,
+            checkpoint_every=checkpoint_every,
+            window=window,
+            shards=shards,
+            backend=backend,
+            fs=fs,
+        )
+        # Genesis checkpoint: the workload's seeded objects predate the log.
+        maintainer.checkpoint()
+    else:
+        maintainer = AsyncMaintainer(
+            state, side.catalog, window=window, shards=shards, backend=backend
+        )
+
+    # Pre-warm view matching so reader soundness checks don't serialize on
+    # cold decision-cache misses while the writers are being timed.
+    for concept in stream:
+        side.subsuming_views_for_concept(concept)
+
+    record_lock = threading.Lock()
+    acked: Dict[str, int] = {}
+    ack_latencies: List[float] = []
+    commit_latencies: List[float] = []
+    writer_errors: List[str] = []
+    done = threading.Event()
+
+    def writer(thread: int) -> None:
+        for index in range(commits):
+            obj = f"w{thread}_o{index}"
+            t0 = time.perf_counter()
+            try:
+                with state.batch():
+                    state.add_object(obj)
+                    state.assert_membership(
+                        obj, classes[(thread + index) % len(classes)]
+                    )
+            except Exception as error:  # noqa: BLE001 - recorded as a verdict
+                with record_lock:
+                    writer_errors.append(f"w{thread}: commit {obj}: {error!r}")
+                return
+            committed_at = time.perf_counter()
+            if not durable:
+                with record_lock:
+                    commit_latencies.append(committed_at - t0)
+                continue
+            ticket = state.last_commit_ticket
+            if ticket is None or not ticket.wait_durable(timeout=30.0):
+                with record_lock:
+                    writer_errors.append(f"w{thread}: no durable ACK for {obj}")
+                return
+            if ticket.error is not None:
+                with record_lock:
+                    writer_errors.append(f"w{thread}: {obj}: {ticket.error!r}")
+                return
+            now = time.perf_counter()
+            with record_lock:
+                acked[obj] = ticket.sequence
+                ack_latencies.append(now - committed_at)
+                commit_latencies.append(now - t0)
+
+    reader_generations: List[List[int]] = [[] for _ in range(readers)]
+    reader_sound: List[bool] = [True] * readers
+
+    def reader(slot: int) -> None:
+        rounds = 0
+        while not done.is_set():
+            serving, extents = maintainer.serving_cut()
+            reader_generations[slot].append(serving.generation)
+            if stream:
+                reader_sound[slot] &= _serve_round(
+                    side, stream[rounds % len(stream)], serving, extents
+                )
+            rounds += 1
+
+    writer_threads = [
+        threading.Thread(target=writer, args=(thread,)) for thread in range(writers)
+    ]
+    reader_threads = [
+        threading.Thread(target=reader, args=(slot,)) for slot in range(readers)
+    ]
+    start = time.perf_counter()
+    for worker in writer_threads + reader_threads:
+        worker.start()
+    for worker in writer_threads:
+        worker.join()
+    wall_seconds = time.perf_counter() - start
+    done.set()
+    for worker in reader_threads:
+        worker.join()
+
+    total_commits = writers * commits
+    try:
+        maintainer.drain()
+        committed_sequence = state.commit_sequence
+        if durable:
+            acks_complete = (
+                not writer_errors
+                and len(acked) == total_commits
+                and maintainer.wal.durable_sequence >= max(acked.values(), default=0)
+            )
+            wal_syncs = maintainer.wal.sync_count
+            group_acks = maintainer.scheduler.group_acks
+        else:
+            acks_complete = not writer_errors
+            wal_syncs = group_acks = 0
+        extents_equal = all(
+            view.stored_extent
+            == side.evaluator.concept_answers(view.concept, state)
+            for view in side.catalog
+        )
+        live_extents = {view.name: view.stored_extent for view in side.catalog}
+    finally:
+        if durable:
+            maintainer.kill()  # no graceful close: recovery must not need one
+        else:
+            maintainer.close()
+
+    # Crash-and-recover the log: the loss verdict is checked against the
+    # ACK set the writers actually collected, not against intent.
+    no_acked_lost = True
+    recovered_equal_live = True
+    recovered_sequence = None
+    if durable:
+        fresh = build_side(None)
+        recovered = DurableMaintainer.open(
+            root, generator_schema, fresh.catalog, window=window,
+            shards=shards, backend=backend, fs=fs,
+        )
+        try:
+            recovered_sequence = recovered.recovery_report.recovered_sequence
+            no_acked_lost = recovered_sequence >= max(
+                acked.values(), default=0
+            ) and all(obj in recovered.state.objects for obj in acked)
+            recovered_equal_live = (
+                recovered.state.objects == state.objects
+                and all(
+                    recovered.state.extent(name) == state.extent(name)
+                    for name in state.classes()
+                )
+                and {
+                    view.name: view.stored_extent for view in fresh.catalog
+                } == live_extents
+            )
+        finally:
+            recovered.kill()
+        if cleanup:
+            shutil.rmtree(root, ignore_errors=True)
+
+    monotonic = all(
+        all(later >= earlier for earlier, later in zip(seen, seen[1:]))
+        for seen in reader_generations
+    )
+    ack_sorted = sorted(ack_latencies)
+
+    def percentile(samples: List[float], fraction: float) -> Optional[float]:
+        if not samples:
+            return None
+        return 1e3 * samples[min(len(samples) - 1, int(fraction * len(samples)))]
+
+    return {
+        "workload": workload,
+        "views": len(items),
+        "writers": writers,
+        "readers": readers,
+        "commits_per_writer": commits,
+        "total_commits": total_commits,
+        "sync_every": sync_every if durable else None,
+        "checkpoint_every": checkpoint_every if durable else None,
+        "durable": durable,
+        "shards": shards,
+        "backend": backend,
+        "wall_seconds": wall_seconds,
+        "commits_per_second": (
+            total_commits / wall_seconds if wall_seconds else None
+        ),
+        "commit_p50_ms": percentile(sorted(commit_latencies), 0.50),
+        "ack_p50_ms": percentile(ack_sorted, 0.50),
+        "ack_p99_ms": percentile(ack_sorted, 0.99),
+        "acked_commits": len(acked),
+        "committed_sequence": committed_sequence,
+        "recovered_sequence": recovered_sequence,
+        "wal_syncs": wal_syncs,
+        "group_acks": group_acks,
+        "reader_cuts": sum(len(seen) for seen in reader_generations),
+        "writer_errors": writer_errors,
+        "acks_complete": acks_complete,
+        "no_acked_lost": no_acked_lost,
+        "recovered_equal_live": recovered_equal_live,
+        "reader_generations_monotonic": monotonic,
+        "readers_serving_sound": all(reader_sound),
+        "extents_equal": extents_equal,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--scenario",
         default="serve",
-        choices=("serve", "maintain", "maintain-async", "maintain-durable"),
+        choices=(
+            "serve",
+            "maintain",
+            "maintain-async",
+            "maintain-durable",
+            "commit-fleet",
+        ),
         help=(
             "serve: batched register+match; maintain: update-heavy "
             "maintenance; maintain-async: serve-from-generation async "
             "flushes; maintain-durable: write-ahead-logged commits with "
-            "crash recovery"
+            "crash recovery; commit-fleet: K concurrent writers x M "
+            "readers with group-commit fsync ACKs and a loss verdict"
         ),
     )
     parser.add_argument(
@@ -956,7 +1242,33 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--sync-every", type=int, default=1)
     parser.add_argument("--checkpoint-every", type=int, default=8)
+    parser.add_argument("--writers", type=int, default=4)
+    parser.add_argument("--readers", type=int, default=2)
+    parser.add_argument("--commits", type=int, default=24)
     args = parser.parse_args(argv)
+    if args.scenario == "commit-fleet":
+        report = run_commit_fleet_workload(
+            args.workload,
+            views=args.views,
+            queries=args.queries,
+            writers=args.writers,
+            readers=args.readers,
+            commits=args.commits,
+            sync_every=args.sync_every,
+            shards=args.shards if args.shards > 1 else None,
+            backend=args.backend,
+            seed=args.seed,
+        )
+        print(json.dumps(report, indent=2, sort_keys=True))
+        ok = (
+            report["acks_complete"]
+            and report["no_acked_lost"]
+            and report["recovered_equal_live"]
+            and report["reader_generations_monotonic"]
+            and report["readers_serving_sound"]
+            and report["extents_equal"]
+        )
+        return 0 if ok else 1
     if args.scenario == "maintain-durable":
         report = run_durable_maintenance_workload(
             args.workload,

@@ -1,4 +1,4 @@
-"""Subprocess writer for the SIGKILL crash-recovery test.
+"""Subprocess writer for the SIGKILL crash-recovery tests.
 
 Runs a :class:`~repro.database.maintenance.DurableMaintainer` over a real
 log directory and prints ``ACK <durable sequence>`` after every commit,
@@ -7,11 +7,20 @@ before it delivers ``kill -9``.  The schema, catalog and per-epoch
 mutations are deterministic functions shared with the parent (it imports
 this module), so the parent can rebuild the from-scratch oracle for any
 recovered prefix.
+
+With ``--threads K`` the writer becomes the multi-writer group-commit
+variant: K threads each commit epochs adding a unique object
+(``t<thread>_i<index>``), block on their commit's
+:meth:`~repro.database.commit.CommitTicket.wait_durable` fsync ACK, and
+print ``ACK <sequence> <object>`` -- so the parent knows exactly which
+*commits* (not just how many) were acknowledged before the kill, and can
+assert that no ACKed object is missing after recovery.
 """
 
 from __future__ import annotations
 
 import sys
+import threading
 
 from repro.concepts import builders as b
 from repro.core.checker import SubsumptionChecker
@@ -49,8 +58,59 @@ def apply_epoch(state: DatabaseState, index: int) -> None:
             state.retract_membership(f"o{index - 1}", CLASSES[(index - 1) % len(CLASSES)])
 
 
+def thread_object(thread: int, index: int) -> str:
+    """The unique object committed by writer ``thread`` at step ``index``."""
+    return f"t{thread}_i{index}"
+
+
+def main_threads(
+    logdir: str, total: int, checkpoint_every: int, threads: int
+) -> None:
+    """K writer threads, group commit (``sync_every`` > 1), per-commit ACKs."""
+    state = DatabaseState(build_schema())
+    catalog = build_catalog()
+    maintainer = DurableMaintainer(
+        state,
+        catalog,
+        path=logdir,
+        sync_every=4,
+        checkpoint_every=checkpoint_every,
+    )
+    print_lock = threading.Lock()
+
+    def writer(thread: int) -> None:
+        for index in range(total):
+            obj = thread_object(thread, index)
+            with state.batch():
+                state.add_object(obj)
+                state.assert_membership(obj, CLASSES[(thread + index) % len(CLASSES)])
+            ticket = state.last_commit_ticket
+            ticket.wait_durable()
+            with print_lock:
+                print(f"ACK {ticket.sequence} {obj}", flush=True)
+
+    workers = [
+        threading.Thread(target=writer, args=(thread,)) for thread in range(threads)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    maintainer.close()
+    print("DONE", flush=True)
+
+
 def main() -> None:
-    logdir, total, checkpoint_every = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+    argv = list(sys.argv[1:])
+    threads = 0
+    if "--threads" in argv:
+        flag = argv.index("--threads")
+        threads = int(argv[flag + 1])
+        del argv[flag : flag + 2]
+    logdir, total, checkpoint_every = argv[0], int(argv[1]), int(argv[2])
+    if threads:
+        main_threads(logdir, total, checkpoint_every, threads)
+        return
     state = DatabaseState(build_schema())
     catalog = build_catalog()
     maintainer = DurableMaintainer(

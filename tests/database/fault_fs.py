@@ -26,7 +26,17 @@ Fault model
   file can resurface.
 * **fsync failure.**  :meth:`fail_fsyncs` arms the next N ``fsync`` /
   ``fsync_dir`` calls to raise :class:`OSError` -- the writer observes
-  the failure and the durable prefix does **not** advance.
+  the failure and the durable prefix does **not** advance.  Pass
+  ``count=None`` for a *persistent* fault (every call fails until
+  :meth:`disarm`), and ``errno_code=`` to type the error (``EIO``,
+  ``ENOSPC``, ...); the default carries no errno, which the commit
+  pipeline's taxonomy treats as retryable.
+* **Write failure.**  :meth:`fail_writes` arms the next N ``append`` /
+  ``write`` calls to raise an errno-typed :class:`OSError`; ``partial=``
+  bytes land first, modeling a torn frame the writer must truncate
+  before retrying.  ``count=None`` again means persistent.
+* **Slow fsync.**  :meth:`slow_fsyncs` makes the next N fsyncs sleep,
+  for group-commit latency tests.
 * **Kill at a byte boundary.**  :meth:`crash_after` arms a byte budget;
   the write that exhausts it lands only the budgeted prefix and raises
   :class:`SimulatedCrash` (a :class:`BaseException`, so production
@@ -41,7 +51,9 @@ what a restarted process would.
 
 from __future__ import annotations
 
+import errno as errno_module
 import os
+import time
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 __all__ = ["FaultyFileSystem", "SimulatedCrash"]
@@ -74,7 +86,13 @@ class FaultyFileSystem:
         self.dirs: Set[str] = set()
         #: Per-directory namespace ops since that directory's last fsync_dir.
         self._pending: Dict[str, List[_Op]] = {}
-        self._fail_fsyncs = 0
+        self._fail_fsyncs: Optional[int] = 0
+        self._fsync_errno: Optional[int] = None
+        self._fail_writes: Optional[int] = 0
+        self._write_errno: int = errno_module.EIO
+        self._write_partial = 0
+        self._slow_fsyncs = 0
+        self._fsync_delay = 0.0
         self._write_budget: Optional[int] = None
         # Observability for cost/behavior assertions.
         self.fsync_calls = 0
@@ -83,9 +101,37 @@ class FaultyFileSystem:
 
     # -- fault injection ---------------------------------------------------
 
-    def fail_fsyncs(self, count: int) -> None:
-        """Make the next ``count`` fsync/fsync_dir calls raise OSError."""
+    def fail_fsyncs(
+        self, count: Optional[int], errno_code: Optional[int] = None
+    ) -> None:
+        """Make the next ``count`` fsync/fsync_dir calls raise OSError.
+
+        ``count=None`` arms a *persistent* fault: every fsync fails until
+        :meth:`disarm` (or :meth:`crash`).  ``errno_code`` types the raised
+        error; the default carries no errno.
+        """
         self._fail_fsyncs = count
+        self._fsync_errno = errno_code
+
+    def fail_writes(
+        self,
+        count: Optional[int],
+        errno_code: int = errno_module.EIO,
+        partial: int = 0,
+    ) -> None:
+        """Make the next ``count`` append/write calls raise OSError.
+
+        ``partial`` bytes of each failed write land first (a torn frame);
+        ``count=None`` arms the fault persistently until :meth:`disarm`.
+        """
+        self._fail_writes = count
+        self._write_errno = errno_code
+        self._write_partial = partial
+
+    def slow_fsyncs(self, count: int, seconds: float) -> None:
+        """Make the next ``count`` fsync/fsync_dir calls sleep ``seconds``."""
+        self._slow_fsyncs = count
+        self._fsync_delay = seconds
 
     def crash_after(self, budget: int) -> None:
         """Raise :class:`SimulatedCrash` once ``budget`` more bytes land."""
@@ -94,6 +140,11 @@ class FaultyFileSystem:
     def disarm(self) -> None:
         """Clear all armed faults (the process survived after all)."""
         self._fail_fsyncs = 0
+        self._fsync_errno = None
+        self._fail_writes = 0
+        self._write_partial = 0
+        self._slow_fsyncs = 0
+        self._fsync_delay = 0.0
         self._write_budget = None
 
     def crash(
@@ -185,12 +236,30 @@ class FaultyFileSystem:
     def exists(self, path: str) -> bool:
         return path in self.files or path in self.dirs
 
+    def _consume_write_fault(self) -> bool:
+        if self._fail_writes is None:
+            return True
+        if self._fail_writes > 0:
+            self._fail_writes -= 1
+            return True
+        return False
+
+    def _inject_write_fault(self, file: _File, path: str, data: bytes) -> None:
+        """Land the armed torn prefix, then raise the typed error."""
+        partial = max(0, min(self._write_partial, len(data)))
+        if partial:
+            self._charge(file, data[:partial])
+        code = self._write_errno
+        raise OSError(code, os.strerror(code), path)
+
     def append(self, path: str, data: bytes) -> None:
         file = self.files.get(path)
         if file is None:
             file = _File()
             self.files[path] = file
             self._record(path, "create", None)
+        if self._consume_write_fault():
+            self._inject_write_fault(file, path, data)
         self._charge(file, data)
 
     def write(self, path: str, data: bytes) -> None:
@@ -198,6 +267,8 @@ class FaultyFileSystem:
         self._record(path, "rewrite", prior.clone() if prior is not None else None)
         file = _File()
         self.files[path] = file
+        if self._consume_write_fault():
+            self._inject_write_fault(file, path, data)
         self._charge(file, data)
 
     def read(self, path: str) -> bytes:
@@ -207,9 +278,18 @@ class FaultyFileSystem:
         return bytes(file.data)
 
     def _maybe_fail_fsync(self, path: str) -> None:
-        if self._fail_fsyncs > 0:
+        if self._slow_fsyncs > 0:
+            self._slow_fsyncs -= 1
+            time.sleep(self._fsync_delay)
+        if self._fail_fsyncs is None:
+            pass  # persistent: stays armed
+        elif self._fail_fsyncs > 0:
             self._fail_fsyncs -= 1
-            raise OSError(f"injected fsync failure: {path}")
+        else:
+            return
+        if self._fsync_errno is not None:
+            raise OSError(self._fsync_errno, os.strerror(self._fsync_errno), path)
+        raise OSError(f"injected fsync failure: {path}")
 
     def fsync(self, path: str) -> None:
         self.fsync_calls += 1
@@ -237,6 +317,14 @@ class FaultyFileSystem:
         if file is None:
             raise FileNotFoundError(path)
         self._record(path, "remove", file)
+
+    def truncate(self, path: str, length: int) -> None:
+        """Cut a file to ``length`` bytes (the torn-tail repair seam)."""
+        file = self.files.get(path)
+        if file is None:
+            raise FileNotFoundError(path)
+        del file.data[length:]
+        file.durable = min(file.durable, length)
 
     def close(self) -> None:
         """No cached handles to release (buffers live on the instance)."""

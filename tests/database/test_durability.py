@@ -38,6 +38,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.database.commit import DurabilityError, FaultPolicy
 from repro.database.maintenance import AsyncMaintainer, DurableMaintainer
 from repro.database.query_eval import QueryEvaluator
 from repro.database.store import DatabaseState
@@ -426,7 +427,7 @@ class TestCrashRecoveryOracle:
         finally:
             third.kill()
 
-    def test_failed_fsync_surfaces_but_preserves_the_in_memory_commit(self):
+    def test_transient_fsync_fault_is_retried_and_the_commit_stays_durable(self):
         fs = FaultyFileSystem()
         state = seed_state()
         catalog = build_catalog()
@@ -435,13 +436,48 @@ class TestCrashRecoveryOracle:
         )
         try:
             fs.fail_fsyncs(1)
-            with pytest.raises(WalError):
+            # One transient failure: the retry policy absorbs it entirely.
+            state.assert_membership("o5", CLASSES[0])
+            assert maintainer.wal.durable_sequence == maintainer.wal.appended_sequence
+            assert not state.read_only
+        finally:
+            maintainer.kill()
+
+    def test_persistent_fsync_fault_degrades_then_heals(self):
+        fs = FaultyFileSystem()
+        state = seed_state()
+        catalog = build_catalog()
+        maintainer = DurableMaintainer(
+            state,
+            catalog,
+            path=LOG_DIR,
+            fs=fs,
+            sync_every=1,
+            checkpoint_every=None,
+            fault_policy=FaultPolicy(max_retries=2, sleep=lambda _: None),
+        )
+        try:
+            durable_before = maintainer.wal.durable_sequence
+            fs.fail_fsyncs(None)
+            with pytest.raises(DurabilityError) as failure:
                 state.assert_membership("o5", CLASSES[0])
+            assert failure.value.last_durable_sequence == durable_before
             # Applied in memory and enqueued despite the lost durability.
             assert "o5" in state.extent(CLASSES[0])
             maintainer.sync()
             assert stored_extents(catalog) == oracle_extents(catalog, state)
-            # The next successful commit restores durability for both.
+            # Degraded mode: later writes are rejected at the batch
+            # boundary, before any state mutation; readers still serve.
+            assert state.read_only
+            with pytest.raises(DurabilityError):
+                state.assert_membership("o6", CLASSES[0])
+            assert "o6" not in state.extent(CLASSES[0])
+            # The fault clears: heal() re-probes the log and resumes, and
+            # the un-ACKed commit was never lost -- its frame is in the
+            # log, so the healing sync makes it durable.
+            fs.disarm()
+            assert maintainer.heal()
+            assert not state.read_only
             state.assert_membership("o6", CLASSES[0])
             assert maintainer.wal.durable_sequence == maintainer.wal.appended_sequence
         finally:

@@ -8,6 +8,7 @@ from repro.workloads.driver import (
     generate_update_stream,
     run_async_maintenance_workload,
     run_batch_workload,
+    run_commit_fleet_workload,
     run_maintenance_workload,
 )
 
@@ -80,6 +81,45 @@ class TestMaintenanceWorkloadDriver:
             report["epochs_coalesced"]
             == report["epochs_enqueued"] - report["flushes"]
         )
+
+    def test_commit_fleet_workload_green(self):
+        report = run_commit_fleet_workload(
+            "university",
+            views=6,
+            queries=3,
+            writers=3,
+            readers=2,
+            commits=6,
+            sync_every=4,
+            seed=1,
+        )
+        assert report["acks_complete"]
+        assert report["no_acked_lost"]
+        assert report["recovered_equal_live"]
+        assert report["reader_generations_monotonic"]
+        assert report["readers_serving_sound"]
+        assert report["extents_equal"]
+        assert not report["writer_errors"]
+        assert report["acked_commits"] == report["total_commits"] == 18
+        assert report["recovered_sequence"] == report["committed_sequence"]
+
+    def test_commit_fleet_volatile_baseline(self):
+        report = run_commit_fleet_workload(
+            "university",
+            views=6,
+            queries=3,
+            writers=3,
+            readers=1,
+            commits=6,
+            durable=False,
+            seed=1,
+        )
+        assert report["acks_complete"]
+        assert report["reader_generations_monotonic"]
+        assert report["readers_serving_sound"]
+        assert report["extents_equal"]
+        assert report["ack_p50_ms"] is None
+        assert report["recovered_sequence"] is None
 
     def test_update_stream_is_reproducible(self):
         schema, state_a, _, _ = batch_workload_setup("trading", 4, 2, seed=2)
