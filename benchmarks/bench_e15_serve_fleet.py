@@ -1,0 +1,213 @@
+"""Experiment E15: the multi-process serving fabric.
+
+The serving fabric (:mod:`repro.database.cacheserver` +
+:mod:`repro.database.replica`) lets K OS processes serve queries against
+snapshot replicas while sharing one decision-cache tier.  The claim: a
+serving process whose matcher rides the **shared** cache answers its
+first-contact queries by remote hit (one small socket round trip)
+instead of running the subsumption completion locally, so fleet-wide
+first-query latency drops by the completion cost -- and the effect
+compounds with every process added, because only one process (here: the
+parent's warm pass) ever pays each completion.
+
+Each measured point runs :func:`repro.workloads.driver.run_serve_fleet_workload`
+twice with identical fleets, streams and update schedules:
+
+* **shared** -- the decision-cache server up, its namespace warmed, every
+  child's matcher consulting it through ``RemoteDecisionCache``;
+* **cold** -- no cache tier (``shared_cache=False``): every process
+  completes every first-contact decision itself, the per-process-overlay
+  status quo of the batch layer.
+
+One serve round per child keeps every query a *first-contact* query --
+later rounds would serve from in-process memos in both modes and dilute
+the mechanism being measured.  The guarded ratio is
+``shared_cache_speedup`` = cold **mean** per-query latency / shared mean
+per-query latency (median across repeats): the mean integrates the total
+completion cost the cache tier avoids, where a p50 would sit unstably at
+the boundary between filter-only queries and completion-paying ones.
+Every run's full verdict set
+is asserted before its timing counts: answers equal the from-scratch
+evaluation of the generation they were pinned to, staleness bound
+honored, no child errors, and (shared mode) remote hits observed.
+
+The series lands in ``BENCH_e15.json``
+(``benchmarks/check_regression.py`` guards the speedup as ``e15``).
+
+Usage::
+
+    python benchmarks/bench_e15_serve_fleet.py      # full series + JSON
+    pytest benchmarks/ --benchmark-only             # CI timing point
+"""
+
+import os
+from statistics import median
+
+from repro.workloads.driver import run_serve_fleet_workload
+
+try:
+    from .helpers import print_table, write_trajectory
+except ImportError:  # executed as a script
+    from helpers import print_table, write_trajectory
+
+PROCESSES = 2
+CLIENTS = 4
+VIEWS = 24
+QUERIES = 12
+UPDATES = 8
+STALENESS_BOUND = 8
+WORKLOADS = ("university", "trading")
+
+_VERDICTS = (
+    "answers_match_spec",
+    "staleness_bound_honored",
+    "cache_hits_observed",
+    "no_child_errors",
+)
+
+
+def _checked_fleet(workload, seed, *, shared_cache):
+    report = run_serve_fleet_workload(
+        workload,
+        views=VIEWS,
+        queries=QUERIES,
+        processes=PROCESSES,
+        clients=CLIENTS,
+        rounds=1,
+        updates=UPDATES,
+        staleness_bound=STALENESS_BOUND,
+        shared_cache=shared_cache,
+        seed=seed,
+    )
+    for verdict in _VERDICTS:
+        assert report[verdict], (workload, shared_cache, verdict)
+    return report
+
+
+def serve_fleet_point(workload, seed=0, repeats=1):
+    """One shared + one cold fleet per repeat; verdicts asserted on each.
+
+    The guarded ratio keeps the median across repeats (process start-up
+    and socket scheduling jitter single runs); the reported absolute
+    numbers come from the first repeat.
+    """
+    shared_runs, cold_runs = [], []
+    for repeat in range(max(1, repeats)):
+        shared_runs.append(
+            _checked_fleet(workload, seed + repeat, shared_cache=True)
+        )
+        cold_runs.append(
+            _checked_fleet(workload, seed + repeat, shared_cache=False)
+        )
+    speedup = median(
+        cold["query_mean_ms"] / shared["query_mean_ms"]
+        for cold, shared in zip(cold_runs, shared_runs)
+    )
+    shared = shared_runs[0]
+    return {
+        "workload": workload,
+        "processes": PROCESSES,
+        "clients": CLIENTS,
+        "views": VIEWS,
+        "queries": QUERIES,
+        "updates": UPDATES,
+        "staleness_bound": STALENESS_BOUND,
+        "shared_mean_ms": median(r["query_mean_ms"] for r in shared_runs),
+        "cold_mean_ms": median(r["query_mean_ms"] for r in cold_runs),
+        "shared_p50_ms": median(r["query_p50_ms"] for r in shared_runs),
+        "shared_p99_ms": median(r["query_p99_ms"] for r in shared_runs),
+        "cold_p50_ms": median(r["query_p50_ms"] for r in cold_runs),
+        "cold_p99_ms": median(r["query_p99_ms"] for r in cold_runs),
+        "shared_qps": median(r["queries_per_second"] for r in shared_runs),
+        "cold_qps": median(r["queries_per_second"] for r in cold_runs),
+        "shared_cache_speedup": speedup,
+        "cache_hit_rate": shared["cache_hit_rate"],
+        "remote_hits": shared["remote_hits"],
+        "warm_cache_sets": shared["warm_cache_sets"],
+        "max_post_catchup_lag": max(
+            r["max_post_catchup_lag"] for r in shared_runs + cold_runs
+        ),
+        **{verdict: shared[verdict] for verdict in _VERDICTS},
+    }
+
+
+# -- pytest-benchmark timing point -------------------------------------------
+
+
+def test_e15_serve_fleet(benchmark):
+    report = benchmark(
+        lambda: run_serve_fleet_workload(
+            "university",
+            views=12,
+            queries=6,
+            processes=2,
+            clients=4,
+            rounds=2,
+            updates=8,
+        )
+    )
+    assert report["answers_match_spec"]
+    assert report["staleness_bound_honored"]
+    assert report["cache_hits_observed"]
+    assert report["no_child_errors"]
+
+
+# -- full experiment series ---------------------------------------------------
+
+
+def report() -> None:
+    series = []
+    for workload in WORKLOADS:
+        series.append(serve_fleet_point(workload, repeats=3))
+
+    print_table(
+        "E15: serve fleet -- shared decision cache vs cold per-process caches",
+        [
+            "workload",
+            "procs x clients",
+            "shared mean ms",
+            "cold mean ms",
+            "speedup",
+            "hit rate",
+            "max lag",
+        ],
+        [
+            (
+                point["workload"],
+                f"{point['processes']}x{point['clients']}",
+                f"{point['shared_mean_ms']:.2f}",
+                f"{point['cold_mean_ms']:.2f}",
+                f"{point['shared_cache_speedup']:.2f}x",
+                f"{point['cache_hit_rate']:.0%}",
+                point["max_post_catchup_lag"],
+            )
+            for point in series
+        ],
+    )
+
+    best = max(series, key=lambda point: point["shared_cache_speedup"])
+    print(
+        f"\nshared-cache serving beats cold per-process caches up to "
+        f"{best['shared_cache_speedup']:.2f}x on first-contact mean latency "
+        f"(on {best['workload']}); every fleet's answers matched the "
+        f"from-scratch spec of the generation they were pinned to"
+    )
+
+    write_trajectory(
+        "e15",
+        {
+            "experiment": "e15-serve-fleet",
+            "cpu_count": os.cpu_count(),
+            "processes": PROCESSES,
+            "clients": CLIENTS,
+            "views": VIEWS,
+            "queries": QUERIES,
+            "updates": UPDATES,
+            "series": series,
+            "best_shared_cache_speedup": best["shared_cache_speedup"],
+        },
+    )
+
+
+if __name__ == "__main__":
+    report()

@@ -35,7 +35,14 @@ runners and developer laptops alike.
   commits/sec with fsync-ACK tickets riding the batched sync, over the
   fsync-per-commit discipline, both under the same modeled-disk fsync
   latency (each re-measured point re-asserts the fleet loss contract:
-  every commit ACKed, no ACKed commit lost across a kill+recovery).
+  every commit ACKed, no ACKed commit lost across a kill+recovery);
+* **e15** (``BENCH_e15.json``): shared-cache serving speedup -- the
+  serve-fleet mean first-contact query latency with cold per-process
+  caches over the same fleet riding the shared decision-cache tier,
+  committed side clamped to a conservative cap against fleet-timing
+  jitter (each re-measured point re-asserts the fabric's serving contract:
+  every answer equal to the from-scratch evaluation of its pinned
+  generation, staleness bound honored, remote hits observed).
 
 Every guard compares the *median relative decay* across its re-measured
 points rather than any single point, so one noisy configuration cannot fail
@@ -117,6 +124,22 @@ E13_WORKLOADS = ("university", "trading")
 #: the fsync disk model come from the bench module, so the guard re-runs
 #: exactly the committed configuration).
 E14_WORKLOADS = ("university", "trading")
+
+#: E15 workloads re-measured by the guard (fleet shape -- processes,
+#: clients, views, stream -- comes from the bench module, so the guard
+#: re-runs exactly the committed configuration).
+E15_WORKLOADS = ("university", "trading")
+
+#: The committed e15 speedup is clamped to this cap before comparison.
+#: The *magnitude* of the serve-fleet ratio swings with machine load (the
+#: cold leg is CPU-contention-bound, the shared leg socket-latency-bound,
+#: and they do not swing together), but the mechanism's guarantee -- the
+#: shared tier beats cold per-process caches comfortably -- is stable.
+#: Clamping makes the guard fire when fresh drops below cap/(1+threshold)
+#: (~1.5x: the fabric no longer clearly winning, e.g. a reintroduced
+#: Nagle stall measures ~0.4x), instead of on contention jitter around a
+#: lucky committed run.
+E15_SPEEDUP_CAP = 2.0
 
 
 def measure_e8():
@@ -381,6 +404,43 @@ def measure_e14():
     return rows, fresh_points
 
 
+def measure_e15():
+    """Shared-cache serve-fleet speedup (serving contract re-asserted).
+
+    The guarded value is a same-run ratio: cold per-process-cache mean
+    first-contact query latency over shared-cache mean, identical fleets
+    otherwise; the committed side is clamped to ``E15_SPEEDUP_CAP`` (see
+    its comment for why).  ``serve_fleet_point`` asserts the full serving
+    contract (answers equal the from-scratch spec of their pinned
+    generation, staleness bound honored, remote hits observed, no child
+    errors) before returning, so a correctness break anywhere in the
+    fabric fails this guard outright rather than showing up as noise.
+    """
+    try:
+        from .bench_e15_serve_fleet import serve_fleet_point
+    except ImportError:
+        from bench_e15_serve_fleet import serve_fleet_point
+
+    committed = {
+        point["workload"]: point for point in _load_committed("e15")["series"]
+    }
+    rows = []
+    fresh_points = []
+    for workload in E15_WORKLOADS:
+        if workload not in committed:
+            continue
+        fresh = serve_fleet_point(workload, repeats=3)
+        fresh_points.append(fresh)
+        rows.append(
+            (
+                f"e15 {workload} shared-cache serving speedup (capped)",
+                min(committed[workload]["shared_cache_speedup"], E15_SPEEDUP_CAP),
+                fresh["shared_cache_speedup"],
+            )
+        )
+    return rows, fresh_points
+
+
 GUARDS = {
     "e8": measure_e8,
     "e9": measure_e9,
@@ -390,6 +450,7 @@ GUARDS = {
     "e12": measure_e12,
     "e13": measure_e13,
     "e14": measure_e14,
+    "e15": measure_e15,
 }
 
 
@@ -528,6 +589,11 @@ def test_e13_durability_no_regression():
 @pytest.mark.regression
 def test_e14_group_commit_no_regression():
     run_check(guards=["e14"], fresh_dir=_fresh_dir_from_env())
+
+
+@pytest.mark.regression
+def test_e15_serve_fleet_no_regression():
+    run_check(guards=["e15"], fresh_dir=_fresh_dir_from_env())
 
 
 def main(argv=None) -> int:

@@ -1,5 +1,6 @@
 """The OODB substrate: database states, query evaluation, materialized views."""
 
+from .cacheserver import DecisionCacheServer, RemoteDecisionCache, cache_namespace
 from .commit import CommitScheduler, CommitTicket, DurabilityError, FaultPolicy
 from .lattice import LatticeMatchStats, LatticeNode, ViewLattice
 from .maintenance import (
@@ -12,6 +13,7 @@ from .maintenance import (
     RelevanceIndex,
 )
 from .query_eval import EvaluationStatistics, QueryEvaluator
+from .replica import ReplicaProtocolError, ReplicaServer, SnapshotReplica
 from .store import (
     AttributeRemoved,
     AttributeSet,
@@ -59,4 +61,10 @@ __all__ = [
     "MembershipRetracted",
     "AttributeSet",
     "AttributeRemoved",
+    "DecisionCacheServer",
+    "RemoteDecisionCache",
+    "cache_namespace",
+    "ReplicaServer",
+    "SnapshotReplica",
+    "ReplicaProtocolError",
 ]

@@ -36,6 +36,34 @@ disk -- ``DurabilityError`` says "not acknowledged durable", never
 on a from-scratch refresh of some ACK-consistent durable prefix, and no
 ``wait_durable()``-acknowledged commit is ever lost while fsyncs are
 honest.
+
+Locking & fencing invariants
+----------------------------
+
+Three locks, acquired only in the order ``_sync_lock`` -> ``_wal_lock``
+(the *append fence*) -> ``_state_lock`` (a leaf), never the reverse:
+
+* Every WAL mutation -- append, torn-tail repair, checkpoint,
+  :meth:`CommitScheduler.heal`, :meth:`CommitScheduler.exclusive` -- runs
+  under the append fence.  Appends arrive already serialized by the
+  store's write lock; the fence orders them against the *other* threads
+  that touch the log.
+* ``_sync_lock`` elects exactly one group-commit *leader* at a time.
+  The leader takes the fence only twice -- to capture the sync window
+  and to adopt its result -- and **the fsync itself runs outside the
+  append fence**, so writers keep appending behind the in-flight fsync
+  and the next leader acknowledges them all at once.
+* ``_state_lock`` guards the ticket table, the durable-watermark mirror
+  and the degraded flag; it is never held across I/O, and ticket events
+  are set only after it is released.
+* A ticket is registered under the append fence *before* its frame is
+  appended, and degradation takes the fence before failing tickets --
+  so neither an ACK nor a fault declaration can race past a
+  concurrently-registered ticket.
+* The durability boundary is adopted from the *captured* sync window,
+  never from the log's live tail: bytes appended while the out-of-fence
+  fsync was in flight stay unacknowledged until the next sync covers
+  them.
 """
 
 from __future__ import annotations

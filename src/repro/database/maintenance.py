@@ -264,9 +264,11 @@ class _PendingEpoch:
 
     @property
     def empty(self) -> bool:
+        """``True`` when nothing is pending (no touches, keys, removals, refresh)."""
         return not (self.touched or self.keys or self.removed or self.full_refresh)
 
     def size(self) -> Tuple[int, int, int]:
+        """``(touched, keys, removed)`` counts, for telemetry and tests."""
         return (len(self.touched), len(self.keys), len(self.removed))
 
 
@@ -279,12 +281,15 @@ class _DirectSink:
         self.generation = generation
 
     def current(self, view: MaterializedView) -> FrozenSet[str]:
+        """The extent deltas build on -- here the live stored one."""
         return view.stored_extent
 
     def adopt(self, view: MaterializedView, extent: FrozenSet[str]) -> None:
+        """Publish a re-evaluated extent to the view immediately."""
         view.adopt_extent(extent, self.generation)
 
     def discard(self, view: MaterializedView, objects: FrozenSet[str]) -> None:
+        """Remove objects from the view's live extent immediately."""
         view.discard_objects(objects, self.generation)
 
 
@@ -308,18 +313,22 @@ class _StagedSink:
         self._staged: Dict[str, Tuple[MaterializedView, FrozenSet[str], bool]] = {}
 
     def current(self, view: MaterializedView) -> FrozenSet[str]:
+        """The staged extent when one exists, else the live stored one."""
         staged = self._staged.get(view.name)
         return staged[1] if staged is not None else view.stored_extent
 
     def adopt(self, view: MaterializedView, extent: FrozenSet[str]) -> None:
+        """Stage a re-evaluated extent (marked refreshed) for :meth:`install`."""
         self._staged[view.name] = (view, frozenset(extent), True)
 
     def discard(self, view: MaterializedView, objects: FrozenSet[str]) -> None:
+        """Stage a set-algebra removal without marking a re-evaluation."""
         staged = self._staged.get(view.name)
         refreshed = staged[2] if staged is not None else False
         self._staged[view.name] = (view, self.current(view) - frozenset(objects), refreshed)
 
     def install(self) -> None:
+        """Swap every staged extent in (caller holds the publish lock)."""
         for view, extent, refreshed in self._staged.values():
             if refreshed:
                 view.adopt_extent(extent, self.generation)
@@ -425,9 +434,11 @@ class _MaintenanceEngine:
     # -- catalog listener -----------------------------------------------------
 
     def on_view_registered(self, view: MaterializedView) -> None:
+        """Catalog listener: index a newly registered view for relevance."""
         self._index.add(view)
 
     def on_view_unregistered(self, name: str) -> None:
+        """Catalog listener: forget an unregistered view."""
         self._index.discard(name)
 
     # -- flushing -------------------------------------------------------------
@@ -627,6 +638,7 @@ class _MaintenanceEngine:
         evaluator = self._evaluator
 
         def worker(shard: int) -> List[Tuple[int, FrozenSet[str]]]:
+            """Evaluate this shard's slice of views against the pinned source."""
             return [
                 (key, evaluator.concept_answers(concept, source))
                 for key, concept in unique[shard::shard_count]
@@ -914,10 +926,12 @@ class AsyncMaintainer(_MaintenanceEngine):
     # -- catalog listener ------------------------------------------------------
 
     def on_view_registered(self, view: MaterializedView) -> None:
+        """Catalog listener: index a new view (serialized against flushes)."""
         with self._flush_lock:
             self._index.add(view)
 
     def on_view_unregistered(self, name: str) -> None:
+        """Catalog listener: forget a view (serialized against flushes)."""
         with self._flush_lock:
             self._index.discard(name)
 

@@ -51,6 +51,7 @@ def _formula_constants(formula: Formula) -> Set[str]:
     found: Set[str] = set()
 
     def walk(node: Formula) -> None:
+        """Accumulate constants reachable from ``node`` into ``found``."""
         if isinstance(node, (UnaryAtom,)):
             if isinstance(node.term, Const):
                 found.add(node.term.name)

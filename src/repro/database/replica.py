@@ -1,0 +1,559 @@
+"""Snapshot read replicas: generation-stamped state shipping over sockets.
+
+The async tier (PR 5) bounded read staleness *inside* one process; this
+module ships the same serve-from-generation model across process
+boundaries so reader processes scale horizontally.  A
+:class:`ReplicaServer` attaches to a live primary
+(:class:`~repro.database.store.DatabaseState` + its view catalog) as a
+mutation-log listener and serves each connecting replica a **full
+snapshot plus a typed-delta tail**:
+
+* the snapshot leg is a pickled :class:`~repro.database.store.StateSnapshot`
+  together with the schema and the catalog's structural identity (the
+  same ``(name, normalized concept)`` pairs the WAL's checkpoints
+  record), everything a fresh process needs to rebuild state, catalog
+  and extents from nothing;
+* the delta leg is a stream of
+  :class:`~repro.database.wal.EpochRecord` frames in the **WAL's own
+  frame format** (``<u32 length><u32 crc32><pickled payload>``), one per
+  committed epoch past the snapshot -- the identical bytes-on-the-wire
+  discipline recovery already trusts, CRC-checked per frame.
+
+:class:`SnapshotReplica` is the reader side: it rebuilds a local
+``DatabaseState`` via ``from_snapshot``, registers the catalog's
+concepts into a local optimizer, regenerates extents, and then serves
+queries against its **pinned local generation** while a local
+maintenance queue keeps extents incremental across applied epochs.
+Staleness is explicit: every applied epoch carries the primary's
+sequence and generation stamps, :attr:`SnapshotReplica.lag` is the
+number of primary epochs not yet applied, and the **catch-up protocol**
+(:meth:`SnapshotReplica.ensure_fresh`) polls delta batches until the
+configured bound holds -- a replica that falls behind the server's
+retained tail is handed a fresh snapshot instead of an unservable gap.
+
+Consistency model: a replica always serves the extents of *some* fully
+applied primary epoch -- the same prefix-consistency contract the async
+tier's oracle enforces, property-checked across processes by
+``tests/database/test_replica.py`` (every replica-served answer equals a
+from-scratch refresh of the pinned generation, and the pinned generation
+is never staler than the bound after catch-up).
+
+The wire protocol (handshake lines + framed legs, error responses,
+rebase rules) is normatively specified in ``docs/PROTOCOL.md``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import socketserver
+import threading
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+from .store import DatabaseState
+from .wal import _HEADER, _MAX_FRAME_BYTES, EpochRecord, catalog_identity
+
+__all__ = [
+    "ReplicaProtocolError",
+    "ReplicaServer",
+    "SnapshotReplica",
+]
+
+#: Bumped on any incompatible wire change; exchanged in the handshake.
+PROTOCOL_VERSION = "repro-replica/1"
+
+
+class ReplicaProtocolError(RuntimeError):
+    """A malformed or version-incompatible replica-stream exchange."""
+
+
+def _encode_frame(payload: bytes) -> bytes:
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _read_exact(rfile, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = rfile.read(remaining)
+        if not chunk:
+            raise ReplicaProtocolError("stream closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _read_frame(rfile):
+    """One CRC-checked frame off the stream (the WAL's frame format)."""
+    header = _read_exact(rfile, _HEADER.size)
+    length, crc = _HEADER.unpack(header)
+    if length > _MAX_FRAME_BYTES:
+        raise ReplicaProtocolError(f"oversized frame ({length} bytes)")
+    payload = _read_exact(rfile, length)
+    if zlib.crc32(payload) != crc:
+        raise ReplicaProtocolError("frame CRC mismatch")
+    return pickle.loads(payload)
+
+
+# ---------------------------------------------------------------------------
+# Server
+# ---------------------------------------------------------------------------
+
+
+class _ReplicaState:
+    """The base snapshot + epoch tail one server retains (lock-guarded)."""
+
+    def __init__(self, state: DatabaseState, catalog, tail_limit: int) -> None:
+        self.state = state
+        self.catalog = catalog
+        self.tail_limit = tail_limit
+        self.lock = threading.Lock()
+        self.tail: List[EpochRecord] = []
+        self.epoch_deltas: List = []
+        self.epoch_schema_changed = False
+        self.snapshots_served = 0
+        self.deltas_served = 0
+        self.rebases = 0
+        self._rebase_locked()
+
+    def _rebase_locked(self) -> None:
+        self.base_snapshot = self.state.snapshot()
+        self.base_sequence = self.state.commit_sequence
+        self.base_generation = self.state.generation
+        self.base_schema = self.state.schema
+        self.base_catalog = catalog_identity(self.catalog)
+        self.tail = []
+        self.rebases += 1
+
+    # -- mutation-log listener (runs on the primary's mutator thread) ------
+
+    def on_delta(self, delta) -> None:
+        """Buffer one typed delta of the epoch currently being committed."""
+        self.epoch_deltas.append(delta)
+
+    def on_schema_changed(self) -> None:
+        """Mark the in-flight epoch as carrying a schema swap."""
+        self.epoch_schema_changed = True
+
+    def on_commit(self) -> None:
+        """Seal the in-flight epoch into the tail, rebasing on swap/overflow."""
+        deltas = tuple(self.epoch_deltas)
+        schema_changed = self.epoch_schema_changed
+        self.epoch_deltas = []
+        self.epoch_schema_changed = False
+        if not deltas and not schema_changed:
+            return
+        record = EpochRecord(
+            sequence=self.state.commit_sequence,
+            generation=self.state.generation,
+            deltas=deltas,
+            schema_changed=schema_changed,
+        )
+        with self.lock:
+            # A schema swap invalidates every shipped delta interpretation:
+            # rebase so late joiners (and resyncing replicas) start from a
+            # snapshot taken under the new schema.
+            if schema_changed or len(self.tail) >= self.tail_limit:
+                self._rebase_locked()
+            else:
+                self.tail.append(record)
+
+    # -- responses (handler threads) ----------------------------------------
+
+    def response_for(self, have_sequence: int):
+        """``("SNAPSHOT", payload, records)`` or ``("DELTA", None, records)``."""
+        with self.lock:
+            if have_sequence < self.base_sequence:
+                self.snapshots_served += 1
+                payload = {
+                    "sequence": self.base_sequence,
+                    "generation": self.base_generation,
+                    "snapshot": self.base_snapshot,
+                    "schema": self.base_schema,
+                    "catalog": self.base_catalog,
+                }
+                return "SNAPSHOT", payload, list(self.tail)
+            records = [record for record in self.tail if record.sequence > have_sequence]
+            self.deltas_served += len(records)
+            return "DELTA", None, records
+
+    def position(self) -> Tuple[int, int]:
+        """The newest shippable ``(sequence, generation)`` -- tail head or base."""
+        with self.lock:
+            if self.tail:
+                newest = self.tail[-1]
+                return newest.sequence, newest.generation
+            return self.base_sequence, self.base_generation
+
+
+class _ReplicaHandler(socketserver.StreamRequestHandler):
+    """One replica connection: HELLO/POLL/STAT lines, framed responses."""
+
+    # Poll round trips are latency-bound; don't let Nagle + delayed ACK
+    # stall the catch-up protocol.
+    disable_nagle_algorithm = True
+
+    def handle(self) -> None:  # noqa: D102 - protocol plumbing
+        shared: _ReplicaState = self.server.replica_state  # type: ignore[attr-defined]
+        while True:
+            line = self.rfile.readline(4096)
+            if not line:
+                return
+            parts = line.decode("utf-8", "replace").strip().split()
+            if not parts:
+                continue
+            command = parts[0].upper()
+            try:
+                if command == "HELLO" and len(parts) == 3:
+                    if parts[1] != PROTOCOL_VERSION:
+                        self._line(f"ERROR unsupported version {parts[1]}")
+                        return
+                    self._respond(shared, int(parts[2]))
+                elif command == "POLL" and len(parts) == 2:
+                    self._respond(shared, int(parts[1]))
+                elif command == "STAT" and len(parts) == 1:
+                    sequence, generation = shared.position()
+                    self._line(f"PRIMARY {sequence} {generation}")
+                elif command == "QUIT":
+                    return
+                else:
+                    self._line("ERROR unknown command or bad arity")
+            except ValueError:
+                self._line("ERROR malformed arguments")
+            except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+                return
+
+    def _respond(self, shared: _ReplicaState, have_sequence: int) -> None:
+        kind, payload, records = shared.response_for(have_sequence)
+        if kind == "SNAPSHOT":
+            self._line(
+                f"SNAPSHOT {payload['sequence']} {payload['generation']} {len(records)}"
+            )
+            self.wfile.write(_encode_frame(pickle.dumps(payload, protocol=4)))
+        else:
+            sequence, _ = shared.position()
+            self._line(f"DELTA {sequence} {len(records)}")
+        for record in records:
+            self.wfile.write(_encode_frame(pickle.dumps(record, protocol=4)))
+        self.wfile.flush()
+
+    def _line(self, text: str) -> None:
+        self.wfile.write(text.encode("utf-8") + b"\r\n")
+        self.wfile.flush()
+
+
+class _ThreadingTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class ReplicaServer:
+    """Ships generation-stamped snapshots + delta tails to reader processes.
+
+    Attach to a live primary *after* its catalog is registered (the
+    shipped identity is captured at rebase time); mutations committed
+    while the server runs land in the retained tail.  ``tail_limit``
+    bounds the tail: past it the server rebases onto a fresh snapshot
+    (late joiners pay one snapshot instead of an unbounded replay), and a
+    replica whose position predates the current base is re-seeded with a
+    snapshot by the catch-up protocol.  ``port=0`` binds an ephemeral
+    port; hand :attr:`address` to :class:`SnapshotReplica`.
+    """
+
+    def __init__(
+        self,
+        state: DatabaseState,
+        catalog,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        tail_limit: int = 512,
+    ) -> None:
+        self.state = state
+        self.shared = _ReplicaState(state, catalog, tail_limit)
+        self._server = _ThreadingTCPServer((host, port), _ReplicaHandler)
+        self._server.replica_state = self.shared  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+        state.subscribe(self.shared)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` for replicas to dial."""
+        return self._server.server_address[:2]
+
+    @property
+    def position(self) -> Tuple[int, int]:
+        """The newest shippable ``(sequence, generation)``."""
+        return self.shared.position()
+
+    def start(self) -> "ReplicaServer":
+        """Serve forever on a daemon thread; returns ``self`` for chaining."""
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="replica-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Detach from the primary and stop serving (idempotent)."""
+        self.state.unsubscribe(self.shared)
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ReplicaServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Reader side
+# ---------------------------------------------------------------------------
+
+
+class SnapshotReplica:
+    """A reader process's pinned-generation serving copy of the primary.
+
+    :meth:`connect` performs the snapshot leg -- rebuild the state via
+    ``DatabaseState.from_snapshot``, register the shipped catalog
+    identity into a local :class:`~repro.optimizer.optimizer.SemanticQueryOptimizer`,
+    regenerate extents -- and every :meth:`poll` applies the next delta
+    batch as local epochs (one ``state.batch()`` per
+    :class:`~repro.database.wal.EpochRecord`, flushed incrementally by a
+    local :class:`~repro.database.maintenance.MaintenanceQueue`).
+    Serving happens strictly against the last fully applied epoch:
+    :attr:`applied_generation` is the primary generation every answer is
+    pinned to.
+
+    ``staleness_bound`` is the replica's freshness contract, measured in
+    primary epochs: :meth:`ensure_fresh` polls until
+    ``primary_sequence - applied_sequence <= staleness_bound`` (the
+    catch-up protocol; a position behind the server's tail base comes
+    back as a fresh snapshot and a full rebuild).  :meth:`answer_concept`
+    runs the view-filtered evaluation and optionally cross-checks it
+    against the unfiltered one (``check=True``), the paper's soundness
+    invariant per served generation.
+    """
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        *,
+        staleness_bound: int = 8,
+        timeout: float = 10.0,
+        remote=None,
+    ) -> None:
+        self.address = (address[0], int(address[1]))
+        self.staleness_bound = staleness_bound
+        self.timeout = timeout
+        self.remote = remote
+        self.state: Optional[DatabaseState] = None
+        self.optimizer = None
+        self.maintenance = None
+        self.applied_sequence = 0
+        self.applied_generation = 0
+        self.snapshot_loads = 0
+        self.epochs_applied = 0
+        self.polls = 0
+        self._sock: Optional[socket.socket] = None
+        self._rfile = None
+        self._wfile = None
+        self._lock = threading.Lock()
+
+    # -- connection ---------------------------------------------------------
+
+    def _ensure_connected(self) -> None:
+        if self._sock is not None:
+            return
+        self._sock = socket.create_connection(self.address, timeout=self.timeout)
+        self._sock.settimeout(self.timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._rfile = self._sock.makefile("rb")
+        self._wfile = self._sock.makefile("wb")
+
+    def _line(self, text: str) -> None:
+        self._wfile.write(text.encode("utf-8") + b"\r\n")
+        self._wfile.flush()
+
+    def _read_header(self) -> List[str]:
+        line = self._rfile.readline(4096)
+        if not line:
+            raise ReplicaProtocolError("server closed the connection")
+        parts = line.decode("utf-8").strip().split()
+        if not parts:
+            raise ReplicaProtocolError("empty response header")
+        if parts[0] == "ERROR":
+            raise ReplicaProtocolError(" ".join(parts[1:]) or "server error")
+        return parts
+
+    def connect(self) -> "SnapshotReplica":
+        """Dial the server and perform the initial snapshot handshake."""
+        with self._lock:
+            self._ensure_connected()
+            # -1 means "I have nothing": it forces the snapshot leg even
+            # when the primary itself is still at commit sequence 0.
+            have = self.applied_sequence if self.state is not None else -1
+            self._line(f"HELLO {PROTOCOL_VERSION} {have}")
+            self._consume_response()
+        return self
+
+    def close(self) -> None:
+        """Drop the connection (local serving state stays usable)."""
+        with self._lock:
+            for handle in (self._rfile, self._wfile, self._sock):
+                if handle is not None:
+                    try:
+                        handle.close()
+                    except OSError:  # pragma: no cover - best-effort close
+                        pass
+            self._sock = self._rfile = self._wfile = None
+
+    # -- the snapshot + delta legs ------------------------------------------
+
+    def _consume_response(self) -> int:
+        """Apply one SNAPSHOT or DELTA response; returns epochs applied."""
+        header = self._read_header()
+        if header[0] == "SNAPSHOT" and len(header) == 4:
+            payload = _read_frame(self._rfile)
+            self._load_snapshot(payload)
+            applied = sum(
+                self._apply_epoch(_read_frame(self._rfile))
+                for _ in range(int(header[3]))
+            )
+            return applied
+        if header[0] == "DELTA" and len(header) == 3:
+            return sum(
+                self._apply_epoch(_read_frame(self._rfile))
+                for _ in range(int(header[2]))
+            )
+        raise ReplicaProtocolError(f"unexpected response {header!r}")
+
+    def _load_snapshot(self, payload: Dict) -> None:
+        from ..optimizer.optimizer import SemanticQueryOptimizer
+        from .maintenance import MaintenanceQueue
+
+        if self.maintenance is not None:
+            self.maintenance.close()
+        self.state = DatabaseState.from_snapshot(
+            payload["snapshot"], schema=payload["schema"]
+        )
+        self.optimizer = SemanticQueryOptimizer(payload["schema"])
+        for name, concept in payload["catalog"]:
+            self.optimizer.register_view_concept(name, concept)
+        self.optimizer.catalog.regenerate_extents(self.state)
+        self.maintenance = MaintenanceQueue(self.state, self.optimizer.catalog)
+        self.applied_sequence = payload["sequence"]
+        self.applied_generation = payload["generation"]
+        self.snapshot_loads += 1
+
+    def _apply_epoch(self, record: EpochRecord) -> int:
+        if record.sequence <= self.applied_sequence:
+            return 0
+        with self.state.batch():
+            for delta in record.deltas:
+                self.state.apply_delta(delta)
+        self.applied_sequence = record.sequence
+        self.applied_generation = record.generation
+        self.epochs_applied += 1
+        return 1
+
+    # -- catch-up protocol ---------------------------------------------------
+
+    def primary_position(self) -> Tuple[int, int]:
+        """The primary's newest ``(sequence, generation)`` (one round trip)."""
+        with self._lock:
+            self._ensure_connected()
+            self._line("STAT")
+            header = self._read_header()
+        if header[0] != "PRIMARY" or len(header) != 3:
+            raise ReplicaProtocolError(f"unexpected response {header!r}")
+        return int(header[1]), int(header[2])
+
+    @property
+    def lag(self) -> int:
+        """Primary epochs committed but not yet applied here (one round trip)."""
+        return max(0, self.primary_position()[0] - self.applied_sequence)
+
+    def poll(self) -> int:
+        """Fetch and apply the next delta batch; returns epochs applied.
+
+        A position that fell behind the server's retained tail comes back
+        as a full ``SNAPSHOT`` response -- the replica rebuilds and the
+        poll still converges.
+        """
+        with self._lock:
+            self._ensure_connected()
+            self._line(f"POLL {self.applied_sequence}")
+            self.polls += 1
+            return self._consume_response()
+
+    def ensure_fresh(self, max_lag: Optional[int] = None, *, attempts: int = 64) -> int:
+        """Catch up until ``lag <= max_lag`` (default: the staleness bound).
+
+        Returns the final lag; raises :class:`ReplicaProtocolError` if the
+        bound cannot be met in ``attempts`` polls (a primary outrunning
+        the replica's apply rate is an operational error, not silent
+        staleness).
+        """
+        bound = self.staleness_bound if max_lag is None else max_lag
+        for _ in range(attempts):
+            lag = self.lag
+            if lag <= bound:
+                return lag
+            self.poll()
+        lag = self.lag
+        if lag > bound:
+            raise ReplicaProtocolError(
+                f"replica cannot catch up: lag {lag} > bound {bound}"
+            )
+        return lag
+
+    # -- serving -------------------------------------------------------------
+
+    def answer_concept(self, concept, *, check: bool = False):
+        """Answers for one ``QL`` concept against the pinned generation.
+
+        Matches subsuming views over the local catalog (through the shared
+        remote decision cache when one is attached), evaluates over the
+        view-filtered candidate set, and -- with ``check=True`` --
+        verifies the result against the unfiltered evaluation of the same
+        pinned state (the serving-soundness invariant).  Returns
+        ``(answers, generation)``.
+        """
+        matches = self._match(concept)
+        evaluator = self.optimizer.evaluator
+        if matches:
+            answers = evaluator.concept_answers(
+                concept, self.state, candidates=matches[0].extent
+            )
+        else:
+            answers = evaluator.concept_answers(concept, self.state)
+        if check:
+            full = evaluator.concept_answers(concept, self.state)
+            if answers != full:
+                raise AssertionError(
+                    f"unsound replica answer at generation {self.applied_generation}"
+                )
+        return answers, self.applied_generation
+
+    def _match(self, concept):
+        if self.remote is not None:
+            from ..optimizer.parallel import ShardedMatcher
+
+            matcher = ShardedMatcher(
+                self.optimizer.checker,
+                self.optimizer.catalog,
+                shards=1,
+                backend="serial",
+                remote=self.remote,
+            )
+            return matcher.match_batch([concept])[0]
+        return self.optimizer.subsuming_views_for_concept(concept)

@@ -352,6 +352,7 @@ class DatabaseState:
 
     @schema.setter
     def schema(self, schema: Optional[Schema]) -> None:
+        """Swap the schema inside a batch, dropping schema-derived memos."""
         with self.batch():
             self._schema = schema if schema is not None else Schema.empty()
             # A different hierarchy changes every upward closure: rebuild

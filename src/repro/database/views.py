@@ -442,6 +442,7 @@ class ViewCatalog:
         return name in self._views
 
     def get(self, name: str) -> Optional[MaterializedView]:
+        """The registered view of that name, or ``None``."""
         return self._views.get(name)
 
     def names(self) -> Tuple[str, ...]:

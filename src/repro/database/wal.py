@@ -44,6 +44,21 @@ log, and compaction only deletes segments whose every record is covered by
 the just-made-durable checkpoint -- so no crash ordering can lose an
 acknowledged epoch.
 
+Locking & fencing invariants
+----------------------------
+
+The log object itself is **not** internally synchronized: callers
+serialize access.  In-process that caller is the commit scheduler
+(:mod:`repro.database.commit`), whose ``_wal_lock`` append fence wraps
+every mutating call.  The one deliberate exception is the out-of-lock
+group fsync: :meth:`WriteAheadLog.sync_window` is called *under* the
+fence to pin what an fsync may claim, the ``fs.fsync`` itself runs with
+the fence **released** (writers keep appending behind it), and
+:meth:`WriteAheadLog.complete_sync` is called back under the fence to
+adopt exactly the captured watermark -- never the live tail, so the
+durability boundary stays conservative no matter how the fsync races
+later appends.
+
 The unsynced-batch counter is conservative by construction: an append is
 counted *before* its bytes reach the filesystem and the counter resets
 only after a **fully successful** ``sync`` -- so neither a torn append nor
@@ -224,15 +239,19 @@ class OsFileSystem:
         self._handles: Dict[str, object] = {}
 
     def makedirs(self, path: str) -> None:
+        """Create ``path`` (and parents) if missing."""
         os.makedirs(path, exist_ok=True)
 
     def listdir(self, path: str) -> List[str]:
+        """Directory entries, unordered, as the OS reports them."""
         return os.listdir(path)
 
     def exists(self, path: str) -> bool:
+        """``True`` iff ``path`` exists."""
         return os.path.exists(path)
 
     def append(self, path: str, data: bytes) -> None:
+        """Append bytes through the cached per-path append handle."""
         handle = self._handles.get(path)
         if handle is None:
             handle = open(path, "ab")
@@ -240,11 +259,13 @@ class OsFileSystem:
         handle.write(data)
 
     def write(self, path: str, data: bytes) -> None:
+        """Replace the file's contents (dropping any cached append handle)."""
         self._drop_handle(path)
         with open(path, "wb") as handle:
             handle.write(data)
 
     def read(self, path: str) -> bytes:
+        """Whole-file read; flushes a cached append handle first."""
         handle = self._handles.get(path)
         if handle is not None:
             handle.flush()
@@ -252,6 +273,7 @@ class OsFileSystem:
             return reader.read()
 
     def fsync(self, path: str) -> None:
+        """``fsync`` the file, through the cached handle when one is open."""
         handle = self._handles.get(path)
         if handle is not None:
             handle.flush()
@@ -264,6 +286,7 @@ class OsFileSystem:
             os.close(fd)
 
     def fsync_dir(self, path: str) -> None:
+        """``fsync`` a directory's namespace (create/rename durability)."""
         fd = os.open(path, os.O_RDONLY)
         try:
             os.fsync(fd)
@@ -271,6 +294,7 @@ class OsFileSystem:
             os.close(fd)
 
     def truncate(self, path: str, length: int) -> None:
+        """Truncate the file to ``length`` bytes (torn-tail repair)."""
         handle = self._handles.get(path)
         if handle is not None:
             handle.flush()
@@ -280,15 +304,18 @@ class OsFileSystem:
             writer.truncate(length)
 
     def replace(self, source: str, target: str) -> None:
+        """Atomically rename ``source`` over ``target`` (checkpoint publish)."""
         self._drop_handle(source)
         self._drop_handle(target)
         os.replace(source, target)
 
     def remove(self, path: str) -> None:
+        """Delete the file (segment/checkpoint compaction)."""
         self._drop_handle(path)
         os.remove(path)
 
     def close(self) -> None:
+        """Close every cached append handle."""
         for handle in self._handles.values():
             handle.close()
         self._handles.clear()

@@ -270,6 +270,7 @@ class SemanticQueryOptimizer:
         shards: Optional[int] = None,
         backend: str = "thread",
         max_workers: Optional[int] = None,
+        remote=None,
     ) -> List[QueryPlan]:
         """Plan a batch of queries with the sharded matcher.
 
@@ -291,6 +292,7 @@ class SemanticQueryOptimizer:
             shards=shards,
             backend=backend,
             max_workers=max_workers,
+            remote=remote,
         )
         matched = matcher.match_batch([self.query_concept(query) for query in queries])
         self.statistics.subsumption_checks += matcher.match_statistics.checks
@@ -323,15 +325,18 @@ class SemanticQueryOptimizer:
         shards: Optional[int] = None,
         backend: str = "thread",
         max_workers: Optional[int] = None,
+        remote=None,
     ) -> List[OptimizationOutcome]:
         """Plan a batch with :meth:`plan_batch` and execute every plan.
 
         Execution stays sequential (it is set algebra over stored extents,
         cheap next to matching) and returns outcomes in input order; the
         answers equal the sequential loop's because the plans do.
+        ``remote`` threads a shared decision cache into the matcher's
+        worker views (see :mod:`repro.optimizer.parallel`).
         """
         plans = self.plan_batch(
-            queries, shards=shards, backend=backend, max_workers=max_workers
+            queries, shards=shards, backend=backend, max_workers=max_workers, remote=remote
         )
         return [self.execute(plan, state) for plan in plans]
 

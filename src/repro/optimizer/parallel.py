@@ -44,19 +44,36 @@ worker overlays.  What remains batch-specific here is the *seeding*
 (overlay deltas, lattice ancestor closure, the conjunct-id posting
 indexes) and the per-worker profile sharing.
 
-Thread workers share the process-wide intern tables (interning is locked)
-and read the base checker's memo tables.  Decisions a worker derives land
-in its private overlay (merged deterministically on join); the only shared
-writes from worker threads happen *through the base checker itself* when a
-full check falls through to ``checker.subsumes`` / ``quick_reject``, whose
-memo updates are single CPython dict stores -- idempotent (decisions are
-deterministic) and GIL-atomic today, but a port to free-threaded Python
-would need a lock there.  Process workers (``backend="process"``, fork
-platforms only) inherit the frozen catalog and the pre-interned batch via
-copy-on-write; their overlay deltas are keyed by interned ids, which are
-fork-stable, so the parent can absorb them directly.  ``backend="serial"``
-runs the same code path in the calling thread (the control used by the
-equivalence tests).
+Locking & sharing invariants (hold them when touching this module):
+
+* **Catalogs are frozen for the duration of a batch.**  Workers traverse
+  the lattice and the catalog snapshot without taking any lock; nothing
+  may mutate the catalog (register/unregister/refresh) while a parallel
+  phase runs.  The serialization point is the caller, not this module.
+* **Worker writes are overlay-only.**  Thread workers share the
+  process-wide intern tables (interning is locked) and *read* the base
+  checker's memo tables.  Decisions a worker derives land in its private
+  overlay, merged deterministically on join via
+  ``checker.absorb_decisions``; the only shared writes from worker
+  threads happen *through the base checker itself* when a full check
+  falls through to ``checker.subsumes`` / ``quick_reject``, whose memo
+  updates are single CPython dict stores -- idempotent (decisions are
+  deterministic) and GIL-atomic today, but a port to free-threaded
+  Python would need a lock there.
+* **Interned ids cross fork boundaries, never process boundaries.**
+  Process workers (``backend="process"``, fork platforms only) inherit
+  the frozen catalog and the pre-interned batch via copy-on-write; their
+  overlay deltas are keyed by interned ids, which are fork-stable, so
+  the parent absorbs them without translation.  ``backend="serial"``
+  runs the same code path in the calling thread (the control used by the
+  equivalence tests).
+* **The remote cache serializes on its own client lock.**  A
+  :class:`~repro.database.cacheserver.RemoteDecisionCache` passed as
+  ``remote=`` may be shared by all shard threads (its socket I/O is
+  mutex-guarded) and is consulted only after every cheap local layer
+  missed; a remote fault degrades it to a no-op, so the decision
+  protocol -- and the merged results -- never depend on the cache tier
+  being alive.
 """
 
 from __future__ import annotations
@@ -115,6 +132,10 @@ class BatchStatistics:
     full_checks: int = 0
     #: Overlay entries merged back into the base checker on join.
     cache_delta_entries: int = 0
+    #: Completions avoided by the shared remote decision cache.
+    remote_hits: int = 0
+    #: Remote lookups that missed (the completion then ran locally).
+    remote_misses: int = 0
 
     def merge(self, other: "BatchStatistics") -> None:
         self.profiles_computed += other.profiles_computed
@@ -122,6 +143,8 @@ class BatchStatistics:
         self.filter_rejections += other.filter_rejections
         self.full_checks += other.full_checks
         self.cache_delta_entries += other.cache_delta_entries
+        self.remote_hits += other.remote_hits
+        self.remote_misses += other.remote_misses
 
 
 # ---------------------------------------------------------------------------
@@ -143,6 +166,15 @@ class BatchCheckerView:
 
     With ``direct=True`` (the sequential merge phase of ``register_batch``)
     decisions are additionally recorded into the base checker immediately.
+
+    ``remote`` plugs a shared cross-process cache
+    (:class:`~repro.database.cacheserver.RemoteDecisionCache`) into the
+    fall-through chain: overlay -> base-checker memos -> profile filters
+    -> **remote get** -> full completion (+ write-behind remote set).
+    The remote sits deliberately *after* the cheap local layers, so a
+    network round trip is only ever paid where it can replace a full
+    completion; decisions a remote hit supplies land in ``delta`` like
+    any other, keeping the merge-on-join contract unchanged.
     """
 
     def __init__(
@@ -152,10 +184,12 @@ class BatchCheckerView:
         *,
         statistics: Optional[BatchStatistics] = None,
         direct: bool = False,
+        remote=None,
     ) -> None:
         self._checker = checker
         self._profiles = profiles if profiles is not None else {}
         self._direct = direct
+        self._remote = remote
         self.statistics = statistics if statistics is not None else BatchStatistics()
         self.delta: Dict[Tuple[int, int], bool] = {}
         self._necessary_names = necessary_attribute_names(checker.schema)
@@ -214,8 +248,16 @@ class BatchCheckerView:
             if self._direct:
                 self._checker.record_decision(key[0], key[1], decision)
         else:
-            self.statistics.full_checks += 1
-            decision = self._checker.subsumes(normalized_query, normalized_view)
+            decision = self._remote.get(*key) if self._remote is not None else None
+            if decision is not None:
+                self.statistics.remote_hits += 1
+            else:
+                if self._remote is not None:
+                    self.statistics.remote_misses += 1
+                self.statistics.full_checks += 1
+                decision = self._checker.subsumes(normalized_query, normalized_view)
+                if self._remote is not None:
+                    self._remote.set(key[0], key[1], decision)
         self.delta[key] = decision
         return decision
 
@@ -617,12 +659,14 @@ class ShardedMatcher:
         shards: Optional[int] = None,
         backend: str = "thread",
         max_workers: Optional[int] = None,
+        remote=None,
     ) -> None:
         self.checker = checker
         self.catalog = catalog
         self.shards = shards
         self.backend = backend
         self.max_workers = max_workers
+        self.remote = remote
         self.statistics = BatchStatistics()
         self.match_statistics = LatticeMatchStats()
 
@@ -638,12 +682,15 @@ class ShardedMatcher:
             return []
         snapshot = _CatalogSnapshot(self.catalog)
         checker = self.checker
+        remote = self.remote
         profiles: Dict[int, ConceptProfile] = {}
 
         def worker(shard: int):
             worker_stats = BatchStatistics()
             match_stats = LatticeMatchStats()
-            view_checker = BatchCheckerView(checker, profiles, statistics=worker_stats)
+            view_checker = BatchCheckerView(
+                checker, profiles, statistics=worker_stats, remote=remote
+            )
             results: List[Tuple[int, List[str]]] = []
             for index in range(shard, len(normalized), shard_count):
                 concept = normalized[index]

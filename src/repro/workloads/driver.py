@@ -64,6 +64,7 @@ __all__ = [
     "run_async_maintenance_workload",
     "run_durable_maintenance_workload",
     "run_commit_fleet_workload",
+    "run_serve_fleet_workload",
     "main",
 ]
 
@@ -1207,6 +1208,295 @@ def run_commit_fleet_workload(
     }
 
 
+def _serve_fleet_child(slot: int, config: Dict[str, object], results) -> None:
+    """One forked serving process of the ``serve-fleet`` scenario.
+
+    Connects a :class:`~repro.database.replica.SnapshotReplica` (plus the
+    shared remote decision cache when configured), then runs ``rounds``
+    rounds of: catch up within the staleness bound, serve every stream
+    query across ``clients`` threads, and record per-query latency and
+    the generation each answer was pinned to.  The full serve log goes
+    back to the parent for verification against its generation history --
+    children measure, the parent judges.
+    """
+    from ..core.checker import clear_shared_decision_cache
+    from ..database.cacheserver import RemoteDecisionCache
+    from ..database.replica import SnapshotReplica
+
+    summary: Dict[str, object] = {
+        "slot": slot,
+        "serves": [],
+        "latencies": [],
+        "remote_hits": 0,
+        "remote_misses": 0,
+        "max_lag": 0,
+        "snapshot_loads": 0,
+        "epochs_applied": 0,
+        "errors": [],
+    }
+    remote = None
+    replica = None
+    try:
+        # Fork inherits the parent's warm in-process decision cache; clear
+        # it so cross-process traffic actually reaches the remote tier.
+        clear_shared_decision_cache()
+        if config["cache_address"] is not None:
+            remote = RemoteDecisionCache(
+                config["cache_address"], config["namespace"]
+            )
+        replica = SnapshotReplica(
+            config["replica_address"],
+            staleness_bound=config["staleness_bound"],
+            remote=remote,
+        ).connect()
+        stream = config["stream"]
+        clients = config["clients"]
+        lock = threading.Lock()
+
+        def client(indices) -> None:
+            for index in indices:
+                t0 = time.perf_counter()
+                answers, generation = replica.answer_concept(stream[index])
+                elapsed = time.perf_counter() - t0
+                with lock:
+                    summary["latencies"].append(elapsed)
+                    summary["serves"].append(
+                        (index, generation, sorted(answers))
+                    )
+
+        for _ in range(config["rounds"]):
+            lag = replica.ensure_fresh()
+            summary["max_lag"] = max(summary["max_lag"], lag)
+            threads = [
+                threading.Thread(
+                    target=client, args=(range(shard, len(stream), clients),)
+                )
+                for shard in range(clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        summary["snapshot_loads"] = replica.snapshot_loads
+        summary["epochs_applied"] = replica.epochs_applied
+        if remote is not None:
+            summary["remote_hits"] = remote.hits
+            summary["remote_misses"] = remote.misses
+    except Exception as error:  # noqa: BLE001 - shipped back as a verdict
+        summary["errors"].append(f"p{slot}: {error!r}")
+    finally:
+        if replica is not None:
+            replica.close()
+        if remote is not None:
+            remote.close()
+        results.put(summary)
+
+
+def run_serve_fleet_workload(
+    workload: str = "university",
+    *,
+    views: int = 16,
+    queries: int = 8,
+    processes: int = 2,
+    clients: int = 4,
+    rounds: int = 3,
+    updates: int = 24,
+    staleness_bound: int = 8,
+    tail_limit: int = 64,
+    shared_cache: bool = True,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """K serving processes x M concurrent clients over the serving fabric.
+
+    The parent owns the primary: it registers the catalog, starts a
+    :class:`~repro.database.replica.ReplicaServer` and (with
+    ``shared_cache``) a :class:`~repro.database.cacheserver.DecisionCacheServer`
+    whose namespace it warms with the stream's subsumption decisions, then
+    forks ``processes`` serving processes (fork is required: interned
+    concept ids are only meaningful within one fork family).  While the
+    children serve, the parent applies an ``updates``-long mutation stream
+    against the primary, snapshotting **every committed generation** into
+    a history.  Each child connects a
+    :class:`~repro.database.replica.SnapshotReplica` (with the shared
+    remote cache plugged into its matcher) and runs ``rounds`` rounds of
+    catch-up-then-serve across ``clients`` threads, logging every answer
+    with the generation it was pinned to.
+
+    Verdicts:
+
+    * ``answers_match_spec`` -- every child-served answer equals the
+      from-scratch evaluation over the parent's snapshot of exactly the
+      generation the child reported (prefix consistency across process
+      boundaries);
+    * ``staleness_bound_honored`` -- every post-catch-up lag was within
+      ``staleness_bound`` and every served generation is one the primary
+      actually committed;
+    * ``cache_hits_observed`` -- with ``shared_cache``, the fleet's
+      remote hit count is positive (the processes actually shared
+      decisions instead of each completing from scratch);
+    * ``no_child_errors``.
+
+    Metrics: ``query_p50_ms``/``query_p99_ms`` (per-answer latency across
+    the whole fleet), ``queries_per_second``, ``cache_hit_rate``,
+    ``snapshot_loads`` and ``epochs_applied`` (how the replicas kept up).
+    """
+    import multiprocessing
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        raise RuntimeError(
+            "serve-fleet requires the fork start method "
+            "(interned concept ids are per fork family)"
+        )
+    from ..database.cacheserver import (
+        DecisionCacheServer,
+        RemoteDecisionCache,
+        cache_namespace,
+    )
+    from ..database.query_eval import QueryEvaluator
+    from ..database.replica import ReplicaServer
+    from ..core.checker import SubsumptionChecker
+
+    schema, state, catalog_concepts, stream = batch_workload_setup(
+        workload, views, max(queries, 1), seed
+    )
+    generator_schema = schema_to_sl(schema) if isinstance(schema, DLSchema) else schema
+    optimizer = SemanticQueryOptimizer(schema, lattice=True)
+    for name, concept in catalog_concepts.items():
+        optimizer.register_view_concept(name, concept)
+
+    cache_server = DecisionCacheServer().start() if shared_cache else None
+    replica_server = ReplicaServer(
+        state, optimizer.catalog, tail_limit=tail_limit
+    ).start()
+    namespace = None
+    warm_sets = 0
+    try:
+        if cache_server is not None:
+            namespace = cache_namespace(optimizer.sl_schema, optimizer.catalog)
+            warm_remote = RemoteDecisionCache(cache_server.address, namespace)
+            # Publish the stream's decisions from a cold checker: only full
+            # completions are written behind, so a pre-memoized checker
+            # would publish nothing for the children to hit.
+            clear_shared_decision_cache()
+            warm_matcher = ShardedMatcher(
+                SubsumptionChecker(optimizer.sl_schema),
+                optimizer.catalog,
+                shards=1,
+                backend="serial",
+                remote=warm_remote,
+            )
+            warm_matcher.match_batch(stream)
+            warm_sets = warm_remote.sets
+            warm_remote.close()
+
+        context = multiprocessing.get_context("fork")
+        results = context.Queue()
+        config = {
+            "cache_address": cache_server.address if cache_server else None,
+            "namespace": namespace,
+            "replica_address": replica_server.address,
+            "staleness_bound": staleness_bound,
+            "stream": stream,
+            "clients": clients,
+            "rounds": rounds,
+        }
+        children = [
+            context.Process(
+                target=_serve_fleet_child, args=(slot, config, results)
+            )
+            for slot in range(processes)
+        ]
+        history = {state.generation: state.snapshot()}
+        start = time.perf_counter()
+        for child in children:
+            child.start()
+
+        # The primary mutates while the fleet serves; every committed
+        # generation is snapshotted so any answer the children pin can be
+        # re-derived from scratch.
+        for op in generate_update_stream(generator_schema, state, updates, seed + 21):
+            apply_update(state, op)
+            history[state.generation] = state.snapshot()
+            time.sleep(0.002)
+
+        summaries = [results.get(timeout=120.0) for _ in children]
+        wall_seconds = time.perf_counter() - start
+        for child in children:
+            child.join(timeout=30.0)
+    finally:
+        replica_server.close()
+        if cache_server is not None:
+            cache_server.close()
+
+    child_errors = [error for summary in summaries for error in summary["errors"]]
+    evaluator = QueryEvaluator(None)
+    answer_cache: Dict[Tuple[int, int], List[str]] = {}
+    answers_match_spec = True
+    generations_known = True
+    for summary in summaries:
+        for index, generation, answers in summary["serves"]:
+            pinned = history.get(generation)
+            if pinned is None:
+                generations_known = False
+                continue
+            key = (index, generation)
+            if key not in answer_cache:
+                answer_cache[key] = sorted(
+                    evaluator.concept_answers(stream[index], pinned)
+                )
+            answers_match_spec &= answers == answer_cache[key]
+
+    latencies = sorted(
+        latency for summary in summaries for latency in summary["latencies"]
+    )
+    total_serves = len(latencies)
+    remote_hits = sum(summary["remote_hits"] for summary in summaries)
+    remote_misses = sum(summary["remote_misses"] for summary in summaries)
+    max_lag = max((summary["max_lag"] for summary in summaries), default=0)
+
+    def percentile(samples: List[float], fraction: float) -> Optional[float]:
+        if not samples:
+            return None
+        return 1e3 * samples[min(len(samples) - 1, int(fraction * len(samples)))]
+
+    return {
+        "workload": workload,
+        "views": len(catalog_concepts),
+        "queries": len(stream),
+        "processes": processes,
+        "clients": clients,
+        "rounds": rounds,
+        "updates": updates,
+        "staleness_bound": staleness_bound,
+        "tail_limit": tail_limit,
+        "shared_cache": shared_cache,
+        "wall_seconds": wall_seconds,
+        "total_serves": total_serves,
+        "queries_per_second": total_serves / wall_seconds if wall_seconds else None,
+        "query_p50_ms": percentile(latencies, 0.50),
+        "query_p99_ms": percentile(latencies, 0.99),
+        "query_mean_ms": 1e3 * sum(latencies) / total_serves if total_serves else None,
+        "warm_cache_sets": warm_sets,
+        "remote_hits": remote_hits,
+        "remote_misses": remote_misses,
+        "cache_hit_rate": (
+            remote_hits / (remote_hits + remote_misses)
+            if remote_hits + remote_misses
+            else None
+        ),
+        "max_post_catchup_lag": max_lag,
+        "snapshot_loads": sum(summary["snapshot_loads"] for summary in summaries),
+        "epochs_applied": sum(summary["epochs_applied"] for summary in summaries),
+        "committed_generations": len(history),
+        "child_errors": child_errors,
+        "answers_match_spec": answers_match_spec and generations_known,
+        "staleness_bound_honored": generations_known
+        and max_lag <= staleness_bound,
+        "cache_hits_observed": (not shared_cache) or remote_hits > 0,
+        "no_child_errors": not child_errors,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -1218,13 +1508,16 @@ def main(argv=None) -> int:
             "maintain-async",
             "maintain-durable",
             "commit-fleet",
+            "serve-fleet",
         ),
         help=(
             "serve: batched register+match; maintain: update-heavy "
             "maintenance; maintain-async: serve-from-generation async "
             "flushes; maintain-durable: write-ahead-logged commits with "
             "crash recovery; commit-fleet: K concurrent writers x M "
-            "readers with group-commit fsync ACKs and a loss verdict"
+            "readers with group-commit fsync ACKs and a loss verdict; "
+            "serve-fleet: K forked serving processes x M client threads "
+            "over the shared-cache + snapshot-replica fabric"
         ),
     )
     parser.add_argument(
@@ -1245,7 +1538,33 @@ def main(argv=None) -> int:
     parser.add_argument("--writers", type=int, default=4)
     parser.add_argument("--readers", type=int, default=2)
     parser.add_argument("--commits", type=int, default=24)
+    parser.add_argument("--processes", type=int, default=2)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--staleness-bound", type=int, default=8)
+    parser.add_argument("--no-shared-cache", action="store_true")
     args = parser.parse_args(argv)
+    if args.scenario == "serve-fleet":
+        report = run_serve_fleet_workload(
+            args.workload,
+            views=args.views,
+            queries=args.queries,
+            processes=args.processes,
+            clients=args.clients,
+            rounds=args.rounds,
+            updates=args.updates,
+            staleness_bound=args.staleness_bound,
+            shared_cache=not args.no_shared_cache,
+            seed=args.seed,
+        )
+        print(json.dumps(report, indent=2, sort_keys=True))
+        ok = (
+            report["answers_match_spec"]
+            and report["staleness_bound_honored"]
+            and report["cache_hits_observed"]
+            and report["no_child_errors"]
+        )
+        return 0 if ok else 1
     if args.scenario == "commit-fleet":
         report = run_commit_fleet_workload(
             args.workload,

@@ -1,0 +1,278 @@
+"""Tests for the shared decision-cache tier (server, client, checker seam).
+
+The protocol-level behavior (framing, responses, error handling) is pinned
+here against a live server on an ephemeral port; the *normative* wire
+examples live in ``docs/PROTOCOL.md`` and are executed by
+``test_protocol_conformance.py``.  The integration tests check the
+contract that matters: a remote hit replaces a full completion without
+ever changing a decision, and a dead server degrades to a cold cache
+instead of an error.
+"""
+
+import pickle
+import socket
+
+import pytest
+
+from repro.concepts.intern import concept_id
+from repro.concepts.normalize import normalize_concept
+from repro.core.checker import SubsumptionChecker, clear_shared_decision_cache
+from repro.database.cacheserver import (
+    DecisionCacheServer,
+    RemoteDecisionCache,
+    cache_namespace,
+)
+from repro.optimizer.optimizer import SemanticQueryOptimizer
+from repro.optimizer.parallel import BatchCheckerView, ShardedMatcher
+from repro.workloads.driver import batch_workload_setup
+
+
+@pytest.fixture()
+def server():
+    with DecisionCacheServer(max_entries=64) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    return RemoteDecisionCache(server.address, "testns")
+
+
+def raw_exchange(address, *lines):
+    """Send raw protocol lines; return every response line until quiescence."""
+    with socket.create_connection(address, timeout=2.0) as sock:
+        sock.settimeout(2.0)
+        wfile = sock.makefile("wb")
+        rfile = sock.makefile("rb")
+        for line in lines:
+            wfile.write(line.encode() + b"\r\n")
+        wfile.write(b"quit\r\n")
+        wfile.flush()
+        return [raw.decode().strip() for raw in rfile.readlines()]
+
+
+# -- protocol units ----------------------------------------------------------
+
+
+class TestWireProtocol:
+    def test_get_set_roundtrip(self, server):
+        replies = raw_exchange(
+            server.address,
+            "set ns 10:20 1",
+            "set ns 30:40 0",
+            "get ns 10:20 30:40 50:60",
+        )
+        assert replies == [
+            "STORED",
+            "STORED",
+            "VALUE 10:20 1",
+            "VALUE 30:40 0",
+            "END",
+        ]
+
+    def test_set_noreply_is_silent(self, server):
+        replies = raw_exchange(server.address, "set ns 1:2 1 noreply", "get ns 1:2")
+        assert replies == ["VALUE 1:2 1", "END"]
+
+    def test_touch_and_not_found(self, server):
+        replies = raw_exchange(
+            server.address, "set ns 1:2 1", "touch ns 1:2", "touch ns 9:9"
+        )
+        assert replies == ["STORED", "TOUCHED", "NOT_FOUND"]
+
+    def test_flush_drops_only_the_namespace(self, server):
+        replies = raw_exchange(
+            server.address,
+            "set a 1:2 1",
+            "set b 1:2 1",
+            "flush a",
+            "get a 1:2",
+            "get b 1:2",
+        )
+        assert replies == ["STORED", "STORED", "OK 1", "END", "VALUE 1:2 1", "END"]
+
+    def test_version_and_errors(self, server):
+        replies = raw_exchange(
+            server.address,
+            "version",
+            "bogus",
+            "set ns notakey 1",
+            "set ns 1:2 7",
+            "get ns",
+        )
+        assert replies[0] == f"VERSION {DecisionCacheServer.PROTOCOL_VERSION}"
+        assert all(reply.startswith("ERROR") for reply in replies[1:])
+
+    def test_stats_counters(self, server, client):
+        client.set(1, 2, True)
+        assert client.get(1, 2) is True
+        assert client.get(3, 4) is None
+        stats = client.stats()
+        assert stats["entries"] == 1
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["sets"] == 1
+
+    def test_lru_eviction_bounds_entries(self, server, client):
+        for index in range(100):
+            client.set(index, index, True)
+        stats = client.stats()
+        assert stats["entries"] == 64
+        assert stats["evictions"] == 36
+        # The newest entries survived, the oldest were evicted.
+        assert client.get(99, 99) is True
+        assert client.get(0, 0) is None
+
+
+# -- client behavior ---------------------------------------------------------
+
+
+class TestRemoteDecisionCache:
+    def test_get_many_single_round_trip(self, server, client):
+        client.set_many({(1, 2): True, (3, 4): False})
+        values = client.get_many([(1, 2), (3, 4), (5, 6)])
+        assert values == {(1, 2): True, (3, 4): False}
+        assert client.hits == 2 and client.misses == 1
+
+    def test_namespaces_do_not_leak(self, server):
+        left = RemoteDecisionCache(server.address, "left")
+        right = RemoteDecisionCache(server.address, "right")
+        left.set(1, 2, True)
+        assert left.get(1, 2) is True
+        assert right.get(1, 2) is None
+
+    def test_dead_server_degrades_to_noop(self):
+        server = DecisionCacheServer().start()
+        client = RemoteDecisionCache(server.address, "ns")
+        client.set(1, 2, True)
+        assert client.get(1, 2) is True
+        server.close()
+        client.close()  # force a re-dial against the closed listener
+        assert client.get(1, 2) is None
+        assert client.dead
+        # Every later call is a cheap no-op, not an error.
+        client.set(3, 4, True)
+        assert client.get(3, 4) is None
+        assert client.stats() == {}
+
+    def test_reconnect_rearms_a_dead_client(self, server):
+        client = RemoteDecisionCache(("127.0.0.1", 1), "ns", timeout=0.2)
+        assert client.get(1, 2) is None
+        assert client.dead
+        client.address = server.address
+        assert client.reconnect()
+        client.set(1, 2, False)
+        assert client.get(1, 2) is False
+
+    def test_pickles_by_address(self, server, client):
+        client.set(1, 2, True)
+        clone = pickle.loads(pickle.dumps(client))
+        assert clone.address == client.address
+        assert clone.namespace == client.namespace
+        assert clone.get(1, 2) is True
+
+
+# -- the namespace token -----------------------------------------------------
+
+
+class TestCacheNamespace:
+    def test_same_identity_same_token(self):
+        schema, _, catalog, _ = batch_workload_setup("university", 4, 2, 0)
+        optimizer = SemanticQueryOptimizer(schema)
+        for name, concept in catalog.items():
+            optimizer.register_view_concept(name, concept)
+        token = cache_namespace(optimizer.sl_schema, optimizer.catalog)
+        again = cache_namespace(optimizer.sl_schema, optimizer.catalog)
+        assert token == again
+
+    def test_catalog_change_changes_token(self):
+        schema, _, catalog, _ = batch_workload_setup("university", 4, 2, 0)
+        optimizer = SemanticQueryOptimizer(schema)
+        items = list(catalog.items())
+        for name, concept in items:
+            optimizer.register_view_concept(name, concept)
+        before = cache_namespace(optimizer.sl_schema, optimizer.catalog)
+        optimizer.register_view_concept("extra_view", items[0][1])
+        after = cache_namespace(optimizer.sl_schema, optimizer.catalog)
+        assert before != after
+
+    def test_repair_rule_flag_changes_token(self):
+        schema, _, catalog, _ = batch_workload_setup("university", 4, 2, 0)
+        optimizer = SemanticQueryOptimizer(schema)
+        for name, concept in catalog.items():
+            optimizer.register_view_concept(name, concept)
+        with_repair = cache_namespace(
+            optimizer.sl_schema, optimizer.catalog, use_repair_rule=True
+        )
+        without = cache_namespace(
+            optimizer.sl_schema, optimizer.catalog, use_repair_rule=False
+        )
+        assert with_repair != without
+
+
+# -- the BatchCheckerView seam -----------------------------------------------
+
+
+class TestCheckerSeam:
+    def test_remote_hit_replaces_the_completion(self, server):
+        schema, _, catalog, stream = batch_workload_setup("synthetic", 6, 4, 0)
+        remote = RemoteDecisionCache(server.address, "seam")
+        query = normalize_concept(stream[0])
+        view_concept = normalize_concept(list(catalog.values())[0])
+        key = (concept_id(query), concept_id(view_concept))
+
+        # A fresh checker computes and publishes the decision...
+        first = BatchCheckerView(SubsumptionChecker(schema), remote=remote)
+        decision = first.subsumes(query, view_concept)
+        published = remote.get(*key)
+
+        # ... and a second cold checker hits it instead of completing,
+        # without the decision changing.  Clearing the process-wide shared
+        # cache simulates the second checker living in another process.
+        clear_shared_decision_cache()
+        second = BatchCheckerView(SubsumptionChecker(schema), remote=remote)
+        assert second.subsumes(query, view_concept) == decision
+        if published is not None:
+            assert second.statistics.remote_hits >= 1
+            assert second.statistics.full_checks == 0
+        spec = SubsumptionChecker(schema)
+        assert decision == spec.subsumes(query, view_concept)
+
+    def test_sharded_matching_with_remote_matches_spec(self, server):
+        schema, _, catalog, stream = batch_workload_setup("university", 8, 6, 0)
+        optimizer = SemanticQueryOptimizer(schema)
+        for name, concept in catalog.items():
+            optimizer.register_view_concept(name, concept)
+        expected = [
+            [view.name for view in optimizer.subsuming_views_for_concept(concept)]
+            for concept in stream
+        ]
+        remote = RemoteDecisionCache(
+            server.address, cache_namespace(optimizer.sl_schema, optimizer.catalog)
+        )
+        # Warm pass populates the shared cache; the second (cold-checker)
+        # pass must answer identically, now partly from the remote tier.
+        warm = ShardedMatcher(
+            optimizer.checker, optimizer.catalog, shards=2, remote=remote
+        )
+        assert [
+            [v.name for v in views] for views in warm.match_batch(stream)
+        ] == [sorted_names_by_view(optimizer, names) for names in expected]
+
+        cold_optimizer = SemanticQueryOptimizer(schema)
+        for name, concept in catalog.items():
+            cold_optimizer.register_view_concept(name, concept)
+        cold_optimizer.checker.clear_cache()
+        cold = ShardedMatcher(
+            cold_optimizer.checker, cold_optimizer.catalog, shards=2, remote=remote
+        )
+        cold_names = [[v.name for v in views] for views in cold.match_batch(stream)]
+        assert cold_names == [
+            sorted_names_by_view(cold_optimizer, names) for names in expected
+        ]
+
+
+def sorted_names_by_view(optimizer, names):
+    views = [optimizer.catalog.get(name) for name in names]
+    views.sort(key=lambda view: (view.size, view.name))
+    return [view.name for view in views]

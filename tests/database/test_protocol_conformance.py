@@ -1,0 +1,116 @@
+"""Executes the normative transcripts embedded in ``docs/PROTOCOL.md``.
+
+``docs/PROTOCOL.md`` is the specification of record for the cache and
+replica wire protocols; its ``>>>`` blocks are live doctest transcripts.
+This suite spins up one conformance server per protocol and runs the
+document against them, so the spec cannot drift from the servers without
+failing CI.  The injected helpers open a **fresh connection per call**
+(transcripts must not depend on connection affinity) and, for the
+replica stream, consume binary frames and report their count as a
+trailing ``frames:<n>`` marker so the examples stay byte-free.
+"""
+
+import doctest
+import pathlib
+import socket
+import zlib
+
+import pytest
+
+from repro.concepts.schema import Schema
+from repro.database.cacheserver import DecisionCacheServer
+from repro.database.replica import ReplicaServer
+from repro.database.store import DatabaseState
+from repro.database.views import ViewCatalog
+from repro.database.wal import _HEADER
+
+PROTOCOL_MD = pathlib.Path(__file__).resolve().parents[2] / "docs" / "PROTOCOL.md"
+
+
+def _exchange(address, lines):
+    """Send text lines on a fresh connection; return stripped reply lines."""
+    with socket.create_connection(address, timeout=5.0) as sock:
+        sock.settimeout(5.0)
+        wfile, rfile = sock.makefile("wb"), sock.makefile("rb")
+        for line in lines:
+            wfile.write(line.encode() + b"\r\n")
+        wfile.write(b"quit\r\n")
+        wfile.flush()
+        return [raw.decode().strip() for raw in rfile.readlines()]
+
+
+def _read_frames(rfile, count):
+    """Consume and CRC-check ``count`` binary frames off the stream."""
+    for _ in range(count):
+        header = rfile.read(_HEADER.size)
+        length, crc = _HEADER.unpack(header)
+        payload = rfile.read(length)
+        assert zlib.crc32(payload) == crc, "frame CRC mismatch in conformance run"
+
+
+def _replica_exchange(address, lines):
+    """Replica-protocol exchange: frames are counted, not shown.
+
+    Each framed response (``SNAPSHOT``/``DELTA``) contributes its header
+    line plus one ``frames:<n>`` marker covering every frame it carried,
+    which keeps the published transcripts free of binary payloads.
+    """
+    replies = []
+    with socket.create_connection(address, timeout=5.0) as sock:
+        sock.settimeout(5.0)
+        wfile, rfile = sock.makefile("wb"), sock.makefile("rb")
+        for line in lines:
+            wfile.write(line.encode() + b"\r\n")
+            wfile.flush()
+            raw = rfile.readline()
+            if not raw:
+                break
+            reply = raw.decode().strip()
+            replies.append(reply)
+            parts = reply.split()
+            if parts[0] == "SNAPSHOT":
+                frames = 1 + int(parts[3])
+                _read_frames(rfile, frames)
+                replies.append(f"frames:{frames}")
+            elif parts[0] == "DELTA":
+                frames = int(parts[2])
+                _read_frames(rfile, frames)
+                replies.append(f"frames:{frames}")
+        wfile.write(b"QUIT\r\n")
+        wfile.flush()
+    return replies
+
+
+@pytest.fixture(scope="module")
+def conformance_servers():
+    state = DatabaseState(Schema.empty())
+    catalog = ViewCatalog(None)
+    with DecisionCacheServer() as cache_server:
+        with ReplicaServer(state, catalog) as replica_server:
+            yield cache_server, replica_server
+
+
+def test_protocol_md_transcripts(conformance_servers):
+    cache_server, replica_server = conformance_servers
+    results = doctest.testfile(
+        str(PROTOCOL_MD),
+        module_relative=False,
+        globs={
+            "cache": lambda *lines: _exchange(cache_server.address, lines),
+            "replica": lambda *lines: _replica_exchange(
+                replica_server.address, lines
+            ),
+        },
+        optionflags=doctest.NORMALIZE_WHITESPACE,
+        verbose=False,
+    )
+    assert results.attempted > 0, "docs/PROTOCOL.md lost its transcripts"
+    assert results.failed == 0, f"{results.failed} PROTOCOL.md transcripts failed"
+
+
+def test_version_constants_match_the_spec():
+    text = PROTOCOL_MD.read_text()
+    from repro.database import cacheserver, replica
+
+    assert f"`{cacheserver.DecisionCacheServer.PROTOCOL_VERSION}`" in text
+    assert f"`{replica.PROTOCOL_VERSION}`" in text
