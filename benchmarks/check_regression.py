@@ -42,7 +42,12 @@ runners and developer laptops alike.
   committed side clamped to a conservative cap against fleet-timing
   jitter (each re-measured point re-asserts the fabric's serving contract:
   every answer equal to the from-scratch evaluation of its pinned
-  generation, staleness bound honored, remote hits observed).
+  generation, staleness bound honored, remote hits observed);
+* **e16** (``BENCH_e16.json``): serve-chaos availability -- the fraction
+  of attempted serves answered across a run whose middle kills and
+  restarts both servers (each re-measured point re-asserts the chaos
+  contract: zero wrong answers, every child recovered within budget, the
+  outage actually overlapped serving).
 
 Every guard compares the *median relative decay* across its re-measured
 points rather than any single point, so one noisy configuration cannot fail
@@ -129,6 +134,11 @@ E14_WORKLOADS = ("university", "trading")
 #: clients, views, stream -- comes from the bench module, so the guard
 #: re-runs exactly the committed configuration).
 E15_WORKLOADS = ("university", "trading")
+
+#: E16 workloads re-measured by the guard (outage length, fleet shape and
+#: the serving stream come from the bench module, so the guard re-runs
+#: exactly the committed configuration).
+E16_WORKLOADS = ("university", "trading")
 
 #: The committed e15 speedup is clamped to this cap before comparison.
 #: The *magnitude* of the serve-fleet ratio swings with machine load (the
@@ -441,6 +451,44 @@ def measure_e15():
     return rows, fresh_points
 
 
+def measure_e16():
+    """Serve-chaos availability through a full outage (contract re-asserted).
+
+    The guarded value is the fraction of attempted serves answered across
+    an outage-spanning run (``availability``) -- for a self-healing fleet
+    it sits at (or within noise of) 1.0, and a real fault-tolerance break
+    (breaker livelock, failed reconvergence, dead degraded path) drags it
+    toward the outage's duty cycle.  ``serve_chaos_point`` asserts the
+    full chaos contract (zero wrong answers, availability >= 95%, every
+    child recovered within budget, the outage actually overlapped
+    serving) before returning, so a correctness break fails this guard
+    outright rather than showing up as noise.
+    """
+    try:
+        from .bench_e16_chaos import serve_chaos_point
+    except ImportError:
+        from bench_e16_chaos import serve_chaos_point
+
+    committed = {
+        point["workload"]: point for point in _load_committed("e16")["series"]
+    }
+    rows = []
+    fresh_points = []
+    for workload in E16_WORKLOADS:
+        if workload not in committed:
+            continue
+        fresh = serve_chaos_point(workload, repeats=3)
+        fresh_points.append(fresh)
+        rows.append(
+            (
+                f"e16 {workload} chaos serving availability",
+                committed[workload]["availability"],
+                fresh["availability"],
+            )
+        )
+    return rows, fresh_points
+
+
 GUARDS = {
     "e8": measure_e8,
     "e9": measure_e9,
@@ -451,6 +499,7 @@ GUARDS = {
     "e13": measure_e13,
     "e14": measure_e14,
     "e15": measure_e15,
+    "e16": measure_e16,
 }
 
 
@@ -594,6 +643,11 @@ def test_e14_group_commit_no_regression():
 @pytest.mark.regression
 def test_e15_serve_fleet_no_regression():
     run_check(guards=["e15"], fresh_dir=_fresh_dir_from_env())
+
+
+@pytest.mark.regression
+def test_e16_chaos_availability_no_regression():
+    run_check(guards=["e16"], fresh_dir=_fresh_dir_from_env())
 
 
 def main(argv=None) -> int:

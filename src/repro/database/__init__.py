@@ -1,7 +1,21 @@
 """The OODB substrate: database states, query evaluation, materialized views."""
 
 from .cacheserver import DecisionCacheServer, RemoteDecisionCache, cache_namespace
-from .commit import CommitScheduler, CommitTicket, DurabilityError, FaultPolicy
+from .commit import CommitScheduler, CommitTicket, DurabilityError
+from .failover import (
+    FailoverCoordinator,
+    FencedOut,
+    FencingToken,
+    Promotion,
+    PromotionReport,
+)
+from .faults import (
+    CircuitBreaker,
+    DegradedServing,
+    FaultPolicy,
+    StalenessError,
+    network_fault_policy,
+)
 from .lattice import LatticeMatchStats, LatticeNode, ViewLattice
 from .maintenance import (
     AsyncMaintainer,
@@ -13,7 +27,12 @@ from .maintenance import (
     RelevanceIndex,
 )
 from .query_eval import EvaluationStatistics, QueryEvaluator
-from .replica import ReplicaProtocolError, ReplicaServer, SnapshotReplica
+from .replica import (
+    ReplicaConnectionError,
+    ReplicaProtocolError,
+    ReplicaServer,
+    SnapshotReplica,
+)
 from .store import (
     AttributeRemoved,
     AttributeSet,
@@ -51,6 +70,15 @@ __all__ = [
     "CommitTicket",
     "DurabilityError",
     "FaultPolicy",
+    "CircuitBreaker",
+    "DegradedServing",
+    "StalenessError",
+    "network_fault_policy",
+    "FailoverCoordinator",
+    "FencingToken",
+    "FencedOut",
+    "Promotion",
+    "PromotionReport",
     "WriteAheadLog",
     "WalError",
     "EpochRecord",
@@ -67,4 +95,5 @@ __all__ = [
     "ReplicaServer",
     "SnapshotReplica",
     "ReplicaProtocolError",
+    "ReplicaConnectionError",
 ]

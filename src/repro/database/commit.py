@@ -71,10 +71,10 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from .wal import EpochRecord, WalError, WriteAheadLog, is_retryable_io_error
+from .faults import FaultPolicy
+from .wal import EpochRecord, WalError, WriteAheadLog
 
 __all__ = [
     "CommitScheduler",
@@ -99,33 +99,6 @@ class DurabilityError(WalError):
     def __init__(self, message: str, *, last_durable_sequence: int = 0) -> None:
         super().__init__(message)
         self.last_durable_sequence = last_durable_sequence
-
-
-@dataclass(frozen=True)
-class FaultPolicy:
-    """Bounded retry with exponential backoff for transient WAL I/O faults.
-
-    ``max_retries`` bounds the re-attempts *per operation* (an append or a
-    sync); ``backoff`` is the first pause and doubles per attempt up to
-    ``max_backoff``.  Only retryable errors (see
-    :func:`repro.database.wal.is_retryable_io_error`) are retried at all;
-    anything else -- or a retryable error that outlives the budget -- is
-    treated as persistent and degrades the scheduler.  ``sleep`` is
-    injectable so tests pay no wall-clock for the backoff.
-    """
-
-    max_retries: int = 4
-    backoff: float = 0.002
-    max_backoff: float = 0.05
-    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
-
-    def should_retry(self, attempt: int, error: BaseException) -> bool:
-        """Whether attempt number ``attempt`` (1-based) warrants another try."""
-        return attempt <= self.max_retries and is_retryable_io_error(error)
-
-    def pause(self, attempt: int) -> None:
-        """Back off before retry number ``attempt`` (1-based)."""
-        self.sleep(min(self.backoff * (2 ** (attempt - 1)), self.max_backoff))
 
 
 class CommitTicket:
@@ -196,9 +169,17 @@ class CommitScheduler:
         wal: WriteAheadLog,
         *,
         policy: Optional[FaultPolicy] = None,
+        fence: Optional[Callable[[], None]] = None,
     ) -> None:
         self.wal = wal
         self.policy = policy if policy is not None else FaultPolicy()
+        #: Epoch-fencing hook (see ``repro.database.failover``): called
+        #: before admitting a write batch and before every WAL append; a
+        #: raised :class:`DurabilityError` subclass rejects the write.  A
+        #: stale primary revived after a failover is fenced here -- its
+        #: batches never mutate the store and its epochs never reach the
+        #: shared log.
+        self.fence = fence
         self._wal_lock = threading.RLock()
         #: Serializes group-commit leaders; held *without* ``_wal_lock``
         #: during the leader's fsync so appenders accumulate behind it.
@@ -249,7 +230,9 @@ class CommitScheduler:
     # -- the write path (called under the store's write lock) --------------
 
     def check_writable(self) -> None:
-        """Gate new write batches: raise while in read-only degraded mode."""
+        """Gate new write batches: raise when fenced or degraded read-only."""
+        if self.fence is not None:
+            self.fence()
         error = self._degraded
         if error is not None:
             raise DurabilityError(
@@ -271,6 +254,16 @@ class CommitScheduler:
         self._local.ticket = ticket
         self._last_ticket = ticket
         with self._wal_lock:
+            if self.fence is not None:
+                # Fencing outranks everything: a stale primary's epoch must
+                # never reach the shared log, even if the batch that built
+                # it slipped past check_writable() before the promotion.
+                try:
+                    self.fence()
+                except DurabilityError as error:
+                    ticket._error = error
+                    ticket._event.set()
+                    return ticket
             if self._degraded is not None:
                 self._fail_ticket(ticket)
                 return ticket

@@ -51,13 +51,22 @@ import threading
 import zlib
 from typing import Dict, List, Optional, Tuple
 
+from .faults import (
+    CircuitBreaker,
+    DegradedServing,
+    FaultPolicy,
+    StalenessError,
+    network_fault_policy,
+)
 from .store import DatabaseState
 from .wal import _HEADER, _MAX_FRAME_BYTES, EpochRecord, catalog_identity
 
 __all__ = [
+    "ReplicaConnectionError",
     "ReplicaProtocolError",
     "ReplicaServer",
     "SnapshotReplica",
+    "StalenessError",
 ]
 
 #: Bumped on any incompatible wire change; exchanged in the handshake.
@@ -66,6 +75,18 @@ PROTOCOL_VERSION = "repro-replica/1"
 
 class ReplicaProtocolError(RuntimeError):
     """A malformed or version-incompatible replica-stream exchange."""
+
+
+class ReplicaConnectionError(ReplicaProtocolError, ConnectionError):
+    """A transport-level replica-stream fault (drop, truncation, torn CRC).
+
+    Distinct from a plain :class:`ReplicaProtocolError` (a server that
+    *answered* with an error): the exchange died mid-flight, so the right
+    response is to tear the connection down and re-ask -- every request
+    in the protocol is idempotent.  Subclasses :class:`ConnectionError`
+    so the shared network fault policy
+    (:func:`~repro.database.faults.is_retryable_net_error`) retries it.
+    """
 
 
 def _encode_frame(payload: bytes) -> bytes:
@@ -78,7 +99,7 @@ def _read_exact(rfile, count: int) -> bytes:
     while remaining:
         chunk = rfile.read(remaining)
         if not chunk:
-            raise ReplicaProtocolError("stream closed mid-frame")
+            raise ReplicaConnectionError("stream closed mid-frame")
         chunks.append(chunk)
         remaining -= len(chunk)
     return b"".join(chunks)
@@ -89,10 +110,10 @@ def _read_frame(rfile):
     header = _read_exact(rfile, _HEADER.size)
     length, crc = _HEADER.unpack(header)
     if length > _MAX_FRAME_BYTES:
-        raise ReplicaProtocolError(f"oversized frame ({length} bytes)")
+        raise ReplicaConnectionError(f"oversized frame ({length} bytes)")
     payload = _read_exact(rfile, length)
     if zlib.crc32(payload) != crc:
-        raise ReplicaProtocolError("frame CRC mismatch")
+        raise ReplicaConnectionError("frame CRC mismatch")
     return pickle.loads(payload)
 
 
@@ -194,11 +215,26 @@ class _ReplicaHandler(socketserver.StreamRequestHandler):
     # stall the catch-up protocol.
     disable_nagle_algorithm = True
 
+    #: Hard cap on one request line; longer lines are a client error.
+    MAX_LINE_BYTES = 4096
+
+    def setup(self) -> None:  # noqa: D102 - socketserver plumbing
+        # Idle timeout: a hung client must not pin this handler thread
+        # (and its retained response buffers) forever.
+        self.timeout = self.server.idle_timeout  # type: ignore[attr-defined]
+        super().setup()
+
     def handle(self) -> None:  # noqa: D102 - protocol plumbing
         shared: _ReplicaState = self.server.replica_state  # type: ignore[attr-defined]
         while True:
-            line = self.rfile.readline(4096)
+            try:
+                line = self.rfile.readline(self.MAX_LINE_BYTES)
+            except (TimeoutError, socket.timeout, ConnectionError):
+                return
             if not line:
+                return
+            if len(line) >= self.MAX_LINE_BYTES and not line.endswith(b"\n"):
+                self._line("ERROR line too long")
                 return
             parts = line.decode("utf-8", "replace").strip().split()
             if not parts:
@@ -247,6 +283,38 @@ class _ThreadingTCPServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
 
+    def __init__(self, *args, **kwargs):
+        self._active_lock = threading.Lock()
+        self._active: set = set()
+        super().__init__(*args, **kwargs)
+
+    def process_request(self, request, client_address):
+        with self._active_lock:
+            self._active.add(request)
+        super().process_request(request, client_address)
+
+    def shutdown_request(self, request):
+        with self._active_lock:
+            self._active.discard(request)
+        super().shutdown_request(request)
+
+    def close_all_connections(self) -> None:
+        """Abruptly drop every established connection (a dead server has
+        no live sockets -- closing only the listener would leave clients
+        connected to a ghost)."""
+        with self._active_lock:
+            doomed = list(self._active)
+            self._active.clear()
+        for request in doomed:
+            try:
+                request.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                request.close()
+            except OSError:
+                pass
+
 
 class ReplicaServer:
     """Ships generation-stamped snapshots + delta tails to reader processes.
@@ -269,11 +337,13 @@ class ReplicaServer:
         host: str = "127.0.0.1",
         port: int = 0,
         tail_limit: int = 512,
+        idle_timeout: Optional[float] = 60.0,
     ) -> None:
         self.state = state
         self.shared = _ReplicaState(state, catalog, tail_limit)
         self._server = _ThreadingTCPServer((host, port), _ReplicaHandler)
         self._server.replica_state = self.shared  # type: ignore[attr-defined]
+        self._server.idle_timeout = idle_timeout  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
         state.subscribe(self.shared)
 
@@ -299,10 +369,16 @@ class ReplicaServer:
         return self
 
     def close(self) -> None:
-        """Detach from the primary and stop serving (idempotent)."""
+        """Detach from the primary and stop serving (idempotent).
+
+        Established replica connections are dropped too: from a client's
+        point of view a closed server is indistinguishable from a dead
+        one, and the self-healing path owns the reconnect.
+        """
         self.state.unsubscribe(self.shared)
         self._server.shutdown()
         self._server.server_close()
+        self._server.close_all_connections()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
@@ -350,11 +426,15 @@ class SnapshotReplica:
         staleness_bound: int = 8,
         timeout: float = 10.0,
         remote=None,
+        policy: Optional[FaultPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         self.address = (address[0], int(address[1]))
         self.staleness_bound = staleness_bound
         self.timeout = timeout
         self.remote = remote
+        self.policy = policy if policy is not None else network_fault_policy()
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.state: Optional[DatabaseState] = None
         self.optimizer = None
         self.maintenance = None
@@ -363,6 +443,10 @@ class SnapshotReplica:
         self.snapshot_loads = 0
         self.epochs_applied = 0
         self.polls = 0
+        self.reconnects = 0
+        self._degraded: Optional[DegradedServing] = None
+        self._last_known_lag: Optional[int] = None
+        self._matcher = None
         self._sock: Optional[socket.socket] = None
         self._rfile = None
         self._wfile = None
@@ -373,11 +457,73 @@ class SnapshotReplica:
     def _ensure_connected(self) -> None:
         if self._sock is not None:
             return
+        if not self.breaker.allow():
+            raise ReplicaConnectionError(
+                "circuit breaker open: primary unreachable, probe pending"
+            )
         self._sock = socket.create_connection(self.address, timeout=self.timeout)
         self._sock.settimeout(self.timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._rfile = self._sock.makefile("rb")
         self._wfile = self._sock.makefile("wb")
+        self.reconnects += 1
+
+    def _teardown_locked(self) -> None:
+        for handle in (self._rfile, self._wfile, self._sock):
+            if handle is not None:
+                try:
+                    handle.close()
+                except OSError:  # pragma: no cover - best-effort close
+                    pass
+        self._sock = self._rfile = self._wfile = None
+
+    def _exchange_locked(self, perform):
+        """Run one request/response exchange with reconnect-on-drop retries.
+
+        ``perform`` is re-invoked from scratch on each attempt (it must
+        recompute its request from current replica state -- every request
+        in the protocol is idempotent, and epoch application skips
+        already-applied sequences).  Transport faults tear the connection
+        down and retry under the jittered-backoff policy; exhaustion
+        records a breaker failure and re-raises.  Success clears any
+        degraded status.
+        """
+        attempt = 0
+        while True:
+            try:
+                self._ensure_connected()
+                result = perform()
+            except OSError as error:
+                self._teardown_locked()
+                attempt += 1
+                if not self.policy.should_retry(attempt, error):
+                    self.breaker.record_failure()
+                    raise
+                self.policy.pause(attempt)
+                continue
+            self.breaker.record_success()
+            self._degraded = None
+            return result
+
+    def _note_degraded(self, error: BaseException) -> None:
+        """Record that serving continues pinned, behind an unreachable primary."""
+        self._degraded = DegradedServing(
+            reason=f"{type(error).__name__}: {error}",
+            since_sequence=self.applied_sequence,
+            since_generation=self.applied_generation,
+            last_known_lag=self._last_known_lag,
+            bound=self.staleness_bound,
+        )
+
+    @property
+    def status(self):
+        """``None`` while healthy; a typed ``DegradedServing`` otherwise."""
+        return self._degraded
+
+    @property
+    def degraded(self) -> bool:
+        """``True`` while serving pinned answers behind a connection fault."""
+        return self._degraded is not None
 
     def _line(self, text: str) -> None:
         self._wfile.write(text.encode("utf-8") + b"\r\n")
@@ -386,7 +532,7 @@ class SnapshotReplica:
     def _read_header(self) -> List[str]:
         line = self._rfile.readline(4096)
         if not line:
-            raise ReplicaProtocolError("server closed the connection")
+            raise ReplicaConnectionError("server closed the connection")
         parts = line.decode("utf-8").strip().split()
         if not parts:
             raise ReplicaProtocolError("empty response header")
@@ -396,25 +542,30 @@ class SnapshotReplica:
 
     def connect(self) -> "SnapshotReplica":
         """Dial the server and perform the initial snapshot handshake."""
-        with self._lock:
-            self._ensure_connected()
+
+        def perform():
             # -1 means "I have nothing": it forces the snapshot leg even
             # when the primary itself is still at commit sequence 0.
             have = self.applied_sequence if self.state is not None else -1
             self._line(f"HELLO {PROTOCOL_VERSION} {have}")
-            self._consume_response()
+            return self._consume_response()
+
+        with self._lock:
+            self._exchange_locked(perform)
         return self
+
+    def probe(self) -> bool:
+        """Health probe: one ``STAT`` round trip; ``True`` when answered."""
+        try:
+            self.primary_position()
+        except (OSError, ReplicaProtocolError):
+            return False
+        return True
 
     def close(self) -> None:
         """Drop the connection (local serving state stays usable)."""
         with self._lock:
-            for handle in (self._rfile, self._wfile, self._sock):
-                if handle is not None:
-                    try:
-                        handle.close()
-                    except OSError:  # pragma: no cover - best-effort close
-                        pass
-            self._sock = self._rfile = self._wfile = None
+            self._teardown_locked()
 
     # -- the snapshot + delta legs ------------------------------------------
 
@@ -453,6 +604,21 @@ class SnapshotReplica:
         self.applied_sequence = payload["sequence"]
         self.applied_generation = payload["generation"]
         self.snapshot_loads += 1
+        # One pooled matcher per rebuilt catalog, not one per served query:
+        # the remote client's connection pool is shared across the serving
+        # threads, and match results never touch shared matcher state.
+        if self.remote is not None:
+            from ..optimizer.parallel import ShardedMatcher
+
+            self._matcher = ShardedMatcher(
+                self.optimizer.checker,
+                self.optimizer.catalog,
+                shards=1,
+                backend="serial",
+                remote=self.remote,
+            )
+        else:
+            self._matcher = None
 
     def _apply_epoch(self, record: EpochRecord) -> int:
         if record.sequence <= self.applied_sequence:
@@ -469,10 +635,13 @@ class SnapshotReplica:
 
     def primary_position(self) -> Tuple[int, int]:
         """The primary's newest ``(sequence, generation)`` (one round trip)."""
-        with self._lock:
-            self._ensure_connected()
+
+        def perform():
             self._line("STAT")
-            header = self._read_header()
+            return self._read_header()
+
+        with self._lock:
+            header = self._exchange_locked(perform)
         if header[0] != "PRIMARY" or len(header) != 3:
             raise ReplicaProtocolError(f"unexpected response {header!r}")
         return int(header[1]), int(header[2])
@@ -480,39 +649,77 @@ class SnapshotReplica:
     @property
     def lag(self) -> int:
         """Primary epochs committed but not yet applied here (one round trip)."""
-        return max(0, self.primary_position()[0] - self.applied_sequence)
+        lag = max(0, self.primary_position()[0] - self.applied_sequence)
+        self._last_known_lag = lag
+        return lag
 
     def poll(self) -> int:
         """Fetch and apply the next delta batch; returns epochs applied.
 
         A position that fell behind the server's retained tail comes back
         as a full ``SNAPSHOT`` response -- the replica rebuilds and the
-        poll still converges.
+        poll still converges.  A dropped or truncated exchange reconnects
+        and re-asks under the fault policy (application is idempotent:
+        already-applied sequences are skipped); a primary that stays
+        unreachable past the budget flips the replica into degraded
+        serving (see :meth:`ensure_fresh`) and the poll reports zero
+        epochs instead of raising -- unless the replica has no state at
+        all yet, in which case there is nothing to serve and the fault
+        propagates.
         """
-        with self._lock:
-            self._ensure_connected()
+
+        def perform():
             self._line(f"POLL {self.applied_sequence}")
             self.polls += 1
             return self._consume_response()
 
+        with self._lock:
+            try:
+                return self._exchange_locked(perform)
+            except OSError as error:
+                if self.state is None:
+                    raise
+                self._note_degraded(error)
+                return 0
+
     def ensure_fresh(self, max_lag: Optional[int] = None, *, attempts: int = 64) -> int:
         """Catch up until ``lag <= max_lag`` (default: the staleness bound).
 
-        Returns the final lag; raises :class:`ReplicaProtocolError` if the
-        bound cannot be met in ``attempts`` polls (a primary outrunning
-        the replica's apply rate is an operational error, not silent
-        staleness).
+        Returns the final verified lag and clears the degraded status.
+        Raises a typed :class:`~repro.database.faults.StalenessError` if
+        the bound cannot be met within ``attempts`` polls against a
+        *reachable* primary (a primary outrunning the replica's apply
+        rate is an operational error, not silent staleness).
+
+        Graceful degradation: when the primary is unreachable (and this
+        replica has served before), the replica keeps serving its pinned
+        generation instead of raising -- the typed
+        :class:`~repro.database.faults.DegradedServing` status lands on
+        :attr:`status`, and the returned value is the last lag the
+        replica could verify (its freshness claim *as of* losing the
+        primary).  The next successful exchange heals the status.
         """
         bound = self.staleness_bound if max_lag is None else max_lag
         for _ in range(attempts):
-            lag = self.lag
+            try:
+                lag = self.lag
+            except (OSError, ReplicaProtocolError) as error:
+                if self.state is None or not isinstance(error, OSError):
+                    raise
+                self._note_degraded(error)
+                return self._last_known_lag or 0
             if lag <= bound:
                 return lag
             self.poll()
+            if self._degraded is not None:
+                return self._last_known_lag or 0
         lag = self.lag
         if lag > bound:
-            raise ReplicaProtocolError(
-                f"replica cannot catch up: lag {lag} > bound {bound}"
+            raise StalenessError(
+                f"replica cannot catch up: lag {lag} > bound {bound} "
+                f"after {attempts} polls",
+                lag=lag,
+                bound=bound,
             )
         return lag
 
@@ -545,15 +752,6 @@ class SnapshotReplica:
         return answers, self.applied_generation
 
     def _match(self, concept):
-        if self.remote is not None:
-            from ..optimizer.parallel import ShardedMatcher
-
-            matcher = ShardedMatcher(
-                self.optimizer.checker,
-                self.optimizer.catalog,
-                shards=1,
-                backend="serial",
-                remote=self.remote,
-            )
-            return matcher.match_batch([concept])[0]
+        if self._matcher is not None:
+            return self._matcher.match_batch([concept])[0]
         return self.optimizer.subsuming_views_for_concept(concept)

@@ -1497,6 +1497,348 @@ def run_serve_fleet_workload(
     }
 
 
+def _serve_chaos_child(
+    slot: int, config: Dict[str, object], addresses, barrier, stop, results
+) -> None:
+    """One forked self-healing serving process of the ``serve-chaos`` scenario.
+
+    Connects a :class:`~repro.database.replica.SnapshotReplica` (plus the
+    shared remote cache when configured), signals readiness on the
+    barrier, then serves rounds **through the parent's induced outages**:
+    an unreachable primary flips the replica into degraded serving (pinned
+    answers, typed status) instead of erroring, and a dead cache degrades
+    to local completion.  After the serve rounds the child re-converges on
+    the restarted primary and reports when it first got fully fresh
+    again.  Every serve is logged with its pinned generation so the
+    parent can re-derive it from scratch -- children measure, the parent
+    judges.
+    """
+    from ..core.checker import clear_shared_decision_cache
+    from ..database.cacheserver import RemoteDecisionCache
+    from ..database.replica import SnapshotReplica
+
+    summary: Dict[str, object] = {
+        "slot": slot,
+        "serves": [],
+        "attempted": 0,
+        "answered": 0,
+        "degraded_serves": 0,
+        "degraded_rounds": 0,
+        "reconnects": 0,
+        "snapshot_loads": 0,
+        "recovered_at": None,
+        "errors": [],
+    }
+    remote = None
+    replica = None
+    try:
+        clear_shared_decision_cache()
+        # The parent forks children *before* binding any server socket
+        # (an inherited listener fd would keep the port bound through the
+        # restart), so the addresses arrive over a queue once the servers
+        # are up.
+        wiring = addresses.get(timeout=30.0)
+        if wiring["cache_address"] is not None:
+            remote = RemoteDecisionCache(
+                wiring["cache_address"], wiring["namespace"], timeout=1.0
+            )
+        replica = SnapshotReplica(
+            wiring["replica_address"],
+            staleness_bound=config["staleness_bound"],
+            timeout=2.0,
+            remote=remote,
+        ).connect()
+        barrier.wait(timeout=30.0)
+        stream = config["stream"]
+        rounds_done = 0
+        # A hard wall-clock ceiling so an orphaned child (parent died,
+        # stop never set) cannot serve forever.
+        hard_deadline = time.time() + config["lifetime_budget"]
+        # Serve at least ``rounds`` rounds AND keep serving until the
+        # parent's stop flag -- set only after the restarted servers are
+        # back -- so the serving loop is guaranteed to span the outage.
+        while (
+            rounds_done < config["rounds"] or not stop.is_set()
+        ) and time.time() < hard_deadline:
+            rounds_done += 1
+            degraded = False
+            round_ok = True
+            try:
+                replica.ensure_fresh()
+                degraded = replica.degraded
+            except Exception:  # noqa: BLE001 - the round serves pinned anyway
+                round_ok = False
+                degraded = True
+            if degraded:
+                summary["degraded_rounds"] += 1
+            for index in range(len(stream)):
+                summary["attempted"] += 1
+                try:
+                    answers, generation = replica.answer_concept(stream[index])
+                except Exception as error:  # noqa: BLE001 - an availability miss
+                    if round_ok:
+                        summary["errors"].append(f"p{slot}: serve: {error!r}")
+                    continue
+                summary["answered"] += 1
+                if degraded:
+                    summary["degraded_serves"] += 1
+                summary["serves"].append((index, generation, sorted(answers)))
+            time.sleep(config["round_pause"])
+        # Re-converge on the (restarted) primary: the recovery clock stops
+        # at the first fully fresh exchange.
+        deadline = time.time() + config["recovery_budget"]
+        while time.time() < deadline:
+            try:
+                lag = replica.ensure_fresh(0)
+            except Exception:  # noqa: BLE001 - primary still coming back
+                time.sleep(0.02)
+                continue
+            if not replica.degraded and lag == 0:
+                summary["recovered_at"] = time.time()
+                break
+            time.sleep(0.02)
+        summary["reconnects"] = replica.reconnects
+        summary["snapshot_loads"] = replica.snapshot_loads
+    except Exception as error:  # noqa: BLE001 - shipped back as a verdict
+        summary["errors"].append(f"p{slot}: {error!r}")
+    finally:
+        if replica is not None:
+            replica.close()
+        if remote is not None:
+            remote.close()
+        results.put(summary)
+
+
+def run_serve_chaos_workload(
+    workload: str = "university",
+    *,
+    views: int = 16,
+    queries: int = 8,
+    processes: int = 2,
+    rounds: int = 10,
+    updates: int = 24,
+    staleness_bound: int = 8,
+    tail_limit: int = 64,
+    shared_cache: bool = True,
+    outage_seconds: float = 0.4,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """The serve-fleet fabric under induced primary and cache outages.
+
+    Same topology as ``serve-fleet`` -- a primary with a
+    :class:`~repro.database.replica.ReplicaServer`, an optional shared
+    :class:`~repro.database.cacheserver.DecisionCacheServer`, ``processes``
+    forked serving children -- but mid-run the parent **kills both
+    servers** (every connection drops, the ports go dark), keeps mutating
+    the primary, and restarts the servers on the same ports after
+    ``outage_seconds``.  The children are expected to self-heal: serve
+    their pinned generation while degraded, re-dial through the fault
+    policy, and re-converge on the restarted primary.
+
+    Verdicts:
+
+    * ``no_wrong_answers`` -- every answer served, degraded or not,
+      equals the from-scratch evaluation of its pinned generation
+      (chaos may cost freshness, never correctness);
+    * ``available_through_outage`` -- the fleet answered at least 95% of
+      attempted serves across the whole run, outage included;
+    * ``all_children_recovered`` -- every child reached a fully fresh
+      exchange against the restarted primary within its recovery budget;
+    * ``no_child_errors``.
+
+    Metrics: ``availability`` (answered/attempted), ``wrong_answers``,
+    ``recovery_seconds`` (worst child, from primary restart to its first
+    fully fresh exchange), ``degraded_serves``, ``reconnects``.
+    """
+    import multiprocessing
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        raise RuntimeError(
+            "serve-chaos requires the fork start method "
+            "(interned concept ids are per fork family)"
+        )
+    from ..core.checker import SubsumptionChecker
+    from ..database.cacheserver import (
+        DecisionCacheServer,
+        RemoteDecisionCache,
+        cache_namespace,
+    )
+    from ..database.query_eval import QueryEvaluator
+    from ..database.replica import ReplicaServer
+
+    schema, state, catalog_concepts, stream = batch_workload_setup(
+        workload, views, max(queries, 1), seed
+    )
+    generator_schema = schema_to_sl(schema) if isinstance(schema, DLSchema) else schema
+    optimizer = SemanticQueryOptimizer(schema, lattice=True)
+    for name, concept in catalog_concepts.items():
+        optimizer.register_view_concept(name, concept)
+
+    # Fork the children BEFORE any server socket exists: a forked child
+    # inherits every open fd, and an inherited listener would keep the
+    # port bound after the parent closes it -- the restart-on-same-port
+    # leg would then fail with EADDRINUSE.  The children learn the server
+    # addresses over a queue instead.
+    context = multiprocessing.get_context("fork")
+    results = context.Queue()
+    addresses = context.Queue()
+    barrier = context.Barrier(processes + 1)
+    stop = context.Event()
+    config = {
+        "staleness_bound": staleness_bound,
+        "stream": stream,
+        "rounds": rounds,
+        "round_pause": 0.03,
+        "recovery_budget": 20.0,
+        "lifetime_budget": 120.0,
+    }
+    children = [
+        context.Process(
+            target=_serve_chaos_child,
+            args=(slot, config, addresses, barrier, stop, results),
+            daemon=True,
+        )
+        for slot in range(processes)
+    ]
+    for child in children:
+        child.start()
+
+    cache_server = DecisionCacheServer().start() if shared_cache else None
+    replica_server = ReplicaServer(
+        state, optimizer.catalog, tail_limit=tail_limit
+    ).start()
+    replica_host, replica_port = replica_server.address
+    cache_address = cache_server.address if cache_server else None
+    namespace = None
+    try:
+        if cache_server is not None:
+            namespace = cache_namespace(optimizer.sl_schema, optimizer.catalog)
+            warm_remote = RemoteDecisionCache(cache_server.address, namespace)
+            clear_shared_decision_cache()
+            ShardedMatcher(
+                SubsumptionChecker(optimizer.sl_schema),
+                optimizer.catalog,
+                shards=1,
+                backend="serial",
+                remote=warm_remote,
+            ).match_batch(stream)
+            warm_remote.close()
+
+        wiring = {
+            "cache_address": cache_address,
+            "namespace": namespace,
+            "replica_address": (replica_host, replica_port),
+        }
+        for _ in children:
+            addresses.put(wiring)
+        history = {state.generation: state.snapshot()}
+        barrier.wait(timeout=30.0)  # every child connected before the chaos
+
+        start = time.perf_counter()
+        ops = list(generate_update_stream(generator_schema, state, updates, seed + 21))
+        half = len(ops) // 2
+        for op in ops[:half]:
+            apply_update(state, op)
+            history[state.generation] = state.snapshot()
+            time.sleep(0.002)
+
+        # The outage: both serving ports go dark, live connections die.
+        replica_server.close()
+        if cache_server is not None:
+            cache_server.close()
+        # The primary itself keeps committing through the outage -- the
+        # restarted replica server must ship the children everything they
+        # missed.
+        for op in ops[half:]:
+            apply_update(state, op)
+            history[state.generation] = state.snapshot()
+            time.sleep(0.002)
+        time.sleep(outage_seconds)
+
+        # Restart on the same ports (the addresses the children hold).
+        replica_server = ReplicaServer(
+            state,
+            optimizer.catalog,
+            host=replica_host,
+            port=replica_port,
+            tail_limit=tail_limit,
+        ).start()
+        if cache_server is not None:
+            cache_server = DecisionCacheServer(
+                host=cache_address[0], port=cache_address[1]
+            ).start()
+        restart_time = time.time()
+        stop.set()  # the chaos window is over; children may wind down
+
+        summaries = [results.get(timeout=120.0) for _ in children]
+        wall_seconds = time.perf_counter() - start
+        for child in children:
+            child.join(timeout=30.0)
+    finally:
+        stop.set()  # never leave children looping after a parent error
+        replica_server.close()
+        if cache_server is not None:
+            cache_server.close()
+
+    child_errors = [error for summary in summaries for error in summary["errors"]]
+    evaluator = QueryEvaluator(None)
+    answer_cache: Dict[Tuple[int, int], List[str]] = {}
+    wrong_answers = 0
+    generations_known = True
+    for summary in summaries:
+        for index, generation, answers in summary["serves"]:
+            pinned = history.get(generation)
+            if pinned is None:
+                generations_known = False
+                continue
+            key = (index, generation)
+            if key not in answer_cache:
+                answer_cache[key] = sorted(
+                    evaluator.concept_answers(stream[index], pinned)
+                )
+            if answers != answer_cache[key]:
+                wrong_answers += 1
+
+    attempted = sum(summary["attempted"] for summary in summaries)
+    answered = sum(summary["answered"] for summary in summaries)
+    availability = answered / attempted if attempted else 0.0
+    recovery_times = [
+        max(0.0, summary["recovered_at"] - restart_time)
+        for summary in summaries
+        if summary["recovered_at"] is not None
+    ]
+    all_recovered = len(recovery_times) == len(summaries)
+
+    return {
+        "workload": workload,
+        "views": len(catalog_concepts),
+        "queries": len(stream),
+        "processes": processes,
+        "rounds": rounds,
+        "updates": updates,
+        "staleness_bound": staleness_bound,
+        "tail_limit": tail_limit,
+        "shared_cache": shared_cache,
+        "outage_seconds": outage_seconds,
+        "wall_seconds": wall_seconds,
+        "attempted_serves": attempted,
+        "answered_serves": answered,
+        "availability": availability,
+        "wrong_answers": wrong_answers,
+        "degraded_serves": sum(s["degraded_serves"] for s in summaries),
+        "degraded_rounds": sum(s["degraded_rounds"] for s in summaries),
+        "reconnects": sum(s["reconnects"] for s in summaries),
+        "snapshot_loads": sum(s["snapshot_loads"] for s in summaries),
+        "recovery_seconds": max(recovery_times) if recovery_times else None,
+        "committed_generations": len(history),
+        "child_errors": child_errors,
+        "no_wrong_answers": generations_known and wrong_answers == 0,
+        "available_through_outage": availability >= 0.95,
+        "all_children_recovered": all_recovered,
+        "no_child_errors": not child_errors,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -1509,6 +1851,7 @@ def main(argv=None) -> int:
             "maintain-durable",
             "commit-fleet",
             "serve-fleet",
+            "serve-chaos",
         ),
         help=(
             "serve: batched register+match; maintain: update-heavy "
@@ -1517,7 +1860,9 @@ def main(argv=None) -> int:
             "crash recovery; commit-fleet: K concurrent writers x M "
             "readers with group-commit fsync ACKs and a loss verdict; "
             "serve-fleet: K forked serving processes x M client threads "
-            "over the shared-cache + snapshot-replica fabric"
+            "over the shared-cache + snapshot-replica fabric; "
+            "serve-chaos: the serve-fleet fabric under induced server "
+            "outages, with availability / wrong-answer / recovery verdicts"
         ),
     )
     parser.add_argument(
@@ -1543,7 +1888,29 @@ def main(argv=None) -> int:
     parser.add_argument("--rounds", type=int, default=3)
     parser.add_argument("--staleness-bound", type=int, default=8)
     parser.add_argument("--no-shared-cache", action="store_true")
+    parser.add_argument("--outage-seconds", type=float, default=0.4)
     args = parser.parse_args(argv)
+    if args.scenario == "serve-chaos":
+        report = run_serve_chaos_workload(
+            args.workload,
+            views=args.views,
+            queries=args.queries,
+            processes=args.processes,
+            rounds=args.rounds,
+            updates=args.updates,
+            staleness_bound=args.staleness_bound,
+            shared_cache=not args.no_shared_cache,
+            outage_seconds=args.outage_seconds,
+            seed=args.seed,
+        )
+        print(json.dumps(report, indent=2, sort_keys=True))
+        ok = (
+            report["no_wrong_answers"]
+            and report["available_through_outage"]
+            and report["all_children_recovered"]
+            and report["no_child_errors"]
+        )
+        return 0 if ok else 1
     if args.scenario == "serve-fleet":
         report = run_serve_fleet_workload(
             args.workload,

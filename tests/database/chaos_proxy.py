@@ -1,0 +1,254 @@
+"""An in-process TCP fault-injection proxy for the serving fabric tests.
+
+Sits between a client (``RemoteDecisionCache`` / ``SnapshotReplica``) and
+a backend server (``DecisionCacheServer`` / ``ReplicaServer``) and
+injects the network's failure vocabulary on demand:
+
+* **connection drops** -- accepted connections closed before (or after) a
+  first exchange;
+* **delays** -- a fixed pause injected per forwarded chunk (latency) or
+  once at connection start (slow accept);
+* **mid-frame truncation** -- forward exactly *n* backend bytes, then
+  kill both directions, so clients observe torn frames and CRC tails;
+* **partitions** -- :meth:`partition` kills every live connection and
+  makes new ones die instantly until :meth:`heal`.
+
+Deterministic injection uses :meth:`schedule`: a list of per-connection
+fault directives consumed in accept order (``None`` forwards cleanly,
+``"drop"`` closes instantly, ``("delay", seconds)`` pauses before the
+first forwarded byte, ``("truncate", nbytes)`` tears the backend->client
+stream after *n* bytes).  Ambient knobs (:meth:`set_delay`,
+:meth:`partition`) compose with the schedule.
+
+The proxy is tests-only infrastructure by design: the serving code under
+test must not know it exists -- clients point at ``proxy.address``
+instead of the real server and everything else is unchanged.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import List, Optional, Tuple, Union
+
+Fault = Union[None, str, Tuple[str, float], Tuple[str, int]]
+
+_CHUNK = 4096
+
+
+class ChaosProxy:
+    """A TCP proxy that forwards ``client <-> backend`` with injected faults."""
+
+    def __init__(self, backend: Tuple[str, int], *, host: str = "127.0.0.1") -> None:
+        self.backend = backend
+        self.host = host
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._closing = False
+        self._lock = threading.Lock()
+        self._conns: List[Tuple[socket.socket, socket.socket]] = []
+        self._schedule: List[Fault] = []
+        self._delay = 0.0
+        self._partitioned = False
+        # Observability: the tests assert faults actually fired.
+        self.accepted = 0
+        self.dropped = 0
+        self.truncated = 0
+        self.delayed = 0
+        self.forwarded_bytes = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ChaosProxy":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, 0))
+        listener.listen(16)
+        self._listener = listener
+        self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
+        self._accept_thread.start()
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """Where clients should connect (the proxy's listening address)."""
+        assert self._listener is not None, "start() the proxy first"
+        return self._listener.getsockname()
+
+    def close(self) -> None:
+        self._closing = True
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        self.kill_connections()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+
+    def __enter__(self) -> "ChaosProxy":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- fault knobs ---------------------------------------------------------
+
+    def schedule(self, faults: List[Fault]) -> None:
+        """Queue per-connection fault directives, consumed in accept order."""
+        with self._lock:
+            self._schedule.extend(faults)
+
+    def clear_schedule(self) -> None:
+        """Drop any queued per-connection fault directives."""
+        with self._lock:
+            self._schedule.clear()
+
+    def set_delay(self, seconds: float) -> None:
+        """Inject a pause before every forwarded chunk (ambient latency)."""
+        with self._lock:
+            self._delay = seconds
+
+    def partition(self) -> None:
+        """Sever the link: kill live connections, refuse new ones."""
+        with self._lock:
+            self._partitioned = True
+        self.kill_connections()
+
+    def heal(self) -> None:
+        """Lift a partition (new connections forward normally again)."""
+        with self._lock:
+            self._partitioned = False
+
+    def kill_connections(self) -> None:
+        """Abruptly close every live proxied connection."""
+        with self._lock:
+            doomed, self._conns = self._conns, []
+        for pair in doomed:
+            for sock in pair:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+    # -- internals -----------------------------------------------------------
+
+    def _next_fault(self) -> Fault:
+        with self._lock:
+            if self._partitioned:
+                return "drop"
+            if self._schedule:
+                return self._schedule.pop(0)
+        return None
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._closing:
+            try:
+                client, _ = self._listener.accept()
+            except OSError:
+                return
+            self.accepted += 1
+            fault = self._next_fault()
+            if fault == "drop":
+                self.dropped += 1
+                try:
+                    client.close()
+                except OSError:
+                    pass
+                continue
+            threading.Thread(
+                target=self._serve_connection, args=(client, fault), daemon=True
+            ).start()
+
+    def _serve_connection(self, client: socket.socket, fault: Fault) -> None:
+        start_delay = 0.0
+        truncate_after: Optional[int] = None
+        if isinstance(fault, tuple):
+            kind, amount = fault
+            if kind == "delay":
+                start_delay = float(amount)
+                self.delayed += 1
+            elif kind == "truncate":
+                truncate_after = int(amount)
+        try:
+            upstream = socket.create_connection(self.backend, timeout=5.0)
+        except OSError:
+            try:
+                client.close()
+            except OSError:
+                pass
+            return
+        pair = (client, upstream)
+        with self._lock:
+            if self._closing or self._partitioned:
+                pass_through = False
+            else:
+                self._conns.append(pair)
+                pass_through = True
+        if not pass_through:
+            for sock in pair:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            return
+        if start_delay:
+            time.sleep(start_delay)
+        threading.Thread(
+            target=self._pump, args=(client, upstream, None, pair), daemon=True
+        ).start()
+        self._pump(upstream, client, truncate_after, pair)
+
+    def _pump(
+        self,
+        source: socket.socket,
+        sink: socket.socket,
+        truncate_after: Optional[int],
+        pair: Tuple[socket.socket, socket.socket],
+    ) -> None:
+        """Forward ``source -> sink``; tear the pair after the byte budget."""
+        remaining = truncate_after
+        while True:
+            try:
+                chunk = source.recv(_CHUNK)
+            except OSError:
+                break
+            if not chunk:
+                break
+            with self._lock:
+                delay = self._delay
+                severed = self._partitioned or self._closing
+            if severed:
+                break
+            if delay:
+                time.sleep(delay)
+            if remaining is not None:
+                if remaining <= 0:
+                    chunk = b""
+                elif len(chunk) > remaining:
+                    chunk = chunk[:remaining]
+                remaining -= len(chunk)
+                if not chunk:
+                    self.truncated += 1
+                    break
+            try:
+                sink.sendall(chunk)
+            except OSError:
+                break
+            self.forwarded_bytes += len(chunk)
+            if remaining is not None and remaining <= 0:
+                self.truncated += 1
+                break
+        self._drop_pair(pair)
+
+    def _drop_pair(self, pair: Tuple[socket.socket, socket.socket]) -> None:
+        with self._lock:
+            if pair in self._conns:
+                self._conns.remove(pair)
+        for sock in pair:
+            try:
+                sock.close()
+            except OSError:
+                pass

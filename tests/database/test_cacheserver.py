@@ -123,6 +123,36 @@ class TestWireProtocol:
         assert client.get(99, 99) is True
         assert client.get(0, 0) is None
 
+    def test_eviction_telemetry_is_exact(self, server, client):
+        # Empty cache: zeroed gauges, a well-defined hit rate.
+        stats = client.stats()
+        assert stats["resident_bytes"] == 0
+        assert stats["hit_rate"] == 0.0
+        # One entry pins the per-entry footprint (all keys below are
+        # same-shaped small-int pairs, so every entry costs the same).
+        client.set(0, 0, True)
+        per_entry = client.stats()["resident_bytes"]
+        assert per_entry > 0
+        # Replacing a value must not double-count the entry.
+        client.set(0, 0, False)
+        assert client.stats()["resident_bytes"] == per_entry
+        # Fill past the LRU cap: evictions release exactly what the
+        # doomed entries held, so the gauge is cap * per_entry -- not a
+        # monotonically growing estimate.
+        for index in range(1, 200):
+            client.set(index, index, True)
+        stats = client.stats()
+        assert stats["entries"] == 64
+        assert stats["evictions"] == 200 - 64
+        assert stats["resident_bytes"] == 64 * per_entry
+        # The hit rate tracks gets exactly: one hit, one miss.
+        assert client.get(199, 199) is True
+        assert client.get(0, 0) is None  # evicted long ago
+        assert client.stats()["hit_rate"] == pytest.approx(0.5)
+        # Flushing the namespace returns the gauge to zero.
+        client.flush_namespace()
+        assert client.stats()["resident_bytes"] == 0
+
 
 # -- client behavior ---------------------------------------------------------
 

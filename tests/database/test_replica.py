@@ -22,6 +22,7 @@ from repro.database.replica import (
     ReplicaProtocolError,
     ReplicaServer,
     SnapshotReplica,
+    StalenessError,
 )
 from repro.database.store import DatabaseState
 from repro.optimizer.optimizer import SemanticQueryOptimizer
@@ -109,13 +110,14 @@ class TestReplicaProtocol:
             for op in generate_update_stream(optimizer.sl_schema, state, 4, seed=9):
                 apply_update(state, op)
             # Zero polls allowed: the bound cannot be met, so it must raise
-            # rather than silently serve stale answers.
+            # a typed staleness failure rather than silently serve stale
+            # answers.
             try:
                 replica.ensure_fresh(0, attempts=0)
-            except ReplicaProtocolError:
-                pass
+            except StalenessError as error:
+                assert error.lag > error.bound == 0
             else:
-                raise AssertionError("expected ReplicaProtocolError")
+                raise AssertionError("expected StalenessError")
             replica.close()
 
     def test_bad_version_and_malformed_commands(self):
